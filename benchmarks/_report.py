@@ -1,0 +1,26 @@
+"""Reporting helper shared by the benchmarks: paper-vs-measured tables."""
+
+from __future__ import annotations
+
+
+def print_comparison(title: str, rows: list[dict[str, object]]) -> None:
+    """Print a paper-vs-measured table for one experiment."""
+    print(f"\n=== {title} ===")
+    if not rows:
+        return
+    columns = list(rows[0])
+    widths = {
+        column: max(len(str(column)), *(len(_fmt(row.get(column))) for row in rows))
+        for column in columns
+    }
+    header = "  ".join(str(column).ljust(widths[column]) for column in columns)
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print("  ".join(_fmt(row.get(column)).ljust(widths[column]) for column in columns))
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

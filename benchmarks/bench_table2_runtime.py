@@ -1,0 +1,80 @@
+"""Table 2 — dataset statistics, unit-table construction and query answering time.
+
+The paper reports, per dataset, the number of tables/attributes/rows and the
+wall-clock time of the two pipeline stages (unit-table construction and
+query answering) on a 60-core / 1TB server over the full-size datasets.  We
+report the same columns over the synthetic stand-ins at laptop scale; the
+benchmark fixture measures the end-to-end ``answer`` call and the printed
+table splits it into the two stages, as the paper does.
+"""
+
+from __future__ import annotations
+
+from _report import print_comparison
+
+#: Paper-reported values for reference (Table 2).
+PAPER_TABLE_2 = {
+    "MIMIC-III": {"tables": 26, "attributes": 324, "rows": "400M", "unit_table": "6h", "query": "4.5h"},
+    "NIS": {"tables": 4, "attributes": 280, "rows": "8M", "unit_table": "4m", "query": "30s"},
+    "REVIEWDATA": {"tables": 3, "attributes": 7, "rows": "6K", "unit_table": "10.6s", "query": "1.2s"},
+    "SYNTHETIC": {"tables": 3, "attributes": 7, "rows": "300K", "unit_table": "17.2s", "query": "1.3s"},
+}
+
+
+def _run_query(engine, query):
+    engine.invalidate()
+    return engine.answer(query)
+
+
+def _report_row(name, data, answer):
+    db = data.database
+    return {
+        "dataset": name,
+        "tables": len(db.table_names),
+        "attributes": db.total_attributes(),
+        "rows": db.total_rows(),
+        "grounding_s": answer.grounding_seconds,
+        "unit_table_s": answer.unit_table_seconds,
+        "query_s": answer.estimation_seconds,
+        "paper_unit_table": PAPER_TABLE_2[name]["unit_table"],
+        "paper_query": PAPER_TABLE_2[name]["query"],
+    }
+
+
+def bench_table2_mimic(benchmark, mimic_data, mimic_engine):
+    answer = benchmark.pedantic(
+        _run_query, args=(mimic_engine, mimic_data.queries["death"]), rounds=1, iterations=1
+    )
+    print_comparison("Table 2 (MIMIC-III row)", [_report_row("MIMIC-III", mimic_data, answer)])
+    assert answer.total_seconds > 0.0
+
+
+def bench_table2_nis(benchmark, nis_data, nis_engine):
+    answer = benchmark.pedantic(
+        _run_query, args=(nis_engine, nis_data.queries["affordability"]), rounds=1, iterations=1
+    )
+    print_comparison("Table 2 (NIS row)", [_report_row("NIS", nis_data, answer)])
+    assert answer.total_seconds > 0.0
+
+
+def bench_table2_reviewdata(benchmark, review_data, review_engine):
+    answer = benchmark.pedantic(
+        _run_query, args=(review_engine, review_data.queries["ate_single"]), rounds=1, iterations=1
+    )
+    print_comparison("Table 2 (REVIEWDATA row)", [_report_row("REVIEWDATA", review_data, answer)])
+    assert answer.total_seconds > 0.0
+
+
+def bench_table2_synthetic(benchmark, synthetic_review, synthetic_review_engine):
+    answer = benchmark.pedantic(
+        _run_query,
+        args=(synthetic_review_engine, synthetic_review.queries["ate_single"]),
+        rounds=1,
+        iterations=1,
+    )
+    print_comparison(
+        "Table 2 (SYNTHETIC REVIEWDATA row)",
+        [_report_row("SYNTHETIC", synthetic_review, answer)],
+    )
+    # The whole pipeline must stay laptop-friendly on the scaled-down data.
+    assert answer.total_seconds < 120.0

@@ -1,0 +1,117 @@
+"""Table 5 — sensitivity to the embedding choice vs the universal-table baseline.
+
+Paper values (SYNTHETIC REVIEWDATA, query (37), Table 5):
+
+================  =================  =================
+method            single-blind       double-blind
+================  =================  =================
+CaRL / mean       1.124 +- 0.43      0.192 +- 0.40
+CaRL / median     1.119 +- 0.36      0.115 +- 0.37
+CaRL / moments    1.020 +- 0.36      0.109 +- 0.32
+CaRL / padding    1.011 +- 0.29      0.013 +- 0.30
+universal table   0.54  +- 0.73      0.201 +- 0.64
+truth             1.00               0.00
+================  =================  =================
+
+Shape to reproduce: every CaRL embedding recovers the true isolated effect
+(1 at single-blind venues, 0 at double-blind venues) while the universal
+table — all base relations joined, relational structure ignored — misses it
+by a wider margin.  We use the dataset variant without relational effects,
+which is the one whose ground truth matches the "True" column.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _report import print_comparison
+from repro.baselines import flat_ate, universal_review_table
+
+EMBEDDINGS = ("mean", "median", "moments", "padding")
+
+PAPER = {
+    "mean": (1.124, 0.192),
+    "median": (1.119, 0.115),
+    "moments": (1.020, 0.109),
+    "padding": (1.011, 0.013),
+    "universal": (0.54, 0.201),
+}
+
+
+def _carl_estimates(engine, data):
+    estimates = {}
+    for embedding in EMBEDDINGS:
+        single = engine.answer(data.queries["peer_single"], embedding=embedding).result.aie
+        double = engine.answer(data.queries["peer_double"], embedding=embedding).result.aie
+        estimates[embedding] = (single, double)
+    return estimates
+
+
+def _universal_estimates(data):
+    universal = universal_review_table(data.database)
+    results = []
+    for blind in ("single", "double"):
+        rows = [row for row in universal if row["blind"] == blind]
+        results.append(
+            flat_ate(
+                rows,
+                treatment_column="prestige",
+                outcome_column="score",
+                covariate_columns=["qualification"],
+                estimator="propensity_matching",
+            ).ate
+        )
+    return tuple(results)
+
+
+def bench_table5_embedding_sensitivity(
+    benchmark, synthetic_review_no_relational, synthetic_review_no_relational_engine
+):
+    data = synthetic_review_no_relational
+    engine = synthetic_review_no_relational_engine
+    carl = benchmark.pedantic(_carl_estimates, args=(engine, data), rounds=1, iterations=1)
+    universal = _universal_estimates(data)
+
+    gt = data.ground_truth
+    rows = []
+    for embedding in EMBEDDINGS:
+        single, double = carl[embedding]
+        rows.append(
+            {
+                "method": f"CaRL / {embedding}",
+                "single_blind": single,
+                "double_blind": double,
+                "paper_single": PAPER[embedding][0],
+                "paper_double": PAPER[embedding][1],
+            }
+        )
+    rows.append(
+        {
+            "method": "universal table",
+            "single_blind": universal[0],
+            "double_blind": universal[1],
+            "paper_single": PAPER["universal"][0],
+            "paper_double": PAPER["universal"][1],
+        }
+    )
+    rows.append(
+        {
+            "method": "ground truth",
+            "single_blind": gt.isolated_single,
+            "double_blind": gt.isolated_double,
+            "paper_single": 1.0,
+            "paper_double": 0.0,
+        }
+    )
+    print_comparison("Table 5 / embeddings vs universal table", rows)
+
+    # Every embedding recovers the ground truth within a tolerance.  (The
+    # universal-table column is reported for reference; the head-to-head
+    # CaRL-vs-universal assertion lives in the Figure 8 benchmark, which uses
+    # the dataset variant with relational effects, where ignoring the
+    # relational structure actually hurts.)
+    for embedding in EMBEDDINGS:
+        single, double = carl[embedding]
+        assert abs(single - gt.isolated_single) < 0.25, embedding
+        assert abs(double - gt.isolated_double) < 0.25, embedding
+    assert all(np.isfinite(value) for value in universal)

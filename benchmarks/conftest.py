@@ -1,0 +1,100 @@
+"""Shared fixtures and reporting helpers for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+(Section 6).  Absolute runtimes and absolute effect sizes differ from the
+paper (our datasets are synthetic stand-ins on laptop-scale hardware), but
+each benchmark asserts the qualitative *shape* of the paper's result and
+prints a paper-vs-measured comparison.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro import CaRLEngine  # noqa: E402
+from repro.datasets import (  # noqa: E402
+    generate_mimic_data,
+    generate_nis_data,
+    generate_review_data,
+    generate_synthetic_review_data,
+)
+
+
+# ----------------------------------------------------------------------
+# datasets / engines (session-scoped: generated once per benchmark run)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="session")
+def synthetic_review():
+    """SYNTHETIC REVIEWDATA variant *with* relational effects (Table 4, Fig 9)."""
+    return generate_synthetic_review_data(n_authors=1500, papers_per_author=3.0, seed=3)
+
+
+@pytest.fixture(scope="session")
+def synthetic_review_engine(synthetic_review):
+    engine = CaRLEngine(synthetic_review.database, synthetic_review.program)
+    engine.graph  # ground once up front
+    return engine
+
+
+@pytest.fixture(scope="session")
+def synthetic_review_no_relational():
+    """SYNTHETIC REVIEWDATA variant *without* relational effects (Table 5, Fig 8/10)."""
+    return generate_synthetic_review_data(
+        n_authors=1500, papers_per_author=3.0, relational_effect=0.0, seed=17
+    )
+
+
+@pytest.fixture(scope="session")
+def synthetic_review_no_relational_engine(synthetic_review_no_relational):
+    data = synthetic_review_no_relational
+    engine = CaRLEngine(data.database, data.program)
+    engine.graph
+    return engine
+
+
+@pytest.fixture(scope="session")
+def review_data():
+    """REVIEWDATA stand-in (Figure 7)."""
+    return generate_review_data(n_authors=1200, n_submissions=700, seed=11)
+
+
+@pytest.fixture(scope="session")
+def review_engine(review_data):
+    engine = CaRLEngine(review_data.database, review_data.program)
+    engine.graph
+    return engine
+
+
+@pytest.fixture(scope="session")
+def mimic_data():
+    return generate_mimic_data(n_patients=6000, seed=23)
+
+
+@pytest.fixture(scope="session")
+def mimic_engine(mimic_data):
+    engine = CaRLEngine(mimic_data.database, mimic_data.program)
+    engine.graph
+    return engine
+
+
+@pytest.fixture(scope="session")
+def nis_data():
+    return generate_nis_data(n_admissions=6000, seed=31)
+
+
+@pytest.fixture(scope="session")
+def nis_engine(nis_data):
+    engine = CaRLEngine(nis_data.database, nis_data.program)
+    engine.graph
+    return engine

@@ -1,0 +1,166 @@
+"""Using CaRL on your own relational data, from scratch.
+
+This example builds a small university domain (students, courses,
+enrollments) directly through the public API — no prepared generator — and
+walks through every step a user of the library would take:
+
+1. create an in-memory relational database and fill it with rows;
+2. declare the relational causal schema and background knowledge in CaRL;
+3. ask an ATE query and a relational (peer) query;
+4. compare embeddings and estimators;
+5. export the data to CSV and load it back.
+
+The domain: does attending office hours improve a student's grade, and do
+their study-group partners' attendance spill over onto their grade?
+
+Run with::
+
+    python examples/custom_dataset.py
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import CaRLEngine, Database
+
+PROGRAM = """
+ENTITY Student(student);
+ENTITY Course(course);
+RELATIONSHIP Enrolled(student, course);
+RELATIONSHIP StudyGroup(student Student, partner Student);
+
+ATTRIBUTE Motivation OF Student;
+ATTRIBUTE OfficeHours OF Student COLUMN office_hours;
+ATTRIBUTE Grade OF Student;
+ATTRIBUTE Difficulty OF Course;
+
+// Background knowledge: motivated students attend office hours and get
+// better grades; grades also react to study partners' office-hours habits
+// (shared notes, explanations) and to course difficulty.
+OfficeHours[S] <= Motivation[S] WHERE Student(S);
+Grade[S] <= Motivation[S] WHERE Student(S);
+Grade[S] <= OfficeHours[S] WHERE Student(S);
+Grade[S] <= OfficeHours[P] WHERE StudyGroup(S, P);
+Grade[S] <= Difficulty[C] WHERE Enrolled(S, C);
+"""
+
+TRUE_OWN_EFFECT = 6.0
+TRUE_PEER_EFFECT = 2.0
+
+
+def build_database(n_students: int = 800, n_courses: int = 12, seed: int = 5) -> Database:
+    """Simulate the university domain with known ground-truth effects."""
+    rng = np.random.default_rng(seed)
+    db = Database(name="university")
+
+    motivation = rng.normal(50, 12, size=n_students)
+    office_hours = (rng.random(n_students) < 1 / (1 + np.exp(-(motivation - 52) / 6))).astype(int)
+
+    # Study groups of 2-4 students.
+    partners: list[list[int]] = [[] for _ in range(n_students)]
+    group_rows = []
+    for student in range(n_students):
+        for _ in range(int(rng.integers(1, 4))):
+            partner = int(rng.integers(0, n_students))
+            if partner != student and partner not in partners[student]:
+                partners[student].append(partner)
+                group_rows.append({"student": f"st{student}", "partner": f"st{partner}"})
+
+    difficulty = rng.uniform(0, 10, size=n_courses)
+    enrollment = rng.integers(0, n_courses, size=n_students)
+
+    peer_rate = np.array(
+        [np.mean(office_hours[p]) if p else 0.0 for p in partners]
+    )
+    grade = (
+        40.0
+        + 0.5 * motivation
+        + TRUE_OWN_EFFECT * office_hours
+        + TRUE_PEER_EFFECT * peer_rate
+        - 1.5 * difficulty[enrollment]
+        + rng.normal(0, 3, size=n_students)
+    )
+
+    db.create_table(
+        "Student",
+        {"student": "str", "motivation": "float", "office_hours": "int", "grade": "float"},
+        primary_key=("student",),
+    ).insert_many(
+        {
+            "student": f"st{i}",
+            "motivation": float(motivation[i]),
+            "office_hours": int(office_hours[i]),
+            "grade": float(grade[i]),
+        }
+        for i in range(n_students)
+    )
+    db.create_table(
+        "Course", {"course": "str", "difficulty": "float"}, primary_key=("course",)
+    ).insert_many({"course": f"c{i}", "difficulty": float(difficulty[i])} for i in range(n_courses))
+    db.create_table("Enrolled", {"student": "str", "course": "str"}).insert_many(
+        {"student": f"st{i}", "course": f"c{enrollment[i]}"} for i in range(n_students)
+    )
+    db.create_table("StudyGroup", {"student": "str", "partner": "str"}).insert_many(group_rows)
+    return db
+
+
+def main() -> None:
+    database = build_database()
+    engine = CaRLEngine(database, PROGRAM)
+    print(f"Database: {database.table_names}, {database.total_rows()} rows total")
+    print(f"Grounded graph: {len(engine.graph)} nodes, {engine.graph.number_of_edges()} edges")
+
+    # ------------------------------------------------------------------
+    # ATE of office-hours attendance on the grade, with a threshold-free
+    # binary treatment and motivation automatically detected as confounder.
+    # ------------------------------------------------------------------
+    ate = engine.answer("Grade[S] <= OfficeHours[S] ?").result
+    print("\nGrade[S] <= OfficeHours[S] ?")
+    print(f"  naive difference : {ate.naive_difference:+.2f} grade points")
+    print(f"  ATE              : {ate.ate:+.2f} grade points "
+          f"(true own + spillover = {TRUE_OWN_EFFECT + TRUE_PEER_EFFECT:+.1f})")
+
+    # ------------------------------------------------------------------
+    # Peer effects through the study group.
+    # ------------------------------------------------------------------
+    effects = engine.answer("Grade[S] <= OfficeHours[S] ? WHEN ALL PEERS TREATED").result
+    print("\nGrade[S] <= OfficeHours[S] ? WHEN ALL PEERS TREATED")
+    print(f"  isolated  (own attendance)       AIE = {effects.aie:+.2f}  (true {TRUE_OWN_EFFECT:+.1f})")
+    print(f"  relational (partners' attendance) ARE = {effects.are:+.2f}  (true {TRUE_PEER_EFFECT:+.1f})")
+    print(f"  overall                           AOE = {effects.aoe:+.2f}")
+
+    # ------------------------------------------------------------------
+    # Estimator and embedding comparison on the same query.
+    # ------------------------------------------------------------------
+    print("\nEstimator comparison (ATE):")
+    for estimator in ("regression", "ipw", "aipw", "naive"):
+        value = engine.answer("Grade[S] <= OfficeHours[S] ?", estimator=estimator).result.ate
+        print(f"  {estimator:<12} {value:+.2f}")
+
+    print("\nEmbedding comparison (AIE):")
+    for embedding in ("mean", "median", "moments", "padding"):
+        value = engine.answer(
+            "Grade[S] <= OfficeHours[S] ? WHEN ALL PEERS TREATED", embedding=embedding
+        ).result.aie
+        print(f"  {embedding:<12} {value:+.2f}")
+
+    # ------------------------------------------------------------------
+    # CSV round trip.
+    # ------------------------------------------------------------------
+    with tempfile.TemporaryDirectory() as directory:
+        paths = database.export_csv(directory)
+        print(f"\nExported {len(paths)} CSV files to {directory}")
+        restored = Database("restored")
+        restored.import_csv("Student", Path(directory) / "Student.csv")
+        print(f"Re-imported Student table with {len(restored.table('Student'))} rows")
+
+
+if __name__ == "__main__":
+    main()

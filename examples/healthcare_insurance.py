@@ -1,0 +1,66 @@
+"""Does lacking health insurance increase ICU mortality and length of stay?
+
+Reproduces the MIMIC-III analysis of Section 6.2 (Table 3, rows MIMIC 1 and
+MIMIC 2) on the synthetic stand-in.  The naive comparison of self-paying vs
+insured patients shows a large mortality gap and a large length-of-stay gap;
+after relational covariate adjustment (the demographics that drive both
+insurance status and admission severity), the mortality effect all but
+disappears — care givers do not discriminate by insurance status — and the
+length-of-stay effect is strongly attenuated.
+
+Run with::
+
+    python examples/healthcare_insurance.py [--patients N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import CaRLEngine
+from repro.datasets import generate_mimic_data
+
+
+def describe(name: str, result, unit: str, scale: float = 1.0) -> None:
+    print(f"\n{name}")
+    print(f"  treated (self-pay) mean : {result.treated_mean * scale:10.2f} {unit}")
+    print(f"  control (insured) mean  : {result.control_mean * scale:10.2f} {unit}")
+    print(f"  naive difference        : {result.naive_difference * scale:+10.2f} {unit}")
+    print(f"  ATE (after adjustment)  : {result.ate * scale:+10.2f} {unit}")
+    print(f"  units                   : {result.n_units}")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--patients", type=int, default=6000)
+    parser.add_argument("--estimator", default="regression", help="regression | ipw | aipw | psm")
+    parser.add_argument("--seed", type=int, default=23)
+    args = parser.parse_args()
+
+    data = generate_mimic_data(n_patients=args.patients, seed=args.seed)
+    engine = CaRLEngine(data.database, data.program)
+    print(f"Synthetic MIMIC-III-like database: {data.n_patients} patients, "
+          f"{len(data.database.table_names)} tables")
+
+    death = engine.answer(data.queries["death"], estimator=args.estimator).result
+    describe("MIMIC 1 — Death[P] <= SelfPay[P] ?", death, "probability points", scale=100.0)
+
+    length = engine.answer(data.queries["length"], estimator=args.estimator).result
+    describe("MIMIC 2 — Length[P] <= SelfPay[P] ?", length, "hours")
+
+    print(
+        "\nReading: the raw gaps are dominated by confounding — the demographic groups "
+        "that tend to self-pay arrive sicker (raising naive mortality) and carry fewer "
+        "chronic conditions (shortening naive stays).  Adjusting for the parents of the "
+        "treatment (Theorem 5.2) removes most of both gaps."
+    )
+    print(f"\nTrue simulated effects: death {data.true_death_effect * 100:+.1f} points, "
+          f"length {data.true_length_effect:+.1f} hours.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Are large hospitals less affordable than small ones?
+
+Reproduces the NIS analysis of Section 6.2 (Table 3, row NIS 1) on the
+synthetic stand-in.  Naively, patients at large hospitals are far more
+likely to receive a high bill; causally, being admitted to a large hospital
+*reduces* the probability of a high bill, because large hospitals receive
+systematically sicker patients (illness severity confounds hospital choice
+and billing) and benefit from economies of scale.
+
+Run with::
+
+    python examples/hospital_affordability.py [--admissions N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import CaRLEngine
+from repro.datasets import generate_nis_data
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--admissions", type=int, default=6000)
+    parser.add_argument("--seed", type=int, default=31)
+    args = parser.parse_args()
+
+    data = generate_nis_data(n_admissions=args.admissions, seed=args.seed)
+    engine = CaRLEngine(data.database, data.program)
+    print(
+        f"Synthetic NIS-like database: {data.n_admissions} admissions across "
+        f"{data.n_hospitals} hospitals"
+    )
+
+    result = engine.answer(data.queries["affordability"]).result
+    print("\nNIS 1 — AVG_Bill[H] <= AdmittedToLarge[P] ?  (probability of a high bill)")
+    print(f"  large-hospital admissions : {result.treated_mean * 100:6.1f}% high bills")
+    print(f"  small-hospital admissions : {result.control_mean * 100:6.1f}% high bills")
+    print(f"  naive difference          : {result.naive_difference * 100:+6.1f} points")
+    print(f"  ATE (after adjustment)    : {result.ate * 100:+6.1f} points")
+    print(f"  true simulated effect     : {data.true_bill_effect * 100:+6.1f} points")
+
+    # Estimator robustness: the sign reversal should not depend on the estimator.
+    print("\nEstimator robustness check:")
+    for estimator in ("regression", "ipw", "aipw", "stratification"):
+        ate = engine.answer(data.queries["affordability"], estimator=estimator).result.ate
+        print(f"  {estimator:<15} ATE = {ate * 100:+6.1f} points")
+
+    print(
+        "\nReading: correlation says large hospitals are less affordable; the causal "
+        "estimate — after adjusting for the severity-driven selection of patients into "
+        "large hospitals — reverses the sign, in line with the economies-of-scale "
+        "literature the paper cites."
+    )
+
+
+if __name__ == "__main__":
+    main()

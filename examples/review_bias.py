@@ -1,0 +1,71 @@
+"""Does double-blind reviewing reduce institutional prestige bias?
+
+Reproduces the REVIEWDATA analysis of Section 6.2 (Figure 7) on the synthetic
+stand-in: the correlation between author prestige and review scores is large
+at both single- and double-blind venues, but the *causal* effect of prestige
+is only present at single-blind venues — exactly the kind of conclusion that
+naive correlational analysis gets wrong.
+
+Run with::
+
+    python examples/review_bias.py [--authors N] [--submissions N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import CaRLEngine
+from repro.datasets import generate_review_data
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--authors", type=int, default=1200, help="number of authors to generate")
+    parser.add_argument("--submissions", type=int, default=700, help="number of submissions")
+    parser.add_argument("--seed", type=int, default=11)
+    args = parser.parse_args()
+
+    data = generate_review_data(
+        n_authors=args.authors, n_submissions=args.submissions, seed=args.seed
+    )
+    engine = CaRLEngine(data.database, data.program)
+    print(
+        f"REVIEWDATA stand-in: {data.n_authors} authors, {data.n_submissions} submissions, "
+        f"{data.n_conferences} venues"
+    )
+
+    # ------------------------------------------------------------------
+    # Figure 7(a): ATE and correlation per review policy.
+    # ------------------------------------------------------------------
+    print("\nEffect of author prestige on their average review score:")
+    print(f"{'policy':<14}{'correlation':>12}{'naive diff':>12}{'ATE':>10}{'units':>8}")
+    for policy in ("single", "double"):
+        result = engine.answer(data.queries[f"ate_{policy}"]).result
+        print(
+            f"{policy + '-blind':<14}{result.correlation:>12.3f}{result.naive_difference:>12.3f}"
+            f"{result.ate:>10.3f}{result.n_units:>8}"
+        )
+
+    # ------------------------------------------------------------------
+    # Figure 7(b): isolated vs relational effects at single-blind venues.
+    # ------------------------------------------------------------------
+    effects = engine.answer(data.queries["peer_single"]).result
+    print("\nSingle-blind venues, query (37) — MORE THAN 1/3 PEERS TREATED:")
+    print(f"  isolated effect  (own prestige)            AIE = {effects.aie:+.4f}")
+    print(f"  relational effect (collaborators' prestige) ARE = {effects.are:+.4f}")
+    print(f"  overall effect                              AOE = {effects.aoe:+.4f}")
+    print(f"  (AOE = AIE + ARE up to {effects.decomposition_gap:.1e})")
+
+    print(
+        "\nReading: double-blind reviewing removes (most of) the causal prestige advantage, "
+        "even though prestige and scores remain correlated under both policies."
+    )
+
+
+if __name__ == "__main__":
+    main()

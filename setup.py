@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+legacy editable installs (``pip install -e . --no-use-pep517`` or
+``python setup.py develop``) work on environments whose setuptools cannot
+build editable wheels (offline machines without the ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,64 @@
+"""repro — a reproduction of "Causal Relational Learning" (CaRL), SIGMOD 2020.
+
+Public API overview
+-------------------
+* :mod:`repro.db` — in-memory relational database substrate.
+* :mod:`repro.graph` — DAG and d-separation machinery.
+* :mod:`repro.carl` — the CaRL language (parser), grounding, covariate
+  detection, unit-table construction and the query-answering engine.
+* :mod:`repro.inference` — single-table causal estimators (regression
+  adjustment, matching, IPW, ...), built from scratch on numpy.
+* :mod:`repro.datasets` — synthetic relational dataset generators standing in
+  for REVIEWDATA, SYNTHETIC REVIEWDATA, MIMIC-III and NIS.
+* :mod:`repro.baselines` — the universal-table and naive baselines the paper
+  compares against.
+
+Quickstart
+----------
+>>> from repro import CaRLEngine
+>>> from repro.datasets import toy_review_database, TOY_REVIEW_PROGRAM
+>>> engine = CaRLEngine(toy_review_database(), TOY_REVIEW_PROGRAM)
+>>> answer = engine.answer("Score[S] <= Prestige[A] ?")
+>>> isinstance(answer.result.ate, float)
+True
+"""
+
+from repro.carl import (
+    ATEResult,
+    CaRLEngine,
+    CaRLError,
+    CausalQuery,
+    EffectsResult,
+    GroundedCausalGraph,
+    ParseError,
+    QueryAnswer,
+    RelationalCausalModel,
+    RelationalCausalSchema,
+    UnitTable,
+    parse_program,
+    parse_query,
+    parse_rule,
+)
+from repro.db import Database, Table
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ATEResult",
+    "CaRLEngine",
+    "CaRLError",
+    "CausalQuery",
+    "Database",
+    "EffectsResult",
+    "GroundedCausalGraph",
+    "ParseError",
+    "QueryAnswer",
+    "RelationalCausalModel",
+    "RelationalCausalSchema",
+    "Table",
+    "UnitTable",
+    "__version__",
+    "parse_program",
+    "parse_query",
+    "parse_rule",
+]

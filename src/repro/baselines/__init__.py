@@ -1,0 +1,24 @@
+"""Baselines the paper compares CaRL against.
+
+* the *universal table* baseline: join all base relations into one flat
+  table and run a standard single-table estimator (propensity-score
+  matching) on it, ignoring the relational structure — Table 5 and Figure 8;
+* the *naive* baseline: the unadjusted difference between the average
+  outcomes of treated and control units — Table 3.
+"""
+
+from repro.baselines.naive import naive_contrast
+from repro.baselines.universal import (
+    build_universal_table,
+    flat_ate,
+    flat_cate,
+    universal_review_table,
+)
+
+__all__ = [
+    "build_universal_table",
+    "flat_ate",
+    "flat_cate",
+    "naive_contrast",
+    "universal_review_table",
+]

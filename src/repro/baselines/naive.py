@@ -1,0 +1,33 @@
+"""Naive (correlational) baseline: unadjusted difference of group averages."""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.db.table import Table
+from repro.inference.correlation import naive_difference, pearson_correlation
+
+
+def naive_contrast(
+    table: Table | list[dict[str, Any]],
+    treatment_column: str,
+    outcome_column: str,
+) -> dict[str, float]:
+    """Difference of averages and Pearson correlation straight off a table.
+
+    This is what an analyst gets from "a few SQL queries" (Section 1): the
+    average outcome of the treated group, of the control group, their
+    difference, and the treatment/outcome correlation — with no adjustment
+    for confounding whatsoever.
+    """
+    rows = table.to_list() if isinstance(table, Table) else list(table)
+    if not rows:
+        raise ValueError("cannot compute a naive contrast on an empty table")
+    treatment = np.asarray([float(row[treatment_column]) for row in rows])
+    outcome = np.asarray([float(row[outcome_column]) for row in rows])
+    contrast = naive_difference(treatment, outcome)
+    contrast["correlation"] = pearson_correlation(treatment, outcome)
+    contrast["n_rows"] = float(len(rows))
+    return contrast

@@ -1,0 +1,71 @@
+"""CaRL — the Causal Relational Language and its query-answering engine.
+
+This package implements the paper's primary contribution:
+
+* a declarative language for relational causal schemas, relational causal
+  rules, aggregate rules and causal queries (:mod:`repro.carl.lexer`,
+  :mod:`repro.carl.parser`, :mod:`repro.carl.ast`);
+* grounding of rules against a relational skeleton into a grounded causal
+  graph (:mod:`repro.carl.grounding`, :mod:`repro.carl.causal_graph`);
+* relational paths, peer computation, covariate detection and unit-table
+  construction (:mod:`repro.carl.peers`, :mod:`repro.carl.covariates`,
+  :mod:`repro.carl.unit_table`);
+* the end-to-end engine that answers ATE, aggregated-response and
+  relational/isolated/overall effect queries (:mod:`repro.carl.engine`).
+"""
+
+from repro.carl.ast import (
+    AggregateRule,
+    AttributeAtom,
+    AttributeDeclaration,
+    CausalQuery,
+    CausalRule,
+    EntityDeclaration,
+    PeerCondition,
+    PredicateAtom,
+    Program,
+    RelationshipDeclaration,
+    Variable,
+)
+from repro.carl.causal_graph import GroundedAttribute, GroundedCausalGraph
+from repro.carl.embeddings import EMBEDDINGS, Embedding, get_embedding
+from repro.carl.engine import CaRLEngine
+from repro.carl.errors import CaRLError, GroundingError, ParseError, SchemaBindingError
+from repro.carl.model import RelationalCausalModel
+from repro.carl.parser import parse_program, parse_query, parse_rule
+from repro.carl.queries import ATEResult, EffectsResult, QueryAnswer
+from repro.carl.schema import RelationalCausalSchema
+from repro.carl.unit_table import UnitTable
+
+__all__ = [
+    "ATEResult",
+    "AggregateRule",
+    "AttributeAtom",
+    "AttributeDeclaration",
+    "CaRLEngine",
+    "CaRLError",
+    "CausalQuery",
+    "CausalRule",
+    "EMBEDDINGS",
+    "EffectsResult",
+    "Embedding",
+    "EntityDeclaration",
+    "GroundedAttribute",
+    "GroundedCausalGraph",
+    "GroundingError",
+    "ParseError",
+    "PeerCondition",
+    "PredicateAtom",
+    "Program",
+    "QueryAnswer",
+    "RelationalCausalModel",
+    "RelationalCausalSchema",
+    "RelationshipDeclaration",
+    "SchemaBindingError",
+    "UnitTable",
+    "Variable",
+    "get_embedding",
+    "parse_program",
+    "parse_query",
+    "parse_rule",
+]

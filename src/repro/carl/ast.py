@@ -1,0 +1,403 @@
+"""Abstract syntax tree for CaRL programs and queries.
+
+A CaRL *program* consists of schema declarations (entities, relationships,
+attribute functions), relational causal rules, and aggregate rules
+(Section 3 of the paper).  Causal *queries* are parsed separately and come in
+three forms: ATE queries, aggregated-response queries, and relational /
+isolated / overall effect queries with a ``WHEN ... PEERS TREATED`` clause
+(Section 3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Union
+
+
+# ----------------------------------------------------------------------
+# terms
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Variable:
+    """A logical variable appearing in rule heads, bodies and conditions."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+Term = Union[Variable, int, float, str, bool]
+
+
+def term_to_str(term: Term) -> str:
+    if isinstance(term, Variable):
+        return term.name
+    if isinstance(term, str):
+        return f'"{term}"'
+    return str(term)
+
+
+# ----------------------------------------------------------------------
+# atoms
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PredicateAtom:
+    """An entity/relationship atom such as ``Author(A, S)``."""
+
+    predicate: str
+    terms: tuple[Term, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "terms", tuple(self.terms))
+
+    @property
+    def variables(self) -> tuple[Variable, ...]:
+        return tuple(term for term in self.terms if isinstance(term, Variable))
+
+    def __str__(self) -> str:
+        return f"{self.predicate}({', '.join(term_to_str(t) for t in self.terms)})"
+
+
+@dataclass(frozen=True)
+class AttributeAtom:
+    """An attribute-function atom such as ``Prestige[A]`` or ``AVG_Score[A]``."""
+
+    name: str
+    terms: tuple[Term, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "terms", tuple(self.terms))
+
+    @property
+    def variables(self) -> tuple[Variable, ...]:
+        return tuple(term for term in self.terms if isinstance(term, Variable))
+
+    def __str__(self) -> str:
+        return f"{self.name}[{', '.join(term_to_str(t) for t in self.terms)}]"
+
+
+#: Comparison operators allowed in rule / query conditions.
+COMPARISON_OPERATORS = ("=", "!=", "<", "<=", ">", ">=")
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """A comparison between an attribute atom (or variable) and a constant.
+
+    Used in rule/query conditions, e.g. ``Blind[C] = "single"`` restricts the
+    grounding to single-blind conferences, and as a treatment threshold, e.g.
+    ``Qualification[A] >= 30``.
+    """
+
+    left: AttributeAtom | Variable
+    operator: str
+    right: Any
+
+    def __post_init__(self) -> None:
+        if self.operator not in COMPARISON_OPERATORS:
+            raise ValueError(f"unknown comparison operator {self.operator!r}")
+
+    def evaluate(self, left_value: Any) -> bool:
+        """Evaluate the comparison for a concrete left-hand value."""
+        if left_value is None:
+            return False
+        right = self.right
+        if self.operator == "=":
+            return left_value == right
+        if self.operator == "!=":
+            return left_value != right
+        if self.operator == "<":
+            return left_value < right
+        if self.operator == "<=":
+            return left_value <= right
+        if self.operator == ">":
+            return left_value > right
+        return left_value >= right
+
+    def __str__(self) -> str:
+        left = str(self.left)
+        right = f'"{self.right}"' if isinstance(self.right, str) else str(self.right)
+        return f"{left} {self.operator} {right}"
+
+
+@dataclass(frozen=True)
+class Condition:
+    """The ``WHERE`` clause of a rule or query: predicate atoms + comparisons."""
+
+    atoms: tuple[PredicateAtom, ...] = ()
+    comparisons: tuple[Comparison, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "atoms", tuple(self.atoms))
+        object.__setattr__(self, "comparisons", tuple(self.comparisons))
+
+    @property
+    def is_trivial(self) -> bool:
+        return not self.atoms and not self.comparisons
+
+    @property
+    def variables(self) -> tuple[Variable, ...]:
+        seen: dict[str, Variable] = {}
+        for atom in self.atoms:
+            for variable in atom.variables:
+                seen.setdefault(variable.name, variable)
+        for comparison in self.comparisons:
+            if isinstance(comparison.left, Variable):
+                seen.setdefault(comparison.left.name, comparison.left)
+            else:
+                for variable in comparison.left.variables:
+                    seen.setdefault(variable.name, variable)
+        return tuple(seen.values())
+
+    def __str__(self) -> str:
+        parts = [str(atom) for atom in self.atoms] + [str(cmp_) for cmp_ in self.comparisons]
+        return ", ".join(parts) if parts else "TRUE"
+
+
+# ----------------------------------------------------------------------
+# schema declarations
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class EntityDeclaration:
+    """``ENTITY Person(person)`` — an entity and the name of its key column."""
+
+    name: str
+    key: str
+
+    def __str__(self) -> str:
+        return f"ENTITY {self.name}({self.key})"
+
+
+@dataclass(frozen=True)
+class RelationshipDeclaration:
+    """``RELATIONSHIP Author(person, sub)`` — a relationship over entity keys.
+
+    Each argument names a column of the relationship's table; by convention
+    the argument name matches the key column of the referenced entity, which
+    is how the engine resolves which entity each position refers to.  When
+    the convention does not apply (e.g. a self-relationship such as
+    ``Collaborates(author, peer)``), the referenced entity can be stated
+    explicitly: ``RELATIONSHIP Collaborates(author Person, peer Person)``.
+    ``references`` holds the explicit entity name per position (None when
+    the convention should be used).
+    """
+
+    name: str
+    keys: tuple[str, ...]
+    references: tuple[str | None, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "keys", tuple(self.keys))
+        references = tuple(self.references)
+        if not references:
+            references = tuple(None for _ in self.keys)
+        if len(references) != len(self.keys):
+            raise ValueError(
+                f"relationship {self.name!r} declares {len(self.keys)} keys but "
+                f"{len(references)} entity references"
+            )
+        object.__setattr__(self, "references", references)
+
+    def __str__(self) -> str:
+        parts = []
+        for key, reference in zip(self.keys, self.references):
+            parts.append(f"{key} {reference}" if reference else key)
+        return f"RELATIONSHIP {self.name}({', '.join(parts)})"
+
+
+@dataclass(frozen=True)
+class AttributeDeclaration:
+    """``ATTRIBUTE Prestige OF Person`` (optionally ``LATENT``, ``COLUMN col``).
+
+    ``subject`` is the entity or relationship the attribute function is
+    defined on; ``column`` is the column of the subject's table holding the
+    observed values (defaults to the lower-cased attribute name); latent
+    attributes have no column and are unobserved in every instance.
+    """
+
+    name: str
+    subject: str
+    column: str | None = None
+    latent: bool = False
+
+    def __str__(self) -> str:
+        prefix = "LATENT ATTRIBUTE" if self.latent else "ATTRIBUTE"
+        suffix = f" COLUMN {self.column}" if self.column else ""
+        return f"{prefix} {self.name} OF {self.subject}{suffix}"
+
+
+# ----------------------------------------------------------------------
+# rules
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CausalRule:
+    """A relational causal rule ``A[X] <= A1[X1], ..., Ak[Xk] WHERE Q(Y)``."""
+
+    head: AttributeAtom
+    body: tuple[AttributeAtom, ...]
+    condition: Condition = field(default_factory=Condition)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "body", tuple(self.body))
+
+    @property
+    def variables(self) -> tuple[Variable, ...]:
+        seen: dict[str, Variable] = {}
+        for atom in (self.head, *self.body):
+            for variable in atom.variables:
+                seen.setdefault(variable.name, variable)
+        for variable in self.condition.variables:
+            seen.setdefault(variable.name, variable)
+        return tuple(seen.values())
+
+    def __str__(self) -> str:
+        body = ", ".join(str(atom) for atom in self.body)
+        where = "" if self.condition.is_trivial else f" WHERE {self.condition}"
+        return f"{self.head} <= {body}{where}"
+
+
+@dataclass(frozen=True)
+class AggregateRule:
+    """An aggregate rule ``AGG_A[W] <= A[X] WHERE Q(Z)`` (Section 3.2.4)."""
+
+    aggregate: str
+    head: AttributeAtom
+    body: AttributeAtom
+    condition: Condition = field(default_factory=Condition)
+
+    def __str__(self) -> str:
+        where = "" if self.condition.is_trivial else f" WHERE {self.condition}"
+        return f"{self.head} <= {self.body}{where}"
+
+
+# ----------------------------------------------------------------------
+# queries
+# ----------------------------------------------------------------------
+#: Kinds of peer-treatment conditions in the ``WHEN ... PEERS TREATED`` grammar.
+PEER_CONDITION_KINDS = (
+    "ALL",
+    "NONE",
+    "MORE_THAN_PERCENT",
+    "LESS_THAN_PERCENT",
+    "AT_LEAST",
+    "AT_MOST",
+    "EXACTLY",
+)
+
+
+@dataclass(frozen=True)
+class PeerCondition:
+    """The ``<cnd>`` of ``WHEN <cnd> PEERS TREATED`` (grammar (16) of the paper)."""
+
+    kind: str
+    value: float | int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in PEER_CONDITION_KINDS:
+            raise ValueError(f"unknown peer condition kind {self.kind!r}")
+        if self.kind in ("ALL", "NONE") and self.value is not None:
+            raise ValueError(f"peer condition {self.kind} takes no value")
+        if self.kind not in ("ALL", "NONE") and self.value is None:
+            raise ValueError(f"peer condition {self.kind} requires a value")
+
+    def treated_fraction(self, peer_count: int) -> float:
+        """Fraction of a unit's peers treated under this condition.
+
+        Percent conditions translate directly; count conditions are divided
+        by the unit's own peer count (truncated to [0, 1]), matching the
+        paper's allowance for per-unit peer-set sizes (footnote 9).
+        """
+        if self.kind == "ALL":
+            return 1.0
+        if self.kind == "NONE":
+            return 0.0
+        if self.kind in ("MORE_THAN_PERCENT", "LESS_THAN_PERCENT"):
+            return min(max(float(self.value) / 100.0, 0.0), 1.0)
+        if peer_count <= 0:
+            return 0.0
+        return min(max(float(self.value) / peer_count, 0.0), 1.0)
+
+    def __str__(self) -> str:
+        if self.kind == "ALL":
+            return "ALL"
+        if self.kind == "NONE":
+            return "NONE"
+        if self.kind == "MORE_THAN_PERCENT":
+            return f"MORE THAN {self.value}%"
+        if self.kind == "LESS_THAN_PERCENT":
+            return f"LESS THAN {self.value}%"
+        if self.kind == "AT_LEAST":
+            return f"AT LEAST {self.value}"
+        if self.kind == "AT_MOST":
+            return f"AT MOST {self.value}"
+        return f"EXACTLY {self.value}"
+
+
+@dataclass(frozen=True)
+class CausalQuery:
+    """A causal query ``Y[X'] <= T[X] ? [WHEN <cnd> PEERS TREATED] [WHERE ...]``.
+
+    ``treatment_threshold`` optionally binarizes a non-binary treatment
+    attribute (e.g. ``Qualification[A] >= 30``); ``condition`` optionally
+    restricts the response units considered (e.g. to single-blind venues).
+    """
+
+    response: AttributeAtom
+    treatment: AttributeAtom
+    peer_condition: PeerCondition | None = None
+    condition: Condition = field(default_factory=Condition)
+    treatment_threshold: Comparison | None = None
+
+    @property
+    def is_peer_query(self) -> bool:
+        return self.peer_condition is not None
+
+    def __str__(self) -> str:
+        text = f"{self.response} <= {self.treatment} ?"
+        if self.treatment_threshold is not None:
+            text = (
+                f"{self.response} <= {self.treatment} "
+                f"{self.treatment_threshold.operator} {self.treatment_threshold.right} ?"
+            )
+        if self.peer_condition is not None:
+            text += f" WHEN {self.peer_condition} PEERS TREATED"
+        if not self.condition.is_trivial:
+            text += f" WHERE {self.condition}"
+        return text
+
+
+# ----------------------------------------------------------------------
+# program
+# ----------------------------------------------------------------------
+@dataclass
+class Program:
+    """A parsed CaRL program: declarations + rules (+ any inline queries)."""
+
+    entities: list[EntityDeclaration] = field(default_factory=list)
+    relationships: list[RelationshipDeclaration] = field(default_factory=list)
+    attributes: list[AttributeDeclaration] = field(default_factory=list)
+    rules: list[CausalRule] = field(default_factory=list)
+    aggregate_rules: list[AggregateRule] = field(default_factory=list)
+    queries: list[CausalQuery] = field(default_factory=list)
+
+    def merge(self, other: "Program") -> "Program":
+        """Concatenate two programs (declarations first, then rules/queries)."""
+        return Program(
+            entities=self.entities + other.entities,
+            relationships=self.relationships + other.relationships,
+            attributes=self.attributes + other.attributes,
+            rules=self.rules + other.rules,
+            aggregate_rules=self.aggregate_rules + other.aggregate_rules,
+            queries=self.queries + other.queries,
+        )
+
+    def __str__(self) -> str:
+        lines: list[str] = []
+        lines.extend(str(declaration) for declaration in self.entities)
+        lines.extend(str(declaration) for declaration in self.relationships)
+        lines.extend(str(declaration) for declaration in self.attributes)
+        lines.extend(str(rule) for rule in self.rules)
+        lines.extend(str(rule) for rule in self.aggregate_rules)
+        lines.extend(str(query) for query in self.queries)
+        return "\n".join(lines)

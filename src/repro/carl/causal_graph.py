@@ -1,0 +1,157 @@
+"""The grounded relational causal graph ``G(Phi_Delta)``.
+
+Nodes are grounded attributes ``A[x]`` — an attribute-function name plus a
+tuple of entity/relationship key constants — and edges run from every atom
+in the body of a grounded rule to its head (Section 3.2.3 of the paper).
+Aggregated attributes introduced by aggregate rules become additional nodes
+whose value is a deterministic function of their parents (Section 3.2.4).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Iterable, NamedTuple
+
+from repro.graph.dag import DAG
+from repro.graph.dseparation import d_separated
+
+
+class GroundedAttribute(NamedTuple):
+    """A grounded attribute node ``A[x]``: attribute name + key constants."""
+
+    attribute: str
+    key: tuple[Any, ...]
+
+    def __str__(self) -> str:
+        rendered = ", ".join(repr(part) for part in self.key)
+        return f"{self.attribute}[{rendered}]"
+
+
+class GroundedRule(NamedTuple):
+    """A grounded rule: head node, body nodes, and the originating rule index."""
+
+    head: GroundedAttribute
+    body: tuple[GroundedAttribute, ...]
+
+
+class GroundedCausalGraph:
+    """DAG over grounded attributes with attribute-aware convenience queries."""
+
+    def __init__(self) -> None:
+        self.dag = DAG()
+        self._by_attribute: dict[str, set[GroundedAttribute]] = defaultdict(set)
+        self._aggregates: dict[GroundedAttribute, str] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(self, node: GroundedAttribute, aggregate: str | None = None) -> None:
+        """Register a grounded attribute node (idempotent)."""
+        self.dag.add_node(node)
+        self._by_attribute[node.attribute].add(node)
+        if aggregate is not None:
+            self._aggregates[node] = aggregate
+
+    def add_grounded_rule(self, rule: GroundedRule, aggregate: str | None = None) -> None:
+        """Add a grounded rule: nodes for head and body, edges body -> head."""
+        self.add_node(rule.head, aggregate=aggregate)
+        for parent in rule.body:
+            self.add_node(parent)
+            if parent != rule.head:
+                self.dag.add_edge(parent, rule.head)
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def __contains__(self, node: GroundedAttribute) -> bool:
+        return node in self.dag
+
+    def __len__(self) -> int:
+        return len(self.dag)
+
+    @property
+    def nodes(self) -> list[GroundedAttribute]:
+        return self.dag.nodes
+
+    @property
+    def edges(self) -> list[tuple[GroundedAttribute, GroundedAttribute]]:
+        return self.dag.edges
+
+    def number_of_edges(self) -> int:
+        return self.dag.number_of_edges()
+
+    def nodes_of(self, attribute: str) -> list[GroundedAttribute]:
+        """All groundings of one attribute function (``A_Delta`` in the paper)."""
+        return sorted(self._by_attribute.get(attribute, set()), key=lambda node: str(node.key))
+
+    def attribute_names(self) -> list[str]:
+        return list(self._by_attribute)
+
+    def is_aggregate(self, node: GroundedAttribute) -> bool:
+        return node in self._aggregates
+
+    def aggregate_of(self, node: GroundedAttribute) -> str | None:
+        return self._aggregates.get(node)
+
+    def parents(self, node: GroundedAttribute) -> set[GroundedAttribute]:
+        return self.dag.parents(node)
+
+    def children(self, node: GroundedAttribute) -> set[GroundedAttribute]:
+        return self.dag.children(node)
+
+    def parents_by_attribute(
+        self, node: GroundedAttribute
+    ) -> dict[str, list[GroundedAttribute]]:
+        """Parents of ``node`` grouped by attribute-function name.
+
+        This grouping is what the embedding layer operates on: all parents of
+        the same type are collapsed by one embedding function ``psi_A_Aj``
+        (Section 4.1).
+        """
+        grouped: dict[str, list[GroundedAttribute]] = defaultdict(list)
+        for parent in self.dag.parents(node):
+            grouped[parent.attribute].append(parent)
+        return {name: sorted(parents, key=lambda n: str(n.key)) for name, parents in grouped.items()}
+
+    def ancestors(self, node: GroundedAttribute) -> set[GroundedAttribute]:
+        return self.dag.ancestors(node)
+
+    def descendants(self, node: GroundedAttribute) -> set[GroundedAttribute]:
+        return self.dag.descendants(node)
+
+    def has_directed_path(self, source: GroundedAttribute, target: GroundedAttribute) -> bool:
+        return self.dag.has_directed_path(source, target)
+
+    def ancestor_nodes_of_attribute(
+        self, node: GroundedAttribute, attribute: str
+    ) -> list[GroundedAttribute]:
+        """Ancestors of ``node`` restricted to groundings of ``attribute``."""
+        return sorted(
+            (ancestor for ancestor in self.dag.ancestors(node) if ancestor.attribute == attribute),
+            key=lambda n: str(n.key),
+        )
+
+    # ------------------------------------------------------------------
+    # causal-graph operations
+    # ------------------------------------------------------------------
+    def validate_acyclic(self) -> None:
+        self.dag.validate_acyclic()
+
+    def do(self, nodes: Iterable[GroundedAttribute]) -> DAG:
+        """Mutilated DAG for an intervention on ``nodes`` (edges into them removed)."""
+        return self.dag.do(nodes)
+
+    def d_separated(
+        self,
+        x: Iterable[GroundedAttribute] | GroundedAttribute,
+        y: Iterable[GroundedAttribute] | GroundedAttribute,
+        given: Iterable[GroundedAttribute] = (),
+    ) -> bool:
+        """d-separation in the grounded graph (used to verify adjustment sets)."""
+        return d_separated(self.dag, x, y, given)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"GroundedCausalGraph(nodes={len(self.dag)}, edges={self.dag.number_of_edges()}, "
+            f"attributes={len(self._by_attribute)})"
+        )

@@ -1,0 +1,542 @@
+"""The CaRL query-answering engine.
+
+Ties the whole pipeline of Section 5 together:
+
+1. parse the CaRL program (schema + rules) and bind it to a database;
+2. ground the rules into the grounded relational causal graph;
+3. for a causal query, unify treated and response units (aggregating the
+   response along a relational path when they differ);
+4. detect covariates (Theorem 5.2), embed variable-size vectors, and build
+   the unit table (Algorithm 1);
+5. estimate the requested effect (ATE, aggregated response, or the
+   isolated / relational / overall effect triple) with a standard
+   single-table estimator, alongside the naive associational quantities.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+import numpy as np
+
+from repro.carl.ast import CausalQuery, PeerCondition, Program, Variable
+from repro.carl.causal_graph import GroundedAttribute, GroundedCausalGraph
+from repro.carl.errors import QueryError
+from repro.carl.grounding import Grounder
+from repro.carl.model import RelationalCausalModel
+from repro.carl.parser import parse_program, parse_query
+from repro.carl.peers import build_unifying_aggregate_rule, compute_peers
+from repro.carl.queries import ATEResult, EffectsResult, QueryAnswer
+from repro.carl.schema import RelationalCausalSchema
+from repro.carl.unit_table import UnitTable, build_unit_table, default_binarizer
+from repro.db.aggregates import AGGREGATES, aggregate as apply_aggregate
+from repro.db.database import Database
+from repro.inference.bootstrap import bootstrap_statistic
+from repro.inference.correlation import naive_difference, pearson_correlation
+from repro.inference.estimators import estimate_ate
+from repro.inference.outcome import OutcomeModel
+
+
+class CaRLEngine:
+    """End-to-end CaRL engine over a database and a CaRL program."""
+
+    def __init__(
+        self,
+        database: Database,
+        program: str | Program,
+        estimator: str = "regression",
+        embedding: str = "mean",
+    ) -> None:
+        if isinstance(program, str):
+            program = parse_program(program)
+        self.program = program
+        self.schema = RelationalCausalSchema.from_program(program)
+        self.model = RelationalCausalModel(
+            self.schema, rules=program.rules, aggregate_rules=program.aggregate_rules
+        )
+        self.database = database
+        self.instance = self.schema.bind(database)
+        self.grounder = Grounder(self.model, self.instance)
+        self.default_estimator = estimator
+        self.default_embedding = embedding
+
+        self._graph: GroundedCausalGraph | None = None
+        self._values: dict[GroundedAttribute, Any] | None = None
+        self.grounding_seconds: float = 0.0
+
+    # ------------------------------------------------------------------
+    # grounding (lazy, cached)
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> GroundedCausalGraph:
+        """The grounded relational causal graph ``G(Phi_Delta)`` (built lazily)."""
+        if self._graph is None:
+            started = time.perf_counter()
+            self._graph = self.grounder.ground()
+            self._values = self.grounder.grounded_attribute_values(self._graph)
+            self.grounding_seconds = time.perf_counter() - started
+        return self._graph
+
+    @property
+    def values(self) -> dict[GroundedAttribute, Any]:
+        """Observed + aggregated values of every grounded attribute node."""
+        self.graph  # noqa: B018 - force grounding
+        assert self._values is not None
+        return self._values
+
+    def invalidate(self) -> None:
+        """Drop the cached grounded graph (call after modifying the database)."""
+        self._graph = None
+        self._values = None
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def answer(
+        self,
+        query: str | CausalQuery,
+        estimator: str | None = None,
+        embedding: str | None = None,
+        bootstrap: int = 0,
+        seed: int = 0,
+    ) -> QueryAnswer:
+        """Answer a causal query; returns effects, naive contrasts and timings."""
+        if isinstance(query, str):
+            query = parse_query(query)
+        estimator = estimator or self.default_estimator
+        embedding = embedding or self.default_embedding
+
+        self.graph  # force grounding so its time is not charged to the unit table
+        started = time.perf_counter()
+        unit_table, peers = self._build_unit_table(query, embedding)
+        unit_table_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        if query.is_peer_query:
+            result: ATEResult | EffectsResult = self._estimate_effects(
+                query.peer_condition, unit_table, estimator
+            )
+        else:
+            result = self._estimate_ate(unit_table, estimator, bootstrap=bootstrap, seed=seed)
+        estimation_seconds = time.perf_counter() - started
+
+        return QueryAnswer(
+            query=query,
+            result=result,
+            unit_table_summary=unit_table.summary(),
+            unit_table_seconds=unit_table_seconds,
+            estimation_seconds=estimation_seconds,
+            grounding_seconds=self.grounding_seconds,
+        )
+
+    def unit_table(
+        self, query: str | CausalQuery, embedding: str | None = None
+    ) -> UnitTable:
+        """Build (only) the unit table for a query — useful for inspection and
+        for the Table 2 runtime benchmark."""
+        if isinstance(query, str):
+            query = parse_query(query)
+        table, _ = self._build_unit_table(query, embedding or self.default_embedding)
+        return table
+
+    def answer_all(
+        self,
+        queries: dict[str, str | CausalQuery] | list[str | CausalQuery],
+        estimator: str | None = None,
+        embedding: str | None = None,
+    ) -> dict[str, QueryAnswer]:
+        """Answer several queries, returning answers keyed by name (or index)."""
+        if isinstance(queries, dict):
+            items = list(queries.items())
+        else:
+            items = [(str(index), query) for index, query in enumerate(queries)]
+        return {
+            name: self.answer(query, estimator=estimator, embedding=embedding)
+            for name, query in items
+        }
+
+    def diagnostics(self, query: str | CausalQuery, embedding: str | None = None):
+        """Covariate-balance and overlap diagnostics for a query's unit table.
+
+        Returns a :class:`repro.inference.diagnostics.BalanceReport` over the
+        adjustment features (embedded covariates + peer-treatment embedding).
+        """
+        from repro.inference.diagnostics import covariate_balance
+
+        if isinstance(query, str):
+            query = parse_query(query)
+        unit_table, _ = self._build_unit_table(query, embedding or self.default_embedding)
+        return covariate_balance(
+            unit_table.treatment,
+            unit_table.adjustment_features(),
+            covariate_names=[*unit_table.peer_columns, *unit_table.covariate_columns],
+        )
+
+    def conditional_effects(
+        self,
+        query: str | CausalQuery,
+        embedding: str | None = None,
+    ) -> np.ndarray:
+        """Per-unit conditional treatment effects (CATE) under the outcome model.
+
+        Used by the Figure 8 / Figure 10 benchmarks: for every unit, the
+        model-predicted contrast between own-treatment 1 and 0 holding the
+        unit's peers and covariates at their observed values.
+        """
+        if isinstance(query, str):
+            query = parse_query(query)
+        unit_table, _ = self._build_unit_table(query, embedding or self.default_embedding)
+        model = OutcomeModel().fit(
+            unit_table.outcome,
+            unit_table.treatment,
+            unit_table.peer_treatment,
+            unit_table.covariates,
+        )
+        treated = model.predict(
+            np.ones(len(unit_table)), unit_table.peer_treatment, unit_table.covariates
+        )
+        control = model.predict(
+            np.zeros(len(unit_table)), unit_table.peer_treatment, unit_table.covariates
+        )
+        return treated - control
+
+    # ------------------------------------------------------------------
+    # unit-table construction for a query
+    # ------------------------------------------------------------------
+    def _build_unit_table(
+        self, query: CausalQuery, embedding: str
+    ) -> tuple[UnitTable, dict[tuple[Any, ...], list[tuple[Any, ...]]]]:
+        treatment_attribute = query.treatment.name
+        if not self.schema.has_attribute(treatment_attribute):
+            raise QueryError(f"unknown treatment attribute {treatment_attribute!r}")
+        if not self.schema.is_observed(treatment_attribute):
+            raise QueryError(
+                f"treatment attribute {treatment_attribute!r} is latent; it cannot be used "
+                "as a treatment"
+            )
+        treatment_subject = self.schema.subject_of(treatment_attribute)
+
+        response_attribute = self._resolve_response(query, treatment_subject)
+        values = dict(self.values)
+
+        # Subject of the *base* response attribute: restrictions on that entity
+        # (e.g. "only submissions at single-blind venues") are applied inside
+        # the aggregation; restrictions on the treated entity restrict units.
+        if self.model.is_derived(response_attribute):
+            base_response_subject = self.schema.subject_of(
+                self.model.derived_attributes[response_attribute].base
+            )
+        else:
+            base_response_subject = self.schema.subject_of(response_attribute)
+
+        allowed_response, allowed_units = self._query_restrictions(
+            query, treatment_subject, base_response_subject
+        )
+
+        units = list(self.instance.units(treatment_attribute))
+        if allowed_response is not None and self.model.is_derived(response_attribute):
+            values = self._restrict_aggregated_response(
+                response_attribute, values, allowed_response
+            )
+        elif allowed_response is not None:
+            units = [unit for unit in units if unit in allowed_response]
+        if allowed_units is not None:
+            units = [unit for unit in units if unit in allowed_units]
+        if not units:
+            raise QueryError("the query condition excludes every unit")
+
+        peers = compute_peers(self.graph, treatment_attribute, response_attribute, units)
+
+        binarize = None
+        if query.treatment_threshold is not None:
+            threshold = query.treatment_threshold
+            binarize = lambda value: 1.0 if threshold.evaluate(value) else 0.0  # noqa: E731
+        else:
+            binarize = default_binarizer(treatment_attribute)
+
+        table = build_unit_table(
+            graph=self.graph,
+            values=values,
+            treatment_attribute=treatment_attribute,
+            response_attribute=response_attribute,
+            units=units,
+            peers=peers,
+            is_observed=self.model.is_observed,
+            embedding=embedding,
+            binarize=binarize,
+        )
+        return table, peers
+
+    def _resolve_response(self, query: CausalQuery, treatment_subject: str) -> str:
+        """Resolve (and if needed create) the response attribute over the treated units.
+
+        Implements the unification of Section 4.3: when the response lives on
+        a different predicate than the treatment, an aggregated response
+        attribute is introduced along a relational path.
+        """
+        requested = query.response.name
+
+        # Already-known attribute (declared or derived) on the treated units.
+        if self.model.is_derived(requested):
+            if self.model.subject_of(requested) == treatment_subject:
+                return requested
+            base = self.model.derived_attributes[requested].base
+            aggregate = self.model.derived_attributes[requested].aggregate
+            return self._ensure_unifying_aggregate(base, treatment_subject, aggregate)
+
+        if self.schema.has_attribute(requested):
+            if self.schema.subject_of(requested) == treatment_subject:
+                return requested
+            if not self.schema.is_observed(requested):
+                raise QueryError(f"response attribute {requested!r} is latent")
+            return self._ensure_unifying_aggregate(requested, treatment_subject, "AVG")
+
+        # ``AGG_Base`` style response that is not declared: auto-derive it.
+        prefix, _, base = requested.partition("_")
+        if base and prefix.upper() in AGGREGATES and self.schema.has_attribute(base):
+            return self._ensure_unifying_aggregate(base, treatment_subject, prefix.upper())
+
+        raise QueryError(f"unknown response attribute {requested!r}")
+
+    def _ensure_unifying_aggregate(
+        self, base_attribute: str, treatment_subject: str, aggregate: str
+    ) -> str:
+        """Register (once) the aggregate rule that unifies response and treated units."""
+        if not self.schema.is_observed(base_attribute):
+            raise QueryError(f"response attribute {base_attribute!r} is latent")
+        if self.schema.subject_of(base_attribute) == treatment_subject:
+            return base_attribute
+
+        desired = f"{aggregate}_{base_attribute}"
+        existing = self.model.derived_attributes.get(desired)
+        if existing is not None:
+            if existing.subject == treatment_subject and existing.base == base_attribute:
+                return desired
+            desired = f"{aggregate}_{base_attribute}__{treatment_subject}"
+            existing = self.model.derived_attributes.get(desired)
+            if existing is not None:
+                return desired
+
+        rule = build_unifying_aggregate_rule(
+            self.schema, base_attribute, treatment_subject, aggregate=aggregate
+        )
+        if rule.head.name != desired:
+            rule = type(rule)(
+                aggregate=rule.aggregate,
+                head=type(rule.head)(name=desired, terms=rule.head.terms),
+                body=rule.body,
+                condition=rule.condition,
+            )
+        registered = self.model.add_aggregate_rule(rule)
+        self._extend_graph_with_aggregate(registered)
+        return desired
+
+    def _extend_graph_with_aggregate(self, rule: Any) -> None:
+        """Ground one new aggregate rule and splice it into the cached graph."""
+        graph = self.graph
+        values = self.values
+        for grounded_rule in self.grounder.ground_aggregate_rule(rule):
+            graph.add_grounded_rule(grounded_rule, aggregate=rule.aggregate)
+            parent_values = [
+                values[parent] for parent in graph.parents(grounded_rule.head) if parent in values
+            ]
+            values[grounded_rule.head] = (
+                apply_aggregate(rule.aggregate, parent_values) if parent_values else None
+            )
+
+    # ------------------------------------------------------------------
+    # query conditions (unit restrictions)
+    # ------------------------------------------------------------------
+    def _query_restrictions(
+        self,
+        query: CausalQuery,
+        treatment_subject: str,
+        base_response_subject: str,
+    ) -> tuple[set[tuple[Any, ...]] | None, set[tuple[Any, ...]] | None]:
+        """Unit restrictions implied by the query's WHERE clause.
+
+        Returns ``(allowed base-response keys, allowed treated-unit keys)``.
+        A condition variable restricts the base response (e.g. only
+        submissions to single-blind venues count towards an author's average
+        score) when it is bound to the base response entity, and restricts
+        the treated units when it is bound to the treatment entity.
+        """
+        if query.condition.is_trivial:
+            return None, None
+        bindings = self.grounder.condition_bindings(query.condition)
+
+        variable_entities: dict[str, set[str]] = {}
+        for atom in query.condition.atoms:
+            info = self.schema.predicate(atom.predicate)
+            for position, term in enumerate(atom.terms):
+                if not isinstance(term, Variable):
+                    continue
+                entity = info.name if info.is_entity else info.referenced_entities[position]
+                variable_entities.setdefault(term.name, set()).add(entity)
+
+        def allowed_keys(subject: str) -> set[tuple[Any, ...]] | None:
+            names = [name for name, entities in variable_entities.items() if subject in entities]
+            if not names:
+                return None
+            name = names[0]
+            return {(binding[name],) for binding in bindings}
+
+        allowed_response = (
+            allowed_keys(base_response_subject)
+            if base_response_subject != treatment_subject
+            else None
+        )
+        allowed_units = allowed_keys(treatment_subject)
+        return allowed_response, allowed_units
+
+    def _restrict_aggregated_response(
+        self,
+        response_attribute: str,
+        values: dict[GroundedAttribute, Any],
+        allowed_response: set[tuple[Any, ...]],
+    ) -> dict[GroundedAttribute, Any]:
+        """Recompute aggregated responses using only allowed base-response units.
+
+        Example: ``Score[S] <= Prestige[A] ? WHERE Submitted(S, C), Blind[C] = "single"``
+        unifies Score onto authors via AVG, but only submissions to
+        single-blind venues may contribute to each author's average.
+        """
+        if not self.model.is_derived(response_attribute):
+            return values
+        derived = self.model.derived_attributes[response_attribute]
+        graph = self.graph
+        updated = dict(values)
+        for node in graph.nodes_of(response_attribute):
+            parents = [
+                parent
+                for parent in graph.parents(node)
+                if parent.attribute == derived.base and parent.key in allowed_response
+            ]
+            parent_values = [updated[parent] for parent in parents if parent in updated]
+            updated[node] = (
+                apply_aggregate(derived.aggregate, parent_values) if parent_values else None
+            )
+        return updated
+
+    # ------------------------------------------------------------------
+    # estimation
+    # ------------------------------------------------------------------
+    def _estimate_ate(
+        self, unit_table: UnitTable, estimator: str, bootstrap: int = 0, seed: int = 0
+    ) -> ATEResult:
+        naive = naive_difference(unit_table.treatment, unit_table.outcome)
+        correlation = pearson_correlation(unit_table.treatment, unit_table.outcome)
+
+        if estimator == "regression":
+            ate = self._regression_ate(unit_table)
+            details: dict[str, Any] = {"method": "outcome model over own + peer treatment"}
+        else:
+            estimate = estimate_ate(
+                unit_table.outcome,
+                unit_table.treatment,
+                unit_table.adjustment_features(),
+                estimator=estimator,
+            )
+            ate = estimate.ate
+            details = dict(estimate.details)
+
+        confidence_interval = None
+        if bootstrap > 0:
+            features = unit_table.adjustment_features()
+
+            def statistic(outcome: np.ndarray, treatment: np.ndarray, covariates: np.ndarray) -> float:
+                if estimator == "regression":
+                    return estimate_ate(outcome, treatment, covariates, estimator="regression").ate
+                return estimate_ate(outcome, treatment, covariates, estimator=estimator).ate
+
+            result = bootstrap_statistic(
+                statistic,
+                [unit_table.outcome, unit_table.treatment, features],
+                n_bootstrap=bootstrap,
+                seed=seed,
+            )
+            confidence_interval = (result.lower, result.upper)
+            details["bootstrap_se"] = result.standard_error
+
+        treated_mask = unit_table.treatment > 0.5
+        return ATEResult(
+            ate=ate,
+            naive_difference=naive["difference"],
+            treated_mean=naive["treated_mean"],
+            control_mean=naive["control_mean"],
+            correlation=correlation,
+            n_units=len(unit_table),
+            n_treated=int(treated_mask.sum()),
+            n_control=int((~treated_mask).sum()),
+            estimator=estimator,
+            confidence_interval=confidence_interval,
+            details=details,
+        )
+
+    def _regression_ate(self, unit_table: UnitTable) -> float:
+        """ATE as AOE(all treated ; none treated) under the outcome model (Eq. 23)."""
+        model = OutcomeModel().fit(
+            unit_table.outcome,
+            unit_table.treatment,
+            unit_table.peer_treatment,
+            unit_table.covariates,
+        )
+        all_treated = model.predict_intervention(
+            1.0, 1.0, unit_table.peer_treatment, unit_table.peer_counts, unit_table.covariates
+        )
+        none_treated = model.predict_intervention(
+            0.0, 0.0, unit_table.peer_treatment, unit_table.peer_counts, unit_table.covariates
+        )
+        return float(np.mean(all_treated - none_treated))
+
+    def _estimate_effects(
+        self,
+        condition: PeerCondition | None,
+        unit_table: UnitTable,
+        estimator: str,
+    ) -> EffectsResult:
+        """Isolated / relational / overall effects under the outcome model (Section 4.4.3)."""
+        condition = condition or PeerCondition(kind="ALL")
+        regression = "ridge" if estimator == "ridge" else "ols"
+        model = OutcomeModel(regression=regression).fit(
+            unit_table.outcome,
+            unit_table.treatment,
+            unit_table.peer_treatment,
+            unit_table.covariates,
+        )
+
+        peer_counts = unit_table.peer_counts
+        treated_fraction = np.asarray(
+            [condition.treated_fraction(int(count)) for count in peer_counts], dtype=float
+        )
+        control_fraction = np.zeros(len(unit_table))
+
+        mu_1_treatedpeers = model.predict_intervention(
+            1.0, treated_fraction, unit_table.peer_treatment, peer_counts, unit_table.covariates
+        )
+        mu_0_treatedpeers = model.predict_intervention(
+            0.0, treated_fraction, unit_table.peer_treatment, peer_counts, unit_table.covariates
+        )
+        mu_0_controlpeers = model.predict_intervention(
+            0.0, control_fraction, unit_table.peer_treatment, peer_counts, unit_table.covariates
+        )
+
+        aie = float(np.mean(mu_1_treatedpeers - mu_0_treatedpeers))
+        are = float(np.mean(mu_0_treatedpeers - mu_0_controlpeers))
+        aoe = float(np.mean(mu_1_treatedpeers - mu_0_controlpeers))
+
+        naive = naive_difference(unit_table.treatment, unit_table.outcome)
+        correlation = pearson_correlation(unit_table.treatment, unit_table.outcome)
+        return EffectsResult(
+            aie=aie,
+            are=are,
+            aoe=aoe,
+            peer_condition=condition,
+            correlation=correlation,
+            naive_difference=naive["difference"],
+            n_units=len(unit_table),
+            mean_peer_count=float(peer_counts.mean()) if len(unit_table) else 0.0,
+            estimator=estimator,
+            details={"coefficients": model.coefficients},
+        )

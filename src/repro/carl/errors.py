@@ -1,0 +1,39 @@
+"""Exception hierarchy for the CaRL language and engine."""
+
+from __future__ import annotations
+
+
+class CaRLError(Exception):
+    """Base class for every error raised by the CaRL package."""
+
+
+class ParseError(CaRLError):
+    """Raised when CaRL source text cannot be tokenized or parsed."""
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None) -> None:
+        location = ""
+        if line is not None:
+            location = f" (line {line}" + (f", column {column}" if column is not None else "") + ")"
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class SchemaBindingError(CaRLError):
+    """Raised when a relational causal schema cannot be bound to a database."""
+
+
+class ModelError(CaRLError):
+    """Raised when a relational causal model is invalid (e.g. recursive rules)."""
+
+
+class GroundingError(CaRLError):
+    """Raised when rules cannot be grounded against the relational skeleton."""
+
+
+class QueryError(CaRLError):
+    """Raised when a causal query is malformed or cannot be answered."""
+
+
+class EstimationError(CaRLError):
+    """Raised when causal-effect estimation fails (e.g. no treated units)."""

@@ -1,0 +1,224 @@
+"""Tokenizer for CaRL source text."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.carl.errors import ParseError
+
+#: Keywords are matched case-insensitively and normalized to upper case.
+KEYWORDS = frozenset(
+    {
+        "ENTITY",
+        "RELATIONSHIP",
+        "ATTRIBUTE",
+        "LATENT",
+        "OF",
+        "COLUMN",
+        "WHERE",
+        "WHEN",
+        "PEERS",
+        "TREATED",
+        "ALL",
+        "NONE",
+        "MORE",
+        "LESS",
+        "THAN",
+        "AT",
+        "MOST",
+        "LEAST",
+        "EXACTLY",
+        "TRUE",
+        "FALSE",
+    }
+)
+
+#: Multi-character operators, longest first so they win over single characters.
+_OPERATORS = (
+    "<=",
+    ">=",
+    "!=",
+    "⇐",
+    "<-",
+    "=",
+    "<",
+    ">",
+    "?",
+    "%",
+    "/",
+    "(",
+    ")",
+    "[",
+    "]",
+    ",",
+    ";",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token with its source position (1-based)."""
+
+    kind: str  # IDENT, NUMBER, STRING, KEYWORD, OP, EOF
+    value: str | int | float
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.value!r}, {self.line}:{self.column})"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize CaRL source text into a list of tokens ending with EOF.
+
+    Supports ``//`` and ``#`` line comments, double-quoted strings, integer
+    and float literals, identifiers, keywords, and the operator set used by
+    rules and queries (``<=`` / ``<-`` / ``⇐`` all spell the causal arrow).
+    """
+    tokens: list[Token] = []
+    line = 1
+    column = 1
+    index = 0
+    length = len(text)
+
+    while index < length:
+        char = text[index]
+
+        # -- whitespace ------------------------------------------------
+        if char == "\n":
+            line += 1
+            column = 1
+            index += 1
+            continue
+        if char in " \t\r":
+            index += 1
+            column += 1
+            continue
+
+        # -- comments --------------------------------------------------
+        if char == "#" or text.startswith("//", index):
+            while index < length and text[index] != "\n":
+                index += 1
+            continue
+
+        # -- string literals --------------------------------------------
+        if char in ('"', "'"):
+            end = index + 1
+            while end < length and text[end] != char:
+                if text[end] == "\n":
+                    raise ParseError("unterminated string literal", line, column)
+                end += 1
+            if end >= length:
+                raise ParseError("unterminated string literal", line, column)
+            value = text[index + 1 : end]
+            tokens.append(Token("STRING", value, line, column))
+            column += end - index + 1
+            index = end + 1
+            continue
+
+        # -- numbers ----------------------------------------------------
+        if char.isdigit() or (char == "." and index + 1 < length and text[index + 1].isdigit()):
+            end = index
+            seen_dot = False
+            while end < length and (text[end].isdigit() or (text[end] == "." and not seen_dot)):
+                if text[end] == ".":
+                    seen_dot = True
+                end += 1
+            literal = text[index:end]
+            value: int | float = float(literal) if seen_dot else int(literal)
+            tokens.append(Token("NUMBER", value, line, column))
+            column += end - index
+            index = end
+            continue
+
+        # -- identifiers and keywords ------------------------------------
+        if char.isalpha() or char == "_":
+            end = index
+            while end < length and (text[end].isalnum() or text[end] == "_"):
+                end += 1
+            word = text[index:end]
+            if word.upper() in KEYWORDS:
+                tokens.append(Token("KEYWORD", word.upper(), line, column))
+            else:
+                tokens.append(Token("IDENT", word, line, column))
+            column += end - index
+            index = end
+            continue
+
+        # -- operators ----------------------------------------------------
+        for operator in _OPERATORS:
+            if text.startswith(operator, index):
+                normalized = "<=" if operator in ("⇐", "<-") else operator
+                tokens.append(Token("OP", normalized, line, column))
+                column += len(operator)
+                index += len(operator)
+                break
+        else:
+            raise ParseError(f"unexpected character {char!r}", line, column)
+
+    tokens.append(Token("EOF", "", line, column))
+    return tokens
+
+
+def iter_statements(tokens: list[Token]) -> Iterator[list[Token]]:
+    """Split a token stream into statements separated by ``;`` or newlines.
+
+    The parser works statement-by-statement; a statement ends at a semicolon.
+    Newline-separated programs without semicolons are also accepted because
+    statements are additionally split before a top-level keyword or an
+    identifier that starts a new head while the previous statement is
+    complete.  For robustness CaRL programs in this repository always use
+    semicolons or one statement per line.
+    """
+    current: list[Token] = []
+    for token in tokens:
+        if token.kind == "EOF":
+            break
+        if token.kind == "OP" and token.value == ";":
+            if current:
+                yield current
+                current = []
+            continue
+        if current and token.line > current[-1].line and _statement_complete(current):
+            yield current
+            current = []
+        current.append(token)
+    if current:
+        yield current
+
+
+def _statement_complete(tokens: list[Token]) -> bool:
+    """Heuristic: a statement is complete when brackets are balanced and it
+    does not end in a token that demands continuation (comma, arrow, WHERE...)."""
+    depth = 0
+    for token in tokens:
+        if token.kind == "OP" and token.value in ("(", "["):
+            depth += 1
+        elif token.kind == "OP" and token.value in (")", "]"):
+            depth -= 1
+    if depth != 0:
+        return False
+    last = tokens[-1]
+    if last.kind == "OP" and last.value in (",", "<=", "=", "<", ">", ">=", "!="):
+        return False
+    if last.kind == "KEYWORD" and last.value in (
+        "WHERE",
+        "WHEN",
+        "OF",
+        "COLUMN",
+        "MORE",
+        "LESS",
+        "THAN",
+        "AT",
+        "MOST",
+        "LEAST",
+        "EXACTLY",
+        "ENTITY",
+        "RELATIONSHIP",
+        "ATTRIBUTE",
+        "LATENT",
+        "PEERS",
+    ):
+        return False
+    return True

@@ -1,0 +1,219 @@
+"""Relational paths, treatment/response unification, and relational peers.
+
+Section 4.3 of the paper.  When the treated units and the response units are
+different entity sets (authors vs submissions), CaRL unifies them by
+aggregating the response along a *relational path* between the two
+predicates, producing an aggregated response attribute over the treated
+units.  Relational *peers* of a unit are the other units whose treatment has
+a directed path to the unit's (possibly aggregated) response in the grounded
+causal graph (Definition 4.3).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from repro.carl.ast import AggregateRule, AttributeAtom, Condition, PredicateAtom, Variable
+from repro.carl.causal_graph import GroundedAttribute, GroundedCausalGraph
+from repro.carl.errors import QueryError
+from repro.carl.schema import RelationalCausalSchema
+
+
+# ----------------------------------------------------------------------
+# relational paths
+# ----------------------------------------------------------------------
+def find_relational_path(
+    schema: RelationalCausalSchema, start_entity: str, end_entity: str
+) -> list[str]:
+    """Shortest relational path between two entities, as an alternating list
+    ``[entity, relationship, entity, ..., entity]`` (Definition 4.2).
+
+    Raises :class:`QueryError` when the entities are not relationally
+    connected, mirroring the paper's assumption that treatment and response
+    units must be connected for the query to be meaningful.
+    """
+    if start_entity == end_entity:
+        return [start_entity]
+
+    # Build entity adjacency via relationships.
+    adjacency: dict[str, list[tuple[str, str]]] = {name: [] for name in schema.entity_names}
+    for relationship_name in schema.relationship_names:
+        info = schema.predicate(relationship_name)
+        referenced = list(dict.fromkeys(info.referenced_entities))
+        for source in referenced:
+            for target in referenced:
+                if source != target:
+                    adjacency[source].append((relationship_name, target))
+        # A self-relationship (e.g. Collaboration(person, person)) connects an
+        # entity to itself through the relationship.
+        if len(referenced) == 1:
+            adjacency[referenced[0]].append((relationship_name, referenced[0]))
+
+    previous: dict[str, tuple[str, str]] = {}
+    visited = {start_entity}
+    frontier = deque([start_entity])
+    while frontier:
+        current = frontier.popleft()
+        for relationship_name, neighbour in adjacency.get(current, ()):
+            if neighbour in visited and neighbour != end_entity:
+                continue
+            if neighbour not in previous:
+                previous[neighbour] = (current, relationship_name)
+            if neighbour == end_entity:
+                return _reconstruct_path(previous, start_entity, end_entity)
+            if neighbour not in visited:
+                visited.add(neighbour)
+                frontier.append(neighbour)
+    raise QueryError(
+        f"entities {start_entity!r} and {end_entity!r} are not relationally connected; "
+        "a causal query between them is not meaningful"
+    )
+
+
+def _reconstruct_path(
+    previous: dict[str, tuple[str, str]], start: str, end: str
+) -> list[str]:
+    path = [end]
+    current = end
+    while current != start:
+        parent, relationship = previous[current]
+        path.append(relationship)
+        path.append(parent)
+        current = parent
+    path.reverse()
+    return path
+
+
+# ----------------------------------------------------------------------
+# unification of treated and response units
+# ----------------------------------------------------------------------
+def build_unifying_aggregate_rule(
+    schema: RelationalCausalSchema,
+    response_attribute: str,
+    treatment_subject: str,
+    aggregate: str = "AVG",
+) -> AggregateRule:
+    """Aggregate rule mapping the response attribute onto the treated units.
+
+    Implements rule (21) of the paper: ``AGG_Y[X] <= Y[X'] WHERE R1(...), ...``
+    where the condition is the relational path between the treatment subject
+    and the response subject.  Only entity subjects are supported for the
+    treatment side (the common case); the response may live on an entity or a
+    relationship reachable from it.
+    """
+    response_subject = schema.subject_of(response_attribute)
+    response_info = schema.predicate(response_subject)
+
+    treatment_info = schema.predicate(treatment_subject)
+    if not treatment_info.is_entity:
+        raise QueryError(
+            "unification requires the treated units to be an entity; "
+            f"{treatment_subject!r} is a relationship"
+        )
+
+    # Target entity on the response side: the response subject itself when it
+    # is an entity, otherwise the first referenced entity of the relationship
+    # that is reachable from the treatment entity.
+    if response_info.is_entity:
+        target_entities = [response_subject]
+    else:
+        target_entities = list(dict.fromkeys(response_info.referenced_entities))
+
+    path: list[str] | None = None
+    target_used: str | None = None
+    for candidate in target_entities:
+        try:
+            path = find_relational_path(schema, treatment_subject, candidate)
+        except QueryError:
+            continue
+        target_used = candidate
+        break
+    if path is None or target_used is None:
+        raise QueryError(
+            f"no relational path connects the treated units ({treatment_subject!r}) to the "
+            f"response attribute {response_attribute!r}"
+        )
+
+    # Assign one variable per entity occurrence along the path.
+    entity_variables: dict[str, Variable] = {}
+
+    def variable_for(entity: str) -> Variable:
+        if entity not in entity_variables:
+            entity_variables[entity] = Variable(f"V_{entity}")
+        return entity_variables[entity]
+
+    condition_atoms: list[PredicateAtom] = []
+    for index in range(1, len(path), 2):
+        relationship_name = path[index]
+        info = schema.predicate(relationship_name)
+        terms = tuple(variable_for(entity) for entity in info.referenced_entities)
+        condition_atoms.append(PredicateAtom(predicate=relationship_name, terms=terms))
+
+    # Head variable: the treatment entity; body variable(s): the response subject keys.
+    head_variable = variable_for(treatment_subject)
+    if response_info.is_entity:
+        body_terms: tuple[Variable, ...] = (variable_for(response_subject),)
+        if not condition_atoms:
+            # Same entity on both sides; ground over the entity itself.
+            condition_atoms.append(
+                PredicateAtom(predicate=response_subject, terms=(variable_for(response_subject),))
+            )
+    else:
+        body_terms = tuple(variable_for(entity) for entity in response_info.referenced_entities)
+        condition_atoms.append(PredicateAtom(predicate=response_subject, terms=body_terms))
+
+    head = AttributeAtom(name=f"{aggregate}_{response_attribute}", terms=(head_variable,))
+    body = AttributeAtom(name=response_attribute, terms=body_terms)
+    return AggregateRule(
+        aggregate=aggregate,
+        head=head,
+        body=body,
+        condition=Condition(atoms=tuple(condition_atoms)),
+    )
+
+
+# ----------------------------------------------------------------------
+# relational peers
+# ----------------------------------------------------------------------
+def compute_peers(
+    graph: GroundedCausalGraph,
+    treatment_attribute: str,
+    response_attribute: str,
+    units: list[tuple[Any, ...]],
+) -> dict[tuple[Any, ...], list[tuple[Any, ...]]]:
+    """Relational peers of every unit (Definition 4.3).
+
+    ``units`` are the unified treatment/response unit keys.  A unit ``p`` is
+    a peer of ``x`` when there is a directed path from ``T[p]`` to ``Y[x]``
+    in the grounded graph, with ``p != x``.
+    """
+    unit_set = set(units)
+    peers: dict[tuple[Any, ...], list[tuple[Any, ...]]] = {}
+    for unit in units:
+        response_node = GroundedAttribute(response_attribute, unit)
+        if response_node not in graph:
+            peers[unit] = []
+            continue
+        treated_ancestors = graph.ancestor_nodes_of_attribute(response_node, treatment_attribute)
+        peers[unit] = [
+            ancestor.key
+            for ancestor in treated_ancestors
+            if ancestor.key != unit and ancestor.key in unit_set
+        ]
+    return peers
+
+
+def influencing_treated_units(
+    graph: GroundedCausalGraph,
+    treatment_attribute: str,
+    response_node: GroundedAttribute,
+) -> list[tuple[Any, ...]]:
+    """Keys of treated units with a directed path to ``response_node`` (the set
+    ``S'`` of Theorem 5.2)."""
+    if response_node not in graph:
+        return []
+    return [
+        ancestor.key
+        for ancestor in graph.ancestor_nodes_of_attribute(response_node, treatment_attribute)
+    ]

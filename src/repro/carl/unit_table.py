@@ -1,0 +1,341 @@
+"""Unit-table construction (Algorithm 1 of the paper).
+
+The unit table is the flat, single-table representation of a relational
+causal query: one row per (unified) unit with its outcome, its own
+treatment, the embedded treatments of its relational peers, and the embedded
+confounding covariates detected by Theorem 5.2.  Once built, any standard
+single-table causal estimator can be applied to it (Section 5.2.1).
+"""
+
+from __future__ import annotations
+
+import copy
+from collections import Counter
+from collections.abc import Callable, Sequence
+from typing import Any
+
+import numpy as np
+
+from repro.carl.causal_graph import GroundedAttribute, GroundedCausalGraph
+from repro.carl.covariates import parent_adjustment_set
+from repro.carl.embeddings import Embedding, MeanEmbedding, get_embedding
+from repro.carl.errors import EstimationError
+
+#: Maximum number of distinct categories one-hot encoded for a categorical covariate.
+MAX_CATEGORIES = 20
+
+
+class UnitTable:
+    """The flat table produced by Algorithm 1, backed by numpy arrays."""
+
+    def __init__(
+        self,
+        unit_keys: list[tuple[Any, ...]],
+        outcome: np.ndarray,
+        treatment: np.ndarray,
+        peer_treatment: np.ndarray,
+        peer_counts: np.ndarray,
+        covariates: np.ndarray,
+        peer_columns: list[str],
+        covariate_columns: list[str],
+        treatment_attribute: str,
+        response_attribute: str,
+    ) -> None:
+        self.unit_keys = unit_keys
+        self.outcome = outcome
+        self.treatment = treatment
+        self.peer_treatment = peer_treatment
+        self.peer_counts = peer_counts
+        self.covariates = covariates
+        self.peer_columns = peer_columns
+        self.covariate_columns = covariate_columns
+        self.treatment_attribute = treatment_attribute
+        self.response_attribute = response_attribute
+
+    # ------------------------------------------------------------------
+    # shape / access helpers
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.unit_keys)
+
+    @property
+    def has_peers(self) -> bool:
+        return bool(self.peer_columns) and bool(np.any(self.peer_counts > 0))
+
+    @property
+    def feature_names(self) -> list[str]:
+        """Column names of :meth:`features`, in order."""
+        return ["treatment", *self.peer_columns, *self.covariate_columns]
+
+    def features(self) -> np.ndarray:
+        """Design matrix ``[treatment | peer treatment embedding | covariates]``."""
+        columns = [self.treatment.reshape(-1, 1)]
+        if self.peer_treatment.size:
+            columns.append(self.peer_treatment)
+        if self.covariates.size:
+            columns.append(self.covariates)
+        return np.hstack(columns) if columns else np.empty((len(self), 0))
+
+    def adjustment_features(self) -> np.ndarray:
+        """Covariates plus peer-treatment embedding (everything except own treatment)."""
+        columns = []
+        if self.peer_treatment.size:
+            columns.append(self.peer_treatment)
+        if self.covariates.size:
+            columns.append(self.covariates)
+        if not columns:
+            return np.empty((len(self), 0))
+        return np.hstack(columns)
+
+    def peer_fraction(self) -> np.ndarray:
+        """Fraction of each unit's peers that are treated (0 when it has no peers)."""
+        if not self.peer_columns:
+            return np.zeros(len(self))
+        # The first peer column is the mean of the binarized peer treatments.
+        return self.peer_treatment[:, 0].copy()
+
+    def to_rows(self, limit: int | None = None) -> list[dict[str, Any]]:
+        """Human-readable rows (the paper's Table 1 rendering of the unit table)."""
+        rows = []
+        count = len(self) if limit is None else min(limit, len(self))
+        for index in range(count):
+            row: dict[str, Any] = {
+                "unit": self.unit_keys[index],
+                self.response_attribute: float(self.outcome[index]),
+                self.treatment_attribute: float(self.treatment[index]),
+            }
+            for column_index, column in enumerate(self.peer_columns):
+                row[column] = float(self.peer_treatment[index, column_index])
+            for column_index, column in enumerate(self.covariate_columns):
+                row[column] = float(self.covariates[index, column_index])
+            rows.append(row)
+        return rows
+
+    def summary(self) -> dict[str, Any]:
+        treated = self.treatment > 0.5
+        return {
+            "units": len(self),
+            "treated": int(treated.sum()),
+            "control": int((~treated).sum()),
+            "covariate_columns": list(self.covariate_columns),
+            "peer_columns": list(self.peer_columns),
+            "mean_outcome": float(self.outcome.mean()) if len(self) else float("nan"),
+            "mean_peer_count": float(self.peer_counts.mean()) if len(self) else 0.0,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"UnitTable(units={len(self)}, treatment={self.treatment_attribute!r}, "
+            f"response={self.response_attribute!r}, covariates={len(self.covariate_columns)})"
+        )
+
+
+def default_binarizer(attribute: str) -> Callable[[Any], float]:
+    """Binarize a raw treatment value: booleans and 0/1 numerics pass through."""
+
+    def binarize(value: Any) -> float:
+        if isinstance(value, bool):
+            return 1.0 if value else 0.0
+        if isinstance(value, (int, float)) and float(value) in (0.0, 1.0):
+            return float(value)
+        raise EstimationError(
+            f"treatment attribute {attribute!r} has non-binary value {value!r}; "
+            "add a threshold to the query (e.g. 'T[X] >= 30') to binarize it"
+        )
+
+    return binarize
+
+
+def build_unit_table(
+    graph: GroundedCausalGraph,
+    values: dict[GroundedAttribute, Any],
+    treatment_attribute: str,
+    response_attribute: str,
+    units: Sequence[tuple[Any, ...]],
+    peers: dict[tuple[Any, ...], list[tuple[Any, ...]]],
+    is_observed: Callable[[str], bool],
+    embedding: str | Embedding = "mean",
+    peer_embedding: str | Embedding | None = None,
+    binarize: Callable[[Any], float] | None = None,
+) -> UnitTable:
+    """Algorithm 1: build the unit table for a (unified) treatment/response pair.
+
+    Parameters mirror the paper's algorithm: the grounded causal graph, the
+    observed (and aggregated) grounded values, the treatment and response
+    attribute functions, the unified units and their relational peers, and
+    the embedding functions used to collapse variable-size vectors.
+    """
+    binarize = binarize or default_binarizer(treatment_attribute)
+    peer_embedder = get_embedding(peer_embedding if peer_embedding is not None else MeanEmbedding())
+
+    kept_units: list[tuple[Any, ...]] = []
+    outcomes: list[float] = []
+    treatments: list[float] = []
+    peer_groups: list[list[float]] = []
+    peer_counts: list[int] = []
+    covariate_groups: list[dict[str, list[Any]]] = []
+
+    for unit in units:
+        response_node = GroundedAttribute(response_attribute, unit)
+        treatment_node = GroundedAttribute(treatment_attribute, unit)
+        outcome_value = values.get(response_node)
+        treatment_value = values.get(treatment_node)
+        if outcome_value is None or treatment_value is None:
+            continue
+        try:
+            own_treatment = binarize(treatment_value)
+            peer_values = [
+                binarize(values[GroundedAttribute(treatment_attribute, peer)])
+                for peer in peers.get(unit, [])
+                if GroundedAttribute(treatment_attribute, peer) in values
+            ]
+        except EstimationError:
+            raise
+        # Theorem 5.2 adjustment set, split into the unit's own confounders and
+        # its peers' confounders so they enter the unit table as separate
+        # (separately embedded) columns, mirroring Table 1 of the paper.
+        own_adjustment = parent_adjustment_set(
+            graph, treatment_attribute, response_node, [unit], is_observed
+        )
+        peer_adjustment = parent_adjustment_set(
+            graph, treatment_attribute, response_node, list(peers.get(unit, [])), is_observed
+        )
+        own_nodes = set(own_adjustment)
+        grouped: dict[str, list[Any]] = {}
+        for node in own_adjustment:
+            if node in values:
+                grouped.setdefault(f"own_{node.attribute}", []).append(values[node])
+        for node in peer_adjustment:
+            if node in values and node not in own_nodes:
+                grouped.setdefault(f"peer_{node.attribute}", []).append(values[node])
+
+        kept_units.append(unit)
+        outcomes.append(float(outcome_value))
+        treatments.append(own_treatment)
+        peer_groups.append(peer_values)
+        peer_counts.append(len(peers.get(unit, [])))
+        covariate_groups.append(grouped)
+
+    if not kept_units:
+        raise EstimationError(
+            f"no units with observed treatment {treatment_attribute!r} and response "
+            f"{response_attribute!r}; cannot build a unit table"
+        )
+
+    peer_matrix, peer_columns = _embed_peer_treatments(peer_groups, peer_embedder)
+    covariate_matrix, covariate_columns = _embed_covariates(covariate_groups, embedding)
+
+    return UnitTable(
+        unit_keys=kept_units,
+        outcome=np.asarray(outcomes, dtype=float),
+        treatment=np.asarray(treatments, dtype=float),
+        peer_treatment=peer_matrix,
+        peer_counts=np.asarray(peer_counts, dtype=float),
+        covariates=covariate_matrix,
+        peer_columns=peer_columns,
+        covariate_columns=covariate_columns,
+        treatment_attribute=treatment_attribute,
+        response_attribute=response_attribute,
+    )
+
+
+# ----------------------------------------------------------------------
+# embedding helpers
+# ----------------------------------------------------------------------
+def _embed_peer_treatments(
+    peer_groups: list[list[float]], embedder: Embedding
+) -> tuple[np.ndarray, list[str]]:
+    if not any(peer_groups):
+        return np.empty((len(peer_groups), 0)), []
+    embedder = copy.deepcopy(embedder).fit(peer_groups)
+    columns = embedder.feature_names("peer_treatment")
+    matrix = np.asarray([embedder.apply(group) for group in peer_groups], dtype=float)
+    return matrix, columns
+
+
+def _embed_covariates(
+    covariate_groups: list[dict[str, list[Any]]],
+    embedding: str | Embedding,
+) -> tuple[np.ndarray, list[str]]:
+    attribute_names: list[str] = []
+    for grouped in covariate_groups:
+        for name in grouped:
+            if name not in attribute_names:
+                attribute_names.append(name)
+    if not attribute_names:
+        return np.empty((len(covariate_groups), 0)), []
+
+    blocks: list[np.ndarray] = []
+    columns: list[str] = []
+    for attribute in attribute_names:
+        groups = [grouped.get(attribute, []) for grouped in covariate_groups]
+        if _is_numeric_attribute(groups):
+            embedder = copy.deepcopy(get_embedding(embedding)).fit(
+                [[_to_number(v) for v in group] for group in groups]
+            )
+            block = np.asarray(
+                [embedder.apply([_to_number(v) for v in group]) for group in groups], dtype=float
+            )
+            block_columns = embedder.feature_names(f"cov_{attribute}")
+        else:
+            block, block_columns = _encode_categorical(attribute, groups)
+        blocks.append(block)
+        columns.extend(block_columns)
+    return np.hstack(blocks), columns
+
+
+def _is_numeric_attribute(groups: list[list[Any]]) -> bool:
+    for group in groups:
+        for value in group:
+            if isinstance(value, bool):
+                continue
+            if not isinstance(value, (int, float)):
+                return False
+    return True
+
+
+def _to_number(value: Any) -> float:
+    if isinstance(value, bool):
+        return 1.0 if value else 0.0
+    return float(value)
+
+
+def _encode_categorical(
+    attribute: str, groups: list[list[Any]]
+) -> tuple[np.ndarray, list[str]]:
+    """Encode a categorical covariate group as per-category fractions + count.
+
+    For the common case of a single parent value per unit this reduces to a
+    one-hot encoding.  The most frequent :data:`MAX_CATEGORIES` categories get
+    their own column; the rest share an ``other`` column.
+    """
+    counts: Counter[Any] = Counter()
+    for group in groups:
+        counts.update(group)
+    categories = [category for category, _ in counts.most_common(MAX_CATEGORIES)]
+    category_index = {category: position for position, category in enumerate(categories)}
+    has_other = len(counts) > len(categories)
+
+    width = len(categories) + (1 if has_other else 0) + 1  # + count column
+    matrix = np.zeros((len(groups), width), dtype=float)
+    for row, group in enumerate(groups):
+        if not group:
+            continue
+        total = float(len(group))
+        for value in group:
+            position = category_index.get(value)
+            if position is None:
+                position = len(categories)  # "other"
+            matrix[row, position] += 1.0 / total
+        matrix[row, -1] = total
+
+    columns = [f"cov_{attribute}_is_{_category_label(category)}" for category in categories]
+    if has_other:
+        columns.append(f"cov_{attribute}_is_other")
+    columns.append(f"cov_{attribute}_count")
+    return matrix, columns
+
+
+def _category_label(category: Any) -> str:
+    label = str(category).strip().replace(" ", "_")
+    return label or "empty"

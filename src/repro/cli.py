@@ -1,0 +1,187 @@
+"""Command-line interface for CaRL.
+
+Lets an analyst run causal queries against a directory of CSV files without
+writing Python::
+
+    python -m repro.cli --data ./csv_dir --program model.carl \
+        --query "Death[P] <= SelfPay[P] ?"
+
+The data directory must contain one ``<Predicate>.csv`` per entity and
+relationship declared in the program; column names must match the declared
+keys and attribute columns (as produced by ``Database.export_csv``).
+A built-in demo (``--demo toy|review|synthetic|mimic|nis``) runs the same
+pipeline on the bundled synthetic datasets.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any
+
+from repro.carl.engine import CaRLEngine
+from repro.carl.parser import parse_program
+from repro.carl.queries import ATEResult, EffectsResult, QueryAnswer
+from repro.carl.schema import RelationalCausalSchema
+from repro.db.database import Database
+
+
+def load_database_from_csv(directory: str | Path, program_text: str) -> Database:
+    """Load ``<Predicate>.csv`` files for every predicate declared in ``program_text``."""
+    directory = Path(directory)
+    program = parse_program(program_text)
+    schema = RelationalCausalSchema.from_program(program)
+    database = Database(name=directory.name or "csv")
+    for predicate in schema.entity_names + schema.relationship_names:
+        path = directory / f"{predicate}.csv"
+        if not path.exists():
+            raise FileNotFoundError(
+                f"no CSV file for predicate {predicate!r}: expected {path}"
+            )
+        database.import_csv(predicate, path)
+    return database
+
+
+def _demo(name: str):
+    """Return (database, program, default queries) for a bundled demo dataset."""
+    from repro import datasets
+
+    if name == "toy":
+        return (
+            datasets.toy_review_database(),
+            datasets.TOY_REVIEW_PROGRAM,
+            {"ate": "AVG_Score[A] <= Prestige[A] ?"},
+        )
+    if name == "review":
+        data = datasets.generate_review_data()
+        return data.database, data.program, data.queries
+    if name == "synthetic":
+        data = datasets.generate_synthetic_review_data()
+        return data.database, data.program, data.queries
+    if name == "mimic":
+        data = datasets.generate_mimic_data()
+        return data.database, data.program, data.queries
+    if name == "nis":
+        data = datasets.generate_nis_data()
+        return data.database, data.program, data.queries
+    raise ValueError(f"unknown demo dataset {name!r}")
+
+
+def result_to_dict(answer: QueryAnswer) -> dict[str, Any]:
+    """Flatten a query answer into a JSON-serializable dictionary."""
+    result = answer.result
+    payload: dict[str, Any] = {
+        "query": str(answer.query),
+        "n_units": result.n_units,
+        "estimator": result.estimator,
+        "naive_difference": result.naive_difference,
+        "correlation": result.correlation,
+        "unit_table_seconds": answer.unit_table_seconds,
+        "estimation_seconds": answer.estimation_seconds,
+        "grounding_seconds": answer.grounding_seconds,
+    }
+    if isinstance(result, ATEResult):
+        payload.update(
+            {
+                "kind": "ate",
+                "ate": result.ate,
+                "treated_mean": result.treated_mean,
+                "control_mean": result.control_mean,
+                "n_treated": result.n_treated,
+                "n_control": result.n_control,
+                "confidence_interval": result.confidence_interval,
+            }
+        )
+    elif isinstance(result, EffectsResult):
+        payload.update(
+            {
+                "kind": "effects",
+                "aie": result.aie,
+                "are": result.are,
+                "aoe": result.aoe,
+                "peer_condition": str(result.peer_condition),
+                "mean_peer_count": result.mean_peer_count,
+            }
+        )
+    return payload
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli", description="Run CaRL causal queries from the command line."
+    )
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("--data", help="directory of <Predicate>.csv files")
+    source.add_argument(
+        "--demo",
+        choices=["toy", "review", "synthetic", "mimic", "nis"],
+        help="use a bundled synthetic demo dataset",
+    )
+    parser.add_argument("--program", help="path to a .carl program file (required with --data)")
+    parser.add_argument(
+        "--query",
+        action="append",
+        default=[],
+        help="a causal query (may be repeated); defaults to the demo's canonical queries",
+    )
+    parser.add_argument("--estimator", default="regression", help="ATE estimator to use")
+    parser.add_argument("--embedding", default="mean", help="embedding for covariates/peers")
+    parser.add_argument("--bootstrap", type=int, default=0, help="bootstrap replicates for CIs")
+    parser.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.demo:
+        database, program_text, default_queries = _demo(args.demo)
+    else:
+        if not args.program:
+            print("--program is required when --data is used", file=sys.stderr)
+            return 2
+        program_text = Path(args.program).read_text()
+        database = load_database_from_csv(args.data, program_text)
+        default_queries = {}
+
+    queries = {f"query_{i}": text for i, text in enumerate(args.query)} or default_queries
+    if not queries:
+        print("no queries given (use --query)", file=sys.stderr)
+        return 2
+
+    engine = CaRLEngine(
+        database, program_text, estimator=args.estimator, embedding=args.embedding
+    )
+    outputs = {}
+    for name, text in queries.items():
+        answer = engine.answer(text, bootstrap=args.bootstrap)
+        outputs[name] = result_to_dict(answer)
+
+    if args.json:
+        print(json.dumps(outputs, indent=2))
+        return 0
+
+    for name, payload in outputs.items():
+        print(f"\n[{name}] {payload['query']}")
+        if payload["kind"] == "ate":
+            print(f"  ATE               : {payload['ate']:+.4f}")
+            print(f"  naive difference  : {payload['naive_difference']:+.4f}")
+            print(f"  correlation       : {payload['correlation']:+.4f}")
+            print(f"  units (T/C)       : {payload['n_units']} ({payload['n_treated']}/{payload['n_control']})")
+            if payload["confidence_interval"]:
+                low, high = payload["confidence_interval"]
+                print(f"  95% bootstrap CI  : [{low:+.4f}, {high:+.4f}]")
+        else:
+            print(f"  AIE / ARE / AOE   : {payload['aie']:+.4f} / {payload['are']:+.4f} / {payload['aoe']:+.4f}")
+            print(f"  peer condition    : {payload['peer_condition']}")
+            print(f"  naive difference  : {payload['naive_difference']:+.4f}")
+        print(f"  timings (s)       : ground {payload['grounding_seconds']:.2f}, "
+              f"unit table {payload['unit_table_seconds']:.2f}, "
+              f"estimate {payload['estimation_seconds']:.2f}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()
+    sys.exit(main())

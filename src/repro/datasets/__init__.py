@@ -1,0 +1,40 @@
+"""Synthetic relational dataset generators.
+
+The paper evaluates CaRL on three real datasets (REVIEWDATA, MIMIC-III, NIS)
+and one synthetic dataset (SYNTHETIC REVIEWDATA).  The real datasets are not
+redistributable (MIMIC and NIS are access-restricted; REVIEWDATA was crawled
+by the authors), so this package provides synthetic stand-ins that share the
+schema and — crucially — the dependence structure the paper describes, so
+that every qualitative finding (correlation vs causation gaps, isolated vs
+relational effects, embedding sensitivity) can be reproduced.  See DESIGN.md
+for the substitution rationale.
+"""
+
+from repro.datasets.mimic import MIMIC_PROGRAM, MimicData, generate_mimic_data
+from repro.datasets.nis import NIS_PROGRAM, NisData, generate_nis_data
+from repro.datasets.review import REVIEW_PROGRAM, ReviewData, generate_review_data
+from repro.datasets.synthetic_review import (
+    SYNTHETIC_REVIEW_PROGRAM,
+    SyntheticReviewData,
+    SyntheticReviewGroundTruth,
+    generate_synthetic_review_data,
+)
+from repro.datasets.toy_review import TOY_REVIEW_PROGRAM, toy_review_database
+
+__all__ = [
+    "MIMIC_PROGRAM",
+    "MimicData",
+    "NIS_PROGRAM",
+    "NisData",
+    "REVIEW_PROGRAM",
+    "ReviewData",
+    "SYNTHETIC_REVIEW_PROGRAM",
+    "SyntheticReviewData",
+    "SyntheticReviewGroundTruth",
+    "TOY_REVIEW_PROGRAM",
+    "generate_mimic_data",
+    "generate_nis_data",
+    "generate_review_data",
+    "generate_synthetic_review_data",
+    "toy_review_database",
+]

@@ -1,0 +1,99 @@
+"""The toy REVIEWDATA instance of Figure 2 and the rules of Example 3.4.
+
+This tiny database (three authors, three submissions, two conferences) is
+used throughout the paper to illustrate grounding, relational causal graphs,
+peers and the unit table (Table 1).  It is also the quickstart dataset of
+this repository.
+"""
+
+from __future__ import annotations
+
+from repro.db.database import Database
+
+#: The relational causal schema and model of Examples 3.1 and 3.4, plus the
+#: aggregate rule (12) defining the average review score per author.
+TOY_REVIEW_PROGRAM = """
+// ---- relational causal schema (Example 3.1) ----
+ENTITY Person(person);
+ENTITY Submission(sub);
+ENTITY Conference(conf);
+RELATIONSHIP Author(person, sub);
+RELATIONSHIP Submitted(sub, conf);
+
+ATTRIBUTE Prestige OF Person;
+ATTRIBUTE Qualification OF Person;
+ATTRIBUTE Score OF Submission;
+ATTRIBUTE Blind OF Conference;
+LATENT ATTRIBUTE Quality OF Submission;
+
+// ---- relational causal model (Example 3.4) ----
+Prestige[A] <= Qualification[A] WHERE Person(A);
+Quality[S] <= Qualification[A], Prestige[A] WHERE Author(A, S);
+Score[S] <= Prestige[A] WHERE Author(A, S);
+Score[S] <= Quality[S] WHERE Submission(S);
+
+// ---- aggregate rule (12) ----
+AVG_Score[A] <= Score[S] WHERE Author(A, S);
+"""
+
+
+def toy_review_database() -> Database:
+    """The exact instance of Figure 2 (with entity/relationship table names
+    matching the relational causal schema)."""
+    db = Database(name="toy_review")
+
+    person = db.create_table(
+        "Person",
+        {"person": "str", "prestige": "int", "qualification": "int"},
+        primary_key=("person",),
+    )
+    person.insert_many(
+        [
+            {"person": "Bob", "prestige": 1, "qualification": 50},
+            {"person": "Carlos", "prestige": 0, "qualification": 20},
+            {"person": "Eva", "prestige": 1, "qualification": 2},
+        ]
+    )
+
+    submission = db.create_table(
+        "Submission", {"sub": "str", "score": "float"}, primary_key=("sub",)
+    )
+    submission.insert_many(
+        [
+            {"sub": "s1", "score": 0.75},
+            {"sub": "s2", "score": 0.4},
+            {"sub": "s3", "score": 0.1},
+        ]
+    )
+
+    conference = db.create_table(
+        "Conference", {"conf": "str", "blind": "str"}, primary_key=("conf",)
+    )
+    conference.insert_many(
+        [
+            {"conf": "ConfDB", "blind": "single"},
+            {"conf": "ConfAI", "blind": "double"},
+        ]
+    )
+
+    author = db.create_table("Author", {"person": "str", "sub": "str"})
+    author.insert_many(
+        [
+            {"person": "Bob", "sub": "s1"},
+            {"person": "Eva", "sub": "s1"},
+            {"person": "Eva", "sub": "s2"},
+            {"person": "Eva", "sub": "s3"},
+            {"person": "Carlos", "sub": "s3"},
+        ]
+    )
+
+    submitted = db.create_table("Submitted", {"sub": "str", "conf": "str"})
+    submitted.insert_many(
+        [
+            {"sub": "s1", "conf": "ConfDB"},
+            {"sub": "s2", "conf": "ConfAI"},
+            {"sub": "s3", "conf": "ConfAI"},
+        ]
+    )
+
+    return db

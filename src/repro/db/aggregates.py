@@ -1,0 +1,135 @@
+"""Aggregate functions used by aggregated attribute rules and embeddings.
+
+The paper's aggregate rules (Section 3.2.4) attach a deterministic aggregate
+``AGG`` to a set of parent values; the same aggregates are reused by the
+mean/median/moment embedding functions (Section 5.2.2).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Sequence
+from typing import Any
+
+
+class AggregateError(ValueError):
+    """Raised for unknown aggregate names or invalid inputs."""
+
+
+def _require_numeric(values: Sequence[Any], aggregate_name: str) -> list[float]:
+    numeric = []
+    for value in values:
+        if isinstance(value, bool):
+            numeric.append(float(value))
+        elif isinstance(value, (int, float)):
+            numeric.append(float(value))
+        else:
+            raise AggregateError(
+                f"aggregate {aggregate_name} requires numeric values, got {value!r}"
+            )
+    return numeric
+
+
+def agg_count(values: Sequence[Any]) -> int:
+    """Number of values (defined for empty input)."""
+    return len(values)
+
+
+def agg_sum(values: Sequence[Any]) -> float:
+    return math.fsum(_require_numeric(values, "SUM"))
+
+
+def agg_avg(values: Sequence[Any]) -> float:
+    """Arithmetic mean; 0.0 on empty input (a unit with no peers contributes nothing)."""
+    numeric = _require_numeric(values, "AVG")
+    if not numeric:
+        return 0.0
+    return math.fsum(numeric) / len(numeric)
+
+
+def agg_min(values: Sequence[Any]) -> float:
+    numeric = _require_numeric(values, "MIN")
+    if not numeric:
+        raise AggregateError("MIN of empty input is undefined")
+    return min(numeric)
+
+
+def agg_max(values: Sequence[Any]) -> float:
+    numeric = _require_numeric(values, "MAX")
+    if not numeric:
+        raise AggregateError("MAX of empty input is undefined")
+    return max(numeric)
+
+
+def agg_median(values: Sequence[Any]) -> float:
+    numeric = sorted(_require_numeric(values, "MEDIAN"))
+    if not numeric:
+        return 0.0
+    middle = len(numeric) // 2
+    if len(numeric) % 2:
+        return numeric[middle]
+    return (numeric[middle - 1] + numeric[middle]) / 2.0
+
+
+def agg_var(values: Sequence[Any]) -> float:
+    """Population variance; 0.0 for fewer than two values."""
+    numeric = _require_numeric(values, "VAR")
+    if len(numeric) < 2:
+        return 0.0
+    mean = math.fsum(numeric) / len(numeric)
+    return math.fsum((value - mean) ** 2 for value in numeric) / len(numeric)
+
+
+def agg_std(values: Sequence[Any]) -> float:
+    return math.sqrt(agg_var(values))
+
+
+def agg_skew(values: Sequence[Any]) -> float:
+    """Population skewness; 0.0 when undefined (fewer than two values or zero variance)."""
+    numeric = _require_numeric(values, "SKEW")
+    if len(numeric) < 2:
+        return 0.0
+    mean = math.fsum(numeric) / len(numeric)
+    variance = math.fsum((value - mean) ** 2 for value in numeric) / len(numeric)
+    if variance <= 0.0:
+        return 0.0
+    denominator = variance ** 1.5
+    if denominator == 0.0:  # variance can underflow to 0 for tiny values
+        return 0.0
+    third = math.fsum((value - mean) ** 3 for value in numeric) / len(numeric)
+    return third / denominator
+
+
+def agg_any(values: Sequence[Any]) -> bool:
+    return any(bool(value) for value in values)
+
+
+def agg_all(values: Sequence[Any]) -> bool:
+    return all(bool(value) for value in values)
+
+
+#: Registry of aggregate functions by their CaRL keyword.
+AGGREGATES: dict[str, Callable[[Sequence[Any]], Any]] = {
+    "COUNT": agg_count,
+    "SUM": agg_sum,
+    "AVG": agg_avg,
+    "MEAN": agg_avg,
+    "MIN": agg_min,
+    "MAX": agg_max,
+    "MEDIAN": agg_median,
+    "VAR": agg_var,
+    "STD": agg_std,
+    "SKEW": agg_skew,
+    "ANY": agg_any,
+    "ALL": agg_all,
+}
+
+
+def aggregate(name: str, values: Sequence[Any]) -> Any:
+    """Apply the aggregate registered under ``name`` (case-insensitive)."""
+    fn = AGGREGATES.get(name.upper())
+    if fn is None:
+        raise AggregateError(
+            f"unknown aggregate {name!r}; expected one of {sorted(AGGREGATES)}"
+        )
+    return fn(values)

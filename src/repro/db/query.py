@@ -1,0 +1,187 @@
+"""Conjunctive query evaluation over :class:`~repro.db.database.Database`.
+
+Relational causal rules carry a condition ``WHERE Q(Y)`` that is a standard
+conjunctive query (Definition 3.3).  Grounding a rule amounts to enumerating
+the satisfying assignments of that query over the relational skeleton; this
+module implements exactly that: atoms over base tables, joined by shared
+variables, evaluated with a simple index-backed nested-loop strategy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterator, Sequence
+from typing import Any
+
+from repro.db.database import Database
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A query variable; equality is by name."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"?{self.name}"
+
+
+Term = Any  # either a Variable or a constant value
+Binding = dict[str, Any]
+
+
+@dataclass(frozen=True)
+class Atom:
+    """A positive atom ``Predicate(t1, ..., tn)`` over a base table.
+
+    The predicate must name a table of the database being queried, and the
+    terms map positionally onto that table's columns.
+    """
+
+    predicate: str
+    terms: tuple[Term, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "terms", tuple(self.terms))
+
+    @property
+    def variables(self) -> list[Variable]:
+        return [term for term in self.terms if isinstance(term, Variable)]
+
+    def __repr__(self) -> str:
+        rendered = ", ".join(
+            term.name if isinstance(term, Variable) else repr(term) for term in self.terms
+        )
+        return f"{self.predicate}({rendered})"
+
+
+class QueryError(ValueError):
+    """Raised when a conjunctive query references unknown tables or arities."""
+
+
+class ConjunctiveQuery:
+    """A conjunction of atoms, evaluated to a set of variable bindings."""
+
+    def __init__(self, atoms: Sequence[Atom]) -> None:
+        self.atoms = tuple(atoms)
+
+    @property
+    def variables(self) -> list[Variable]:
+        """All variables, in first-occurrence order."""
+        seen: dict[str, Variable] = {}
+        for atom in self.atoms:
+            for variable in atom.variables:
+                seen.setdefault(variable.name, variable)
+        return list(seen.values())
+
+    def validate(self, database: Database) -> None:
+        """Check every atom against the database schema (names and arity)."""
+        for atom in self.atoms:
+            if atom.predicate not in database:
+                raise QueryError(
+                    f"atom {atom!r} references unknown table {atom.predicate!r}"
+                )
+            table = database.table(atom.predicate)
+            if len(atom.terms) != len(table.columns):
+                raise QueryError(
+                    f"atom {atom!r} has arity {len(atom.terms)} but table "
+                    f"{atom.predicate!r} has {len(table.columns)} columns"
+                )
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, database: Database) -> list[Binding]:
+        """Return all satisfying assignments as ``{variable name: value}`` dicts.
+
+        Duplicate bindings (arising from bag semantics of the underlying
+        tables) are removed: the result has set semantics over the query
+        variables, matching Definition 3.5 of the paper.
+        """
+        self.validate(database)
+        if not self.atoms:
+            return [{}]
+
+        bindings: list[Binding] = [{}]
+        for atom in self._ordered_atoms(database):
+            bindings = list(self._extend(database, atom, bindings))
+            if not bindings:
+                return []
+        # Deduplicate over the variable set.
+        names = [variable.name for variable in self.variables]
+        unique: dict[tuple[Any, ...], Binding] = {}
+        for binding in bindings:
+            key = tuple(binding.get(name) for name in names)
+            unique.setdefault(key, {name: binding.get(name) for name in names})
+        return list(unique.values())
+
+    def _ordered_atoms(self, database: Database) -> list[Atom]:
+        """Greedy join order: start from the smallest table, then prefer atoms
+        sharing variables with what has been joined so far."""
+        remaining = list(self.atoms)
+        remaining.sort(key=lambda atom: len(database.table(atom.predicate)))
+        ordered: list[Atom] = []
+        bound: set[str] = set()
+        while remaining:
+            connected = [
+                atom
+                for atom in remaining
+                if not bound or any(v.name in bound for v in atom.variables)
+            ]
+            chosen = connected[0] if connected else remaining[0]
+            remaining.remove(chosen)
+            ordered.append(chosen)
+            bound.update(v.name for v in chosen.variables)
+        return ordered
+
+    def _extend(
+        self, database: Database, atom: Atom, bindings: list[Binding]
+    ) -> Iterator[Binding]:
+        table = database.table(atom.predicate)
+        columns = table.columns
+        for binding in bindings:
+            # Pick the most selective access path: an already-bound variable
+            # or constant position lets us use an index lookup.
+            lookup_column = None
+            lookup_value = None
+            for position, term in enumerate(atom.terms):
+                if isinstance(term, Variable):
+                    if term.name in binding:
+                        lookup_column = columns[position]
+                        lookup_value = binding[term.name]
+                        break
+                else:
+                    lookup_column = columns[position]
+                    lookup_value = term
+                    break
+            if lookup_column is not None:
+                if lookup_column not in table._indexes:  # noqa: SLF001 - internal fast path
+                    table.build_index(lookup_column)
+                candidates = table.lookup(lookup_column, lookup_value)
+            else:
+                candidates = table.to_list()
+
+            for row in candidates:
+                extended = self._match(atom, row, columns, binding)
+                if extended is not None:
+                    yield extended
+
+    @staticmethod
+    def _match(
+        atom: Atom, row: Binding, columns: Sequence[str], binding: Binding
+    ) -> Binding | None:
+        extended = dict(binding)
+        for position, term in enumerate(atom.terms):
+            value = row[columns[position]]
+            if isinstance(term, Variable):
+                if term.name in extended:
+                    if extended[term.name] != value:
+                        return None
+                else:
+                    extended[term.name] = value
+            elif term != value:
+                return None
+        return extended
+
+    def __repr__(self) -> str:
+        return " AND ".join(repr(atom) for atom in self.atoms) or "TRUE"

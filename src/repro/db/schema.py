@@ -1,0 +1,137 @@
+"""Schema metadata for the in-memory relational database."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+#: Column types supported by :class:`ColumnSchema`.  ``"any"`` disables
+#: validation for that column.
+COLUMN_TYPES = ("int", "float", "str", "bool", "any")
+
+
+class SchemaError(ValueError):
+    """Raised when a table or database schema is malformed or violated."""
+
+
+@dataclass(frozen=True)
+class ColumnSchema:
+    """A single column: its name, declared type and nullability."""
+
+    name: str
+    dtype: str = "any"
+    nullable: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise SchemaError(f"column name must be a non-empty string, got {self.name!r}")
+        if self.dtype not in COLUMN_TYPES:
+            raise SchemaError(
+                f"unknown column type {self.dtype!r} for column {self.name!r}; "
+                f"expected one of {COLUMN_TYPES}"
+            )
+
+    def validate(self, value: Any) -> Any:
+        """Validate (and lightly coerce) ``value`` for this column.
+
+        Integers are accepted where floats are expected; booleans are accepted
+        for int/float columns only when the declared type is ``bool``.
+        """
+        if value is None:
+            if self.nullable:
+                return None
+            raise SchemaError(f"column {self.name!r} is not nullable")
+        if self.dtype == "any":
+            return value
+        if self.dtype == "int":
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise SchemaError(f"column {self.name!r} expects int, got {value!r}")
+            return value
+        if self.dtype == "float":
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise SchemaError(f"column {self.name!r} expects float, got {value!r}")
+            return float(value)
+        if self.dtype == "str":
+            if not isinstance(value, str):
+                raise SchemaError(f"column {self.name!r} expects str, got {value!r}")
+            return value
+        if self.dtype == "bool":
+            if not isinstance(value, bool):
+                raise SchemaError(f"column {self.name!r} expects bool, got {value!r}")
+            return value
+        raise SchemaError(f"unhandled column type {self.dtype!r}")  # pragma: no cover
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """Ordered collection of columns plus an optional primary key."""
+
+    name: str
+    columns: tuple[ColumnSchema, ...]
+    primary_key: tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("table name must be non-empty")
+        if not self.columns:
+            raise SchemaError(f"table {self.name!r} must declare at least one column")
+        names = [column.name for column in self.columns]
+        duplicates = {n for n in names if names.count(n) > 1}
+        if duplicates:
+            raise SchemaError(f"duplicate columns in table {self.name!r}: {sorted(duplicates)}")
+        for key_column in self.primary_key:
+            if key_column not in names:
+                raise SchemaError(
+                    f"primary key column {key_column!r} is not a column of table {self.name!r}"
+                )
+
+    @classmethod
+    def from_spec(
+        cls,
+        name: str,
+        columns: dict[str, str] | list[str] | tuple[str, ...],
+        primary_key: tuple[str, ...] | list[str] = (),
+    ) -> "TableSchema":
+        """Build a schema from a terse spec.
+
+        ``columns`` may be a mapping ``{column: dtype}`` or a plain sequence of
+        column names (all typed ``"any"``).
+        """
+        if isinstance(columns, dict):
+            column_schemas = tuple(
+                ColumnSchema(column, dtype) for column, dtype in columns.items()
+            )
+        else:
+            column_schemas = tuple(ColumnSchema(column) for column in columns)
+        return cls(name=name, columns=column_schemas, primary_key=tuple(primary_key))
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(column.name for column in self.columns)
+
+    def column(self, name: str) -> ColumnSchema:
+        for column in self.columns:
+            if column.name == name:
+                return column
+        raise SchemaError(f"table {self.name!r} has no column {name!r}")
+
+    def index_of(self, name: str) -> int:
+        for index, column in enumerate(self.columns):
+            if column.name == name:
+                return index
+        raise SchemaError(f"table {self.name!r} has no column {name!r}")
+
+    def validate_row(self, row: dict[str, Any]) -> tuple[Any, ...]:
+        """Validate a mapping row and return it as a tuple in schema order."""
+        unknown = set(row) - set(self.column_names)
+        if unknown:
+            raise SchemaError(f"row has columns not in table {self.name!r}: {sorted(unknown)}")
+        values = []
+        for column in self.columns:
+            if column.name not in row:
+                if column.nullable:
+                    values.append(None)
+                    continue
+                raise SchemaError(f"row is missing column {column.name!r} of table {self.name!r}")
+            values.append(column.validate(row[column.name]))
+        return tuple(values)

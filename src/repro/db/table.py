@@ -1,0 +1,273 @@
+"""In-memory relational table with selection, projection, join and grouping."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Callable, Iterable, Iterator, Sequence
+from typing import Any
+
+from repro.db.schema import ColumnSchema, SchemaError, TableSchema
+
+
+class Table:
+    """A bag of tuples conforming to a :class:`TableSchema`.
+
+    Rows are stored as tuples in schema order; the public API exposes them as
+    dictionaries keyed by column name.  Primary-key uniqueness is enforced on
+    insert when the schema declares a key.
+    """
+
+    def __init__(self, schema: TableSchema, rows: Iterable[dict[str, Any]] = ()) -> None:
+        self.schema = schema
+        self._rows: list[tuple[Any, ...]] = []
+        self._key_index: dict[tuple[Any, ...], int] = {}
+        self._indexes: dict[str, dict[Any, list[int]]] = {}
+        for row in rows:
+            self.insert(row)
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_rows(
+        cls,
+        name: str,
+        rows: Sequence[dict[str, Any]],
+        dtypes: dict[str, str] | None = None,
+        primary_key: Sequence[str] = (),
+    ) -> "Table":
+        """Infer a schema from ``rows`` (or use ``dtypes``) and build a table."""
+        if not rows:
+            raise SchemaError("cannot infer a schema from zero rows; pass an explicit schema")
+        columns = list(rows[0])
+        if dtypes is None:
+            dtypes = {}
+            for column in columns:
+                value = rows[0][column]
+                if isinstance(value, bool):
+                    dtypes[column] = "bool"
+                elif isinstance(value, int):
+                    dtypes[column] = "int"
+                elif isinstance(value, float):
+                    dtypes[column] = "float"
+                elif isinstance(value, str):
+                    dtypes[column] = "str"
+                else:
+                    dtypes[column] = "any"
+        schema = TableSchema(
+            name=name,
+            columns=tuple(ColumnSchema(column, dtypes.get(column, "any")) for column in columns),
+            primary_key=tuple(primary_key),
+        )
+        return cls(schema, rows)
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def insert(self, row: dict[str, Any]) -> None:
+        """Insert a row (mapping of column name to value)."""
+        values = self.schema.validate_row(row)
+        if self.schema.primary_key:
+            key = tuple(values[self.schema.index_of(k)] for k in self.schema.primary_key)
+            if key in self._key_index:
+                raise SchemaError(
+                    f"duplicate primary key {key!r} in table {self.schema.name!r}"
+                )
+            self._key_index[key] = len(self._rows)
+        position = len(self._rows)
+        self._rows.append(values)
+        for column, index in self._indexes.items():
+            index[values[self.schema.index_of(column)]].append(position)
+
+    def insert_many(self, rows: Iterable[dict[str, Any]]) -> None:
+        for row in rows:
+            self.insert(row)
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return self.schema.column_names
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        return self.rows()
+
+    def rows(self) -> Iterator[dict[str, Any]]:
+        """Iterate over rows as dictionaries."""
+        columns = self.schema.column_names
+        for values in self._rows:
+            yield dict(zip(columns, values))
+
+    def to_list(self) -> list[dict[str, Any]]:
+        return list(self.rows())
+
+    def column(self, name: str) -> list[Any]:
+        """All values of one column, in row order."""
+        index = self.schema.index_of(name)
+        return [values[index] for values in self._rows]
+
+    def distinct(self, name: str) -> list[Any]:
+        """Distinct values of one column, in first-seen order."""
+        return list(dict.fromkeys(self.column(name)))
+
+    def get_by_key(self, key: tuple[Any, ...] | Any) -> dict[str, Any]:
+        """Look up a row by primary key (scalar keys need not be wrapped)."""
+        if not self.schema.primary_key:
+            raise SchemaError(f"table {self.schema.name!r} has no primary key")
+        if not isinstance(key, tuple):
+            key = (key,)
+        position = self._key_index.get(key)
+        if position is None:
+            raise KeyError(f"no row with key {key!r} in table {self.schema.name!r}")
+        return dict(zip(self.schema.column_names, self._rows[position]))
+
+    # ------------------------------------------------------------------
+    # relational operators
+    # ------------------------------------------------------------------
+    def select(self, predicate: Callable[[dict[str, Any]], bool]) -> "Table":
+        """Rows satisfying ``predicate`` (selection)."""
+        result = Table(self._schema_without_key(self.schema.name))
+        for row in self.rows():
+            if predicate(row):
+                result.insert(row)
+        return result
+
+    def where(self, **conditions: Any) -> "Table":
+        """Rows whose columns equal the given values (equality selection)."""
+        for column in conditions:
+            self.schema.index_of(column)
+        return self.select(
+            lambda row: all(row[column] == value for column, value in conditions.items())
+        )
+
+    def project(self, columns: Sequence[str], distinct: bool = False) -> "Table":
+        """Keep only ``columns`` (projection), optionally deduplicating."""
+        column_schemas = tuple(self.schema.column(name) for name in columns)
+        schema = TableSchema(name=self.schema.name, columns=column_schemas)
+        result = Table(schema)
+        seen: set[tuple[Any, ...]] = set()
+        for row in self.rows():
+            values = tuple(row[name] for name in columns)
+            if distinct:
+                if values in seen:
+                    continue
+                seen.add(values)
+            result.insert(dict(zip(columns, values)))
+        return result
+
+    def rename(self, mapping: dict[str, str], name: str | None = None) -> "Table":
+        """Rename columns according to ``mapping``."""
+        columns = tuple(
+            ColumnSchema(mapping.get(column.name, column.name), column.dtype, column.nullable)
+            for column in self.schema.columns
+        )
+        schema = TableSchema(name=name or self.schema.name, columns=columns)
+        result = Table(schema)
+        for values in self._rows:
+            result.insert(dict(zip(schema.column_names, values)))
+        return result
+
+    def join(self, other: "Table", on: Sequence[str] | None = None, name: str | None = None) -> "Table":
+        """Natural (or explicit equi-) hash join with ``other``.
+
+        ``on`` defaults to the shared column names.  Non-join columns that
+        collide keep the left value (they are identical under natural join
+        semantics only when the data agrees; callers should rename first when
+        that matters).
+        """
+        if on is None:
+            on = [column for column in self.columns if column in other.columns]
+        for column in on:
+            self.schema.index_of(column)
+            other.schema.index_of(column)
+
+        other_extra = [column for column in other.columns if column not in self.columns]
+        joined_columns = tuple(self.schema.columns) + tuple(
+            other.schema.column(column) for column in other_extra
+        )
+        schema = TableSchema(name=name or f"{self.name}_{other.name}", columns=joined_columns)
+        result = Table(schema)
+
+        if not on:
+            # Cartesian product.
+            other_rows = other.to_list()
+            for left in self.rows():
+                for right in other_rows:
+                    merged = dict(left)
+                    merged.update({column: right[column] for column in other_extra})
+                    result.insert(merged)
+            return result
+
+        index: dict[tuple[Any, ...], list[dict[str, Any]]] = defaultdict(list)
+        for right in other.rows():
+            index[tuple(right[column] for column in on)].append(right)
+        for left in self.rows():
+            key = tuple(left[column] for column in on)
+            for right in index.get(key, ()):
+                merged = dict(left)
+                merged.update({column: right[column] for column in other_extra})
+                result.insert(merged)
+        return result
+
+    def group_by(
+        self,
+        keys: Sequence[str],
+        aggregations: dict[str, tuple[str, Callable[[list[Any]], Any]]],
+    ) -> "Table":
+        """Group rows by ``keys`` and aggregate.
+
+        ``aggregations`` maps output column name to ``(input column, fn)``
+        where ``fn`` receives the list of group values.
+        """
+        groups: dict[tuple[Any, ...], list[dict[str, Any]]] = defaultdict(list)
+        for row in self.rows():
+            groups[tuple(row[key] for key in keys)].append(row)
+
+        key_columns = tuple(self.schema.column(key) for key in keys)
+        agg_columns = tuple(ColumnSchema(output, "any") for output in aggregations)
+        schema = TableSchema(name=f"{self.name}_grouped", columns=key_columns + agg_columns)
+        result = Table(schema)
+        for key_values, members in groups.items():
+            row = dict(zip(keys, key_values))
+            for output, (input_column, fn) in aggregations.items():
+                row[output] = fn([member[input_column] for member in members])
+            result.insert(row)
+        return result
+
+    def build_index(self, column: str) -> None:
+        """Build (or rebuild) a hash index on ``column`` for :meth:`lookup`."""
+        position = self.schema.index_of(column)
+        index: dict[Any, list[int]] = defaultdict(list)
+        for row_number, values in enumerate(self._rows):
+            index[values[position]].append(row_number)
+        self._indexes[column] = index
+
+    def lookup(self, column: str, value: Any) -> list[dict[str, Any]]:
+        """Rows whose ``column`` equals ``value`` (uses an index when present)."""
+        columns = self.schema.column_names
+        if column in self._indexes:
+            return [
+                dict(zip(columns, self._rows[row_number]))
+                for row_number in self._indexes[column].get(value, ())
+            ]
+        position = self.schema.index_of(column)
+        return [
+            dict(zip(columns, values)) for values in self._rows if values[position] == value
+        ]
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _schema_without_key(self, name: str) -> TableSchema:
+        return TableSchema(name=name, columns=self.schema.columns)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Table({self.schema.name!r}, rows={len(self)}, columns={list(self.columns)})"

@@ -1,0 +1,13 @@
+"""Directed-acyclic-graph substrate used by the CaRL engine.
+
+The grounded relational causal graph of the paper (Section 3.2.3) is a DAG
+over grounded attributes.  This package provides the generic graph machinery
+the engine relies on: a :class:`DAG` container with ancestor/descendant
+queries and topological ordering, and d-separation (used by covariate
+detection, Theorem 5.2).
+"""
+
+from repro.graph.dag import CycleError, DAG
+from repro.graph.dseparation import d_separated, find_minimal_separator
+
+__all__ = ["DAG", "CycleError", "d_separated", "find_minimal_separator"]

@@ -1,0 +1,234 @@
+"""A small, dependency-free directed acyclic graph implementation.
+
+The grounded causal graphs produced by CaRL can contain one node per grounded
+attribute (one per author, per submission, per patient, ...), so the
+implementation favours adjacency sets and iterative traversals over anything
+recursive.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Hashable, Iterable, Iterator
+from typing import Any
+
+
+class CycleError(ValueError):
+    """Raised when an operation requires acyclicity and the graph has a cycle."""
+
+
+class DAG:
+    """A directed graph with helpers for causal reasoning.
+
+    Nodes may be any hashable object.  Edges are directed ``parent -> child``
+    and self-loops are rejected.  Acyclicity is *not* enforced on every edge
+    insertion (grounding adds edges in bulk); call :meth:`validate_acyclic`
+    or :meth:`topological_order` to check.
+    """
+
+    def __init__(self) -> None:
+        self._parents: dict[Hashable, set[Hashable]] = {}
+        self._children: dict[Hashable, set[Hashable]] = {}
+        self._node_data: dict[Hashable, dict[str, Any]] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(self, node: Hashable, **data: Any) -> None:
+        """Add ``node`` (idempotent); keyword arguments become node metadata."""
+        if node not in self._parents:
+            self._parents[node] = set()
+            self._children[node] = set()
+            self._node_data[node] = {}
+        if data:
+            self._node_data[node].update(data)
+
+    def add_edge(self, parent: Hashable, child: Hashable) -> None:
+        """Add the directed edge ``parent -> child``, creating missing nodes."""
+        if parent == child:
+            raise ValueError(f"self-loop not allowed: {parent!r}")
+        self.add_node(parent)
+        self.add_node(child)
+        self._children[parent].add(child)
+        self._parents[child].add(parent)
+
+    def remove_edge(self, parent: Hashable, child: Hashable) -> None:
+        """Remove the edge ``parent -> child`` if present."""
+        self._children.get(parent, set()).discard(child)
+        self._parents.get(child, set()).discard(parent)
+
+    def remove_node(self, node: Hashable) -> None:
+        """Remove ``node`` and every incident edge."""
+        if node not in self._parents:
+            return
+        for parent in self._parents.pop(node):
+            self._children[parent].discard(node)
+        for child in self._children.pop(node):
+            self._parents[child].discard(node)
+        self._node_data.pop(node, None)
+
+    def copy(self) -> "DAG":
+        """Return a structural copy (node metadata is shallow-copied)."""
+        clone = DAG()
+        for node, data in self._node_data.items():
+            clone.add_node(node, **data)
+        for child, parents in self._parents.items():
+            for parent in parents:
+                clone.add_edge(parent, child)
+        return clone
+
+    # ------------------------------------------------------------------
+    # basic queries
+    # ------------------------------------------------------------------
+    def __contains__(self, node: Hashable) -> bool:
+        return node in self._parents
+
+    def __len__(self) -> int:
+        return len(self._parents)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._parents)
+
+    @property
+    def nodes(self) -> list[Hashable]:
+        """All nodes, in insertion order."""
+        return list(self._parents)
+
+    @property
+    def edges(self) -> list[tuple[Hashable, Hashable]]:
+        """All edges as ``(parent, child)`` pairs."""
+        return [
+            (parent, child)
+            for parent, children in self._children.items()
+            for child in children
+        ]
+
+    def number_of_edges(self) -> int:
+        return sum(len(children) for children in self._children.values())
+
+    def node_data(self, node: Hashable) -> dict[str, Any]:
+        """Metadata dict attached to ``node``."""
+        return self._node_data[node]
+
+    def has_edge(self, parent: Hashable, child: Hashable) -> bool:
+        return child in self._children.get(parent, set())
+
+    def parents(self, node: Hashable) -> set[Hashable]:
+        """Direct parents (empty set for unknown nodes)."""
+        return set(self._parents.get(node, set()))
+
+    def children(self, node: Hashable) -> set[Hashable]:
+        """Direct children (empty set for unknown nodes)."""
+        return set(self._children.get(node, set()))
+
+    def roots(self) -> list[Hashable]:
+        """Nodes with no parents."""
+        return [node for node, parents in self._parents.items() if not parents]
+
+    def leaves(self) -> list[Hashable]:
+        """Nodes with no children."""
+        return [node for node, children in self._children.items() if not children]
+
+    # ------------------------------------------------------------------
+    # reachability
+    # ------------------------------------------------------------------
+    def ancestors(self, node: Hashable) -> set[Hashable]:
+        """All nodes with a directed path *to* ``node`` (excluding itself)."""
+        return self._reach(node, self._parents)
+
+    def descendants(self, node: Hashable) -> set[Hashable]:
+        """All nodes with a directed path *from* ``node`` (excluding itself)."""
+        return self._reach(node, self._children)
+
+    def ancestors_of_set(self, nodes: Iterable[Hashable]) -> set[Hashable]:
+        """Union of the ancestors of every node in ``nodes``, plus the nodes."""
+        result: set[Hashable] = set()
+        for node in nodes:
+            if node in self:
+                result.add(node)
+                result |= self.ancestors(node)
+        return result
+
+    def has_directed_path(self, source: Hashable, target: Hashable) -> bool:
+        """True when there is a directed path from ``source`` to ``target``."""
+        if source not in self or target not in self:
+            return False
+        if source == target:
+            return True
+        return target in self.descendants(source)
+
+    def _reach(
+        self, node: Hashable, adjacency: dict[Hashable, set[Hashable]]
+    ) -> set[Hashable]:
+        if node not in self._parents:
+            return set()
+        seen: set[Hashable] = set()
+        frontier = deque(adjacency[node])
+        while frontier:
+            current = frontier.popleft()
+            if current in seen:
+                continue
+            seen.add(current)
+            frontier.extend(adjacency[current] - seen)
+        return seen
+
+    # ------------------------------------------------------------------
+    # ordering / validation
+    # ------------------------------------------------------------------
+    def topological_order(self) -> list[Hashable]:
+        """Kahn's algorithm; raises :class:`CycleError` on cyclic graphs."""
+        in_degree = {node: len(parents) for node, parents in self._parents.items()}
+        queue = deque(node for node, degree in in_degree.items() if degree == 0)
+        order: list[Hashable] = []
+        while queue:
+            node = queue.popleft()
+            order.append(node)
+            for child in self._children[node]:
+                in_degree[child] -= 1
+                if in_degree[child] == 0:
+                    queue.append(child)
+        if len(order) != len(self._parents):
+            raise CycleError("graph contains a directed cycle")
+        return order
+
+    def is_acyclic(self) -> bool:
+        """True when the graph has no directed cycle."""
+        try:
+            self.topological_order()
+        except CycleError:
+            return False
+        return True
+
+    def validate_acyclic(self) -> None:
+        """Raise :class:`CycleError` when the graph has a directed cycle."""
+        self.topological_order()
+
+    # ------------------------------------------------------------------
+    # causal-graph surgery
+    # ------------------------------------------------------------------
+    def do(self, nodes: Iterable[Hashable]) -> "DAG":
+        """Return the mutilated graph of an intervention on ``nodes``.
+
+        Following Pearl's do-operator, every edge *into* an intervened node
+        is removed; the rest of the graph is unchanged.
+        """
+        mutilated = self.copy()
+        for node in nodes:
+            for parent in mutilated.parents(node):
+                mutilated.remove_edge(parent, node)
+        return mutilated
+
+    def subgraph(self, nodes: Iterable[Hashable]) -> "DAG":
+        """Induced subgraph on ``nodes``."""
+        keep = {node for node in nodes if node in self}
+        sub = DAG()
+        for node in keep:
+            sub.add_node(node, **self._node_data[node])
+        for node in keep:
+            for child in self._children[node]:
+                if child in keep:
+                    sub.add_edge(node, child)
+        return sub
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DAG(nodes={len(self)}, edges={self.number_of_edges()})"

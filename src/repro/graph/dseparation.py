@@ -1,0 +1,125 @@
+"""d-separation on DAGs via the Bayes-ball reachability algorithm.
+
+Covariate detection in CaRL (Theorem 5.2) requires checking conditional
+independence statements of the form ``Y _||_ Pa(T) | (T, Z)`` in the grounded
+causal graph.  d-separation is the graphical criterion for those statements.
+
+The implementation follows the classic "Bayes ball" formulation: a node ``y``
+is d-connected to ``x`` given ``Z`` iff there is a path from ``x`` to ``y``
+on which every collider is in ``Z`` or has a descendant in ``Z`` and every
+non-collider is outside ``Z``.  We explore (node, direction) states so the
+traversal is linear in the number of edges.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Hashable, Iterable
+
+from repro.graph.dag import DAG
+
+
+def _reachable(graph: DAG, sources: set[Hashable], given: set[Hashable]) -> set[Hashable]:
+    """Nodes d-connected to any node in ``sources`` conditioned on ``given``."""
+    # Ancestors of the conditioning set: a collider is "active" iff it or one
+    # of its descendants is observed, i.e. iff the collider is an ancestor of
+    # (or in) the conditioning set.
+    conditioning_ancestors = graph.ancestors_of_set(given)
+
+    # States are (node, direction) where direction 'up' means we arrived at
+    # the node travelling against an edge (from a child), and 'down' means we
+    # arrived travelling along an edge (from a parent).
+    frontier: deque[tuple[Hashable, str]] = deque((s, "up") for s in sources)
+    visited: set[tuple[Hashable, str]] = set()
+    reachable: set[Hashable] = set()
+
+    while frontier:
+        node, direction = frontier.popleft()
+        if (node, direction) in visited:
+            continue
+        visited.add((node, direction))
+
+        if node not in given:
+            reachable.add(node)
+
+        if direction == "up" and node not in given:
+            # Arrived from a child; can continue to parents (chain) and to
+            # children (fork at this node).
+            for parent in graph.parents(node):
+                frontier.append((parent, "up"))
+            for child in graph.children(node):
+                frontier.append((child, "down"))
+        elif direction == "down":
+            if node not in given:
+                # Chain: keep moving to children.
+                for child in graph.children(node):
+                    frontier.append((child, "down"))
+            if node in conditioning_ancestors:
+                # Collider (or ancestor of the conditioning set): the path
+                # through this node's parents is active.
+                for parent in graph.parents(node):
+                    frontier.append((parent, "up"))
+    return reachable
+
+
+def d_separated(
+    graph: DAG,
+    x: Iterable[Hashable] | Hashable,
+    y: Iterable[Hashable] | Hashable,
+    given: Iterable[Hashable] = (),
+) -> bool:
+    """Return True when ``x`` and ``y`` are d-separated by ``given`` in ``graph``.
+
+    ``x`` and ``y`` may be single nodes or iterables of nodes; the statement
+    holds when *every* node of ``x`` is d-separated from *every* node of
+    ``y``.  Nodes in the conditioning set are excluded from both sides.
+    """
+    x_set = _as_set(graph, x)
+    y_set = _as_set(graph, y)
+    given_set = _as_set(graph, given)
+    x_set -= given_set
+    y_set -= given_set
+    if not x_set or not y_set:
+        return True
+    if x_set & y_set:
+        return False
+    reachable = _reachable(graph, x_set, given_set)
+    return not (reachable & y_set)
+
+
+def find_minimal_separator(
+    graph: DAG,
+    x: Iterable[Hashable] | Hashable,
+    y: Iterable[Hashable] | Hashable,
+    candidate: Iterable[Hashable],
+) -> list[Hashable] | None:
+    """Greedily shrink ``candidate`` to a minimal set still d-separating x and y.
+
+    Returns the reduced separator (order-stable with respect to ``candidate``)
+    or None when ``candidate`` itself does not separate ``x`` from ``y``.
+    The result is *minimal* (no single element can be dropped), not
+    necessarily *minimum*.
+    """
+    candidate_list = list(dict.fromkeys(candidate))
+    if not d_separated(graph, x, y, candidate_list):
+        return None
+    keep = list(candidate_list)
+    for node in candidate_list:
+        trial = [other for other in keep if other != node]
+        if d_separated(graph, x, y, trial):
+            keep = trial
+    return keep
+
+
+def _as_set(graph: DAG, nodes: Iterable[Hashable] | Hashable) -> set[Hashable]:
+    # A single node may itself be iterable (e.g. a grounded attribute is a
+    # NamedTuple); if the argument is a graph node, treat it as one node.
+    if isinstance(nodes, Hashable):
+        try:
+            if nodes in graph:
+                return {nodes}
+        except TypeError:  # unhashable despite the isinstance check
+            pass
+    if isinstance(nodes, (str, bytes)) or not isinstance(nodes, Iterable):
+        return set()
+    return {node for node in nodes if node in graph}

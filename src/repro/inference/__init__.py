@@ -1,0 +1,57 @@
+"""Single-table causal inference estimators, implemented from scratch.
+
+Once CaRL has reduced a relational causal query to a flat unit table
+(Section 5.2 of the paper), "standard approaches to causal analysis like
+regression or matching methods" are applied.  This package provides those
+standard approaches on top of numpy: ordinary least squares and ridge
+regression, logistic regression (for propensity scores), nearest-neighbour
+and propensity-score matching, coarsened exact matching, inverse propensity
+weighting, stratification, doubly-robust estimation, bootstrap confidence
+intervals, and the naive correlational quantities the paper contrasts
+against (difference of averages, Pearson correlation).
+"""
+
+from repro.inference.bootstrap import bootstrap_statistic
+from repro.inference.correlation import naive_difference, pearson_correlation, point_biserial
+from repro.inference.estimators import (
+    ATEEstimate,
+    ESTIMATORS,
+    estimate_ate,
+    ipw_ate,
+    matching_ate,
+    outcome_model_ate,
+    propensity_matching_ate,
+    stratification_ate,
+    doubly_robust_ate,
+)
+from repro.inference.logistic import LogisticRegression
+from repro.inference.matching import (
+    coarsened_exact_matching,
+    nearest_neighbor_match,
+)
+from repro.inference.outcome import OutcomeModel
+from repro.inference.propensity import estimate_propensity_scores
+from repro.inference.regression import LinearRegression, RidgeRegression
+
+__all__ = [
+    "ATEEstimate",
+    "ESTIMATORS",
+    "LinearRegression",
+    "LogisticRegression",
+    "OutcomeModel",
+    "RidgeRegression",
+    "bootstrap_statistic",
+    "coarsened_exact_matching",
+    "doubly_robust_ate",
+    "estimate_ate",
+    "estimate_propensity_scores",
+    "ipw_ate",
+    "matching_ate",
+    "naive_difference",
+    "nearest_neighbor_match",
+    "outcome_model_ate",
+    "pearson_correlation",
+    "point_biserial",
+    "propensity_matching_ate",
+    "stratification_ate",
+]

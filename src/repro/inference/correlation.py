@@ -1,0 +1,53 @@
+"""Naive (non-causal) quantities the paper contrasts causal estimates against."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+def pearson_correlation(x: np.ndarray, y: np.ndarray) -> float:
+    """Pearson correlation coefficient; 0.0 when either variable is constant."""
+    x = np.asarray(x, dtype=float).ravel()
+    y = np.asarray(y, dtype=float).ravel()
+    if len(x) != len(y):
+        raise ValueError(f"length mismatch: {len(x)} vs {len(y)}")
+    if len(x) < 2:
+        return 0.0
+    x_std = float(x.std())
+    y_std = float(y.std())
+    if x_std == 0.0 or y_std == 0.0:
+        return 0.0
+    return float(((x - x.mean()) * (y - y.mean())).mean() / (x_std * y_std))
+
+
+def point_biserial(treatment: np.ndarray, outcome: np.ndarray) -> float:
+    """Point-biserial correlation between a binary treatment and an outcome.
+
+    This is the Pearson correlation specialised to a binary regressor; the
+    paper's Figure 7 reports "Pearson's correlation" between the score
+    distributions of treated and untreated authors, which is this quantity.
+    """
+    return pearson_correlation(treatment, outcome)
+
+
+def naive_difference(treatment: np.ndarray, outcome: np.ndarray) -> dict[str, float]:
+    """Difference between the average outcomes of treated and control groups.
+
+    Returns the treated mean, the control mean and their difference — the
+    "Diff. of Averages" column of Table 3 in the paper.  Means are NaN when a
+    group is empty.
+    """
+    treatment = np.asarray(treatment, dtype=float).ravel()
+    outcome = np.asarray(outcome, dtype=float).ravel()
+    treated_mask = treatment > 0.5
+    control_mask = ~treated_mask
+    treated_mean = float(outcome[treated_mask].mean()) if treated_mask.any() else math.nan
+    control_mean = float(outcome[control_mask].mean()) if control_mask.any() else math.nan
+    difference = treated_mean - control_mean
+    return {
+        "treated_mean": treated_mean,
+        "control_mean": control_mean,
+        "difference": difference,
+    }

@@ -1,0 +1,158 @@
+"""Diagnostics for causal analyses on a unit table.
+
+The validity of CaRL's estimates rests on covariate adjustment, so the usual
+observational-study diagnostics apply: covariate *balance* between treated
+and control units (standardized mean differences, before and after
+propensity weighting) and *overlap/positivity* of the propensity-score
+distributions.  These helpers operate on plain arrays and are surfaced on
+the engine via :meth:`repro.carl.engine.CaRLEngine.diagnostics`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.inference.propensity import estimate_propensity_scores
+
+
+@dataclass(frozen=True)
+class CovariateBalance:
+    """Balance of one covariate between treated and control groups."""
+
+    name: str
+    treated_mean: float
+    control_mean: float
+    smd_unadjusted: float
+    smd_weighted: float
+
+    @property
+    def balanced(self) -> bool:
+        """Conventional threshold: |SMD| < 0.1 after weighting."""
+        return abs(self.smd_weighted) < 0.1
+
+
+@dataclass
+class BalanceReport:
+    """Balance diagnostics for a full unit table."""
+
+    covariates: list[CovariateBalance] = field(default_factory=list)
+    propensity_treated: np.ndarray = field(default_factory=lambda: np.array([]))
+    propensity_control: np.ndarray = field(default_factory=lambda: np.array([]))
+
+    @property
+    def worst_unadjusted_smd(self) -> float:
+        if not self.covariates:
+            return 0.0
+        return max(abs(entry.smd_unadjusted) for entry in self.covariates)
+
+    @property
+    def worst_weighted_smd(self) -> float:
+        if not self.covariates:
+            return 0.0
+        return max(abs(entry.smd_weighted) for entry in self.covariates)
+
+    @property
+    def all_balanced(self) -> bool:
+        return all(entry.balanced for entry in self.covariates)
+
+    def overlap(self) -> float:
+        """A [0, 1] overlap score: 1 - distance between the propensity
+        histograms of treated and control units (10 equal-width bins)."""
+        if self.propensity_treated.size == 0 or self.propensity_control.size == 0:
+            return 0.0
+        bins = np.linspace(0.0, 1.0, 11)
+        treated_hist, _ = np.histogram(self.propensity_treated, bins=bins, density=False)
+        control_hist, _ = np.histogram(self.propensity_control, bins=bins, density=False)
+        treated_frac = treated_hist / max(treated_hist.sum(), 1)
+        control_frac = control_hist / max(control_hist.sum(), 1)
+        return float(1.0 - 0.5 * np.abs(treated_frac - control_frac).sum())
+
+    def to_rows(self) -> list[dict[str, object]]:
+        """Rows suitable for tabular display."""
+        return [
+            {
+                "covariate": entry.name,
+                "treated_mean": entry.treated_mean,
+                "control_mean": entry.control_mean,
+                "smd_unadjusted": entry.smd_unadjusted,
+                "smd_weighted": entry.smd_weighted,
+                "balanced": entry.balanced,
+            }
+            for entry in self.covariates
+        ]
+
+
+def standardized_mean_difference(
+    values: np.ndarray, treatment: np.ndarray, weights: np.ndarray | None = None
+) -> float:
+    """Standardized mean difference of one covariate between groups.
+
+    The denominator is the pooled (unweighted) standard deviation, the
+    convention used in the matching literature; ``weights`` (if given) are
+    applied to the group means only.
+    """
+    values = np.asarray(values, dtype=float).ravel()
+    treatment = np.asarray(treatment, dtype=float).ravel()
+    treated = treatment > 0.5
+    if not treated.any() or treated.all():
+        return 0.0
+    if weights is None:
+        weights = np.ones_like(values)
+    weights = np.asarray(weights, dtype=float).ravel()
+
+    treated_mean = float(np.average(values[treated], weights=weights[treated]))
+    control_mean = float(np.average(values[~treated], weights=weights[~treated]))
+    pooled_variance = (float(values[treated].var()) + float(values[~treated].var())) / 2.0
+    pooled_std = float(np.sqrt(pooled_variance))
+    if pooled_std == 0.0:
+        return 0.0
+    return (treated_mean - control_mean) / pooled_std
+
+
+def covariate_balance(
+    treatment: np.ndarray,
+    covariates: np.ndarray,
+    covariate_names: Sequence[str] | None = None,
+) -> BalanceReport:
+    """Compute balance before and after inverse-propensity weighting.
+
+    Returns a :class:`BalanceReport` with one entry per covariate column and
+    the propensity-score distributions per group (for overlap checks).
+    """
+    treatment = np.asarray(treatment, dtype=float).ravel()
+    covariates = np.asarray(covariates, dtype=float)
+    if covariates.ndim == 1:
+        covariates = covariates.reshape(-1, 1)
+    n_columns = covariates.shape[1] if covariates.size else 0
+    if covariate_names is None:
+        covariate_names = [f"x{i}" for i in range(n_columns)]
+    if len(covariate_names) != n_columns:
+        raise ValueError(
+            f"{n_columns} covariate columns but {len(covariate_names)} names were given"
+        )
+
+    treated = treatment > 0.5
+    report = BalanceReport()
+    if n_columns == 0 or not treated.any() or treated.all():
+        return report
+
+    scores = estimate_propensity_scores(treatment, covariates)
+    weights = np.where(treated, 1.0 / scores, 1.0 / (1.0 - scores))
+    report.propensity_treated = scores[treated]
+    report.propensity_control = scores[~treated]
+
+    for column, name in enumerate(covariate_names):
+        values = covariates[:, column]
+        report.covariates.append(
+            CovariateBalance(
+                name=name,
+                treated_mean=float(values[treated].mean()),
+                control_mean=float(values[~treated].mean()),
+                smd_unadjusted=standardized_mean_difference(values, treatment),
+                smd_weighted=standardized_mean_difference(values, treatment, weights),
+            )
+        )
+    return report

@@ -1,0 +1,110 @@
+"""Binary logistic regression fitted by iteratively reweighted least squares."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.inference.regression import RegressionError
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    # Clip to avoid overflow in exp for extreme linear predictors.
+    return 1.0 / (1.0 + np.exp(-np.clip(z, -35.0, 35.0)))
+
+
+class LogisticRegression:
+    """L2-regularized binary logistic regression (Newton / IRLS).
+
+    A small ridge penalty keeps the Hessian invertible under separation,
+    which occurs easily in small unit tables with near-deterministic
+    treatment assignment.
+    """
+
+    def __init__(
+        self,
+        max_iterations: int = 100,
+        tolerance: float = 1e-8,
+        regularization: float = 1e-6,
+        fit_intercept: bool = True,
+    ) -> None:
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+        self.regularization = regularization
+        self.fit_intercept = fit_intercept
+        self.coefficients: np.ndarray | None = None
+        self.intercept: float = 0.0
+        self.converged: bool = False
+        self.n_iterations: int = 0
+
+    # ------------------------------------------------------------------
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "LogisticRegression":
+        features = np.asarray(features, dtype=float)
+        labels = np.asarray(labels, dtype=float).ravel()
+        if features.ndim == 1:
+            features = features.reshape(-1, 1)
+        if features.shape[0] != labels.shape[0]:
+            raise RegressionError(
+                f"features have {features.shape[0]} rows but labels have {labels.shape[0]}"
+            )
+        if features.shape[0] == 0:
+            raise RegressionError("cannot fit a logistic regression on zero rows")
+        if not set(np.unique(labels)).issubset({0.0, 1.0}):
+            raise RegressionError("labels must be binary (0/1)")
+
+        design = self._design(features)
+        n_features = design.shape[1]
+        beta = np.zeros(n_features)
+        penalty = self.regularization * np.eye(n_features)
+        if self.fit_intercept:
+            penalty[0, 0] = 0.0
+
+        self.converged = False
+        for iteration in range(1, self.max_iterations + 1):
+            linear = design @ beta
+            probabilities = _sigmoid(linear)
+            weights = np.clip(probabilities * (1.0 - probabilities), 1e-10, None)
+            gradient = design.T @ (labels - probabilities) - penalty @ beta
+            hessian = (design * weights[:, None]).T @ design + penalty
+            try:
+                step = np.linalg.solve(hessian, gradient)
+            except np.linalg.LinAlgError:
+                step = np.linalg.lstsq(hessian, gradient, rcond=None)[0]
+            beta = beta + step
+            self.n_iterations = iteration
+            if float(np.max(np.abs(step))) < self.tolerance:
+                self.converged = True
+                break
+
+        if self.fit_intercept:
+            self.intercept = float(beta[0])
+            self.coefficients = beta[1:]
+        else:
+            self.intercept = 0.0
+            self.coefficients = beta
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """P(label = 1 | features)."""
+        if self.coefficients is None:
+            raise RegressionError("model is not fitted")
+        features = np.asarray(features, dtype=float)
+        if features.ndim == 1:
+            features = features.reshape(1, -1)
+        if features.shape[1] != len(self.coefficients):
+            raise RegressionError(
+                f"expected {len(self.coefficients)} features, got {features.shape[1]}"
+            )
+        return _sigmoid(features @ self.coefficients + self.intercept)
+
+    def predict(self, features: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+        return (self.predict_proba(features) >= threshold).astype(float)
+
+    def log_likelihood(self, features: np.ndarray, labels: np.ndarray) -> float:
+        probabilities = np.clip(self.predict_proba(features), 1e-12, 1.0 - 1e-12)
+        labels = np.asarray(labels, dtype=float).ravel()
+        return float(np.sum(labels * np.log(probabilities) + (1 - labels) * np.log(1 - probabilities)))
+
+    def _design(self, features: np.ndarray) -> np.ndarray:
+        if self.fit_intercept:
+            return np.hstack([np.ones((features.shape[0], 1)), features])
+        return features

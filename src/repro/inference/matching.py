@@ -1,0 +1,151 @@
+"""Matching methods: nearest-neighbour matching and coarsened exact matching.
+
+These are the "matching methods" the paper cites (Gu & Rosenbaum 1993,
+Ho et al. 2007, Iacus et al. 2009) for estimating treatment effects from the
+unit table.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class MatchResult:
+    """Pairs of (treated index, matched control index) plus per-pair distances."""
+
+    treated_indices: np.ndarray
+    control_indices: np.ndarray
+    distances: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.treated_indices)
+
+
+def nearest_neighbor_match(
+    treatment: np.ndarray,
+    covariates: np.ndarray,
+    metric: str = "euclidean",
+    with_replacement: bool = True,
+) -> MatchResult:
+    """Match every treated unit to its nearest control unit in covariate space.
+
+    ``metric`` is ``"euclidean"`` (on standardized covariates) or
+    ``"mahalanobis"``.  Without replacement, controls are consumed greedily in
+    order of match quality.
+    """
+    treatment = np.asarray(treatment, dtype=float).ravel()
+    covariates = np.asarray(covariates, dtype=float)
+    if covariates.ndim == 1:
+        covariates = covariates.reshape(-1, 1)
+
+    treated = np.flatnonzero(treatment > 0.5)
+    control = np.flatnonzero(treatment <= 0.5)
+    if len(treated) == 0 or len(control) == 0:
+        return MatchResult(np.array([], dtype=int), np.array([], dtype=int), np.array([]))
+
+    if covariates.shape[1] == 0:
+        # No covariates: every control is equally good; match to the first.
+        control_choice = np.full(len(treated), control[0])
+        return MatchResult(treated, control_choice, np.zeros(len(treated)))
+
+    transformed = _transform(covariates, metric)
+    treated_points = transformed[treated]
+    control_points = transformed[control]
+
+    # Pairwise squared distances (treated x control).
+    differences = treated_points[:, None, :] - control_points[None, :, :]
+    distances = np.sqrt((differences ** 2).sum(axis=2))
+
+    if with_replacement:
+        best = distances.argmin(axis=1)
+        return MatchResult(treated, control[best], distances[np.arange(len(treated)), best])
+
+    # Greedy matching without replacement, best pairs first.
+    order = np.dstack(np.unravel_index(np.argsort(distances, axis=None), distances.shape))[0]
+    used_treated: set[int] = set()
+    used_control: set[int] = set()
+    pairs: list[tuple[int, int, float]] = []
+    for treated_position, control_position in order:
+        if treated_position in used_treated or control_position in used_control:
+            continue
+        used_treated.add(int(treated_position))
+        used_control.add(int(control_position))
+        pairs.append(
+            (
+                int(treated[treated_position]),
+                int(control[control_position]),
+                float(distances[treated_position, control_position]),
+            )
+        )
+        if len(used_treated) == len(treated) or len(used_control) == len(control):
+            break
+    if not pairs:
+        return MatchResult(np.array([], dtype=int), np.array([], dtype=int), np.array([]))
+    treated_idx, control_idx, pair_distances = zip(*pairs)
+    return MatchResult(
+        np.asarray(treated_idx, dtype=int),
+        np.asarray(control_idx, dtype=int),
+        np.asarray(pair_distances, dtype=float),
+    )
+
+
+def _transform(covariates: np.ndarray, metric: str) -> np.ndarray:
+    if metric == "euclidean":
+        means = covariates.mean(axis=0)
+        stds = covariates.std(axis=0)
+        stds[stds == 0.0] = 1.0
+        return (covariates - means) / stds
+    if metric == "mahalanobis":
+        centered = covariates - covariates.mean(axis=0)
+        covariance = np.cov(centered, rowvar=False)
+        covariance = np.atleast_2d(covariance) + 1e-8 * np.eye(covariates.shape[1])
+        # Whitening transform: x -> L^{-1} x with covariance = L L^T.
+        inverse_root = np.linalg.cholesky(np.linalg.inv(covariance))
+        return centered @ inverse_root
+    raise ValueError(f"unknown matching metric {metric!r}; expected 'euclidean' or 'mahalanobis'")
+
+
+def coarsened_exact_matching(
+    treatment: np.ndarray,
+    covariates: np.ndarray,
+    bins: int = 5,
+) -> dict[tuple[int, ...], list[int]]:
+    """Coarsened exact matching (CEM): coarsen each covariate into ``bins``
+    equal-width bins and group units by their joint bin signature.
+
+    Returns only the strata containing both treated and control units; the
+    estimator weights strata by their share of treated units (the standard
+    CEM ATT weighting, which equals the ATE weighting under random strata
+    sizes).
+    """
+    treatment = np.asarray(treatment, dtype=float).ravel()
+    covariates = np.asarray(covariates, dtype=float)
+    if covariates.ndim == 1:
+        covariates = covariates.reshape(-1, 1)
+    if covariates.shape[1] == 0:
+        signature = tuple()
+        return {signature: list(range(len(treatment)))}
+
+    signatures = np.zeros((len(treatment), covariates.shape[1]), dtype=int)
+    for column in range(covariates.shape[1]):
+        values = covariates[:, column]
+        low, high = float(values.min()), float(values.max())
+        if high == low:
+            continue
+        edges = np.linspace(low, high, bins + 1)[1:-1]
+        signatures[:, column] = np.digitize(values, edges)
+
+    strata: dict[tuple[int, ...], list[int]] = defaultdict(list)
+    for index, signature in enumerate(signatures):
+        strata[tuple(int(v) for v in signature)].append(index)
+
+    matched: dict[tuple[int, ...], list[int]] = {}
+    for signature, members in strata.items():
+        member_treatment = treatment[members]
+        if (member_treatment > 0.5).any() and (member_treatment <= 0.5).any():
+            matched[signature] = members
+    return matched

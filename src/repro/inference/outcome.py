@@ -1,0 +1,104 @@
+"""Outcome regression model over (treatment, peer treatment, covariates).
+
+This is the workhorse behind the relational/isolated/overall effect
+estimation (Section 4.4.3): fit ``E[Y | t, peer embedding, Z]`` once, then
+compare model predictions under different intervention strategies
+``(t, peer fraction)`` while keeping each unit's covariates fixed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.inference.regression import LinearRegression, RidgeRegression
+
+
+class OutcomeModel:
+    """A fitted outcome regression with counterfactual prediction helpers."""
+
+    def __init__(self, regression: str = "ols", ridge_alpha: float = 1.0) -> None:
+        if regression == "ols":
+            self._model = LinearRegression()
+        elif regression == "ridge":
+            self._model = RidgeRegression(alpha=ridge_alpha)
+        else:
+            raise ValueError(f"unknown regression {regression!r}; expected 'ols' or 'ridge'")
+        self._n_peer_columns = 0
+        self._n_covariates = 0
+
+    def fit(
+        self,
+        outcome: np.ndarray,
+        treatment: np.ndarray,
+        peer_treatment: np.ndarray,
+        covariates: np.ndarray,
+    ) -> "OutcomeModel":
+        """Fit ``y ~ [t | peer columns | covariates]``."""
+        treatment = np.asarray(treatment, dtype=float).reshape(-1, 1)
+        peer_treatment = _as_matrix(peer_treatment, len(treatment))
+        covariates = _as_matrix(covariates, len(treatment))
+        self._n_peer_columns = peer_treatment.shape[1]
+        self._n_covariates = covariates.shape[1]
+        design = np.hstack([treatment, peer_treatment, covariates])
+        self._model.fit(design, np.asarray(outcome, dtype=float))
+        return self
+
+    # ------------------------------------------------------------------
+    def predict(
+        self,
+        treatment: np.ndarray,
+        peer_treatment: np.ndarray,
+        covariates: np.ndarray,
+    ) -> np.ndarray:
+        treatment = np.asarray(treatment, dtype=float).reshape(-1, 1)
+        peer_treatment = _as_matrix(peer_treatment, len(treatment))
+        covariates = _as_matrix(covariates, len(treatment))
+        design = np.hstack([treatment, peer_treatment, covariates])
+        return self._model.predict(design)
+
+    def predict_intervention(
+        self,
+        own_treatment: float | np.ndarray,
+        peer_fraction: float | np.ndarray,
+        observed_peer_treatment: np.ndarray,
+        peer_counts: np.ndarray,
+        covariates: np.ndarray,
+    ) -> np.ndarray:
+        """Predict outcomes under an intervention ``do(t, peer fraction)``.
+
+        ``observed_peer_treatment`` supplies the template of the peer
+        embedding columns; the first column (the embedded mean / fraction of
+        treated peers) is overwritten with the intervened fraction, while the
+        cardinality columns are preserved — the intervention changes *which*
+        peers are treated, not how many peers a unit has.  Units with zero
+        peers keep a zero peer fraction regardless of the intervention.
+        """
+        n_units = len(peer_counts)
+        own = np.broadcast_to(np.asarray(own_treatment, dtype=float), (n_units,)).copy()
+        fraction = np.broadcast_to(np.asarray(peer_fraction, dtype=float), (n_units,)).copy()
+        fraction = np.where(np.asarray(peer_counts, dtype=float) > 0, fraction, 0.0)
+
+        peer_matrix = _as_matrix(observed_peer_treatment, n_units).copy()
+        if peer_matrix.shape[1] >= 1:
+            peer_matrix[:, 0] = fraction
+        return self.predict(own, peer_matrix, covariates)
+
+    @property
+    def coefficients(self) -> dict[str, float]:
+        """Fitted coefficients keyed by role (treatment, peer_0, ..., cov_0, ...)."""
+        coefficients = self._model.coefficients
+        if coefficients is None:
+            raise ValueError("model is not fitted")
+        names = ["treatment"]
+        names += [f"peer_{index}" for index in range(self._n_peer_columns)]
+        names += [f"cov_{index}" for index in range(self._n_covariates)]
+        return dict(zip(names, (float(value) for value in coefficients)))
+
+
+def _as_matrix(values: np.ndarray, n_rows: int) -> np.ndarray:
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        return np.empty((n_rows, 0))
+    if values.ndim == 1:
+        return values.reshape(-1, 1)
+    return values

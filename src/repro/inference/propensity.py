@@ -1,0 +1,43 @@
+"""Propensity-score estimation: P(treated | covariates)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.inference.logistic import LogisticRegression
+
+
+def estimate_propensity_scores(
+    treatment: np.ndarray,
+    covariates: np.ndarray,
+    clip: float = 0.01,
+    regularization: float = 1e-4,
+) -> np.ndarray:
+    """Estimate propensity scores with logistic regression.
+
+    Scores are clipped away from 0 and 1 (``clip``) so that downstream
+    inverse-propensity weights stay bounded.  When there are no covariates
+    the marginal treatment probability is returned for every unit.
+    """
+    treatment = np.asarray(treatment, dtype=float).ravel()
+    covariates = np.asarray(covariates, dtype=float)
+    if covariates.ndim == 1:
+        covariates = covariates.reshape(-1, 1)
+
+    if covariates.size == 0 or covariates.shape[1] == 0:
+        marginal = float(treatment.mean()) if len(treatment) else 0.5
+        scores = np.full(len(treatment), marginal)
+    else:
+        standardized = _standardize(covariates)
+        model = LogisticRegression(regularization=regularization)
+        model.fit(standardized, treatment)
+        scores = model.predict_proba(standardized)
+    return np.clip(scores, clip, 1.0 - clip)
+
+
+def _standardize(matrix: np.ndarray) -> np.ndarray:
+    """Zero-mean / unit-variance columns (constant columns become zeros)."""
+    means = matrix.mean(axis=0)
+    stds = matrix.std(axis=0)
+    stds[stds == 0.0] = 1.0
+    return (matrix - means) / stds

@@ -1,0 +1,120 @@
+"""Linear regression (OLS and ridge) on numpy arrays."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class RegressionError(ValueError):
+    """Raised when a regression cannot be fit (shape mismatch, empty data, ...)."""
+
+
+class LinearRegression:
+    """Ordinary least squares with an optional intercept.
+
+    Coefficients are computed with :func:`numpy.linalg.lstsq`, which handles
+    rank-deficient designs gracefully (minimum-norm solution) — important
+    because unit tables can contain collinear embedded covariates.
+    """
+
+    def __init__(self, fit_intercept: bool = True) -> None:
+        self.fit_intercept = fit_intercept
+        self.coefficients: np.ndarray | None = None
+        self.intercept: float = 0.0
+        self._residual_variance: float | None = None
+
+    # ------------------------------------------------------------------
+    def fit(self, features: np.ndarray, target: np.ndarray) -> "LinearRegression":
+        features, target = _validate(features, target)
+        design = self._design(features)
+        solution, _, _, _ = np.linalg.lstsq(design, target, rcond=None)
+        if self.fit_intercept:
+            self.intercept = float(solution[0])
+            self.coefficients = solution[1:]
+        else:
+            self.intercept = 0.0
+            self.coefficients = solution
+        residuals = target - design @ solution
+        dof = max(len(target) - design.shape[1], 1)
+        self._residual_variance = float(residuals @ residuals) / dof
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        if self.coefficients is None:
+            raise RegressionError("model is not fitted")
+        features = np.asarray(features, dtype=float)
+        if features.ndim == 1:
+            features = features.reshape(1, -1)
+        if features.shape[1] != len(self.coefficients):
+            raise RegressionError(
+                f"expected {len(self.coefficients)} features, got {features.shape[1]}"
+            )
+        return features @ self.coefficients + self.intercept
+
+    def score(self, features: np.ndarray, target: np.ndarray) -> float:
+        """Coefficient of determination R^2."""
+        target = np.asarray(target, dtype=float)
+        predictions = self.predict(features)
+        total = float(((target - target.mean()) ** 2).sum())
+        if total == 0.0:
+            return 1.0
+        residual = float(((target - predictions) ** 2).sum())
+        return 1.0 - residual / total
+
+    @property
+    def residual_variance(self) -> float:
+        if self._residual_variance is None:
+            raise RegressionError("model is not fitted")
+        return self._residual_variance
+
+    def _design(self, features: np.ndarray) -> np.ndarray:
+        if self.fit_intercept:
+            return np.hstack([np.ones((features.shape[0], 1)), features])
+        return features
+
+
+class RidgeRegression(LinearRegression):
+    """L2-regularized linear regression (the intercept is not penalized)."""
+
+    def __init__(self, alpha: float = 1.0, fit_intercept: bool = True) -> None:
+        super().__init__(fit_intercept=fit_intercept)
+        if alpha < 0:
+            raise RegressionError("ridge penalty must be non-negative")
+        self.alpha = float(alpha)
+
+    def fit(self, features: np.ndarray, target: np.ndarray) -> "RidgeRegression":
+        features, target = _validate(features, target)
+        design = self._design(features)
+        penalty = self.alpha * np.eye(design.shape[1])
+        if self.fit_intercept:
+            penalty[0, 0] = 0.0
+        gram = design.T @ design + penalty
+        solution = np.linalg.solve(gram, design.T @ target)
+        if self.fit_intercept:
+            self.intercept = float(solution[0])
+            self.coefficients = solution[1:]
+        else:
+            self.intercept = 0.0
+            self.coefficients = solution
+        residuals = target - design @ solution
+        dof = max(len(target) - design.shape[1], 1)
+        self._residual_variance = float(residuals @ residuals) / dof
+        return self
+
+
+def _validate(features: np.ndarray, target: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    features = np.asarray(features, dtype=float)
+    target = np.asarray(target, dtype=float).ravel()
+    if features.ndim == 1:
+        features = features.reshape(-1, 1)
+    if features.ndim != 2:
+        raise RegressionError(f"features must be a 2-D array, got shape {features.shape}")
+    if features.shape[0] != target.shape[0]:
+        raise RegressionError(
+            f"features have {features.shape[0]} rows but target has {target.shape[0]}"
+        )
+    if features.shape[0] == 0:
+        raise RegressionError("cannot fit a regression on zero rows")
+    if not np.all(np.isfinite(features)) or not np.all(np.isfinite(target)):
+        raise RegressionError("features and target must be finite")
+    return features, target

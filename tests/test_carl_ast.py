@@ -1,0 +1,121 @@
+"""Unit tests for AST node behaviour (repro.carl.ast)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.carl.ast import (
+    AttributeAtom,
+    Comparison,
+    Condition,
+    PeerCondition,
+    PredicateAtom,
+    Program,
+    RelationshipDeclaration,
+    Variable,
+)
+
+
+class TestAtoms:
+    def test_attribute_atom_str(self):
+        atom = AttributeAtom("Score", (Variable("S"),))
+        assert str(atom) == "Score[S]"
+
+    def test_predicate_atom_with_constant(self):
+        atom = PredicateAtom("Author", (Variable("A"), "s1"))
+        assert str(atom) == 'Author(A, "s1")'
+        assert atom.variables == (Variable("A"),)
+
+    def test_atoms_are_hashable_and_comparable(self):
+        a1 = AttributeAtom("Score", (Variable("S"),))
+        a2 = AttributeAtom("Score", (Variable("S"),))
+        assert a1 == a2
+        assert hash(a1) == hash(a2)
+
+
+class TestComparison:
+    def test_operators(self):
+        left = Variable("X")
+        assert Comparison(left, "=", 3).evaluate(3)
+        assert Comparison(left, "!=", 3).evaluate(4)
+        assert Comparison(left, "<", 3).evaluate(2)
+        assert Comparison(left, "<=", 3).evaluate(3)
+        assert Comparison(left, ">", 3).evaluate(4)
+        assert Comparison(left, ">=", 3).evaluate(3)
+
+    def test_none_never_satisfies(self):
+        assert not Comparison(Variable("X"), "=", None).evaluate(None)
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ValueError):
+            Comparison(Variable("X"), "~", 3)
+
+    def test_str_quotes_strings(self):
+        comparison = Comparison(AttributeAtom("Blind", (Variable("C"),)), "=", "single")
+        assert str(comparison) == 'Blind[C] = "single"'
+
+
+class TestCondition:
+    def test_trivial_condition(self):
+        assert Condition().is_trivial
+        assert str(Condition()) == "TRUE"
+
+    def test_variables_are_deduplicated_in_order(self):
+        condition = Condition(
+            atoms=(
+                PredicateAtom("Author", (Variable("A"), Variable("S"))),
+                PredicateAtom("Submitted", (Variable("S"), Variable("C"))),
+            ),
+            comparisons=(Comparison(AttributeAtom("Blind", (Variable("C"),)), "=", "x"),),
+        )
+        assert [v.name for v in condition.variables] == ["A", "S", "C"]
+
+
+class TestRelationshipDeclaration:
+    def test_default_references_match_arity(self):
+        declaration = RelationshipDeclaration("Author", ("person", "sub"))
+        assert declaration.references == (None, None)
+
+    def test_reference_arity_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            RelationshipDeclaration("Author", ("person", "sub"), references=("Person",))
+
+
+class TestPeerCondition:
+    def test_all_and_none(self):
+        assert PeerCondition("ALL").treated_fraction(5) == 1.0
+        assert PeerCondition("NONE").treated_fraction(5) == 0.0
+
+    def test_value_constraints(self):
+        with pytest.raises(ValueError):
+            PeerCondition("ALL", value=3)
+        with pytest.raises(ValueError):
+            PeerCondition("AT_LEAST")
+        with pytest.raises(ValueError):
+            PeerCondition("SOMETIMES", value=1)
+
+    def test_percent_conditions(self):
+        assert PeerCondition("MORE_THAN_PERCENT", 40).treated_fraction(10) == pytest.approx(0.4)
+        assert PeerCondition("LESS_THAN_PERCENT", 250).treated_fraction(10) == 1.0
+
+    def test_count_conditions_scale_by_peer_count(self):
+        assert PeerCondition("AT_LEAST", 2).treated_fraction(4) == 0.5
+        assert PeerCondition("AT_LEAST", 2).treated_fraction(1) == 1.0
+        assert PeerCondition("EXACTLY", 3).treated_fraction(0) == 0.0
+
+    def test_str_forms(self):
+        assert str(PeerCondition("ALL")) == "ALL"
+        assert str(PeerCondition("AT_MOST", 2)) == "AT MOST 2"
+        assert "%" in str(PeerCondition("MORE_THAN_PERCENT", 30))
+
+
+class TestProgram:
+    def test_merge_concatenates(self):
+        first = Program()
+        second = Program()
+        first.entities.append(RelationshipDeclaration("R", ("a", "b")))  # type: ignore[arg-type]
+        merged = first.merge(second)
+        assert len(merged.entities) == 1
+        # merge returns a new object; mutating it does not affect the inputs
+        merged.entities.clear()
+        assert len(first.entities) == 1

@@ -1,0 +1,92 @@
+"""Unit tests for the grounded causal graph container (repro.carl.causal_graph)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.carl.causal_graph import GroundedAttribute, GroundedCausalGraph, GroundedRule
+
+
+def node(attribute: str, *key: object) -> GroundedAttribute:
+    return GroundedAttribute(attribute, tuple(key))
+
+
+@pytest.fixture()
+def small_graph() -> GroundedCausalGraph:
+    graph = GroundedCausalGraph()
+    graph.add_grounded_rule(
+        GroundedRule(head=node("Score", "s1"), body=(node("Prestige", "a1"), node("Prestige", "a2")))
+    )
+    graph.add_grounded_rule(
+        GroundedRule(head=node("Score", "s2"), body=(node("Prestige", "a2"),))
+    )
+    graph.add_grounded_rule(
+        GroundedRule(head=node("Prestige", "a1"), body=(node("Qual", "a1"),))
+    )
+    graph.add_grounded_rule(
+        GroundedRule(head=node("AVG_Score", "a1"), body=(node("Score", "s1"),)), aggregate="AVG"
+    )
+    return graph
+
+
+class TestStructure:
+    def test_membership_and_counts(self, small_graph):
+        assert node("Score", "s1") in small_graph
+        assert len(small_graph) == 6
+        assert small_graph.number_of_edges() == 5
+
+    def test_nodes_of_attribute(self, small_graph):
+        assert small_graph.nodes_of("Prestige") == [node("Prestige", "a1"), node("Prestige", "a2")]
+        assert small_graph.nodes_of("Missing") == []
+
+    def test_attribute_names(self, small_graph):
+        assert set(small_graph.attribute_names()) == {"Score", "Prestige", "Qual", "AVG_Score"}
+
+    def test_parents_and_children(self, small_graph):
+        assert small_graph.parents(node("Score", "s1")) == {
+            node("Prestige", "a1"),
+            node("Prestige", "a2"),
+        }
+        assert small_graph.children(node("Prestige", "a2")) == {
+            node("Score", "s1"),
+            node("Score", "s2"),
+        }
+
+    def test_parents_by_attribute_groups_and_sorts(self, small_graph):
+        grouped = small_graph.parents_by_attribute(node("Score", "s1"))
+        assert list(grouped) == ["Prestige"]
+        assert grouped["Prestige"] == [node("Prestige", "a1"), node("Prestige", "a2")]
+
+    def test_aggregate_tracking(self, small_graph):
+        assert small_graph.is_aggregate(node("AVG_Score", "a1"))
+        assert small_graph.aggregate_of(node("AVG_Score", "a1")) == "AVG"
+        assert small_graph.aggregate_of(node("Score", "s1")) is None
+
+
+class TestReachabilityAndSeparation:
+    def test_ancestors_descendants(self, small_graph):
+        assert node("Qual", "a1") in small_graph.ancestors(node("AVG_Score", "a1"))
+        assert node("AVG_Score", "a1") in small_graph.descendants(node("Qual", "a1"))
+
+    def test_ancestor_nodes_of_attribute(self, small_graph):
+        ancestors = small_graph.ancestor_nodes_of_attribute(node("AVG_Score", "a1"), "Prestige")
+        assert ancestors == [node("Prestige", "a1"), node("Prestige", "a2")]
+
+    def test_directed_path(self, small_graph):
+        assert small_graph.has_directed_path(node("Prestige", "a2"), node("AVG_Score", "a1"))
+        assert not small_graph.has_directed_path(node("AVG_Score", "a1"), node("Prestige", "a2"))
+
+    def test_do_removes_incoming_edges(self, small_graph):
+        mutilated = small_graph.do([node("Prestige", "a1")])
+        assert not mutilated.has_edge(node("Qual", "a1"), node("Prestige", "a1"))
+        assert mutilated.has_edge(node("Prestige", "a1"), node("Score", "s1"))
+
+    def test_d_separation_on_grounded_graph(self, small_graph):
+        # Qual[a1] -> Prestige[a1] -> Score[s1]: blocked by the treatment node.
+        assert not small_graph.d_separated(node("Qual", "a1"), node("Score", "s1"))
+        assert small_graph.d_separated(
+            node("Qual", "a1"), node("Score", "s1"), [node("Prestige", "a1")]
+        )
+
+    def test_str_rendering(self):
+        assert str(node("Score", "s1")) == "Score['s1']"

@@ -1,0 +1,109 @@
+"""Unit tests for embedding functions (repro.carl.embeddings)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.carl.embeddings import (
+    EMBEDDINGS,
+    CountEmbedding,
+    MeanEmbedding,
+    MedianEmbedding,
+    MomentsEmbedding,
+    PaddingEmbedding,
+    SumEmbedding,
+    get_embedding,
+)
+
+
+class TestMeanAndFriends:
+    def test_mean_embedding(self):
+        embedding = MeanEmbedding()
+        assert embedding.apply([1.0, 2.0, 3.0]) == [2.0, 3.0]
+        assert embedding.apply([]) == [0.0, 0.0]
+        assert embedding.feature_names("x") == ["x_mean", "x_count"]
+        assert embedding.dimension == 2
+
+    def test_median_embedding(self):
+        embedding = MedianEmbedding()
+        assert embedding.apply([5.0, 1.0, 3.0]) == [3.0, 3.0]
+
+    def test_count_embedding(self):
+        assert CountEmbedding().apply([7, 8]) == [2.0]
+
+    def test_sum_embedding(self):
+        assert SumEmbedding().apply([1, 2, 3]) == [6.0, 3.0]
+
+    def test_booleans_are_coerced(self):
+        assert MeanEmbedding().apply([True, False]) == [0.5, 2.0]
+
+
+class TestMoments:
+    def test_order_three(self):
+        embedding = MomentsEmbedding(order=3)
+        features = embedding.apply([1.0, 2.0, 3.0])
+        assert features[0] == pytest.approx(2.0)  # mean
+        assert features[1] == pytest.approx(2.0 / 3.0)  # population variance
+        assert features[2] == pytest.approx(0.0)  # symmetric -> no skew
+        assert features[3] == 3.0  # count
+        assert len(embedding.feature_names("p")) == 4
+
+    def test_lower_orders(self):
+        assert len(MomentsEmbedding(order=1).apply([1, 2])) == 2
+        assert len(MomentsEmbedding(order=2).apply([1, 2])) == 3
+
+    def test_invalid_order(self):
+        with pytest.raises(ValueError):
+            MomentsEmbedding(order=0)
+        with pytest.raises(ValueError):
+            MomentsEmbedding(order=5)
+
+    def test_empty_input(self):
+        assert MomentsEmbedding().apply([]) == [0.0, 0.0, 0.0, 0.0]
+
+
+class TestPadding:
+    def test_fit_sets_width(self):
+        embedding = PaddingEmbedding()
+        embedding.fit([[1.0], [1.0, 2.0, 3.0], []])
+        assert embedding.width == 3
+        assert embedding.apply([5.0]) == [5.0, -1.0, -1.0, 1.0]
+
+    def test_values_are_sorted_descending_and_truncated(self):
+        embedding = PaddingEmbedding(width=2)
+        assert embedding.apply([1.0, 9.0, 5.0]) == [9.0, 5.0, 3.0]
+
+    def test_max_width_cap(self):
+        embedding = PaddingEmbedding(max_width=4)
+        embedding.fit([list(range(100))])
+        assert embedding.width == 4
+
+    def test_custom_fill(self):
+        embedding = PaddingEmbedding(width=3, fill=0.0)
+        assert embedding.apply([2.0]) == [2.0, 0.0, 0.0, 1.0]
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            PaddingEmbedding(width=0)
+
+    def test_fixed_dimension_for_any_input_size(self):
+        embedding = PaddingEmbedding(width=3)
+        assert len(embedding.apply([])) == len(embedding.apply([1, 2, 3, 4, 5])) == 4
+
+
+class TestRegistry:
+    def test_registry_contains_paper_embeddings(self):
+        # Section 5.2.2: mean/median, padding, moments.
+        assert {"mean", "median", "moments", "padding"} <= set(EMBEDDINGS)
+
+    def test_get_embedding_by_name(self):
+        assert isinstance(get_embedding("mean"), MeanEmbedding)
+        assert isinstance(get_embedding("MOMENTS", order=2), MomentsEmbedding)
+
+    def test_get_embedding_passthrough(self):
+        instance = MeanEmbedding()
+        assert get_embedding(instance) is instance
+
+    def test_unknown_embedding(self):
+        with pytest.raises(ValueError, match="unknown embedding"):
+            get_embedding("transformer")

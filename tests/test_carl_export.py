@@ -1,0 +1,67 @@
+"""Unit tests for graph / unit-table export helpers (repro.carl.export)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.carl.export import (
+    attribute_graph_to_dot,
+    grounded_graph_to_dot,
+    unit_table_to_table,
+)
+from repro.carl.model import RelationalCausalModel
+from repro.carl.parser import parse_program
+from repro.datasets import TOY_REVIEW_PROGRAM
+from repro.db.database import Database
+
+
+class TestGroundedGraphDot:
+    def test_contains_every_node_and_edge(self, toy_engine):
+        dot = grounded_graph_to_dot(toy_engine.graph)
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        assert dot.count("->") == toy_engine.graph.number_of_edges()
+        assert "Score['s1']" in dot
+        # Aggregate nodes are boxes, plain attributes ellipses.
+        assert "box" in dot and "ellipse" in dot
+
+    def test_highlight_marks_nodes(self, toy_engine):
+        dot = grounded_graph_to_dot(
+            toy_engine.graph, highlight=lambda node: node.attribute == "Prestige"
+        )
+        assert dot.count("lightblue") == 3
+
+    def test_max_nodes_truncates(self, toy_engine):
+        dot = grounded_graph_to_dot(toy_engine.graph, max_nodes=5)
+        assert "omitted" in dot
+        assert dot.count("[shape=") == 5
+
+
+class TestAttributeGraphDot:
+    def test_structure(self):
+        model = RelationalCausalModel.from_program(parse_program(TOY_REVIEW_PROGRAM))
+        dot = attribute_graph_to_dot(model)
+        assert '"Qualification" -> "Prestige"' in dot
+        assert '"Score" -> "AVG_Score"' in dot
+        # Latent attributes are drawn with double peripheries.
+        assert '"Quality" [shape=ellipse, peripheries=2]' in dot
+
+
+class TestUnitTableExport:
+    def test_round_trip_to_relational_table(self, toy_engine):
+        unit_table = toy_engine.unit_table("AVG_Score[A] <= Prestige[A] ?")
+        table = unit_table_to_table(unit_table)
+        assert len(table) == len(unit_table)
+        assert "unit" in table.columns
+        assert "AVG_Score" in table.columns
+        bob = [row for row in table if row["unit"] == "Bob"][0]
+        assert bob["AVG_Score"] == pytest.approx(0.75)
+
+    def test_exported_table_is_csv_compatible(self, toy_engine, tmp_path):
+        unit_table = toy_engine.unit_table("AVG_Score[A] <= Prestige[A] ?")
+        database = Database("export")
+        database.add_table(unit_table_to_table(unit_table))
+        paths = database.export_csv(tmp_path)
+        assert paths[0].exists()
+        restored = Database("restored").import_csv("unit_table", paths[0])
+        assert len(restored) == 3

@@ -1,0 +1,85 @@
+"""Unit tests for the CaRL tokenizer (repro.carl.lexer)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.carl.errors import ParseError
+from repro.carl.lexer import iter_statements, tokenize
+
+
+def kinds(text: str) -> list[str]:
+    return [token.kind for token in tokenize(text)]
+
+
+def values(text: str) -> list[object]:
+    return [token.value for token in tokenize(text)[:-1]]  # drop EOF
+
+
+class TestTokenize:
+    def test_identifiers_and_brackets(self):
+        assert values("Score[S]") == ["Score", "[", "S", "]"]
+
+    def test_keywords_are_case_insensitive(self):
+        assert values("where Entity TREATED") == ["WHERE", "ENTITY", "TREATED"]
+
+    def test_arrow_variants_normalize(self):
+        assert values("A[X] <= B[Y]")[4] == "<="
+        assert values("A[X] <- B[Y]")[4] == "<="
+        assert values("A[X] ⇐ B[Y]")[4] == "<="
+
+    def test_numbers(self):
+        assert values("42 3.5 0.1") == [42, 3.5, 0.1]
+        assert isinstance(values("42")[0], int)
+        assert isinstance(values("3.5")[0], float)
+
+    def test_strings_with_both_quote_styles(self):
+        assert values('"single" \'double\'') == ["single", "double"]
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(ParseError):
+            tokenize('"oops')
+
+    def test_comments_are_skipped(self):
+        assert values("A[X] // trailing comment\n# whole line\nB[Y]") == [
+            "A",
+            "[",
+            "X",
+            "]",
+            "B",
+            "[",
+            "Y",
+            "]",
+        ]
+
+    def test_positions_are_tracked(self):
+        tokens = tokenize("A[X]\nB[Y]")
+        b_token = [t for t in tokens if t.value == "B"][0]
+        assert b_token.line == 2
+        assert b_token.column == 1
+
+    def test_unknown_character_raises_with_location(self):
+        with pytest.raises(ParseError, match="line 1"):
+            tokenize("A[X] @")
+
+    def test_eof_token_terminates(self):
+        assert kinds("A")[-1] == "EOF"
+
+
+class TestStatementSplitting:
+    def test_semicolons_split(self):
+        statements = list(iter_statements(tokenize("A[X] <= B[X]; C[Y] <= D[Y];")))
+        assert len(statements) == 2
+
+    def test_newlines_split_complete_statements(self):
+        text = "Prestige[A] <= Qualification[A] WHERE Person(A)\nScore[S] <= Quality[S] WHERE Submission(S)"
+        statements = list(iter_statements(tokenize(text)))
+        assert len(statements) == 2
+
+    def test_incomplete_line_continues(self):
+        text = "Quality[S] <= Qualification[A],\n  Prestige[A] WHERE Author(A, S)"
+        statements = list(iter_statements(tokenize(text)))
+        assert len(statements) == 1
+
+    def test_empty_input(self):
+        assert list(iter_statements(tokenize("   \n  // nothing\n"))) == []

@@ -1,0 +1,204 @@
+"""Unit tests for the CaRL parser (repro.carl.parser)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.carl.ast import (
+    AggregateRule,
+    CausalQuery,
+    CausalRule,
+    Comparison,
+    Variable,
+)
+from repro.carl.errors import ParseError
+from repro.carl.parser import parse_program, parse_query, parse_rule
+from repro.datasets import TOY_REVIEW_PROGRAM
+
+
+class TestDeclarations:
+    def test_entity(self):
+        program = parse_program("ENTITY Person(person);")
+        assert len(program.entities) == 1
+        assert program.entities[0].name == "Person"
+        assert program.entities[0].key == "person"
+
+    def test_relationship(self):
+        program = parse_program("RELATIONSHIP Author(person, sub);")
+        declaration = program.relationships[0]
+        assert declaration.keys == ("person", "sub")
+        assert declaration.references == (None, None)
+
+    def test_relationship_with_explicit_references(self):
+        program = parse_program("ENTITY Person(person); RELATIONSHIP Collab(a Person, b Person);")
+        declaration = program.relationships[0]
+        assert declaration.keys == ("a", "b")
+        assert declaration.references == ("Person", "Person")
+
+    def test_attribute_variants(self):
+        program = parse_program(
+            """
+            ATTRIBUTE Prestige OF Person;
+            LATENT ATTRIBUTE Quality OF Submission;
+            ATTRIBUTE Size OF Hospital COLUMN bed_count;
+            ATTRIBUTE Score[S] OF Submission;
+            """
+        )
+        by_name = {a.name: a for a in program.attributes}
+        assert not by_name["Prestige"].latent
+        assert by_name["Quality"].latent
+        assert by_name["Size"].column == "bed_count"
+        assert by_name["Score"].subject == "Submission"
+
+
+class TestRules:
+    def test_simple_rule(self):
+        rule = parse_rule("Prestige[A] <= Qualification[A] WHERE Person(A)")
+        assert isinstance(rule, CausalRule)
+        assert rule.head.name == "Prestige"
+        assert rule.body[0].name == "Qualification"
+        assert rule.condition.atoms[0].predicate == "Person"
+
+    def test_multi_body_rule(self):
+        rule = parse_rule("Quality[S] <= Qualification[A], Prestige[A] WHERE Author(A, S)")
+        assert [atom.name for atom in rule.body] == ["Qualification", "Prestige"]
+
+    def test_rule_without_condition(self):
+        rule = parse_rule("Bill[P] <= Illness_Severity[P]")
+        assert rule.condition.is_trivial
+
+    def test_rule_with_comparison_in_condition(self):
+        rule = parse_rule('Score[S] <= Quality[S] WHERE Submitted(S, C), Blind[C] = "single"')
+        assert len(rule.condition.comparisons) == 1
+        comparison = rule.condition.comparisons[0]
+        assert comparison.operator == "="
+        assert comparison.right == "single"
+
+    def test_aggregate_rule_detection(self):
+        rule = parse_rule("AVG_Score[A] <= Score[S] WHERE Author(A, S)")
+        assert isinstance(rule, AggregateRule)
+        assert rule.aggregate == "AVG"
+        assert rule.head.name == "AVG_Score"
+
+    def test_count_aggregate_rule(self):
+        rule = parse_rule("COUNT_Score[A] <= Score[S] WHERE Author(A, S)")
+        assert isinstance(rule, AggregateRule)
+        assert rule.aggregate == "COUNT"
+
+    def test_non_aggregate_underscore_name_is_plain_rule(self):
+        rule = parse_rule("Admitted_to_large[P] <= Illness_Severity[P]")
+        assert isinstance(rule, CausalRule)
+
+    def test_rule_str_round_trips_through_parser(self):
+        rule = parse_rule("Quality[S] <= Qualification[A], Prestige[A] WHERE Author(A, S)")
+        reparsed = parse_rule(str(rule))
+        assert reparsed == rule
+
+
+class TestQueries:
+    def test_ate_query(self):
+        query = parse_query("Score[S] <= Prestige[A] ?")
+        assert isinstance(query, CausalQuery)
+        assert query.response.name == "Score"
+        assert query.treatment.name == "Prestige"
+        assert not query.is_peer_query
+
+    def test_aggregated_response_query(self):
+        query = parse_query("AVG_Score[A] <= Prestige[A] ?")
+        assert query.response.name == "AVG_Score"
+
+    def test_peer_query_all(self):
+        query = parse_query("Score[S] <= Prestige[A] ? WHEN ALL PEERS TREATED")
+        assert query.is_peer_query
+        assert query.peer_condition.kind == "ALL"
+
+    def test_peer_query_fraction(self):
+        query = parse_query("Score[S] <= Prestige[A] ? WHEN MORE THAN 1/3 PEERS TREATED")
+        assert query.peer_condition.kind == "MORE_THAN_PERCENT"
+        assert query.peer_condition.value == pytest.approx(100.0 / 3.0)
+
+    def test_peer_query_percent_and_counts(self):
+        assert parse_query(
+            "Y[X] <= T[X] ? WHEN LESS THAN 50 % PEERS TREATED"
+        ).peer_condition.kind == "LESS_THAN_PERCENT"
+        assert parse_query(
+            "Y[X] <= T[X] ? WHEN AT LEAST 2 PEERS TREATED"
+        ).peer_condition.value == 2
+        assert parse_query(
+            "Y[X] <= T[X] ? WHEN AT MOST 3 PEERS TREATED"
+        ).peer_condition.kind == "AT_MOST"
+        assert parse_query(
+            "Y[X] <= T[X] ? WHEN EXACTLY 1 PEERS TREATED"
+        ).peer_condition.kind == "EXACTLY"
+
+    def test_query_with_where(self):
+        query = parse_query(
+            'Score[S] <= Prestige[A] ? WHERE Submitted(S, C), Blind[C] = "single"'
+        )
+        assert query.condition.atoms[0].predicate == "Submitted"
+        assert query.condition.comparisons[0].right == "single"
+
+    def test_query_with_treatment_threshold(self):
+        query = parse_query("Score[S] <= Qualification[A] >= 30 ?")
+        assert isinstance(query.treatment_threshold, Comparison)
+        assert query.treatment_threshold.operator == ">="
+        assert query.treatment_threshold.right == 30
+
+    def test_query_variables(self):
+        query = parse_query("Score[S] <= Prestige[A] ?")
+        assert query.response.terms == (Variable("S"),)
+        assert query.treatment.terms == (Variable("A"),)
+
+
+class TestErrors:
+    def test_missing_question_mark_parses_as_rule(self):
+        with pytest.raises(ParseError):
+            parse_query("Score[S] <= Prestige[A]")
+
+    def test_query_with_two_treatments_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("Score[S] <= Prestige[A], Quality[S] ?")
+
+    def test_when_clause_on_rule_rejected(self):
+        with pytest.raises(ParseError):
+            parse_rule("Score[S] <= Prestige[A] WHEN ALL PEERS TREATED")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_rule("Score[S] <= Prestige[A] WHERE Author(A, S) extra")
+
+    def test_threshold_on_rule_rejected(self):
+        with pytest.raises(ParseError):
+            parse_rule("Score[S] <= Qualification[A] >= 30 WHERE Author(A, S)")
+
+    def test_multiple_statements_rejected_by_single_parsers(self):
+        with pytest.raises(ParseError):
+            parse_rule("A[X] <= B[X]; C[X] <= D[X]")
+        with pytest.raises(ParseError):
+            parse_query("A[X] <= B[X] ?; C[X] <= D[X] ?")
+
+    def test_zero_denominator_fraction(self):
+        with pytest.raises(ParseError):
+            parse_query("Y[X] <= T[X] ? WHEN MORE THAN 1/0 PEERS TREATED")
+
+
+class TestFullProgram:
+    def test_toy_program_parses(self):
+        program = parse_program(TOY_REVIEW_PROGRAM)
+        assert {e.name for e in program.entities} == {"Person", "Submission", "Conference"}
+        assert {r.name for r in program.relationships} == {"Author", "Submitted"}
+        assert len(program.rules) == 4
+        assert len(program.aggregate_rules) == 1
+        latent = [a for a in program.attributes if a.latent]
+        assert [a.name for a in latent] == ["Quality"]
+
+    def test_program_str_reparses_equivalently(self):
+        program = parse_program(TOY_REVIEW_PROGRAM)
+        reparsed = parse_program(str(program))
+        assert len(reparsed.rules) == len(program.rules)
+        assert len(reparsed.aggregate_rules) == len(program.aggregate_rules)
+        assert reparsed.entities == program.entities
+
+    def test_queries_can_be_embedded_in_programs(self):
+        program = parse_program("ENTITY Person(p); ATTRIBUTE X OF Person; X[A] <= X[A] ?")
+        assert len(program.queries) == 1

@@ -1,0 +1,110 @@
+"""Unit tests for the command-line interface (repro.cli)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import load_database_from_csv, main, result_to_dict
+from repro.datasets import TOY_REVIEW_PROGRAM, toy_review_database
+
+
+@pytest.fixture()
+def csv_dir(tmp_path):
+    """Export the toy database to CSV files usable by --data."""
+    toy_review_database().export_csv(tmp_path)
+    return tmp_path
+
+
+@pytest.fixture()
+def program_file(tmp_path):
+    path = tmp_path / "model.carl"
+    path.write_text(TOY_REVIEW_PROGRAM)
+    return path
+
+
+class TestCsvLoading:
+    def test_loads_all_predicates(self, csv_dir):
+        database = load_database_from_csv(csv_dir, TOY_REVIEW_PROGRAM)
+        assert set(database.table_names) == {
+            "Person",
+            "Submission",
+            "Conference",
+            "Author",
+            "Submitted",
+        }
+        assert len(database.table("Author")) == 5
+
+    def test_missing_file_raises(self, csv_dir):
+        (csv_dir / "Author.csv").unlink()
+        with pytest.raises(FileNotFoundError, match="Author"):
+            load_database_from_csv(csv_dir, TOY_REVIEW_PROGRAM)
+
+
+class TestMain:
+    def test_demo_toy_text_output(self, capsys):
+        exit_code = main(["--demo", "toy", "--query", "AVG_Score[A] <= Prestige[A] ?"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "ATE" in captured
+        assert "naive difference" in captured
+
+    def test_demo_default_queries(self, capsys):
+        exit_code = main(["--demo", "toy"])
+        assert exit_code == 0
+        assert "AVG_Score" in capsys.readouterr().out
+
+    def test_json_output_with_peer_query(self, capsys):
+        exit_code = main(
+            [
+                "--demo",
+                "toy",
+                "--query",
+                "Score[S] <= Prestige[A] ? WHEN ALL PEERS TREATED",
+                "--json",
+            ]
+        )
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        (result,) = payload.values()
+        assert result["kind"] == "effects"
+        assert result["aoe"] == pytest.approx(result["aie"] + result["are"], abs=1e-9)
+
+    def test_csv_data_source(self, csv_dir, program_file, capsys):
+        exit_code = main(
+            [
+                "--data",
+                str(csv_dir),
+                "--program",
+                str(program_file),
+                "--query",
+                "AVG_Score[A] <= Prestige[A] ?",
+                "--json",
+            ]
+        )
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        (result,) = payload.values()
+        assert result["kind"] == "ate"
+        assert result["n_units"] == 3
+
+    def test_data_without_program_errors(self, csv_dir, capsys):
+        assert main(["--data", str(csv_dir), "--query", "X[A] <= Y[A] ?"]) == 2
+
+    def test_no_queries_errors(self, csv_dir, program_file):
+        assert main(["--data", str(csv_dir), "--program", str(program_file)]) == 2
+
+
+class TestResultSerialization:
+    def test_ate_answer_serializes(self, toy_engine):
+        answer = toy_engine.answer("AVG_Score[A] <= Prestige[A] ?", bootstrap=10)
+        payload = result_to_dict(answer)
+        assert payload["kind"] == "ate"
+        json.dumps(payload)  # must be JSON-serializable
+
+    def test_effects_answer_serializes(self, toy_engine):
+        answer = toy_engine.answer("Score[S] <= Prestige[A] ? WHEN AT LEAST 1 PEERS TREATED")
+        payload = result_to_dict(answer)
+        assert payload["kind"] == "effects"
+        json.dumps(payload)

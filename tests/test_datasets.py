@@ -1,0 +1,150 @@
+"""Unit tests for the synthetic dataset generators (repro.datasets)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.carl.parser import parse_program, parse_query
+from repro.carl.schema import RelationalCausalSchema
+from repro.datasets import (
+    generate_mimic_data,
+    generate_nis_data,
+    generate_review_data,
+    generate_synthetic_review_data,
+    toy_review_database,
+)
+
+
+class TestToyReview:
+    def test_figure_2_contents(self):
+        db = toy_review_database()
+        assert set(db.table_names) == {"Person", "Submission", "Conference", "Author", "Submitted"}
+        assert len(db.table("Person")) == 3
+        assert len(db.table("Author")) == 5
+        assert db.table("Person").get_by_key("Bob")["qualification"] == 50
+        assert db.table("Conference").get_by_key("ConfDB")["blind"] == "single"
+
+
+class TestSyntheticReview:
+    def test_sizes_and_schema_binding(self, synthetic_review_small):
+        data = synthetic_review_small
+        db = data.database
+        assert len(db.table("Author")) == data.n_authors
+        assert len(db.table("Submission")) == data.n_submissions
+        assert len(db.table("Writes")) == data.n_submissions
+        schema = RelationalCausalSchema.from_program(parse_program(data.program))
+        schema.bind(db)  # must not raise
+
+    def test_ground_truth_fields(self, synthetic_review_small):
+        gt = synthetic_review_small.ground_truth
+        assert gt.isolated_single == 1.0
+        assert gt.isolated_double == 0.0
+        assert gt.overall_single == 1.5
+        assert gt.overall_double == 0.5
+
+    def test_queries_parse(self, synthetic_review_small):
+        for text in synthetic_review_small.queries.values():
+            parse_query(text)
+
+    def test_confounding_is_present(self, synthetic_review_small):
+        """Prestigious authors must be more qualified (the confounding channel)."""
+        authors = synthetic_review_small.database.table("Author").to_list()
+        prestigious = [a["qualification"] for a in authors if a["prestige"] == 1]
+        ordinary = [a["qualification"] for a in authors if a["prestige"] == 0]
+        assert np.mean(prestigious) > np.mean(ordinary) + 5
+
+    def test_homophily_in_collaborations(self, synthetic_review_small):
+        db = synthetic_review_small.database
+        prestige = {row["author"]: row["prestige"] for row in db.table("Author")}
+        same = 0
+        total = 0
+        for row in db.table("Collaborates"):
+            total += 1
+            same += int(prestige[row["author"]] == prestige[row["peer"]])
+        assert same / total > 0.55
+
+    def test_determinism(self):
+        first = generate_synthetic_review_data(n_authors=50, seed=99)
+        second = generate_synthetic_review_data(n_authors=50, seed=99)
+        assert first.database.table("Submission").to_list() == second.database.table(
+            "Submission"
+        ).to_list()
+
+    def test_no_relational_effect_variant(self):
+        data = generate_synthetic_review_data(n_authors=80, relational_effect=0.0, seed=1)
+        assert data.ground_truth.relational == 0.0
+        assert data.ground_truth.overall_single == 1.0
+
+
+class TestReviewData:
+    def test_structure(self, review_small):
+        db = review_small.database
+        assert len(db.table("Person")) == review_small.n_authors
+        assert len(db.table("Submission")) == review_small.n_submissions
+        assert len(db.table("Conference")) == review_small.n_conferences
+        # Multi-author papers exist.
+        assert len(db.table("Author")) > review_small.n_submissions
+
+    def test_scores_are_probabilities(self, review_small):
+        scores = review_small.database.table("Submission").column("score")
+        assert min(scores) >= 0.0 and max(scores) <= 1.0
+
+    def test_both_blinding_policies_present(self, review_small):
+        blinds = set(review_small.database.table("Conference").column("blind"))
+        assert blinds == {"single", "double"}
+
+    def test_program_binds(self, review_small):
+        schema = RelationalCausalSchema.from_program(parse_program(review_small.program))
+        schema.bind(review_small.database)
+
+
+class TestMimic:
+    def test_structure(self, mimic_small):
+        db = mimic_small.database
+        assert len(db.table("Patient")) == mimic_small.n_patients
+        for table in ("Caregiver", "Drug", "Care", "Given", "Prescribes"):
+            assert table in db
+
+    def test_selfpay_groups_are_both_present(self, mimic_small):
+        selfpay = mimic_small.database.table("Patient").column("selfpay")
+        assert 0.05 < np.mean(selfpay) < 0.8
+
+    def test_confounding_direction(self, mimic_small):
+        """Self-payers present with higher acute severity but lower chronic load."""
+        patients = mimic_small.database.table("Patient").to_list()
+        severity_selfpay = np.mean([p["severity"] for p in patients if p["selfpay"] == 1])
+        severity_insured = np.mean([p["severity"] for p in patients if p["selfpay"] == 0])
+        chronic_selfpay = np.mean([p["chronic"] for p in patients if p["selfpay"] == 1])
+        chronic_insured = np.mean([p["chronic"] for p in patients if p["selfpay"] == 0])
+        assert severity_selfpay > severity_insured
+        assert chronic_selfpay < chronic_insured
+
+    def test_program_binds(self, mimic_small):
+        schema = RelationalCausalSchema.from_program(parse_program(mimic_small.program))
+        schema.bind(mimic_small.database)
+
+
+class TestNis:
+    def test_structure(self, nis_small):
+        db = nis_small.database
+        assert len(db.table("Admission")) == nis_small.n_admissions
+        assert len(db.table("Hospital")) == nis_small.n_hospitals
+        assert len(db.table("AdmittedTo")) == nis_small.n_admissions
+
+    def test_selection_on_severity(self, nis_small):
+        admissions = nis_small.database.table("Admission").to_list()
+        severity_large = np.mean([a["severity"] for a in admissions if a["admitted_to_large"] == 1])
+        severity_small = np.mean([a["severity"] for a in admissions if a["admitted_to_large"] == 0])
+        assert severity_large > severity_small + 0.5
+
+    def test_admitted_to_large_is_consistent_with_hospital(self, nis_small):
+        db = nis_small.database
+        hospital_size = {row["hosp"]: row["large"] for row in db.table("Hospital")}
+        admissions = {row["adm"]: row["admitted_to_large"] for row in db.table("Admission")}
+        for row in db.table("AdmittedTo").to_list()[:200]:
+            assert admissions[row["adm"]] == hospital_size[row["hosp"]]
+
+    def test_program_binds(self, nis_small):
+        schema = RelationalCausalSchema.from_program(parse_program(nis_small.program))
+        schema.bind(nis_small.database)

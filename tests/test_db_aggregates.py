@@ -1,0 +1,86 @@
+"""Unit tests for aggregate functions (repro.db.aggregates)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.db.aggregates import (
+    AGGREGATES,
+    AggregateError,
+    agg_avg,
+    agg_count,
+    agg_median,
+    agg_skew,
+    agg_std,
+    agg_var,
+    aggregate,
+)
+
+
+class TestIndividualAggregates:
+    def test_count(self):
+        assert agg_count([1, 2, 3]) == 3
+        assert agg_count([]) == 0
+
+    def test_avg(self):
+        assert agg_avg([1, 2, 3]) == 2.0
+        assert agg_avg([]) == 0.0
+        assert agg_avg([True, False]) == 0.5
+
+    def test_sum_and_minmax(self):
+        assert aggregate("SUM", [1.5, 2.5]) == 4.0
+        assert aggregate("MIN", [3, 1, 2]) == 1
+        assert aggregate("MAX", [3, 1, 2]) == 3
+
+    def test_min_of_empty_is_error(self):
+        with pytest.raises(AggregateError):
+            aggregate("MIN", [])
+
+    def test_median_odd_and_even(self):
+        assert agg_median([3, 1, 2]) == 2
+        assert agg_median([4, 1, 2, 3]) == 2.5
+        assert agg_median([]) == 0.0
+
+    def test_variance_and_std(self):
+        assert agg_var([2, 2, 2]) == 0.0
+        assert agg_var([5]) == 0.0
+        assert agg_var([1, 3]) == 1.0
+        assert agg_std([1, 3]) == 1.0
+
+    def test_skewness(self):
+        assert agg_skew([1, 2, 3]) == pytest.approx(0.0)
+        assert agg_skew([1, 1, 10]) > 0
+        assert agg_skew([5, 5, 5]) == 0.0
+        assert agg_skew([1]) == 0.0
+
+    def test_any_all(self):
+        assert aggregate("ANY", [0, 0, 1]) is True
+        assert aggregate("ALL", [1, 1, 0]) is False
+        assert aggregate("ALL", []) is True
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(AggregateError):
+            agg_avg(["a", "b"])
+
+
+class TestRegistry:
+    def test_lookup_is_case_insensitive(self):
+        assert aggregate("avg", [2, 4]) == 3.0
+        assert aggregate("Median", [1, 2, 3]) == 2
+
+    def test_unknown_aggregate(self):
+        with pytest.raises(AggregateError, match="unknown aggregate"):
+            aggregate("PRODUCT", [1, 2])
+
+    def test_registry_contains_paper_aggregates(self):
+        # The paper explicitly mentions AVG and VAR (Section 3.2.4).
+        assert "AVG" in AGGREGATES
+        assert "VAR" in AGGREGATES
+        assert "COUNT" in AGGREGATES
+
+    def test_fsum_precision(self):
+        values = [0.1] * 10
+        assert aggregate("SUM", values) == pytest.approx(1.0, abs=1e-12)
+        assert not math.isnan(aggregate("VAR", values))

@@ -1,0 +1,81 @@
+"""Unit tests for the database container (repro.db.database)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db.database import Database
+from repro.db.schema import SchemaError
+from repro.db.table import Table
+
+
+@pytest.fixture()
+def db() -> Database:
+    database = Database("testdb")
+    database.create_table("person", {"pid": "str", "age": "int"}, primary_key=["pid"])
+    database.insert("person", [{"pid": "a", "age": 30}, {"pid": "b", "age": 40}])
+    return database
+
+
+class TestTableManagement:
+    def test_create_and_lookup(self, db):
+        assert "person" in db
+        assert len(db.table("person")) == 2
+        assert db["person"].name == "person"
+
+    def test_duplicate_table_rejected(self, db):
+        with pytest.raises(SchemaError):
+            db.create_table("person", ["pid"])
+
+    def test_add_existing_table(self, db):
+        table = Table.from_rows("extra", [{"x": 1}])
+        db.add_table(table)
+        assert "extra" in db
+        with pytest.raises(SchemaError):
+            db.add_table(table)
+
+    def test_unknown_table_error_lists_available(self, db):
+        with pytest.raises(KeyError, match="person"):
+            db.table("nope")
+
+    def test_drop_table(self, db):
+        db.drop_table("person")
+        assert "person" not in db
+        with pytest.raises(KeyError):
+            db.drop_table("person")
+
+    def test_insert_single_row(self, db):
+        db.insert("person", {"pid": "c", "age": 12})
+        assert len(db.table("person")) == 3
+
+    def test_load_rows_infers_schema(self, db):
+        db.load_rows("scores", [{"pid": "a", "value": 0.5}])
+        assert db.table("scores").schema.column("value").dtype == "float"
+
+
+class TestStatisticsAndCsv:
+    def test_counts(self, db):
+        assert db.total_rows() == 2
+        assert db.total_attributes() == 2
+        assert db.summary() == {"person": {"rows": 2, "columns": 2}}
+
+    def test_csv_round_trip(self, db, tmp_path):
+        written = db.export_csv(tmp_path)
+        assert len(written) == 1 and written[0].name == "person.csv"
+
+        restored = Database("restored")
+        restored.import_csv("person", written[0], dtypes={"pid": "str", "age": "int"})
+        assert restored.table("person").to_list() == db.table("person").to_list()
+
+    def test_csv_import_coerces_types_by_default(self, db, tmp_path):
+        paths = db.export_csv(tmp_path)
+        restored = Database("restored")
+        table = restored.import_csv("person", paths[0])
+        ages = table.column("age")
+        assert ages == [30, 40]
+
+    def test_csv_import_empty_file_fails(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("a,b\n")
+        with pytest.raises(SchemaError):
+            Database().import_csv("empty", path)

@@ -1,0 +1,110 @@
+"""Unit tests for conjunctive-query evaluation (repro.db.query)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db.database import Database
+from repro.db.query import Atom, ConjunctiveQuery, QueryError, Variable
+
+
+@pytest.fixture()
+def review_db() -> Database:
+    """The skeleton of the Figure 2 instance (key-only predicate tables)."""
+    db = Database("skeleton")
+    db.load_rows("Person", [{"person": p} for p in ("Bob", "Carlos", "Eva")])
+    db.load_rows("Submission", [{"sub": s} for s in ("s1", "s2", "s3")])
+    db.load_rows(
+        "Author",
+        [
+            {"person": "Bob", "sub": "s1"},
+            {"person": "Eva", "sub": "s1"},
+            {"person": "Eva", "sub": "s2"},
+            {"person": "Eva", "sub": "s3"},
+            {"person": "Carlos", "sub": "s3"},
+        ],
+    )
+    db.load_rows(
+        "Submitted",
+        [
+            {"sub": "s1", "conf": "ConfDB"},
+            {"sub": "s2", "conf": "ConfAI"},
+            {"sub": "s3", "conf": "ConfAI"},
+        ],
+    )
+    return db
+
+
+def var(name: str) -> Variable:
+    return Variable(name)
+
+
+class TestEvaluation:
+    def test_single_atom_enumerates_rows(self, review_db):
+        query = ConjunctiveQuery([Atom("Person", (var("A"),))])
+        bindings = query.evaluate(review_db)
+        assert {binding["A"] for binding in bindings} == {"Bob", "Carlos", "Eva"}
+
+    def test_join_over_shared_variable(self, review_db):
+        query = ConjunctiveQuery(
+            [Atom("Author", (var("A"), var("S"))), Atom("Submitted", (var("S"), var("C")))]
+        )
+        bindings = query.evaluate(review_db)
+        assert len(bindings) == 5
+        eva_confs = {b["C"] for b in bindings if b["A"] == "Eva"}
+        assert eva_confs == {"ConfDB", "ConfAI"}
+
+    def test_constant_in_atom_filters(self, review_db):
+        query = ConjunctiveQuery([Atom("Author", (var("A"), "s3"))])
+        bindings = query.evaluate(review_db)
+        assert {b["A"] for b in bindings} == {"Eva", "Carlos"}
+
+    def test_repeated_variable_requires_equality(self, review_db):
+        # Author(A, S), Author(A, S2) with S = S2 forced by reuse of the same variable.
+        query = ConjunctiveQuery(
+            [Atom("Author", (var("A"), var("S"))), Atom("Author", (var("A"), var("S")))]
+        )
+        assert len(query.evaluate(review_db)) == 5
+
+    def test_coauthorship_self_join(self, review_db):
+        query = ConjunctiveQuery(
+            [Atom("Author", (var("A"), var("S"))), Atom("Author", (var("B"), var("S")))]
+        )
+        bindings = query.evaluate(review_db)
+        pairs = {(b["A"], b["B"]) for b in bindings}
+        assert ("Bob", "Eva") in pairs and ("Eva", "Bob") in pairs
+        assert ("Bob", "Carlos") not in pairs  # they never co-author
+
+    def test_empty_result(self, review_db):
+        query = ConjunctiveQuery([Atom("Author", ("Nobody", var("S")))])
+        assert query.evaluate(review_db) == []
+
+    def test_empty_query_returns_single_empty_binding(self, review_db):
+        assert ConjunctiveQuery([]).evaluate(review_db) == [{}]
+
+    def test_duplicate_bindings_are_removed(self, review_db):
+        # Projection onto A of the authorship relation: Eva appears three times
+        # in the table but only once per distinct binding of A.
+        query = ConjunctiveQuery([Atom("Author", (var("A"), var("S")))])
+        bindings = query.evaluate(review_db)
+        assert len(bindings) == 5  # distinct (A, S) pairs
+
+    def test_validation_unknown_table(self, review_db):
+        query = ConjunctiveQuery([Atom("Nope", (var("X"),))])
+        with pytest.raises(QueryError):
+            query.evaluate(review_db)
+
+    def test_validation_arity_mismatch(self, review_db):
+        query = ConjunctiveQuery([Atom("Author", (var("A"),))])
+        with pytest.raises(QueryError):
+            query.evaluate(review_db)
+
+    def test_variables_property(self):
+        query = ConjunctiveQuery(
+            [Atom("Author", (var("A"), var("S"))), Atom("Submitted", (var("S"), var("C")))]
+        )
+        assert [v.name for v in query.variables] == ["A", "S", "C"]
+
+    def test_repr_is_readable(self):
+        query = ConjunctiveQuery([Atom("Author", (var("A"), "s1"))])
+        assert "Author(A, 's1')" in repr(query)

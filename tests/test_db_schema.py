@@ -1,0 +1,105 @@
+"""Unit tests for table/column schemas (repro.db.schema)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db.schema import ColumnSchema, SchemaError, TableSchema
+
+
+class TestColumnSchema:
+    def test_defaults(self):
+        column = ColumnSchema("x")
+        assert column.dtype == "any"
+        assert not column.nullable
+
+    def test_rejects_unknown_type(self):
+        with pytest.raises(SchemaError):
+            ColumnSchema("x", "decimal")
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(SchemaError):
+            ColumnSchema("")
+
+    def test_int_validation(self):
+        column = ColumnSchema("x", "int")
+        assert column.validate(3) == 3
+        with pytest.raises(SchemaError):
+            column.validate(3.5)
+        with pytest.raises(SchemaError):
+            column.validate(True)
+
+    def test_float_accepts_int(self):
+        column = ColumnSchema("x", "float")
+        assert column.validate(3) == 3.0
+        assert isinstance(column.validate(3), float)
+
+    def test_str_validation(self):
+        column = ColumnSchema("x", "str")
+        assert column.validate("hello") == "hello"
+        with pytest.raises(SchemaError):
+            column.validate(5)
+
+    def test_bool_validation(self):
+        column = ColumnSchema("x", "bool")
+        assert column.validate(True) is True
+        with pytest.raises(SchemaError):
+            column.validate(1)
+
+    def test_nullability(self):
+        nullable = ColumnSchema("x", "int", nullable=True)
+        assert nullable.validate(None) is None
+        strict = ColumnSchema("x", "int")
+        with pytest.raises(SchemaError):
+            strict.validate(None)
+
+    def test_any_passes_everything(self):
+        column = ColumnSchema("x", "any")
+        assert column.validate({"nested": 1}) == {"nested": 1}
+
+
+class TestTableSchema:
+    def test_from_spec_with_mapping(self):
+        schema = TableSchema.from_spec("t", {"a": "int", "b": "str"}, primary_key=["a"])
+        assert schema.column_names == ("a", "b")
+        assert schema.column("a").dtype == "int"
+        assert schema.primary_key == ("a",)
+
+    def test_from_spec_with_sequence(self):
+        schema = TableSchema.from_spec("t", ["a", "b"])
+        assert schema.column("b").dtype == "any"
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", (ColumnSchema("a"), ColumnSchema("a")))
+
+    def test_primary_key_must_exist(self):
+        with pytest.raises(SchemaError):
+            TableSchema.from_spec("t", ["a"], primary_key=["missing"])
+
+    def test_requires_columns(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", ())
+
+    def test_index_of_and_unknown_column(self):
+        schema = TableSchema.from_spec("t", ["a", "b"])
+        assert schema.index_of("b") == 1
+        with pytest.raises(SchemaError):
+            schema.index_of("zzz")
+        with pytest.raises(SchemaError):
+            schema.column("zzz")
+
+    def test_validate_row_orders_and_checks(self):
+        schema = TableSchema.from_spec("t", {"a": "int", "b": "str"})
+        assert schema.validate_row({"b": "x", "a": 1}) == (1, "x")
+
+    def test_validate_row_rejects_unknown_and_missing(self):
+        schema = TableSchema.from_spec("t", {"a": "int"})
+        with pytest.raises(SchemaError):
+            schema.validate_row({"a": 1, "zzz": 2})
+        with pytest.raises(SchemaError):
+            schema.validate_row({})
+
+    def test_validate_row_fills_nullable(self):
+        schema = TableSchema("t", (ColumnSchema("a", "int"), ColumnSchema("b", "str", nullable=True)))
+        assert schema.validate_row({"a": 1}) == (1, None)

@@ -1,0 +1,56 @@
+"""Tests for engine conveniences: answer_all and diagnostics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.carl.queries import ATEResult, EffectsResult
+from repro.inference.diagnostics import BalanceReport
+
+
+class TestAnswerAll:
+    def test_dict_of_queries(self, toy_engine):
+        answers = toy_engine.answer_all(
+            {
+                "ate": "AVG_Score[A] <= Prestige[A] ?",
+                "peers": "Score[S] <= Prestige[A] ? WHEN ALL PEERS TREATED",
+            }
+        )
+        assert set(answers) == {"ate", "peers"}
+        assert isinstance(answers["ate"].result, ATEResult)
+        assert isinstance(answers["peers"].result, EffectsResult)
+
+    def test_list_of_queries_uses_indices(self, toy_engine):
+        answers = toy_engine.answer_all(["AVG_Score[A] <= Prestige[A] ?"])
+        assert list(answers) == ["0"]
+
+    def test_estimator_override_applies_to_all(self, toy_engine):
+        answers = toy_engine.answer_all(
+            {"ate": "AVG_Score[A] <= Prestige[A] ?"}, estimator="naive"
+        )
+        assert answers["ate"].result.estimator == "naive"
+
+
+class TestDiagnostics:
+    def test_toy_diagnostics_report(self, toy_engine):
+        report = toy_engine.diagnostics("AVG_Score[A] <= Prestige[A] ?")
+        assert isinstance(report, BalanceReport)
+        names = [entry.name for entry in report.covariates]
+        assert any("Qualification" in name for name in names)
+        assert 0.0 <= report.overlap() <= 1.0
+
+    def test_synthetic_diagnostics_show_confounding(self, synthetic_review_medium, synthetic_review_engine):
+        data = synthetic_review_medium
+        report = synthetic_review_engine.diagnostics(data.queries["peer_single"])
+        by_name = {entry.name: entry for entry in report.covariates}
+        own_qualification = by_name["cov_own_Qualification_mean"]
+        # Qualification is genuinely imbalanced before adjustment (it drives
+        # prestige), and inverse-propensity weighting improves the balance.
+        assert abs(own_qualification.smd_unadjusted) > 0.3
+        assert abs(own_qualification.smd_weighted) < abs(own_qualification.smd_unadjusted)
+
+    def test_diagnostics_accept_parsed_queries(self, toy_engine):
+        from repro.carl.parser import parse_query
+
+        report = toy_engine.diagnostics(parse_query("Score[S] <= Prestige[A] ?"))
+        assert isinstance(report, BalanceReport)

@@ -1,0 +1,91 @@
+"""Unit tests for balance/overlap diagnostics (repro.inference.diagnostics)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.inference.diagnostics import (
+    BalanceReport,
+    covariate_balance,
+    standardized_mean_difference,
+)
+
+
+@pytest.fixture()
+def confounded():
+    rng = np.random.default_rng(8)
+    n = 1200
+    confounder = rng.normal(size=n)
+    noise = rng.normal(size=n)
+    treatment = (rng.random(n) < 1 / (1 + np.exp(-1.5 * confounder))).astype(float)
+    covariates = np.column_stack([confounder, noise])
+    return treatment, covariates
+
+
+class TestSMD:
+    def test_zero_for_identical_groups(self):
+        values = np.array([1.0, 2.0, 1.0, 2.0])
+        treatment = np.array([1.0, 1.0, 0.0, 0.0])
+        assert standardized_mean_difference(values, treatment) == pytest.approx(0.0)
+
+    def test_sign_follows_treated_minus_control(self):
+        values = np.array([3.0, 4.0, 1.0, 2.0])
+        treatment = np.array([1.0, 1.0, 0.0, 0.0])
+        assert standardized_mean_difference(values, treatment) > 0
+        assert standardized_mean_difference(values, 1.0 - treatment) < 0
+
+    def test_constant_covariate_is_zero(self):
+        values = np.ones(6)
+        treatment = np.array([1.0, 1.0, 1.0, 0.0, 0.0, 0.0])
+        assert standardized_mean_difference(values, treatment) == 0.0
+
+    def test_single_group_is_zero(self):
+        assert standardized_mean_difference(np.arange(4.0), np.ones(4)) == 0.0
+
+    def test_weights_shift_the_difference(self):
+        values = np.array([0.0, 10.0, 0.0, 10.0])
+        treatment = np.array([1.0, 1.0, 0.0, 0.0])
+        unweighted = standardized_mean_difference(values, treatment)
+        weights = np.array([10.0, 1.0, 1.0, 10.0])
+        weighted = standardized_mean_difference(values, treatment, weights)
+        assert weighted != pytest.approx(unweighted)
+
+
+class TestCovariateBalance:
+    def test_weighting_improves_balance_of_confounder(self, confounded):
+        treatment, covariates = confounded
+        report = covariate_balance(treatment, covariates, ["confounder", "noise"])
+        confounder_entry = report.covariates[0]
+        assert abs(confounder_entry.smd_unadjusted) > 0.3
+        assert abs(confounder_entry.smd_weighted) < abs(confounder_entry.smd_unadjusted)
+
+    def test_noise_covariate_is_balanced(self, confounded):
+        treatment, covariates = confounded
+        report = covariate_balance(treatment, covariates, ["confounder", "noise"])
+        assert abs(report.covariates[1].smd_unadjusted) < 0.15
+
+    def test_report_summaries(self, confounded):
+        treatment, covariates = confounded
+        report = covariate_balance(treatment, covariates)
+        assert report.worst_unadjusted_smd >= report.covariates[1].smd_unadjusted
+        assert 0.0 <= report.overlap() <= 1.0
+        rows = report.to_rows()
+        assert len(rows) == 2
+        assert {"covariate", "smd_unadjusted", "smd_weighted", "balanced"} <= set(rows[0])
+
+    def test_name_mismatch_rejected(self, confounded):
+        treatment, covariates = confounded
+        with pytest.raises(ValueError):
+            covariate_balance(treatment, covariates, ["only_one_name"])
+
+    def test_empty_covariates_give_empty_report(self):
+        report = covariate_balance(np.array([1.0, 0.0]), np.empty((2, 0)))
+        assert report.covariates == []
+        assert report.all_balanced
+        assert report.overlap() == 0.0
+        assert report.worst_weighted_smd == 0.0
+
+    def test_default_report_is_empty(self):
+        report = BalanceReport()
+        assert report.to_rows() == []

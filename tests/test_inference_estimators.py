@@ -1,0 +1,127 @@
+"""Unit tests for ATE estimators (repro.inference.estimators) and friends."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.inference.estimators import (
+    ESTIMATORS,
+    EstimatorError,
+    cem_ate,
+    doubly_robust_ate,
+    estimate_ate,
+    ipw_ate,
+    matching_ate,
+    naive_ate,
+    outcome_model_ate,
+    propensity_matching_ate,
+    stratification_ate,
+)
+
+TRUE_EFFECT = 2.0
+
+
+@pytest.fixture(scope="module")
+def confounded_data():
+    """Confounded data with a known effect: Z -> T, Z -> Y, true ATE = 2."""
+    rng = np.random.default_rng(5)
+    n = 1500
+    confounder = rng.normal(size=n)
+    treatment = (rng.random(n) < 1.0 / (1.0 + np.exp(-1.5 * confounder))).astype(float)
+    outcome = 1.0 + TRUE_EFFECT * treatment + 3.0 * confounder + rng.normal(scale=0.5, size=n)
+    return outcome, treatment, confounder.reshape(-1, 1)
+
+
+@pytest.fixture(scope="module")
+def randomized_data():
+    """Randomized treatment: every estimator should land close to the truth."""
+    rng = np.random.default_rng(6)
+    n = 1000
+    covariate = rng.normal(size=(n, 2))
+    treatment = (rng.random(n) < 0.5).astype(float)
+    outcome = TRUE_EFFECT * treatment + covariate[:, 0] + rng.normal(scale=0.3, size=n)
+    return outcome, treatment, covariate
+
+
+class TestAdjustedEstimators:
+    @pytest.mark.parametrize(
+        "estimator_fn, tolerance",
+        [
+            (outcome_model_ate, 0.15),
+            (ipw_ate, 0.35),
+            (stratification_ate, 0.5),
+            (doubly_robust_ate, 0.2),
+            (propensity_matching_ate, 0.6),
+            (matching_ate, 0.6),
+        ],
+    )
+    def test_recover_effect_under_confounding(self, confounded_data, estimator_fn, tolerance):
+        outcome, treatment, covariates = confounded_data
+        estimate = estimator_fn(outcome, treatment, covariates)
+        assert estimate.ate == pytest.approx(TRUE_EFFECT, abs=tolerance)
+        assert estimate.n_units == len(outcome)
+        assert estimate.n_treated + estimate.n_control == len(outcome)
+
+    def test_cem_reduces_bias_with_fine_bins(self, confounded_data):
+        outcome, treatment, covariates = confounded_data
+        naive = naive_ate(outcome, treatment, covariates)
+        cem = cem_ate(outcome, treatment, covariates, bins=12)
+        assert abs(cem.ate - TRUE_EFFECT) < abs(naive.ate - TRUE_EFFECT)
+        assert cem.ate == pytest.approx(TRUE_EFFECT, abs=0.6)
+
+    def test_naive_estimator_is_biased_under_confounding(self, confounded_data):
+        outcome, treatment, covariates = confounded_data
+        naive = naive_ate(outcome, treatment, covariates)
+        adjusted = outcome_model_ate(outcome, treatment, covariates)
+        assert abs(naive.ate - TRUE_EFFECT) > 1.0
+        assert abs(adjusted.ate - TRUE_EFFECT) < 0.2
+
+    def test_all_estimators_agree_under_randomization(self, randomized_data):
+        outcome, treatment, covariates = randomized_data
+        for name in ("regression", "ipw", "naive", "aipw", "stratification"):
+            estimate = estimate_ate(outcome, treatment, covariates, estimator=name)
+            assert estimate.ate == pytest.approx(TRUE_EFFECT, abs=0.25), name
+
+
+class TestDispatchAndValidation:
+    def test_registry_names(self):
+        assert {"regression", "matching", "psm", "ipw", "aipw", "naive"} <= set(ESTIMATORS)
+
+    def test_unknown_estimator(self, randomized_data):
+        outcome, treatment, covariates = randomized_data
+        with pytest.raises(EstimatorError, match="unknown estimator"):
+            estimate_ate(outcome, treatment, covariates, estimator="magic")
+
+    def test_requires_both_groups(self):
+        outcome = np.array([1.0, 2.0, 3.0])
+        with pytest.raises(EstimatorError):
+            outcome_model_ate(outcome, np.ones(3), None)
+        with pytest.raises(EstimatorError):
+            outcome_model_ate(outcome, np.zeros(3), None)
+
+    def test_requires_rows(self):
+        with pytest.raises(EstimatorError):
+            outcome_model_ate(np.array([]), np.array([]), None)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(EstimatorError):
+            outcome_model_ate(np.ones(3), np.array([1.0, 0.0]), None)
+
+    def test_no_covariates_reduces_to_naive(self):
+        outcome = np.array([3.0, 3.0, 1.0, 1.0])
+        treatment = np.array([1.0, 1.0, 0.0, 0.0])
+        regression = outcome_model_ate(outcome, treatment, None)
+        naive = naive_ate(outcome, treatment, None)
+        assert regression.ate == pytest.approx(naive.ate)
+        assert naive.ate == pytest.approx(2.0)
+
+    def test_float_conversion(self, randomized_data):
+        outcome, treatment, covariates = randomized_data
+        estimate = outcome_model_ate(outcome, treatment, covariates)
+        assert float(estimate) == estimate.ate
+
+    def test_estimate_details_present(self, confounded_data):
+        outcome, treatment, covariates = confounded_data
+        assert "r_squared" in outcome_model_ate(outcome, treatment, covariates).details
+        assert "propensity_range" in propensity_matching_ate(outcome, treatment, covariates).details

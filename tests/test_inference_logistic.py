@@ -1,0 +1,77 @@
+"""Unit tests for logistic regression (repro.inference.logistic)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.inference.logistic import LogisticRegression, _sigmoid
+from repro.inference.regression import RegressionError
+
+
+@pytest.fixture()
+def logistic_data():
+    rng = np.random.default_rng(3)
+    features = rng.normal(size=(600, 2))
+    logits = 0.5 + 1.5 * features[:, 0] - 1.0 * features[:, 1]
+    labels = (rng.random(600) < 1.0 / (1.0 + np.exp(-logits))).astype(float)
+    return features, labels
+
+
+class TestFit:
+    def test_recovers_coefficients(self, logistic_data):
+        features, labels = logistic_data
+        model = LogisticRegression().fit(features, labels)
+        assert model.converged
+        assert model.intercept == pytest.approx(0.5, abs=0.3)
+        assert model.coefficients[0] == pytest.approx(1.5, abs=0.4)
+        assert model.coefficients[1] == pytest.approx(-1.0, abs=0.4)
+
+    def test_probabilities_in_unit_interval(self, logistic_data):
+        features, labels = logistic_data
+        model = LogisticRegression().fit(features, labels)
+        probabilities = model.predict_proba(features)
+        assert np.all(probabilities >= 0.0) and np.all(probabilities <= 1.0)
+
+    def test_classification_accuracy(self, logistic_data):
+        features, labels = logistic_data
+        model = LogisticRegression().fit(features, labels)
+        accuracy = float((model.predict(features) == labels).mean())
+        assert accuracy > 0.75
+
+    def test_log_likelihood_is_finite(self, logistic_data):
+        features, labels = logistic_data
+        model = LogisticRegression().fit(features, labels)
+        assert np.isfinite(model.log_likelihood(features, labels))
+
+    def test_separable_data_does_not_blow_up(self):
+        # Perfectly separable data: the ridge penalty keeps coefficients finite.
+        features = np.array([[-2.0], [-1.0], [1.0], [2.0]])
+        labels = np.array([0.0, 0.0, 1.0, 1.0])
+        model = LogisticRegression(regularization=1e-3).fit(features, labels)
+        assert np.all(np.isfinite(model.coefficients))
+        assert model.predict_proba(np.array([[3.0]]))[0] > 0.5
+
+    def test_1d_features_accepted(self):
+        features = np.array([0.0, 1.0, 2.0, 3.0])
+        labels = np.array([0.0, 0.0, 1.0, 1.0])
+        model = LogisticRegression().fit(features, labels)
+        assert model.coefficients.shape == (1,)
+
+
+class TestValidation:
+    def test_non_binary_labels_rejected(self):
+        with pytest.raises(RegressionError):
+            LogisticRegression().fit(np.ones((3, 1)), np.array([0.0, 0.5, 1.0]))
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(RegressionError):
+            LogisticRegression().fit(np.empty((0, 1)), np.empty(0))
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(RegressionError):
+            LogisticRegression().predict_proba(np.ones((1, 1)))
+
+    def test_sigmoid_is_clipped(self):
+        assert _sigmoid(np.array([1000.0]))[0] == pytest.approx(1.0)
+        assert _sigmoid(np.array([-1000.0]))[0] == pytest.approx(0.0, abs=1e-12)

@@ -1,0 +1,198 @@
+"""Unit tests for propensity scores, matching, bootstrap, correlation, outcome model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.inference.bootstrap import bootstrap_statistic
+from repro.inference.correlation import naive_difference, pearson_correlation, point_biserial
+from repro.inference.matching import coarsened_exact_matching, nearest_neighbor_match
+from repro.inference.outcome import OutcomeModel
+from repro.inference.propensity import estimate_propensity_scores
+
+
+class TestPropensity:
+    def test_scores_are_clipped_probabilities(self):
+        rng = np.random.default_rng(0)
+        covariates = rng.normal(size=(300, 2))
+        treatment = (rng.random(300) < 0.5).astype(float)
+        scores = estimate_propensity_scores(treatment, covariates, clip=0.05)
+        assert np.all(scores >= 0.05) and np.all(scores <= 0.95)
+
+    def test_informative_covariate_orders_scores(self):
+        rng = np.random.default_rng(1)
+        covariate = rng.normal(size=600)
+        treatment = (rng.random(600) < 1 / (1 + np.exp(-2 * covariate))).astype(float)
+        scores = estimate_propensity_scores(treatment, covariate.reshape(-1, 1))
+        assert np.corrcoef(scores, covariate)[0, 1] > 0.8
+
+    def test_no_covariates_gives_marginal_rate(self):
+        treatment = np.array([1.0, 0.0, 0.0, 0.0])
+        scores = estimate_propensity_scores(treatment, np.empty((4, 0)))
+        assert np.allclose(scores, 0.25)
+
+
+class TestMatching:
+    def test_nearest_neighbor_matches_closest(self):
+        treatment = np.array([1.0, 0.0, 0.0])
+        covariates = np.array([[0.0], [0.1], [5.0]])
+        result = nearest_neighbor_match(treatment, covariates)
+        assert list(result.treated_indices) == [0]
+        assert list(result.control_indices) == [1]
+
+    def test_matching_without_replacement_uses_distinct_controls(self):
+        treatment = np.array([1.0, 1.0, 0.0, 0.0])
+        covariates = np.array([[0.0], [0.05], [0.01], [0.06]])
+        result = nearest_neighbor_match(treatment, covariates, with_replacement=False)
+        assert len(set(result.control_indices)) == 2
+
+    def test_mahalanobis_metric_runs(self):
+        rng = np.random.default_rng(2)
+        treatment = (rng.random(50) < 0.5).astype(float)
+        covariates = rng.normal(size=(50, 3))
+        result = nearest_neighbor_match(treatment, covariates, metric="mahalanobis")
+        assert len(result) == int(treatment.sum())
+
+    def test_unknown_metric(self):
+        with pytest.raises(ValueError):
+            nearest_neighbor_match(np.array([1.0, 0.0]), np.array([[1.0], [2.0]]), metric="cosine")
+
+    def test_empty_groups_return_no_pairs(self):
+        result = nearest_neighbor_match(np.ones(3), np.ones((3, 1)))
+        assert len(result) == 0
+
+    def test_cem_strata_contain_both_groups(self):
+        rng = np.random.default_rng(3)
+        treatment = (rng.random(200) < 0.5).astype(float)
+        covariates = rng.normal(size=(200, 2))
+        strata = coarsened_exact_matching(treatment, covariates, bins=3)
+        for members in strata.values():
+            member_treatment = treatment[members]
+            assert (member_treatment > 0.5).any() and (member_treatment <= 0.5).any()
+
+    def test_cem_without_covariates_is_single_stratum(self):
+        strata = coarsened_exact_matching(np.array([1.0, 0.0]), np.empty((2, 0)))
+        assert list(strata.values()) == [[0, 1]]
+
+
+class TestBootstrap:
+    def test_mean_interval_covers_truth(self):
+        rng = np.random.default_rng(4)
+        data = rng.normal(loc=3.0, size=400)
+        result = bootstrap_statistic(lambda x: float(np.mean(x)), [data], n_bootstrap=200, seed=0)
+        assert result.lower < 3.0 < result.upper
+        assert result.estimate == pytest.approx(3.0, abs=0.2)
+        assert result.standard_error > 0
+
+    def test_multiple_arrays_resampled_together(self):
+        x = np.arange(100.0)
+        y = 2.0 * x
+        result = bootstrap_statistic(
+            lambda a, b: float(np.mean(b - 2 * a)), [x, y], n_bootstrap=50, seed=1
+        )
+        assert result.estimate == 0.0
+        assert result.upper == pytest.approx(0.0, abs=1e-9)
+
+    def test_failing_replicates_are_skipped(self):
+        data = np.array([1.0, 2.0])
+
+        def sometimes_fails(values: np.ndarray) -> float:
+            if values[0] == values[1]:
+                raise ValueError("degenerate resample")
+            return float(values.mean())
+
+        result = bootstrap_statistic(sometimes_fails, [data], n_bootstrap=30, seed=2)
+        assert len(result.samples) <= 30
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_statistic(lambda x: 0.0, [])
+        with pytest.raises(ValueError):
+            bootstrap_statistic(lambda x, y: 0.0, [np.ones(3), np.ones(4)])
+        with pytest.raises(ValueError):
+            bootstrap_statistic(lambda x: 0.0, [np.array([])])
+
+
+class TestCorrelation:
+    def test_perfect_correlation(self):
+        x = np.arange(10.0)
+        assert pearson_correlation(x, 2 * x + 1) == pytest.approx(1.0)
+        assert pearson_correlation(x, -x) == pytest.approx(-1.0)
+
+    def test_constant_input_gives_zero(self):
+        assert pearson_correlation(np.ones(5), np.arange(5.0)) == 0.0
+        assert pearson_correlation(np.arange(2.0), np.arange(2.0)[:2] * 0) == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            pearson_correlation(np.ones(3), np.ones(4))
+
+    def test_point_biserial_matches_pearson(self):
+        treatment = np.array([1.0, 0.0, 1.0, 0.0])
+        outcome = np.array([3.0, 1.0, 4.0, 2.0])
+        assert point_biserial(treatment, outcome) == pearson_correlation(treatment, outcome)
+
+    def test_naive_difference(self):
+        treatment = np.array([1.0, 1.0, 0.0, 0.0])
+        outcome = np.array([5.0, 7.0, 1.0, 3.0])
+        contrast = naive_difference(treatment, outcome)
+        assert contrast["treated_mean"] == 6.0
+        assert contrast["control_mean"] == 2.0
+        assert contrast["difference"] == 4.0
+
+    def test_naive_difference_with_empty_group_is_nan(self):
+        contrast = naive_difference(np.ones(3), np.arange(3.0))
+        assert np.isnan(contrast["control_mean"])
+
+
+class TestOutcomeModel:
+    @pytest.fixture()
+    def peer_data(self):
+        rng = np.random.default_rng(7)
+        n = 800
+        covariate = rng.normal(size=(n, 1))
+        treatment = (rng.random(n) < 0.5).astype(float)
+        peer_fraction = rng.random(n)
+        peer_counts = rng.integers(1, 5, size=n).astype(float)
+        peer_matrix = np.column_stack([peer_fraction, peer_counts])
+        outcome = (
+            1.0 + 2.0 * treatment + 0.5 * peer_fraction + 0.3 * covariate[:, 0]
+            + rng.normal(scale=0.1, size=n)
+        )
+        return outcome, treatment, peer_matrix, peer_counts, covariate
+
+    def test_recovers_structural_coefficients(self, peer_data):
+        outcome, treatment, peer_matrix, peer_counts, covariate = peer_data
+        model = OutcomeModel().fit(outcome, treatment, peer_matrix, covariate)
+        coefficients = model.coefficients
+        assert coefficients["treatment"] == pytest.approx(2.0, abs=0.05)
+        assert coefficients["peer_0"] == pytest.approx(0.5, abs=0.1)
+
+    def test_intervention_predictions(self, peer_data):
+        outcome, treatment, peer_matrix, peer_counts, covariate = peer_data
+        model = OutcomeModel().fit(outcome, treatment, peer_matrix, covariate)
+        treated = model.predict_intervention(1.0, 1.0, peer_matrix, peer_counts, covariate)
+        control = model.predict_intervention(0.0, 0.0, peer_matrix, peer_counts, covariate)
+        assert float(np.mean(treated - control)) == pytest.approx(2.5, abs=0.1)
+
+    def test_zero_peer_units_keep_zero_fraction(self):
+        outcome = np.array([1.0, 2.0, 3.0, 4.0])
+        treatment = np.array([0.0, 1.0, 0.0, 1.0])
+        peer_matrix = np.zeros((4, 2))
+        peer_counts = np.zeros(4)
+        covariates = np.empty((4, 0))
+        model = OutcomeModel().fit(outcome, treatment, peer_matrix, covariates)
+        with_peers = model.predict_intervention(1.0, 1.0, peer_matrix, peer_counts, covariates)
+        without_peers = model.predict_intervention(1.0, 0.0, peer_matrix, peer_counts, covariates)
+        assert np.allclose(with_peers, without_peers)
+
+    def test_ridge_variant(self, peer_data):
+        outcome, treatment, peer_matrix, _, covariate = peer_data
+        model = OutcomeModel(regression="ridge", ridge_alpha=1.0)
+        model.fit(outcome, treatment, peer_matrix, covariate)
+        assert model.coefficients["treatment"] == pytest.approx(2.0, abs=0.2)
+
+    def test_unknown_regression(self):
+        with pytest.raises(ValueError):
+            OutcomeModel(regression="forest")

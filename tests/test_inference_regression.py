@@ -1,0 +1,105 @@
+"""Unit tests for linear regression (repro.inference.regression)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.inference.regression import LinearRegression, RegressionError, RidgeRegression
+
+
+@pytest.fixture()
+def linear_data():
+    rng = np.random.default_rng(0)
+    features = rng.normal(size=(200, 3))
+    coefficients = np.array([2.0, -1.0, 0.5])
+    target = 4.0 + features @ coefficients + rng.normal(scale=0.01, size=200)
+    return features, target, coefficients
+
+
+class TestLinearRegression:
+    def test_recovers_coefficients(self, linear_data):
+        features, target, coefficients = linear_data
+        model = LinearRegression().fit(features, target)
+        assert model.intercept == pytest.approx(4.0, abs=0.01)
+        assert np.allclose(model.coefficients, coefficients, atol=0.01)
+
+    def test_predict(self, linear_data):
+        features, target, _ = linear_data
+        model = LinearRegression().fit(features, target)
+        predictions = model.predict(features)
+        assert predictions.shape == (200,)
+        assert model.score(features, target) > 0.999
+
+    def test_predict_single_row(self, linear_data):
+        features, target, _ = linear_data
+        model = LinearRegression().fit(features, target)
+        single = model.predict(features[0])
+        assert single.shape == (1,)
+
+    def test_no_intercept(self):
+        features = np.array([[1.0], [2.0], [3.0]])
+        target = np.array([2.0, 4.0, 6.0])
+        model = LinearRegression(fit_intercept=False).fit(features, target)
+        assert model.intercept == 0.0
+        assert model.coefficients[0] == pytest.approx(2.0)
+
+    def test_rank_deficient_design_does_not_crash(self):
+        features = np.ones((10, 2))  # two identical constant columns
+        target = np.arange(10.0)
+        model = LinearRegression().fit(features, target)
+        assert np.all(np.isfinite(model.predict(features)))
+
+    def test_residual_variance(self, linear_data):
+        features, target, _ = linear_data
+        model = LinearRegression().fit(features, target)
+        assert model.residual_variance == pytest.approx(0.0001, rel=1.0)
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(RegressionError):
+            LinearRegression().predict(np.ones((1, 2)))
+
+    def test_shape_validation(self):
+        with pytest.raises(RegressionError):
+            LinearRegression().fit(np.ones((3, 2)), np.ones(4))
+        with pytest.raises(RegressionError):
+            LinearRegression().fit(np.empty((0, 2)), np.empty(0))
+        with pytest.raises(RegressionError):
+            LinearRegression().fit(np.array([[np.nan]]), np.array([1.0]))
+
+    def test_feature_count_mismatch_on_predict(self, linear_data):
+        features, target, _ = linear_data
+        model = LinearRegression().fit(features, target)
+        with pytest.raises(RegressionError):
+            model.predict(np.ones((2, 5)))
+
+    def test_constant_target_r_squared(self):
+        features = np.arange(10.0).reshape(-1, 1)
+        target = np.full(10, 3.0)
+        model = LinearRegression().fit(features, target)
+        assert model.score(features, target) == 1.0
+
+
+class TestRidgeRegression:
+    def test_shrinks_towards_zero(self, linear_data):
+        features, target, _ = linear_data
+        ols = LinearRegression().fit(features, target)
+        ridge = RidgeRegression(alpha=500.0).fit(features, target)
+        assert np.all(np.abs(ridge.coefficients) < np.abs(ols.coefficients))
+
+    def test_alpha_zero_matches_ols(self, linear_data):
+        features, target, _ = linear_data
+        ols = LinearRegression().fit(features, target)
+        ridge = RidgeRegression(alpha=0.0).fit(features, target)
+        assert np.allclose(ridge.coefficients, ols.coefficients, atol=1e-6)
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(RegressionError):
+            RidgeRegression(alpha=-1.0)
+
+    def test_intercept_not_penalized(self):
+        rng = np.random.default_rng(1)
+        features = rng.normal(size=(100, 1))
+        target = 10.0 + 0.0 * features[:, 0] + rng.normal(scale=0.01, size=100)
+        ridge = RidgeRegression(alpha=100.0).fit(features, target)
+        assert ridge.intercept == pytest.approx(10.0, abs=0.05)

@@ -1,0 +1,142 @@
+"""Property-based tests for the CaRL language and the estimators."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.carl.ast import PeerCondition
+from repro.carl.parser import parse_query, parse_rule
+from repro.inference.estimators import outcome_model_ate
+from repro.inference.correlation import naive_difference
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+identifier = st.from_regex(r"[A-Z][A-Za-z0-9]{0,8}", fullmatch=True).filter(
+    lambda name: name.upper()
+    not in {
+        "ENTITY",
+        "RELATIONSHIP",
+        "ATTRIBUTE",
+        "LATENT",
+        "OF",
+        "COLUMN",
+        "WHERE",
+        "WHEN",
+        "PEERS",
+        "TREATED",
+        "ALL",
+        "NONE",
+        "MORE",
+        "LESS",
+        "THAN",
+        "AT",
+        "MOST",
+        "LEAST",
+        "EXACTLY",
+        "TRUE",
+        "FALSE",
+        "AVG",
+        "SUM",
+        "MIN",
+        "MAX",
+        "VAR",
+        "STD",
+        "ANY",
+        "COUNT",
+        "MEAN",
+        "MEDIAN",
+        "SKEW",
+    }
+)
+
+
+# ----------------------------------------------------------------------
+# parser round-trips
+# ----------------------------------------------------------------------
+@given(head=identifier, body=identifier, predicate=identifier, var_a=identifier, var_b=identifier)
+@settings(max_examples=80, deadline=None)
+def test_rule_str_round_trip(head, body, predicate, var_a, var_b):
+    text = f"{head}[{var_a}] <= {body}[{var_b}] WHERE {predicate}({var_a}, {var_b})"
+    rule = parse_rule(text)
+    assert parse_rule(str(rule)) == rule
+
+
+@given(response=identifier, treatment=identifier, var_a=identifier, var_b=identifier)
+@settings(max_examples=80, deadline=None)
+def test_query_str_round_trip(response, treatment, var_a, var_b):
+    text = f"{response}[{var_a}] <= {treatment}[{var_b}] ?"
+    query = parse_query(text)
+    assert parse_query(str(query)) == query
+
+
+@given(
+    kind=st.sampled_from(["ALL", "NONE", "AT LEAST 2", "AT MOST 3", "EXACTLY 1", "MORE THAN 40 %"]),
+    response=identifier,
+    treatment=identifier,
+)
+@settings(max_examples=60, deadline=None)
+def test_peer_query_round_trip(kind, response, treatment):
+    text = f"{response}[X] <= {treatment}[Y] ? WHEN {kind} PEERS TREATED"
+    query = parse_query(text)
+    assert query.is_peer_query
+    assert parse_query(str(query)).peer_condition == query.peer_condition
+
+
+# ----------------------------------------------------------------------
+# peer-condition invariants
+# ----------------------------------------------------------------------
+@given(
+    kind=st.sampled_from(["AT_LEAST", "AT_MOST", "EXACTLY"]),
+    value=st.integers(min_value=0, max_value=50),
+    peer_count=st.integers(min_value=0, max_value=50),
+)
+@settings(max_examples=100, deadline=None)
+def test_peer_condition_fraction_is_a_probability(kind, value, peer_count):
+    fraction = PeerCondition(kind, value).treated_fraction(peer_count)
+    assert 0.0 <= fraction <= 1.0
+
+
+@given(value=st.floats(min_value=0, max_value=500, allow_nan=False))
+@settings(max_examples=100, deadline=None)
+def test_percent_condition_fraction_is_a_probability(value):
+    fraction = PeerCondition("MORE_THAN_PERCENT", value).treated_fraction(10)
+    assert 0.0 <= fraction <= 1.0
+
+
+# ----------------------------------------------------------------------
+# estimator invariants
+# ----------------------------------------------------------------------
+@given(
+    effect=st.floats(min_value=-5, max_value=5, allow_nan=False),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=30, deadline=None)
+def test_regression_ate_recovers_effect_in_randomized_experiments(effect, seed):
+    rng = np.random.default_rng(seed)
+    n = 400
+    treatment = np.zeros(n)
+    treatment[: n // 2] = 1.0
+    rng.shuffle(treatment)
+    covariate = rng.normal(size=(n, 1))
+    outcome = effect * treatment + covariate[:, 0] + rng.normal(scale=0.05, size=n)
+    estimate = outcome_model_ate(outcome, treatment, covariate)
+    assert abs(estimate.ate - effect) < 0.1
+
+
+@given(
+    shift=st.floats(min_value=-100, max_value=100, allow_nan=False),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=30, deadline=None)
+def test_naive_difference_is_shift_invariant(shift, seed):
+    rng = np.random.default_rng(seed)
+    treatment = (rng.random(100) < 0.5).astype(float)
+    if treatment.sum() in (0, 100):
+        return
+    outcome = rng.normal(size=100)
+    base = naive_difference(treatment, outcome)["difference"]
+    shifted = naive_difference(treatment, outcome + shift)["difference"]
+    assert abs(base - shifted) < 1e-8
