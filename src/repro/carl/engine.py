@@ -29,12 +29,12 @@ from repro.carl.parser import parse_program, parse_query
 from repro.carl.peers import build_unifying_aggregate_rule, compute_peers
 from repro.carl.queries import ATEResult, EffectsResult, QueryAnswer
 from repro.carl.schema import RelationalCausalSchema
-from repro.carl.unit_table import UnitTable, build_unit_table, default_binarizer
+from repro.carl.unit_table import UNIT_TABLE_BACKENDS, UnitTable, build_unit_table
 from repro.db.aggregates import AGGREGATES, aggregate as apply_aggregate
 from repro.db.database import Database
 from repro.inference.bootstrap import bootstrap_statistic
 from repro.inference.correlation import naive_difference, pearson_correlation
-from repro.inference.estimators import estimate_ate
+from repro.inference.estimators import estimate_ate, estimate_ate_from_unit_table
 from repro.inference.outcome import OutcomeModel
 
 
@@ -47,7 +47,12 @@ class CaRLEngine:
         program: str | Program,
         estimator: str = "regression",
         embedding: str = "mean",
+        backend: str = "columnar",
     ) -> None:
+        if backend not in UNIT_TABLE_BACKENDS:
+            raise QueryError(
+                f"unknown backend {backend!r}; expected one of {UNIT_TABLE_BACKENDS}"
+            )
         if isinstance(program, str):
             program = parse_program(program)
         self.program = program
@@ -57,9 +62,10 @@ class CaRLEngine:
         )
         self.database = database
         self.instance = self.schema.bind(database)
-        self.grounder = Grounder(self.model, self.instance)
+        self.grounder = Grounder(self.model, self.instance, query_backend=backend)
         self.default_estimator = estimator
         self.default_embedding = embedding
+        self.backend = backend
 
         self._graph: GroundedCausalGraph | None = None
         self._values: dict[GroundedAttribute, Any] | None = None
@@ -100,8 +106,13 @@ class CaRLEngine:
         embedding: str | None = None,
         bootstrap: int = 0,
         seed: int = 0,
+        backend: str | None = None,
     ) -> QueryAnswer:
-        """Answer a causal query; returns effects, naive contrasts and timings."""
+        """Answer a causal query; returns effects, naive contrasts and timings.
+
+        ``backend`` overrides the engine's unit-table backend for this query
+        (``"rows"`` or ``"columnar"``); both produce identical answers.
+        """
         if isinstance(query, str):
             query = parse_query(query)
         estimator = estimator or self.default_estimator
@@ -109,7 +120,7 @@ class CaRLEngine:
 
         self.graph  # force grounding so its time is not charged to the unit table
         started = time.perf_counter()
-        unit_table, peers = self._build_unit_table(query, embedding)
+        unit_table, peers = self._build_unit_table(query, embedding, backend=backend)
         unit_table_seconds = time.perf_counter() - started
 
         started = time.perf_counter()
@@ -131,13 +142,18 @@ class CaRLEngine:
         )
 
     def unit_table(
-        self, query: str | CausalQuery, embedding: str | None = None
+        self,
+        query: str | CausalQuery,
+        embedding: str | None = None,
+        backend: str | None = None,
     ) -> UnitTable:
         """Build (only) the unit table for a query — useful for inspection and
         for the Table 2 runtime benchmark."""
         if isinstance(query, str):
             query = parse_query(query)
-        table, _ = self._build_unit_table(query, embedding or self.default_embedding)
+        table, _ = self._build_unit_table(
+            query, embedding or self.default_embedding, backend=backend
+        )
         return table
 
     def answer_all(
@@ -205,8 +221,13 @@ class CaRLEngine:
     # unit-table construction for a query
     # ------------------------------------------------------------------
     def _build_unit_table(
-        self, query: CausalQuery, embedding: str
+        self, query: CausalQuery, embedding: str, backend: str | None = None
     ) -> tuple[UnitTable, dict[tuple[Any, ...], list[tuple[Any, ...]]]]:
+        backend = backend or self.backend
+        if backend not in UNIT_TABLE_BACKENDS:
+            raise QueryError(
+                f"unknown backend {backend!r}; expected one of {UNIT_TABLE_BACKENDS}"
+            )
         treatment_attribute = query.treatment.name
         if not self.schema.has_attribute(treatment_attribute):
             raise QueryError(f"unknown treatment attribute {treatment_attribute!r}")
@@ -248,12 +269,13 @@ class CaRLEngine:
 
         peers = compute_peers(self.graph, treatment_attribute, response_attribute, units)
 
+        # binarize=None lets build_unit_table fall back to the default
+        # binarizer itself — and, on the columnar backend, take the
+        # vectorized bulk-binarization path instead of a per-value callable.
         binarize = None
         if query.treatment_threshold is not None:
             threshold = query.treatment_threshold
             binarize = lambda value: 1.0 if threshold.evaluate(value) else 0.0  # noqa: E731
-        else:
-            binarize = default_binarizer(treatment_attribute)
 
         table = build_unit_table(
             graph=self.graph,
@@ -265,6 +287,7 @@ class CaRLEngine:
             is_observed=self.model.is_observed,
             embedding=embedding,
             binarize=binarize,
+            backend=backend,
         )
         return table, peers
 
@@ -432,12 +455,7 @@ class CaRLEngine:
             ate = self._regression_ate(unit_table)
             details: dict[str, Any] = {"method": "outcome model over own + peer treatment"}
         else:
-            estimate = estimate_ate(
-                unit_table.outcome,
-                unit_table.treatment,
-                unit_table.adjustment_features(),
-                estimator=estimator,
-            )
+            estimate = estimate_ate_from_unit_table(unit_table, estimator=estimator)
             ate = estimate.ate
             details = dict(estimate.details)
 

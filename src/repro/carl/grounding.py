@@ -32,9 +32,20 @@ Binding = dict[str, Any]
 
 
 class Grounder:
-    """Grounds a relational causal model against a bound instance."""
+    """Grounds a relational causal model against a bound instance.
 
-    def __init__(self, model: RelationalCausalModel, instance: BoundInstance) -> None:
+    ``query_backend`` selects the conjunctive-query evaluation strategy
+    (``"rows"`` or ``"columnar"``; ``None`` uses the module default of
+    :mod:`repro.db.query`) — the engine threads its own backend choice here
+    so ``backend="rows"`` bypasses the columnar code end to end.
+    """
+
+    def __init__(
+        self,
+        model: RelationalCausalModel,
+        instance: BoundInstance,
+        query_backend: str | None = None,
+    ) -> None:
         if model.schema is not instance.schema:
             # Not an error per se, but almost always a bug: the model was
             # validated against a different schema object.
@@ -44,6 +55,7 @@ class Grounder:
                 )
         self.model = model
         self.instance = instance
+        self.query_backend = query_backend
 
     # ------------------------------------------------------------------
     # condition evaluation
@@ -51,7 +63,9 @@ class Grounder:
     def condition_bindings(self, condition: Condition) -> list[Binding]:
         """All satisfying assignments of a rule/query condition."""
         atoms = [self._to_db_atom(atom.predicate, atom.terms) for atom in condition.atoms]
-        bindings = ConjunctiveQuery(atoms).evaluate(self.instance.skeleton)
+        bindings = ConjunctiveQuery(atoms).evaluate(
+            self.instance.skeleton, backend=self.query_backend
+        )
         if condition.comparisons:
             bindings = [
                 binding

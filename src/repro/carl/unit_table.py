@@ -20,9 +20,13 @@ from repro.carl.causal_graph import GroundedAttribute, GroundedCausalGraph
 from repro.carl.covariates import parent_adjustment_set
 from repro.carl.embeddings import Embedding, MeanEmbedding, get_embedding
 from repro.carl.errors import EstimationError
+from repro.db.aggregates import as_numeric_array
 
 #: Maximum number of distinct categories one-hot encoded for a categorical covariate.
 MAX_CATEGORIES = 20
+
+#: Unit-table construction backends (see :func:`build_unit_table`).
+UNIT_TABLE_BACKENDS = ("rows", "columnar")
 
 
 class UnitTable:
@@ -157,6 +161,7 @@ def build_unit_table(
     embedding: str | Embedding = "mean",
     peer_embedding: str | Embedding | None = None,
     binarize: Callable[[Any], float] | None = None,
+    backend: str = "columnar",
 ) -> UnitTable:
     """Algorithm 1: build the unit table for a (unified) treatment/response pair.
 
@@ -164,7 +169,31 @@ def build_unit_table(
     observed (and aggregated) grounded values, the treatment and response
     attribute functions, the unified units and their relational peers, and
     the embedding functions used to collapse variable-size vectors.
+
+    ``backend`` selects the materialization strategy: ``"rows"`` builds
+    per-unit dicts and embeds group by group (the original Algorithm 1
+    transcription); ``"columnar"`` (the default) collects covariates into
+    flat value/group-id arrays, shares one ancestor walk per unit between
+    the own- and peer-adjustment sets, and embeds every unit in single
+    vectorized passes.  Both produce identical unit tables.
     """
+    if backend not in UNIT_TABLE_BACKENDS:
+        raise EstimationError(
+            f"unknown unit-table backend {backend!r}; expected one of {UNIT_TABLE_BACKENDS}"
+        )
+    if backend == "columnar":
+        return _build_unit_table_columnar(
+            graph,
+            values,
+            treatment_attribute,
+            response_attribute,
+            units,
+            peers,
+            is_observed,
+            embedding,
+            peer_embedding,
+            binarize,
+        )
     binarize = binarize or default_binarizer(treatment_attribute)
     peer_embedder = get_embedding(peer_embedding if peer_embedding is not None else MeanEmbedding())
 
@@ -237,6 +266,350 @@ def build_unit_table(
         treatment_attribute=treatment_attribute,
         response_attribute=response_attribute,
     )
+
+
+# ----------------------------------------------------------------------
+# columnar (bulk) materialization
+# ----------------------------------------------------------------------
+_MISSING = object()
+_EMPTY_SET: frozenset[GroundedAttribute] = frozenset()
+
+
+def _build_unit_table_columnar(
+    graph: GroundedCausalGraph,
+    values: dict[GroundedAttribute, Any],
+    treatment_attribute: str,
+    response_attribute: str,
+    units: Sequence[tuple[Any, ...]],
+    peers: dict[tuple[Any, ...], list[tuple[Any, ...]]],
+    is_observed: Callable[[str], bool],
+    embedding: str | Embedding,
+    peer_embedding: str | Embedding | None,
+    binarize: Callable[[Any], float] | None,
+) -> UnitTable:
+    """Bulk variant of Algorithm 1.
+
+    Differences from the row path are purely mechanical: covariate and peer
+    values are appended to flat ``(value, unit-row)`` arrays instead of
+    per-unit dicts, the own- and peer-adjustment sets share a single
+    ancestor walk per unit instead of one directed-path search per (unit,
+    peer), binarization happens vectorized, and embeddings run as one numpy
+    pass per attribute via :meth:`Embedding.apply_flat`.
+    """
+    vectorized_binarize = binarize is None
+    binarize = binarize or default_binarizer(treatment_attribute)
+    peer_embedder = get_embedding(peer_embedding if peer_embedding is not None else MeanEmbedding())
+
+    kept_units: list[tuple[Any, ...]] = []
+    outcomes_raw: list[Any] = []
+    treatments_raw: list[Any] = []
+    peer_counts: list[int] = []
+    peer_values_raw: list[Any] = []
+    peer_group_ids: list[int] = []
+    covariate_order: list[str] = []
+    #: column name -> (flat values, flat unit-row ids)
+    buckets: dict[str, tuple[list[Any], list[int]]] = {}
+
+    # Hot-loop locals: raw parent-set mapping for O(1) membership tests (the
+    # public ``graph.parents`` copies its set; we keep it for *iteration* so
+    # the covariate discovery order matches the row path exactly).
+    dag_parents = graph.dag._parents  # noqa: SLF001 - read-only fast path
+    graph_parents = graph.parents
+    values_get = values.get
+    peers_get = peers.get
+    observed_cache: dict[str, bool] = {}
+    observed_get = observed_cache.get
+
+    # Per-node cache of the observed, non-treatment parents.  A node's
+    # parents are iterated once per visiting unit in the row path; the
+    # filtered list is identical every time, so computing it once per node is
+    # pure reuse.  Entries are mutable 5-slots
+    # ``[parent, own_name, peer_name, own_bucket, peer_bucket]`` so the
+    # bucket resolved on first use is cached for the ~peer-count later visits.
+    parent_info: dict[GroundedAttribute, list[list[Any]]] = {}
+    parent_info_get = parent_info.get
+
+    def build_parent_info(node: GroundedAttribute) -> list[list[Any]]:
+        entries: list[list[Any]] = []
+        for parent in graph_parents(node):
+            attribute = parent.attribute
+            if attribute == treatment_attribute:
+                continue
+            flag = observed_get(attribute)
+            if flag is None:
+                flag = observed_cache[attribute] = bool(is_observed(attribute))
+            if not flag:
+                continue
+            entries.append([parent, f"own_{attribute}", f"peer_{attribute}", None, None])
+        parent_info[node] = entries
+        return entries
+
+    # Treatment nodes recur: a unit's own node is also referenced as a peer
+    # node by each of its neighbors, so intern them once per unit key.
+    treatment_nodes: dict[tuple[Any, ...], GroundedAttribute] = {}
+    treatment_node_get = treatment_nodes.get
+
+    row = 0
+    for unit in units:
+        response_node = GroundedAttribute(response_attribute, unit)
+        treatment_node = treatment_node_get(unit)
+        if treatment_node is None:
+            treatment_node = treatment_nodes[unit] = GroundedAttribute(
+                treatment_attribute, unit
+            )
+        outcome_value = values_get(response_node)
+        if outcome_value is None:
+            continue
+        treatment_value = values_get(treatment_node)
+        if treatment_value is None:
+            continue
+
+        unit_peers = peers_get(unit) or []
+        peer_nodes = []
+        for peer in unit_peers:
+            peer_node = treatment_node_get(peer)
+            if peer_node is None:
+                peer_node = treatment_nodes[peer] = GroundedAttribute(
+                    treatment_attribute, peer
+                )
+            peer_nodes.append(peer_node)
+        for peer_node in peer_nodes:
+            peer_value = values_get(peer_node, _MISSING)
+            if peer_value is not _MISSING:
+                peer_values_raw.append(peer_value)
+                peer_group_ids.append(row)
+
+        # Theorem 5.2 adjustment sets.  ``has_directed_path(T[x], Y[u])`` is
+        # equivalent to ``T[x] in ancestors(Y[u])`` (or equality).  Direct
+        # parenthood — by far the common case — is an O(1) set probe; only
+        # indirect paths trigger the (lazily computed, per-unit) ancestor
+        # walk, which is then shared by the unit and all of its peers.
+        response_parents = dag_parents.get(response_node)
+        response_ancestors: set[GroundedAttribute] | None = None
+        own_nodes: set[GroundedAttribute] = set()
+        if treatment_node in dag_parents:
+            if treatment_node == response_node:
+                reachable = True
+            elif response_parents is not None and treatment_node in response_parents:
+                reachable = True
+            else:
+                if response_ancestors is None:
+                    response_ancestors = (
+                        graph.ancestors(response_node)
+                        if response_parents is not None
+                        else _EMPTY_SET
+                    )
+                reachable = treatment_node in response_ancestors
+            if reachable:
+                info = parent_info_get(treatment_node)
+                if info is None:
+                    info = build_parent_info(treatment_node)
+                for entry in info:
+                    parent = entry[0]
+                    own_nodes.add(parent)
+                    value = values_get(parent, _MISSING)
+                    if value is not _MISSING:
+                        bucket = entry[3]
+                        if bucket is None:
+                            own_name = entry[1]
+                            bucket = buckets.get(own_name)
+                            if bucket is None:
+                                covariate_order.append(own_name)
+                                bucket = buckets[own_name] = ([], [])
+                            entry[3] = bucket
+                        bucket[0].append(value)
+                        bucket[1].append(row)
+        seen_peer_parents: set[GroundedAttribute] = set()
+        for peer_node in peer_nodes:
+            if peer_node not in dag_parents:
+                continue
+            if peer_node != response_node and not (
+                response_parents is not None and peer_node in response_parents
+            ):
+                if response_ancestors is None:
+                    response_ancestors = (
+                        graph.ancestors(response_node)
+                        if response_parents is not None
+                        else _EMPTY_SET
+                    )
+                if peer_node not in response_ancestors:
+                    continue
+            info = parent_info_get(peer_node)
+            if info is None:
+                info = build_parent_info(peer_node)
+            for entry in info:
+                parent = entry[0]
+                if parent in seen_peer_parents:
+                    continue
+                seen_peer_parents.add(parent)
+                if parent in own_nodes:
+                    continue
+                value = values_get(parent, _MISSING)
+                if value is not _MISSING:
+                    bucket = entry[4]
+                    if bucket is None:
+                        peer_name = entry[2]
+                        bucket = buckets.get(peer_name)
+                        if bucket is None:
+                            covariate_order.append(peer_name)
+                            bucket = buckets[peer_name] = ([], [])
+                        entry[4] = bucket
+                    bucket[0].append(value)
+                    bucket[1].append(row)
+
+        kept_units.append(unit)
+        outcomes_raw.append(outcome_value)
+        treatments_raw.append(treatment_value)
+        peer_counts.append(len(unit_peers))
+        row += 1
+
+    if not kept_units:
+        raise EstimationError(
+            f"no units with observed treatment {treatment_attribute!r} and response "
+            f"{response_attribute!r}; cannot build a unit table"
+        )
+
+    n_units = len(kept_units)
+    treatment = _binarize_vector(treatments_raw, binarize, vectorized_binarize)
+    peer_flat = _binarize_vector(peer_values_raw, binarize, vectorized_binarize)
+    outcome = np.asarray(outcomes_raw, dtype=float)
+
+    peer_gids = np.asarray(peer_group_ids, dtype=np.intp)
+    if len(peer_flat) == 0:
+        peer_matrix, peer_columns = np.empty((n_units, 0)), []
+    else:
+        embedder = _fit_embedder(copy.deepcopy(peer_embedder), peer_flat, peer_gids, n_units)
+        peer_columns = embedder.feature_names("peer_treatment")
+        peer_matrix = _apply_embedder(embedder, peer_flat, peer_gids, n_units)
+
+    blocks: list[np.ndarray] = []
+    columns: list[str] = []
+    for attribute in covariate_order:
+        flat_values, flat_group_ids = buckets[attribute]
+        group_ids = np.asarray(flat_group_ids, dtype=np.intp)
+        numeric = as_numeric_array(flat_values)
+        if numeric is None and _is_numeric_attribute([flat_values]):
+            numeric = np.asarray([_to_number(value) for value in flat_values], dtype=float)
+        if numeric is not None:
+            embedder = _fit_embedder(
+                copy.deepcopy(get_embedding(embedding)), numeric, group_ids, n_units
+            )
+            block = _apply_embedder(embedder, numeric, group_ids, n_units)
+            block_columns = embedder.feature_names(f"cov_{attribute}")
+        else:
+            block, block_columns = _encode_categorical_flat(
+                attribute, flat_values, group_ids, n_units
+            )
+        blocks.append(block)
+        columns.extend(block_columns)
+    covariate_matrix = np.hstack(blocks) if blocks else np.empty((n_units, 0))
+
+    return UnitTable(
+        unit_keys=kept_units,
+        outcome=outcome,
+        treatment=treatment,
+        peer_treatment=peer_matrix,
+        peer_counts=np.asarray(peer_counts, dtype=float),
+        covariates=covariate_matrix,
+        peer_columns=peer_columns,
+        covariate_columns=columns,
+        treatment_attribute=treatment_attribute,
+        response_attribute=response_attribute,
+    )
+
+
+def _binarize_vector(
+    raw_values: list[Any], binarize: Callable[[Any], float], vectorize: bool
+) -> np.ndarray:
+    """Binarize treatments in bulk; error semantics match the row path."""
+    if not raw_values:
+        return np.empty(0)
+    if vectorize:
+        array = as_numeric_array(raw_values)
+        if array is not None:
+            valid = (array == 0.0) | (array == 1.0)
+            if bool(valid.all()):
+                return array
+            # Raise the row path's exact error for the first offending value.
+            binarize(raw_values[int(np.argmax(~valid))])
+    return np.asarray([binarize(value) for value in raw_values], dtype=float)
+
+
+def _defining_class(cls: type, method: str) -> type | None:
+    """The most-derived class in ``cls``'s MRO that defines ``method``."""
+    for base in cls.__mro__:
+        if method in vars(base):
+            return base
+    return None
+
+
+def _flat_method_usable(cls: type, scalar: str, flat: str) -> bool:
+    """True when the ``flat`` kernel is at least as derived as the ``scalar``
+    method, i.e. no subclass customized the scalar behavior below the class
+    that supplied the vectorized kernel (which would be silently bypassed)."""
+    flat_owner = _defining_class(cls, flat)
+    scalar_owner = _defining_class(cls, scalar)
+    if flat_owner is None or scalar_owner is None:
+        return flat_owner is not None
+    return issubclass(flat_owner, scalar_owner)
+
+
+def _fit_embedder(
+    embedder: Embedding, values: np.ndarray, group_ids: np.ndarray, n_groups: int
+) -> Embedding:
+    """Fit on flat arrays; custom embeddings whose ``fit`` override is more
+    derived than their ``fit_flat`` get their groups reconstructed so the
+    custom fitting logic still runs."""
+    cls = type(embedder)
+    if _defining_class(cls, "fit") is Embedding or _flat_method_usable(cls, "fit", "fit_flat"):
+        return embedder.fit_flat(values, group_ids, n_groups)
+    return embedder.fit(_regroup(values, group_ids, n_groups))
+
+
+def _apply_embedder(
+    embedder: Embedding, values: np.ndarray, group_ids: np.ndarray, n_groups: int
+) -> np.ndarray:
+    if _flat_method_usable(type(embedder), "apply", "apply_flat"):
+        matrix = embedder.apply_flat(values, group_ids, n_groups)
+        if matrix is not None:
+            return matrix
+    groups = _regroup(values, group_ids, n_groups)
+    return np.asarray([embedder.apply(group) for group in groups], dtype=float)
+
+
+def _regroup(values: np.ndarray, group_ids: np.ndarray, n_groups: int) -> list[list[float]]:
+    groups: list[list[float]] = [[] for _ in range(n_groups)]
+    for group, value in zip(group_ids.tolist(), values.tolist()):
+        groups[group].append(value)
+    return groups
+
+
+def _encode_categorical_flat(
+    attribute: str, values: list[Any], group_ids: np.ndarray, n_groups: int
+) -> tuple[np.ndarray, list[str]]:
+    """Vectorized :func:`_encode_categorical` over flat (value, unit) pairs."""
+    counts: Counter[Any] = Counter(values)
+    categories = [category for category, _ in counts.most_common(MAX_CATEGORIES)]
+    category_index = {category: position for position, category in enumerate(categories)}
+    has_other = len(counts) > len(categories)
+
+    width = len(categories) + (1 if has_other else 0) + 1  # + count column
+    matrix = np.zeros((n_groups, width), dtype=float)
+    totals = np.bincount(group_ids, minlength=n_groups).astype(float)
+    if values:
+        other_position = len(categories)
+        positions = np.asarray(
+            [category_index.get(value, other_position) for value in values], dtype=np.intp
+        )
+        np.add.at(matrix, (group_ids, positions), 1.0 / totals[group_ids])
+        nonempty = totals > 0
+        matrix[nonempty, -1] = totals[nonempty]
+
+    columns = [f"cov_{attribute}_is_{_category_label(category)}" for category in categories]
+    if has_other:
+        columns.append(f"cov_{attribute}_is_other")
+    columns.append(f"cov_{attribute}_count")
+    return matrix, columns
 
 
 # ----------------------------------------------------------------------

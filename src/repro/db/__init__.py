@@ -7,19 +7,38 @@ for CaRL — typed tables, conjunctive-query evaluation (the ``WHERE Q(Y)``
 conditions of relational causal rules), aggregation, and CSV import/export.
 """
 
-from repro.db.aggregates import AGGREGATES, aggregate
+from repro.db.aggregates import (
+    AGGREGATES,
+    GROUPED_AGGREGATES,
+    aggregate,
+    grouped_aggregate,
+)
 from repro.db.database import Database
 from repro.db.query import Atom, ConjunctiveQuery
 from repro.db.schema import ColumnSchema, TableSchema
-from repro.db.table import Table
+from repro.db.table import (
+    TABLE_BACKENDS,
+    ColumnarTable,
+    Table,
+    as_columnar,
+    as_rows,
+    table_backend,
+)
 
 __all__ = [
     "AGGREGATES",
     "Atom",
     "ColumnSchema",
+    "ColumnarTable",
     "ConjunctiveQuery",
     "Database",
+    "GROUPED_AGGREGATES",
+    "TABLE_BACKENDS",
     "Table",
     "TableSchema",
     "aggregate",
+    "as_columnar",
+    "as_rows",
+    "grouped_aggregate",
+    "table_backend",
 ]

@@ -5,6 +5,16 @@ conjunctive query (Definition 3.3).  Grounding a rule amounts to enumerating
 the satisfying assignments of that query over the relational skeleton; this
 module implements exactly that: atoms over base tables, joined by shared
 variables, evaluated with a simple index-backed nested-loop strategy.
+
+Two evaluation backends produce identical results (bindings and their
+order):
+
+* ``"rows"`` — the original strategy: bindings are dicts, candidate rows are
+  materialized as dicts via :meth:`~repro.db.table.Table.lookup`.
+* ``"columnar"`` — the vectorized strategy (the default): the binding set is
+  stored column-major (one value list per variable) and atoms are joined by
+  probing the table's hash index against raw column storage, so no per-row
+  dicts are allocated while the join runs.
 """
 
 from __future__ import annotations
@@ -14,6 +24,10 @@ from collections.abc import Iterator, Sequence
 from typing import Any
 
 from repro.db.database import Database
+
+#: Evaluation backend used when :meth:`ConjunctiveQuery.evaluate` is not given
+#: one explicitly.
+DEFAULT_QUERY_BACKEND = "columnar"
 
 
 @dataclass(frozen=True)
@@ -91,16 +105,25 @@ class ConjunctiveQuery:
     # ------------------------------------------------------------------
     # evaluation
     # ------------------------------------------------------------------
-    def evaluate(self, database: Database) -> list[Binding]:
+    def evaluate(self, database: Database, backend: str | None = None) -> list[Binding]:
         """Return all satisfying assignments as ``{variable name: value}`` dicts.
 
         Duplicate bindings (arising from bag semantics of the underlying
         tables) are removed: the result has set semantics over the query
-        variables, matching Definition 3.5 of the paper.
+        variables, matching Definition 3.5 of the paper.  ``backend`` selects
+        the evaluation strategy (``"rows"`` or ``"columnar"``); both return
+        identical bindings in identical order.
         """
+        backend = backend or DEFAULT_QUERY_BACKEND
+        if backend not in ("rows", "columnar"):
+            raise QueryError(
+                f"unknown query backend {backend!r}; expected 'rows' or 'columnar'"
+            )
         self.validate(database)
         if not self.atoms:
             return [{}]
+        if backend == "columnar":
+            return self._evaluate_columnar(database)
 
         bindings: list[Binding] = [{}]
         for atom in self._ordered_atoms(database):
@@ -114,6 +137,27 @@ class ConjunctiveQuery:
             key = tuple(binding.get(name) for name in names)
             unique.setdefault(key, {name: binding.get(name) for name in names})
         return list(unique.values())
+
+    def _evaluate_columnar(self, database: Database) -> list[Binding]:
+        """Column-major evaluation: the binding set is one value list per
+        variable, extended atom by atom without materializing row dicts."""
+        columns: dict[str, list[Any]] = {}
+        count = 1  # one empty binding
+        for atom in self._ordered_atoms(database):
+            columns, count = self._extend_columnar(database, atom, columns, count)
+            if count == 0:
+                return []
+        names = [variable.name for variable in self.variables]
+        unique: dict[tuple[Any, ...], int] = {}
+        for position in range(count):
+            key = tuple(
+                columns[name][position] if name in columns else None for name in names
+            )
+            unique.setdefault(key, position)
+        return [
+            {name: columns[name][position] if name in columns else None for name in names}
+            for position in unique.values()
+        ]
 
     def _ordered_atoms(self, database: Database) -> list[Atom]:
         """Greedy join order: start from the smallest table, then prefer atoms
@@ -133,6 +177,99 @@ class ConjunctiveQuery:
             ordered.append(chosen)
             bound.update(v.name for v in chosen.variables)
         return ordered
+
+    def _extend_columnar(
+        self,
+        database: Database,
+        atom: Atom,
+        bindings: dict[str, list[Any]],
+        count: int,
+    ) -> tuple[dict[str, list[Any]], int]:
+        """Extend a column-major binding set with one atom.
+
+        Mirrors :meth:`_extend` exactly — same access-path choice, same
+        candidate order — but keeps bindings as parallel value lists and
+        reads the table through its raw column storage.
+        """
+        table = database.table(atom.predicate)
+        columns = table.columns
+        column_lists = [table._column_list(column) for column in columns]  # noqa: SLF001
+
+        # Classify term positions once (the bound-variable set is uniform
+        # across all bindings at a given stage).
+        constants: list[tuple[int, Any]] = []
+        bound_positions: list[tuple[int, str]] = []
+        new_positions: dict[str, int] = {}
+        duplicate_new: list[tuple[int, int]] = []
+        for position, term in enumerate(atom.terms):
+            if isinstance(term, Variable):
+                if term.name in bindings:
+                    bound_positions.append((position, term.name))
+                elif term.name in new_positions:
+                    duplicate_new.append((position, new_positions[term.name]))
+                else:
+                    new_positions[term.name] = position
+            else:
+                constants.append((position, term))
+
+        # Access path: first bound-variable or constant position, as in _extend.
+        lookup_name: str | None = None
+        lookup_constant: Any = None
+        lookup_position: int | None = None
+        for position, term in enumerate(atom.terms):
+            if isinstance(term, Variable):
+                if term.name in bindings:
+                    lookup_position, lookup_name = position, term.name
+                    break
+            else:
+                lookup_position, lookup_constant = position, term
+                break
+
+        index: dict[Any, list[int]] | None = None
+        all_positions: range | None = None
+        if lookup_position is not None:
+            lookup_column = columns[lookup_position]
+            if lookup_column not in table._indexes:  # noqa: SLF001 - internal fast path
+                table.build_index(lookup_column)
+            index = table._indexes[lookup_column]  # noqa: SLF001
+        else:
+            all_positions = range(len(table))
+
+        carried = list(bindings)
+        introduced = list(new_positions)
+        extended: dict[str, list[Any]] = {name: [] for name in (*carried, *introduced)}
+        out_count = 0
+        lookup_values = bindings[lookup_name] if lookup_name is not None else None
+
+        for binding_position in range(count):
+            if index is None:
+                candidates: Sequence[int] = all_positions  # type: ignore[assignment]
+            elif lookup_values is not None:
+                candidates = index.get(lookup_values[binding_position], ())
+            else:
+                candidates = index.get(lookup_constant, ())
+            for row_position in candidates:
+                if any(
+                    column_lists[position][row_position] != value
+                    for position, value in constants
+                ):
+                    continue
+                if any(
+                    column_lists[position][row_position] != bindings[name][binding_position]
+                    for position, name in bound_positions
+                ):
+                    continue
+                if any(
+                    column_lists[position][row_position] != column_lists[first][row_position]
+                    for position, first in duplicate_new
+                ):
+                    continue
+                for name in carried:
+                    extended[name].append(bindings[name][binding_position])
+                for name in introduced:
+                    extended[name].append(column_lists[new_positions[name]][row_position])
+                out_count += 1
+        return extended, out_count
 
     def _extend(
         self, database: Database, atom: Atom, bindings: list[Binding]

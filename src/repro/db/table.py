@@ -1,4 +1,19 @@
-"""In-memory relational table with selection, projection, join and grouping."""
+"""In-memory relational tables with selection, projection, join and grouping.
+
+Two interchangeable backends share one relational API:
+
+* :class:`Table` — the original row-major backend: rows stored as tuples in
+  schema order, operators implemented row-at-a-time.
+* :class:`ColumnarTable` — the column-major backend: one value list (plus a
+  lazily built, cached numpy array) per column; filters, joins and group-bys
+  are vectorized and results are assembled by bulk column gathers instead of
+  per-row dict inserts.
+
+Both expose the same row facade (``rows()`` yields dicts), enforce the same
+schema validation on insert, and produce results in the same order, so they
+are drop-in replacements for each other; ``tests/test_backend_parity.py``
+holds them to that contract with differential property tests.
+"""
 
 from __future__ import annotations
 
@@ -6,7 +21,52 @@ from collections import defaultdict
 from collections.abc import Callable, Iterable, Iterator, Sequence
 from typing import Any
 
+import numpy as np
+
+from repro.db.aggregates import (
+    aggregate as apply_aggregate,
+    as_numeric_array,
+    grouped_aggregate,
+)
 from repro.db.schema import ColumnSchema, SchemaError, TableSchema
+
+
+def infer_table_schema(
+    name: str,
+    rows: Sequence[dict[str, Any]],
+    dtypes: dict[str, str] | None = None,
+    primary_key: Sequence[str] = (),
+) -> TableSchema:
+    """Infer a :class:`TableSchema` from the first row (or use ``dtypes``)."""
+    if not rows:
+        raise SchemaError("cannot infer a schema from zero rows; pass an explicit schema")
+    columns = list(rows[0])
+    if dtypes is None:
+        dtypes = {}
+        for column in columns:
+            value = rows[0][column]
+            if isinstance(value, bool):
+                dtypes[column] = "bool"
+            elif isinstance(value, int):
+                dtypes[column] = "int"
+            elif isinstance(value, float):
+                dtypes[column] = "float"
+            elif isinstance(value, str):
+                dtypes[column] = "str"
+            else:
+                dtypes[column] = "any"
+    return TableSchema(
+        name=name,
+        columns=tuple(ColumnSchema(column, dtypes.get(column, "any")) for column in columns),
+        primary_key=tuple(primary_key),
+    )
+
+
+def _apply_aggregation(fn: str | Callable[[list[Any]], Any], values: list[Any]) -> Any:
+    """Apply a ``group_by`` aggregation: a callable, or an aggregate name."""
+    if isinstance(fn, str):
+        return apply_aggregate(fn, values)
+    return fn(values)
 
 
 class Table:
@@ -37,29 +97,7 @@ class Table:
         primary_key: Sequence[str] = (),
     ) -> "Table":
         """Infer a schema from ``rows`` (or use ``dtypes``) and build a table."""
-        if not rows:
-            raise SchemaError("cannot infer a schema from zero rows; pass an explicit schema")
-        columns = list(rows[0])
-        if dtypes is None:
-            dtypes = {}
-            for column in columns:
-                value = rows[0][column]
-                if isinstance(value, bool):
-                    dtypes[column] = "bool"
-                elif isinstance(value, int):
-                    dtypes[column] = "int"
-                elif isinstance(value, float):
-                    dtypes[column] = "float"
-                elif isinstance(value, str):
-                    dtypes[column] = "str"
-                else:
-                    dtypes[column] = "any"
-        schema = TableSchema(
-            name=name,
-            columns=tuple(ColumnSchema(column, dtypes.get(column, "any")) for column in columns),
-            primary_key=tuple(primary_key),
-        )
-        return cls(schema, rows)
+        return cls(infer_table_schema(name, rows, dtypes, primary_key), rows)
 
     # ------------------------------------------------------------------
     # mutation
@@ -220,12 +258,13 @@ class Table:
     def group_by(
         self,
         keys: Sequence[str],
-        aggregations: dict[str, tuple[str, Callable[[list[Any]], Any]]],
+        aggregations: dict[str, tuple[str, str | Callable[[list[Any]], Any]]],
     ) -> "Table":
         """Group rows by ``keys`` and aggregate.
 
         ``aggregations`` maps output column name to ``(input column, fn)``
-        where ``fn`` receives the list of group values.
+        where ``fn`` receives the list of group values; ``fn`` may also be a
+        registered aggregate name (e.g. ``"AVG"``).
         """
         groups: dict[tuple[Any, ...], list[dict[str, Any]]] = defaultdict(list)
         for row in self.rows():
@@ -238,7 +277,7 @@ class Table:
         for key_values, members in groups.items():
             row = dict(zip(keys, key_values))
             for output, (input_column, fn) in aggregations.items():
-                row[output] = fn([member[input_column] for member in members])
+                row[output] = _apply_aggregation(fn, [member[input_column] for member in members])
             result.insert(row)
         return result
 
@@ -264,10 +303,475 @@ class Table:
         ]
 
     # ------------------------------------------------------------------
+    # backend conversion
+    # ------------------------------------------------------------------
+    def to_columnar(self) -> "ColumnarTable":
+        """Convert to the column-major backend (values are already validated)."""
+        if len(self._rows):
+            columns_data = [list(values) for values in zip(*self._rows)]
+        else:
+            columns_data = [[] for _ in self.schema.columns]
+        return ColumnarTable._from_columns(self.schema, columns_data)
+
+    # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
+    def _column_list(self, name: str) -> list[Any]:
+        """Raw column values (internal; may alias storage, do not mutate)."""
+        return self.column(name)
+
     def _schema_without_key(self, name: str) -> TableSchema:
         return TableSchema(name=name, columns=self.schema.columns)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Table({self.schema.name!r}, rows={len(self)}, columns={list(self.columns)})"
+
+
+class ColumnarTable:
+    """Column-major table: one value list + cached numpy array per column.
+
+    Drop-in replacement for :class:`Table` with the same relational API and
+    identical results (including row order), but with vectorized filters,
+    hash joins over column arrays, and group-bys that dispatch to the grouped
+    numpy aggregate kernels of :mod:`repro.db.aggregates`.
+
+    Row values are stored as the original Python objects, so the row facade
+    (``rows()``, ``lookup()``, ``to_list()``) never leaks numpy scalars for
+    columns the schema does not type.  Typed numeric columns (non-nullable
+    ``int``/``float``/``bool``) get real numpy arrays; everything else falls
+    back to object arrays, which still support vectorized equality masks and
+    fancy-index gathers.
+    """
+
+    def __init__(self, schema: TableSchema, rows: Iterable[dict[str, Any]] = ()) -> None:
+        self.schema = schema
+        self._data: list[list[Any]] = [[] for _ in schema.columns]
+        self._array_cache: list[np.ndarray | None] = [None] * len(schema.columns)
+        self._key_index: dict[tuple[Any, ...], int] = {}
+        self._indexes: dict[str, dict[Any, list[int]]] = {}
+        for row in rows:
+            self.insert(row)
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_rows(
+        cls,
+        name: str,
+        rows: Sequence[dict[str, Any]],
+        dtypes: dict[str, str] | None = None,
+        primary_key: Sequence[str] = (),
+    ) -> "ColumnarTable":
+        """Infer a schema from ``rows`` (or use ``dtypes``) and build a table."""
+        return cls(infer_table_schema(name, rows, dtypes, primary_key), rows)
+
+    @classmethod
+    def from_columns(
+        cls,
+        name: str,
+        columns: dict[str, Sequence[Any]],
+        dtypes: dict[str, str] | None = None,
+        primary_key: Sequence[str] = (),
+    ) -> "ColumnarTable":
+        """Bulk construction from column sequences (validated per column)."""
+        if not columns:
+            raise SchemaError("cannot build a columnar table from zero columns")
+        lengths = {len(values) for values in columns.values()}
+        if len(lengths) > 1:
+            raise SchemaError(f"columns of table {name!r} have unequal lengths: {sorted(lengths)}")
+        dtypes = dtypes or {}
+        schema = TableSchema(
+            name=name,
+            columns=tuple(ColumnSchema(column, dtypes.get(column, "any")) for column in columns),
+            primary_key=tuple(primary_key),
+        )
+        validated: list[list[Any]] = []
+        for column_schema, values in zip(schema.columns, columns.values()):
+            if column_schema.dtype == "any":
+                # "any" disables type checks but not the null check.
+                if not column_schema.nullable and any(value is None for value in values):
+                    raise SchemaError(f"column {column_schema.name!r} is not nullable")
+                validated.append(list(values))
+            else:
+                validated.append([column_schema.validate(value) for value in values])
+        return cls._from_columns(schema, validated)
+
+    @classmethod
+    def _from_columns(cls, schema: TableSchema, columns_data: list[list[Any]]) -> "ColumnarTable":
+        """Internal fast path: adopt already-validated column lists."""
+        table = cls(schema)
+        table._data = columns_data
+        table._array_cache = [None] * len(schema.columns)
+        if schema.primary_key:
+            key_positions = [schema.index_of(column) for column in schema.primary_key]
+            for position in range(len(columns_data[0]) if columns_data else 0):
+                key = tuple(columns_data[p][position] for p in key_positions)
+                if key in table._key_index:
+                    raise SchemaError(
+                        f"duplicate primary key {key!r} in table {schema.name!r}"
+                    )
+                table._key_index[key] = position
+        return table
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def insert(self, row: dict[str, Any]) -> None:
+        """Insert a row (mapping of column name to value)."""
+        values = self.schema.validate_row(row)
+        if self.schema.primary_key:
+            key = tuple(values[self.schema.index_of(k)] for k in self.schema.primary_key)
+            if key in self._key_index:
+                raise SchemaError(
+                    f"duplicate primary key {key!r} in table {self.schema.name!r}"
+                )
+            self._key_index[key] = len(self._data[0])
+        position = len(self._data[0])
+        for column_position, value in enumerate(values):
+            self._data[column_position].append(value)
+        for column, index in self._indexes.items():
+            index.setdefault(values[self.schema.index_of(column)], []).append(position)
+
+    def insert_many(self, rows: Iterable[dict[str, Any]]) -> None:
+        for row in rows:
+            self.insert(row)
+
+    # ------------------------------------------------------------------
+    # inspection (row facade)
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return self.schema.column_names
+
+    def __len__(self) -> int:
+        return len(self._data[0]) if self._data else 0
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        return self.rows()
+
+    def rows(self) -> Iterator[dict[str, Any]]:
+        """Iterate over rows as dictionaries."""
+        columns = self.schema.column_names
+        for values in zip(*self._data):
+            yield dict(zip(columns, values))
+
+    def to_list(self) -> list[dict[str, Any]]:
+        return list(self.rows())
+
+    def column(self, name: str) -> list[Any]:
+        """All values of one column, in row order."""
+        return list(self._data[self.schema.index_of(name)])
+
+    def _column_list(self, name: str) -> list[Any]:
+        """Raw column values (internal; aliases storage, do not mutate)."""
+        return self._data[self.schema.index_of(name)]
+
+    def array(self, name: str) -> np.ndarray:
+        """The column as a (cached) numpy array.
+
+        Typed non-nullable ``int``/``float``/``bool`` columns yield numeric
+        arrays; other columns yield object arrays of the original values.
+        """
+        return self._array_by_position(self.schema.index_of(name))
+
+    def distinct(self, name: str) -> list[Any]:
+        """Distinct values of one column, in first-seen order."""
+        return list(dict.fromkeys(self._column_list(name)))
+
+    def get_by_key(self, key: tuple[Any, ...] | Any) -> dict[str, Any]:
+        """Look up a row by primary key (scalar keys need not be wrapped)."""
+        if not self.schema.primary_key:
+            raise SchemaError(f"table {self.schema.name!r} has no primary key")
+        if not isinstance(key, tuple):
+            key = (key,)
+        position = self._key_index.get(key)
+        if position is None:
+            raise KeyError(f"no row with key {key!r} in table {self.schema.name!r}")
+        return {
+            column: self._data[column_position][position]
+            for column_position, column in enumerate(self.schema.column_names)
+        }
+
+    # ------------------------------------------------------------------
+    # relational operators (vectorized)
+    # ------------------------------------------------------------------
+    def select(self, predicate: Callable[[dict[str, Any]], bool]) -> "ColumnarTable":
+        """Rows satisfying ``predicate`` (selection).
+
+        The predicate is an arbitrary Python callable over the row facade, so
+        this operator cannot be vectorized; the result is still assembled by
+        bulk column gathers.  Prefer :meth:`where` for equality filters.
+        """
+        indices = [position for position, row in enumerate(self.rows()) if predicate(row)]
+        return self._take(indices, schema=self._schema_without_key(self.schema.name))
+
+    def where(self, **conditions: Any) -> "ColumnarTable":
+        """Rows whose columns equal the given values (vectorized equality)."""
+        for column in conditions:
+            self.schema.index_of(column)
+        mask = np.ones(len(self), dtype=bool)
+        for column, value in conditions.items():
+            mask &= _equality_mask(self.array(column), value)
+        return self._take(
+            np.flatnonzero(mask), schema=self._schema_without_key(self.schema.name)
+        )
+
+    def project(self, columns: Sequence[str], distinct: bool = False) -> "ColumnarTable":
+        """Keep only ``columns`` (projection), optionally deduplicating."""
+        column_schemas = tuple(self.schema.column(name) for name in columns)
+        schema = TableSchema(name=self.schema.name, columns=column_schemas)
+        data = [self._column_list(name) for name in columns]
+        if distinct and data:
+            keep: list[int] = []
+            seen: set[tuple[Any, ...]] = set()
+            for position, values in enumerate(zip(*data)):
+                if values not in seen:
+                    seen.add(values)
+                    keep.append(position)
+            data = [[column[position] for position in keep] for column in data]
+        return ColumnarTable._from_columns(schema, [list(column) for column in data])
+
+    def rename(self, mapping: dict[str, str], name: str | None = None) -> "ColumnarTable":
+        """Rename columns according to ``mapping``."""
+        columns = tuple(
+            ColumnSchema(mapping.get(column.name, column.name), column.dtype, column.nullable)
+            for column in self.schema.columns
+        )
+        schema = TableSchema(name=name or self.schema.name, columns=columns)
+        return ColumnarTable._from_columns(schema, [list(column) for column in self._data])
+
+    def join(
+        self, other: "Table | ColumnarTable", on: Sequence[str] | None = None, name: str | None = None
+    ) -> "ColumnarTable":
+        """Natural (or explicit equi-) hash join over column arrays.
+
+        Semantics and row order match :meth:`Table.join`: left rows in order,
+        matching right rows in their table order, left values winning on
+        non-join column collisions.
+        """
+        if on is None:
+            on = [column for column in self.columns if column in other.columns]
+        for column in on:
+            self.schema.index_of(column)
+            other.schema.index_of(column)
+
+        other_extra = [column for column in other.columns if column not in self.columns]
+        joined_columns = tuple(self.schema.columns) + tuple(
+            other.schema.column(column) for column in other_extra
+        )
+        schema = TableSchema(name=name or f"{self.name}_{other.name}", columns=joined_columns)
+
+        n_left, n_right = len(self), len(other)
+        if not on:
+            left_take = np.repeat(np.arange(n_left), n_right)
+            right_take = np.tile(np.arange(n_right), n_left)
+        else:
+            right_keys = _key_tuples(other, on)
+            index: dict[Any, list[int]] = {}
+            for position, key in enumerate(right_keys):
+                index.setdefault(key, []).append(position)
+            left_indices: list[int] = []
+            right_indices: list[int] = []
+            for position, key in enumerate(_key_tuples(self, on)):
+                matches = index.get(key)
+                if matches:
+                    left_indices.extend([position] * len(matches))
+                    right_indices.extend(matches)
+            left_take = np.asarray(left_indices, dtype=np.intp)
+            right_take = np.asarray(right_indices, dtype=np.intp)
+
+        data = [_gather(self, column, left_take) for column in self.columns]
+        data.extend(_gather(other, column, right_take) for column in other_extra)
+        return ColumnarTable._from_columns(schema, data)
+
+    def group_by(
+        self,
+        keys: Sequence[str],
+        aggregations: dict[str, tuple[str, str | Callable[[list[Any]], Any]]],
+    ) -> "ColumnarTable":
+        """Group rows by ``keys`` and aggregate (vectorized where possible).
+
+        Aggregations given as registered names (e.g. ``"AVG"``) over numeric
+        columns run as single-pass numpy kernels (equal to the scalar
+        aggregates up to float tolerance).  Callables — including the
+        registered scalar functions themselves — are always invoked per
+        group, exactly as :meth:`Table.group_by` does, so an explicitly
+        chosen aggregation algorithm is never silently substituted.
+        """
+        n_rows = len(self)
+        key_columns = [self._column_list(key) for key in keys]
+        group_of: dict[tuple[Any, ...], int] = {}
+        group_ids = np.empty(n_rows, dtype=np.intp)
+        for position, key in enumerate(zip(*key_columns) if key_columns else ((),) * n_rows):
+            group = group_of.get(key)
+            if group is None:
+                group = group_of.setdefault(key, len(group_of))
+            group_ids[position] = group
+        n_groups = len(group_of)
+
+        key_schemas = tuple(self.schema.column(key) for key in keys)
+        agg_columns = tuple(ColumnSchema(output, "any") for output in aggregations)
+        schema = TableSchema(name=f"{self.name}_grouped", columns=key_schemas + agg_columns)
+
+        data: list[list[Any]] = [
+            [key[position] for key in group_of] for position in range(len(keys))
+        ]
+        for output, (input_column, fn) in aggregations.items():
+            values = self._column_list(input_column)
+            aggregate_name = fn.upper() if isinstance(fn, str) else None
+            numeric = as_numeric_array(values) if aggregate_name is not None else None
+            if numeric is not None and aggregate_name is not None:
+                results = grouped_aggregate(aggregate_name, numeric, group_ids, n_groups)
+                data.append(results.tolist())
+            else:
+                grouped_values: list[list[Any]] = [[] for _ in range(n_groups)]
+                for group, value in zip(group_ids, values):
+                    grouped_values[group].append(value)
+                data.append([_apply_aggregation(fn, group) for group in grouped_values])
+        return ColumnarTable._from_columns(schema, data)
+
+    def build_index(self, column: str) -> None:
+        """Build (or rebuild) a hash index on ``column`` for :meth:`lookup`."""
+        values = self._column_list(column)
+        index: dict[Any, list[int]] = {}
+        for row_number, value in enumerate(values):
+            index.setdefault(value, []).append(row_number)
+        self._indexes[column] = index
+
+    def lookup(self, column: str, value: Any) -> list[dict[str, Any]]:
+        """Rows whose ``column`` equals ``value`` (uses an index when present)."""
+        columns = self.schema.column_names
+        if column in self._indexes:
+            positions = self._indexes[column].get(value, ())
+        else:
+            values = self._column_list(column)
+            positions = [i for i, candidate in enumerate(values) if candidate == value]
+        return [
+            {name: self._data[p][position] for p, name in enumerate(columns)}
+            for position in positions
+        ]
+
+    # ------------------------------------------------------------------
+    # backend conversion
+    # ------------------------------------------------------------------
+    def to_row_table(self) -> Table:
+        """Convert to the row-major backend."""
+        table = Table(self.schema)
+        table._rows = [tuple(values) for values in zip(*self._data)]
+        if self.schema.primary_key:
+            table._key_index = dict(self._key_index)
+        return table
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _array_by_position(self, position: int) -> np.ndarray:
+        data = self._data[position]
+        cached = self._array_cache[position]
+        if cached is not None and len(cached) == len(data):
+            return cached
+        column_schema = self.schema.columns[position]
+        array: np.ndarray | None = None
+        if not column_schema.nullable:
+            try:
+                if column_schema.dtype == "float":
+                    array = np.asarray(data, dtype=float)
+                elif column_schema.dtype == "int":
+                    array = np.asarray(data, dtype=np.int64)
+                elif column_schema.dtype == "bool":
+                    array = np.asarray(data, dtype=bool)
+            except (ValueError, TypeError, OverflowError):
+                array = None
+        if array is None:
+            array = np.empty(len(data), dtype=object)
+            array[:] = data
+        self._array_cache[position] = array
+        return array
+
+    def _take(self, indices: Sequence[int] | np.ndarray, schema: TableSchema) -> "ColumnarTable":
+        take = np.asarray(indices, dtype=np.intp)
+        data = [
+            self._array_by_position(position)[take].tolist()
+            for position in range(len(self.schema.columns))
+        ]
+        return ColumnarTable._from_columns(schema, data)
+
+    def _schema_without_key(self, name: str) -> TableSchema:
+        return TableSchema(name=name, columns=self.schema.columns)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ColumnarTable({self.schema.name!r}, rows={len(self)}, "
+            f"columns={list(self.columns)})"
+        )
+
+
+# ----------------------------------------------------------------------
+# backend registry and helpers
+# ----------------------------------------------------------------------
+#: Table backends by name; :class:`~repro.db.database.Database` and the CaRL
+#: engine select one via their ``backend`` parameter.
+TABLE_BACKENDS: dict[str, type] = {"rows": Table, "columnar": ColumnarTable}
+
+AnyTable = Table | ColumnarTable
+
+
+def table_backend(name: str) -> type:
+    """Resolve a table backend class by name."""
+    backend = TABLE_BACKENDS.get(name)
+    if backend is None:
+        raise SchemaError(
+            f"unknown table backend {name!r}; expected one of {sorted(TABLE_BACKENDS)}"
+        )
+    return backend
+
+
+def as_columnar(table: AnyTable) -> "ColumnarTable":
+    """Convert any table to the columnar backend (no-op when already columnar)."""
+    if isinstance(table, ColumnarTable):
+        return table
+    return table.to_columnar()
+
+
+def as_rows(table: AnyTable) -> Table:
+    """Convert any table to the row backend (no-op when already row-major)."""
+    if isinstance(table, Table):
+        return table
+    return table.to_row_table()
+
+
+def _equality_mask(array: np.ndarray, value: Any) -> np.ndarray:
+    """Vectorized ``array == value`` that always yields a boolean mask.
+
+    Sequence-valued ``value`` (tuples, lists, arrays stored in ``any``
+    columns) must compare as a scalar against each cell — numpy would
+    broadcast it elementwise across rows instead — so those fall back to a
+    per-cell comparison, matching the row backend.
+    """
+    if isinstance(value, (list, tuple, set, frozenset, dict, np.ndarray)):
+        return np.fromiter(
+            (cell == value for cell in array), dtype=bool, count=len(array)
+        )
+    result = array == value
+    if not isinstance(result, np.ndarray):
+        return np.full(len(array), bool(result))
+    return result.astype(bool, copy=False)
+
+
+def _key_tuples(table: AnyTable, columns: Sequence[str]) -> list[tuple[Any, ...]]:
+    """Row-order join/group keys as tuples, straight from column storage."""
+    column_lists = [table._column_list(column) for column in columns]
+    return list(zip(*column_lists))
+
+
+def _gather(table: AnyTable, column: str, indices: np.ndarray) -> list[Any]:
+    """Values of ``column`` at ``indices``, as a Python list."""
+    if isinstance(table, ColumnarTable):
+        return table._array_by_position(table.schema.index_of(column))[indices].tolist()
+    values = table._column_list(column)
+    return [values[position] for position in indices]

@@ -45,7 +45,10 @@ def _prepare(
     treatment = np.asarray(treatment, dtype=float).ravel()
     if covariates is None:
         covariates = np.empty((len(outcome), 0))
-    covariates = np.asarray(covariates, dtype=float)
+    # ascontiguousarray is a no-op for the C-contiguous float64 matrices the
+    # columnar unit-table backend hands over; anything else is normalized once
+    # here so the BLAS-heavy estimators below never re-copy.
+    covariates = np.ascontiguousarray(covariates, dtype=float)
     if covariates.ndim == 1:
         covariates = covariates.reshape(-1, 1)
     if len(outcome) != len(treatment) or len(outcome) != covariates.shape[0]:
@@ -314,3 +317,22 @@ def estimate_ate(
             f"unknown estimator {estimator!r}; expected one of {sorted(ESTIMATORS)}"
         )
     return fn(outcome, treatment, covariates, **kwargs)
+
+
+def estimate_ate_from_unit_table(
+    unit_table: Any, estimator: str = "regression", **kwargs: Any
+) -> ATEEstimate:
+    """Estimate an ATE straight from a unit table's column arrays.
+
+    The unit-table backends (``repro.carl.unit_table``) already hold the
+    outcome, treatment and adjustment features as float64 arrays, so this
+    entry point feeds them to the propensity/outcome models without any
+    row-level materialization in between.
+    """
+    return estimate_ate(
+        unit_table.outcome,
+        unit_table.treatment,
+        unit_table.adjustment_features(),
+        estimator=estimator,
+        **kwargs,
+    )

@@ -1,0 +1,420 @@
+"""Differential tests: the columnar backend must match the row backend.
+
+Every query shape the engine supports — equality filters, predicate
+selections, projections, joins, group-bys over every registered aggregate,
+conjunctive-query evaluation, and unit-table materialization — is generated
+randomly with Hypothesis and executed against both backends; results must be
+identical (bit-for-bit for discrete values, to tolerance for floating-point
+aggregates).  NaN values, empty tables and single-row tables are part of the
+generated space.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.carl.causal_graph import GroundedAttribute, GroundedCausalGraph, GroundedRule
+from repro.carl.embeddings import EMBEDDINGS
+from repro.carl.peers import compute_peers
+from repro.carl.unit_table import build_unit_table
+from repro.db.aggregates import AGGREGATES, AggregateError, aggregate, grouped_aggregate
+from repro.db.query import Atom, ConjunctiveQuery, Variable
+from repro.db.schema import TableSchema
+from repro.db.table import ColumnarTable, Table
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+finite_floats = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False)
+floats_with_nan = st.one_of(finite_floats, st.just(math.nan))
+small_ints = st.integers(min_value=-3, max_value=3)
+labels = st.sampled_from(["a", "b", "c", "d"])
+
+row_strategy = st.fixed_dictionaries(
+    {
+        "k": small_ints,
+        "v": floats_with_nan,
+        "s": labels,
+        "b": st.booleans(),
+    }
+)
+rows_strategy = st.lists(row_strategy, min_size=0, max_size=12)
+
+TABLE_SCHEMA = TableSchema.from_spec(
+    "t", {"k": "int", "v": "float", "s": "str", "b": "bool"}
+)
+
+
+def both_backends(rows: list[dict]) -> tuple[Table, ColumnarTable]:
+    """The same rows in both backends (sharing value objects, like a real
+    ingest would)."""
+    return Table(TABLE_SCHEMA, rows), ColumnarTable(TABLE_SCHEMA, rows)
+
+
+def assert_same_rows(left, right) -> None:
+    left_rows, right_rows = left.to_list(), right.to_list()
+    assert len(left_rows) == len(right_rows)
+    for expected, actual in zip(left_rows, right_rows):
+        assert expected.keys() == actual.keys()
+        for column in expected:
+            e, a = expected[column], actual[column]
+            if isinstance(e, float) and isinstance(a, float) and math.isnan(e):
+                assert math.isnan(a)
+            else:
+                assert e == a, (column, e, a)
+
+
+# ----------------------------------------------------------------------
+# relational operators
+# ----------------------------------------------------------------------
+@given(rows_strategy, small_ints, labels)
+def test_where_parity(rows, key, label):
+    row_table, columnar = both_backends(rows)
+    assert_same_rows(row_table.where(k=key), columnar.where(k=key))
+    assert_same_rows(row_table.where(k=key, s=label), columnar.where(k=key, s=label))
+    predicate = lambda row: row["b"] and row["k"] >= 0  # noqa: E731
+    assert_same_rows(row_table.select(predicate), columnar.select(predicate))
+
+
+@given(rows_strategy, st.booleans())
+def test_project_parity(rows, distinct):
+    row_table, columnar = both_backends(rows)
+    assert_same_rows(
+        row_table.project(["s", "k"], distinct=distinct),
+        columnar.project(["s", "k"], distinct=distinct),
+    )
+    assert_same_rows(
+        row_table.rename({"v": "value"}, name="renamed"),
+        columnar.rename({"v": "value"}, name="renamed"),
+    )
+
+
+@given(rows_strategy, rows_strategy, st.sampled_from([None, ["k"], ["k", "s"], []]))
+def test_join_parity(left_rows, right_rows, on):
+    left_row, left_col = both_backends(left_rows)
+    # Rename one non-join column so the right side contributes new columns.
+    right_row = Table(TABLE_SCHEMA, right_rows).rename({"v": "w", "b": "c"}, name="r")
+    right_col = ColumnarTable(TABLE_SCHEMA, right_rows).rename({"v": "w", "b": "c"}, name="r")
+    expected = left_row.join(right_row, on=on)
+    actual = left_col.join(right_col, on=on)
+    assert expected.columns == actual.columns
+    assert_same_rows(expected, actual)
+
+
+@given(rows_strategy, st.sampled_from([["s"], ["k"], ["s", "b"], []]))
+def test_group_by_all_aggregates_parity(rows, keys):
+    row_table, columnar = both_backends(rows)
+    aggregations = {f"agg_{name.lower()}": ("v", name) for name in AGGREGATES}
+    expected = row_table.group_by(keys, aggregations).to_list()
+    actual = columnar.group_by(keys, aggregations).to_list()
+    assert len(expected) == len(actual)
+    for expected_row, actual_row in zip(expected, actual):
+        assert expected_row.keys() == actual_row.keys()
+        for column in expected_row:
+            e, a = expected_row[column], actual_row[column]
+            if isinstance(e, float) and (isinstance(a, (int, float))):
+                if math.isnan(e):
+                    assert math.isnan(a), column
+                else:
+                    assert a == pytest.approx(e, rel=1e-9, abs=1e-9), column
+            else:
+                assert e == a, (column, e, a)
+
+
+@given(
+    st.lists(floats_with_nan, min_size=0, max_size=30),
+    st.integers(min_value=1, max_value=5),
+    st.randoms(use_true_random=False),
+)
+def test_scalar_vs_grouped_aggregate_parity(values, n_groups, rng):
+    """The grouped numpy kernels agree with per-group scalar aggregation."""
+    group_ids = np.asarray([rng.randrange(n_groups) for _ in values], dtype=np.intp)
+    groups = [[] for _ in range(n_groups)]
+    for group, value in zip(group_ids, values):
+        groups[group].append(value)
+    for name in AGGREGATES:
+        empty_groups = any(not group for group in groups)
+        if name in ("MIN", "MAX") and empty_groups:
+            with pytest.raises(AggregateError):
+                grouped_aggregate(name, np.asarray(values), group_ids, n_groups)
+            continue
+        vectorized = grouped_aggregate(name, np.asarray(values), group_ids, n_groups)
+        for group, result in zip(groups, vectorized.tolist()):
+            expected = aggregate(name, group)
+            if isinstance(expected, float) and math.isnan(expected):
+                assert math.isnan(result), name
+            elif isinstance(expected, bool):
+                assert result == expected, name
+            else:
+                assert result == pytest.approx(expected, rel=1e-9, abs=1e-9), name
+
+
+def test_non_finite_sum_avg_parity():
+    """inf/overflow inputs: scalar and grouped SUM/AVG must agree (IEEE
+    semantics), not raise on one backend and return on the other."""
+    cases = [
+        [math.inf, -math.inf],  # fsum would raise ValueError
+        [1e308, 1e308],  # fsum would raise OverflowError
+        [math.inf, 1.0],
+        [-math.inf, -5.0],
+    ]
+    for values in cases:
+        for name in ("SUM", "AVG", "VAR", "STD", "SKEW"):
+            scalar = aggregate(name, values)
+            grouped = grouped_aggregate(
+                name, np.asarray(values), np.zeros(len(values), dtype=np.intp), 1
+            )[0]
+            if math.isnan(scalar):
+                assert math.isnan(grouped), (name, values)
+            else:
+                assert grouped == scalar, (name, values, scalar, grouped)
+        rows = [{"k": 0, "v": value, "s": "a", "b": False} for value in values]
+        row_table, columnar = both_backends(rows)
+        aggregations = {"total": ("v", "SUM"), "mean": ("v", "AVG")}
+        assert_same_rows(
+            row_table.group_by(["k"], aggregations), columnar.group_by(["k"], aggregations)
+        )
+
+
+def test_where_with_sequence_values_parity():
+    """Sequence-valued equality filters must compare cell-wise, not broadcast."""
+    rows = [{"k": (1, 2)}, {"k": (3, 4)}, {"k": 5}]
+    schema = TableSchema.from_spec("seq", {"k": "any"})
+    row_table = Table(schema, rows)
+    columnar = ColumnarTable(schema, rows)
+    assert_same_rows(row_table.where(k=(1, 2)), columnar.where(k=(1, 2)))
+    assert_same_rows(row_table.where(k=[1, 2]), columnar.where(k=[1, 2]))
+    assert_same_rows(row_table.where(k=(9,)), columnar.where(k=(9,)))
+    assert_same_rows(row_table.where(k=5), columnar.where(k=5))
+
+
+@given(
+    st.lists(st.lists(finite_floats, min_size=0, max_size=6), min_size=0, max_size=10),
+    st.sampled_from(sorted(EMBEDDINGS)),
+)
+def test_embedding_flat_parity(groups, embedding_name):
+    """Embedding.apply_flat matches a per-group apply loop after fitting."""
+    cls = EMBEDDINGS[embedding_name]
+    scalar = cls().fit(groups)
+    expected = [scalar.apply(group) for group in groups]
+    counts = [len(group) for group in groups]
+    values = np.asarray([value for group in groups for value in group], dtype=float)
+    group_ids = np.repeat(np.arange(len(groups)), counts).astype(np.intp)
+    flat = cls().fit_flat(values, group_ids, len(groups))
+    assert getattr(flat, "width", None) == getattr(scalar, "width", None)
+    matrix = flat.apply_flat(values, group_ids, len(groups))
+    if matrix is None:  # no vectorized kernel: nothing to diff
+        return
+    assert matrix.shape == (len(groups), scalar.dimension)
+    for expected_row, actual_row in zip(expected, matrix.tolist()):
+        assert actual_row == pytest.approx(expected_row, rel=1e-9, abs=1e-9)
+
+
+# ----------------------------------------------------------------------
+# conjunctive queries
+# ----------------------------------------------------------------------
+@given(
+    st.lists(st.tuples(small_ints, small_ints), min_size=0, max_size=10),
+    st.lists(st.tuples(small_ints, labels), min_size=0, max_size=10),
+    small_ints,
+)
+def test_conjunctive_query_backend_parity(r_pairs, s_pairs, constant):
+    from repro.db.database import Database
+
+    database = Database("parity")
+    database.load_rows("R", [{"x": x, "y": y} for x, y in r_pairs] or [{"x": 0, "y": 0}])
+    database.load_rows("S", [{"y": y, "z": z} for y, z in s_pairs] or [{"y": 0, "z": "a"}])
+    x, y, z = Variable("x"), Variable("y"), Variable("z")
+    queries = [
+        ConjunctiveQuery([Atom("R", (x, y))]),
+        ConjunctiveQuery([Atom("R", (x, x))]),
+        ConjunctiveQuery([Atom("R", (constant, y))]),
+        ConjunctiveQuery([Atom("R", (x, y)), Atom("S", (y, z))]),
+        ConjunctiveQuery([Atom("R", (x, y)), Atom("R", (y, x))]),
+        ConjunctiveQuery([Atom("R", (x, y)), Atom("S", (y, "a"))]),
+    ]
+    for query in queries:
+        assert query.evaluate(database, backend="rows") == query.evaluate(
+            database, backend="columnar"
+        )
+
+
+# ----------------------------------------------------------------------
+# unit-table materialization
+# ----------------------------------------------------------------------
+@st.composite
+def grounded_setups(draw):
+    """A random grounded causal graph + values for T/Y/C attributes.
+
+    Units get their own treatment/outcome/covariate nodes, random
+    covariate->treatment/outcome edges, random treatment->outcome edges and
+    random peer edges T[p] -> Y[u]; treatments and outcomes can be missing.
+    """
+    n_units = draw(st.integers(min_value=1, max_value=7))
+    graph = GroundedCausalGraph()
+    values: dict[GroundedAttribute, object] = {}
+    units = [(index,) for index in range(n_units)]
+
+    for unit in units:
+        treatment = GroundedAttribute("T", unit)
+        outcome = GroundedAttribute("Y", unit)
+        graph.add_node(treatment)
+        graph.add_node(outcome)
+        if draw(st.booleans()):
+            graph.add_grounded_rule(GroundedRule(head=outcome, body=(treatment,)))
+        if draw(st.booleans()):
+            values[treatment] = draw(st.sampled_from([0, 1, True, False, 0.0, 1.0]))
+        if draw(st.booleans()):
+            values[outcome] = draw(finite_floats)
+        for attribute in ("C1", "C2"):
+            if draw(st.booleans()):
+                covariate = GroundedAttribute(attribute, unit)
+                graph.add_grounded_rule(GroundedRule(head=treatment, body=(covariate,)))
+                if draw(st.booleans()):
+                    graph.add_grounded_rule(GroundedRule(head=outcome, body=(covariate,)))
+                if attribute == "C1":
+                    values[covariate] = draw(floats_with_nan)
+                else:
+                    values[covariate] = draw(st.one_of(finite_floats, labels))
+    # Random peer edges between distinct units.
+    for source in units:
+        for target in units:
+            if source != target and draw(st.integers(0, 3)) == 0:
+                graph.add_grounded_rule(
+                    GroundedRule(
+                        head=GroundedAttribute("Y", target),
+                        body=(GroundedAttribute("T", source),),
+                    )
+                )
+    return graph, values, units
+
+
+@given(grounded_setups(), st.sampled_from(sorted(EMBEDDINGS)))
+@settings(max_examples=60)
+def test_unit_table_backend_parity(setup, embedding):
+    graph, values, units = setup
+    peers = compute_peers(graph, "T", "Y", units)
+
+    def build(backend):
+        try:
+            return build_unit_table(
+                graph,
+                values,
+                "T",
+                "Y",
+                units,
+                peers,
+                is_observed=lambda name: True,
+                embedding=embedding,
+                backend=backend,
+            )
+        except Exception as error:  # noqa: BLE001 - compared across backends
+            return error
+
+    expected = build("rows")
+    actual = build("columnar")
+    if isinstance(expected, Exception) or isinstance(actual, Exception):
+        assert type(expected) is type(actual), (expected, actual)
+        return
+    assert expected.unit_keys == actual.unit_keys
+    assert expected.peer_columns == actual.peer_columns
+    assert expected.covariate_columns == actual.covariate_columns
+    for attribute in ("outcome", "treatment", "peer_treatment", "peer_counts", "covariates"):
+        left = getattr(expected, attribute)
+        right = getattr(actual, attribute)
+        assert left.shape == right.shape, attribute
+        assert np.allclose(left, right, rtol=1e-9, atol=1e-12, equal_nan=True), attribute
+
+
+def test_group_by_callable_aggregates_are_bitwise_identical():
+    """An explicitly passed callable must run as-is on both backends — the
+    columnar backend may not substitute its approximate numpy kernel."""
+    from repro.db.aggregates import agg_sum
+
+    rows = [{"k": 0, "v": 0.1, "s": "a", "b": False} for _ in range(10)]
+    row_table, columnar = both_backends(rows)
+    expected = row_table.group_by(["k"], {"total": ("v", agg_sum)}).to_list()
+    actual = columnar.group_by(["k"], {"total": ("v", agg_sum)}).to_list()
+    assert actual == expected  # exact equality: fsum on both sides
+    assert actual[0]["total"] == 1.0
+
+
+def test_from_columns_rejects_null_in_non_nullable_any_column():
+    """Bulk construction must enforce the null check that insert() enforces."""
+    from repro.db.schema import SchemaError
+
+    with pytest.raises(SchemaError, match="not nullable"):
+        ColumnarTable.from_columns("t", {"x": [1, None, 3]})
+    table = ColumnarTable.from_columns("t", {"x": [1, 2, 3]})
+    assert table.column("x") == [1, 2, 3]
+
+
+def test_custom_embedding_subclass_overrides_are_honoured():
+    """A subclass overriding only the scalar apply()/fit() must not be
+    silently bypassed by the inherited vectorized kernels."""
+    from repro.carl.embeddings import MeanEmbedding, PaddingEmbedding
+    from repro.carl.unit_table import _apply_embedder, _fit_embedder
+
+    class ClippedMean(MeanEmbedding):
+        def apply(self, values):
+            mean, count = super().apply(values)
+            return [min(mean, 1.0), count]
+
+    values = np.asarray([5.0, 7.0], dtype=float)
+    group_ids = np.asarray([0, 0], dtype=np.intp)
+    matrix = _apply_embedder(ClippedMean(), values, group_ids, 1)
+    assert matrix.tolist() == [[1.0, 2.0]]  # the override's clipping applied
+
+    class WidePadding(PaddingEmbedding):
+        def fit(self, groups):
+            self.width = 7
+            return self
+
+    fitted = _fit_embedder(WidePadding(), values, group_ids, 1)
+    assert fitted.width == 7  # the custom fit ran, not the inherited fit_flat
+
+
+# ----------------------------------------------------------------------
+# end-to-end: engine answers must not depend on the backend
+# ----------------------------------------------------------------------
+def test_engine_answer_backend_parity(toy_engine):
+    rows = toy_engine.answer("Score[S] <= Prestige[A] ?", backend="rows")
+    columnar = toy_engine.answer("Score[S] <= Prestige[A] ?", backend="columnar")
+    assert columnar.result.ate == pytest.approx(rows.result.ate, rel=1e-12)
+    assert columnar.result.naive_difference == pytest.approx(
+        rows.result.naive_difference, rel=1e-12
+    )
+    assert columnar.unit_table_summary == rows.unit_table_summary
+
+
+def test_engine_defaults_to_columnar(toy_engine):
+    assert toy_engine.backend == "columnar"
+
+
+# ----------------------------------------------------------------------
+# full-strength differential sweep (excluded from the tier-1 loop)
+# ----------------------------------------------------------------------
+@pytest.mark.slow
+@given(rows_strategy, st.sampled_from([["s"], ["k", "b"]]))
+@settings(max_examples=800, deadline=None)
+def test_group_by_parity_exhaustive(rows, keys):
+    row_table, columnar = both_backends(rows)
+    aggregations = {f"agg_{name.lower()}": ("v", name) for name in AGGREGATES}
+    expected = row_table.group_by(keys, aggregations).to_list()
+    actual = columnar.group_by(keys, aggregations).to_list()
+    assert len(expected) == len(actual)
+    for expected_row, actual_row in zip(expected, actual):
+        for column in expected_row:
+            e, a = expected_row[column], actual_row[column]
+            if isinstance(e, float):
+                if math.isnan(e):
+                    assert math.isnan(a)
+                else:
+                    assert a == pytest.approx(e, rel=1e-9, abs=1e-9)
+            else:
+                assert e == a
