@@ -8,6 +8,8 @@ Public API overview
   detection, unit-table construction and the query-answering engine.
 * :mod:`repro.inference` — single-table causal estimators (regression
   adjustment, matching, IPW, ...), built from scratch on numpy.
+* :mod:`repro.cache` — persistent, fingerprinted artifact cache for grounded
+  graphs and unit tables (see ``docs/persistence.md``).
 * :mod:`repro.datasets` — synthetic relational dataset generators standing in
   for REVIEWDATA, SYNTHETIC REVIEWDATA, MIMIC-III and NIS.
 * :mod:`repro.baselines` — the universal-table and naive baselines the paper
@@ -23,6 +25,9 @@ Quickstart
 True
 """
 
+# repro.carl must initialize before repro.cache: the engine imports the cache
+# submodules, and entering the cycle from repro.cache would re-enter a
+# partially initialized repro.cache.fingerprint via repro.carl.__init__.
 from repro.carl import (
     ATEResult,
     CaRLEngine,
@@ -39,12 +44,14 @@ from repro.carl import (
     parse_query,
     parse_rule,
 )
+from repro.cache import ArtifactCache
 from repro.db import Database, Table
 
 __version__ = "1.0.0"
 
 __all__ = [
     "ATEResult",
+    "ArtifactCache",
     "CaRLEngine",
     "CaRLError",
     "CausalQuery",

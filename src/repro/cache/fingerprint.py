@@ -1,0 +1,72 @@
+"""Content fingerprinting for the persistent artifact cache.
+
+Cached artifacts are pure functions of (database contents, relational causal
+model, query); this module turns each of those inputs into a stable hex
+digest so the store can be content-addressed:
+
+* the *database* fingerprint delegates to
+  :meth:`repro.db.database.Database.fingerprint` (schema + per-column
+  digests, incrementally maintained via the tables' mutation counters);
+* the *model* fingerprint hashes the canonical AST serialization of the
+  schema declarations plus the model's current rule set — including
+  aggregate rules the engine registered dynamically while unifying
+  treatment and response units, so a grounding extended by earlier queries
+  never aliases the pure program's grounding;
+* the *query* fingerprint hashes the canonical query AST together with the
+  embedding and unit-table backend it was materialized with.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+from repro.carl.ast import CausalQuery, Program, canonical_text
+from repro.carl.model import RelationalCausalModel
+from repro.db.database import Database
+
+
+def _digest(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8", "backslashreplace")).hexdigest()
+
+
+def database_fingerprint(database: Database) -> str:
+    """Stable content hash of a database (cached against its version token)."""
+    return database.fingerprint()
+
+
+def model_fingerprint(program: Program, model: RelationalCausalModel) -> str:
+    """Stable hash of the model the grounding is a function of.
+
+    Takes the declarations from the parsed ``program`` (the model never adds
+    declarations) and the rules from the live ``model`` (which accumulates
+    unifying aggregate rules as queries are answered).
+    """
+    return _digest(
+        canonical_text(
+            [
+                program.entities,
+                program.relationships,
+                program.attributes,
+                model.rules,
+                model.aggregate_rules,
+            ]
+        )
+    )
+
+
+def query_fingerprint(
+    query: CausalQuery, embedding: Any, backend: str, resolution: Any = None
+) -> str:
+    """Stable hash of a unit-table request.
+
+    Covers the query AST, the embedding and unit-table backend, and the
+    *resolved response* (the response attribute name plus, when the engine
+    unified treatment and response units, the derived-attribute definition it
+    resolved to).  Including the resolution — rather than the engine's whole
+    accumulated rule list — keeps the key deterministic across sessions: a
+    session that answered other queries first produces the same key for this
+    query as a fresh one.
+    """
+    embedding_token = embedding if isinstance(embedding, str) else repr(embedding)
+    return _digest(canonical_text([query, embedding_token, backend, resolution]))

@@ -1,0 +1,268 @@
+"""npz payloads for cacheable artifacts.
+
+Each artifact kind is encoded as a flat mapping of numpy arrays (what one
+``np.savez`` call writes) plus a ``meta`` entry holding a canonical JSON
+string.  Numeric payloads stay numeric arrays so the store can memory-map
+them straight out of the npz file; irregular data (key tuples, heterogeneous
+values) goes into object arrays, which round-trip exactly through numpy's
+pickle path at the cost of an eager load.
+
+Supported artifacts:
+
+* :class:`~repro.db.table.ColumnarTable` — schema + one array per column;
+* a grounded causal graph together with its grounded attribute values —
+  interned attribute names, int edge lists (memory-mappable) and object
+  arrays for keys/values;
+* :class:`~repro.carl.unit_table.UnitTable` — the flat estimator input, all
+  numeric except the unit keys.
+
+Round-trips are exact (NaN/inf bit patterns, empty tables, unicode column
+names included); ``tests/test_cache_roundtrip.py`` holds them to that with
+Hypothesis property tests.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Mapping
+from typing import Any
+
+import numpy as np
+
+# FORMAT_VERSION lives in the store (which also vets it on load) and is
+# re-exported here because this module owns the payload layouts it versions.
+from repro.cache.store import FORMAT_VERSION
+from repro.carl.causal_graph import GroundedAttribute, GroundedCausalGraph
+from repro.carl.unit_table import UnitTable
+from repro.db.schema import ColumnSchema, TableSchema
+from repro.db.table import ColumnarTable, as_object_array
+
+class SerializationError(ValueError):
+    """Raised when an artifact payload cannot be decoded."""
+
+
+def _meta_entry(meta: dict[str, Any]) -> np.ndarray:
+    return np.asarray(json.dumps(meta, sort_keys=True, ensure_ascii=False))
+
+
+def read_meta(payload: Mapping[str, np.ndarray]) -> dict[str, Any]:
+    """Decode the ``meta`` JSON entry of a loaded payload."""
+    try:
+        meta = json.loads(str(payload["meta"][()]))
+    except (KeyError, ValueError) as error:
+        raise SerializationError(f"artifact payload has no readable meta entry: {error}")
+    if meta.get("format") != FORMAT_VERSION:
+        raise SerializationError(
+            f"artifact format {meta.get('format')!r} does not match {FORMAT_VERSION}"
+        )
+    return meta
+
+
+def _expect_kind(meta: dict[str, Any], kind: str) -> None:
+    if meta.get("kind") != kind:
+        raise SerializationError(
+            f"expected a {kind!r} artifact, found {meta.get('kind')!r}"
+        )
+
+
+# ----------------------------------------------------------------------
+# ColumnarTable
+# ----------------------------------------------------------------------
+def columnar_table_payload(table: ColumnarTable) -> dict[str, np.ndarray]:
+    """Encode a columnar table: schema meta + one array per column."""
+    meta = {
+        "format": FORMAT_VERSION,
+        "kind": "columnar_table",
+        "name": table.schema.name,
+        "columns": [
+            [column.name, column.dtype, column.nullable] for column in table.schema.columns
+        ],
+        "primary_key": list(table.schema.primary_key),
+        "rows": len(table),
+    }
+    payload: dict[str, np.ndarray] = {"meta": _meta_entry(meta)}
+    for position in range(len(table.schema.columns)):
+        array = table._array_by_position(position)  # noqa: SLF001 - cached column array
+        if array.dtype == object:
+            # Rebuild instead of reusing: the cached object array may alias
+            # list storage semantics we do not want to freeze into the file.
+            array = as_object_array(table._data[position])  # noqa: SLF001
+        payload[f"column_{position}"] = array
+    return payload
+
+
+def load_columnar_table(payload: Mapping[str, np.ndarray]) -> ColumnarTable:
+    """Decode :func:`columnar_table_payload`; numeric columns keep the loaded
+    (possibly memory-mapped) arrays in the table's array cache."""
+    meta = read_meta(payload)
+    _expect_kind(meta, "columnar_table")
+    schema = TableSchema(
+        name=meta["name"],
+        columns=tuple(
+            ColumnSchema(name, dtype, nullable) for name, dtype, nullable in meta["columns"]
+        ),
+        primary_key=tuple(meta["primary_key"]),
+    )
+    columns_data: list[list[Any]] = []
+    arrays: list[np.ndarray | None] = []
+    for position in range(len(schema.columns)):
+        array = payload[f"column_{position}"]
+        columns_data.append(array.tolist())
+        arrays.append(None if array.dtype == object else np.asarray(array))
+    table = ColumnarTable._from_columns(schema, columns_data)  # noqa: SLF001
+    for position, array in enumerate(arrays):
+        if array is not None:
+            table._array_cache[position] = array  # noqa: SLF001 - seed cache with mmap
+    return table
+
+
+# ----------------------------------------------------------------------
+# grounded causal graph + grounded attribute values
+# ----------------------------------------------------------------------
+def grounding_payload(
+    graph: GroundedCausalGraph, values: Mapping[GroundedAttribute, Any]
+) -> dict[str, np.ndarray]:
+    """Encode a grounded graph and its node values.
+
+    Attribute names are interned into an id table; nodes and edges are stored
+    in their original insertion order so the reconstructed graph iterates
+    identically to the one that was grounded (set iteration order included),
+    keeping warm-cache unit tables bit-identical to cold ones.
+    """
+    nodes = graph.nodes
+    node_index = {node: position for position, node in enumerate(nodes)}
+
+    attribute_ids: dict[str, int] = {}
+    node_attribute = np.empty(len(nodes), dtype=np.int64)
+    for position, node in enumerate(nodes):
+        attribute_id = attribute_ids.setdefault(node.attribute, len(attribute_ids))
+        node_attribute[position] = attribute_id
+
+    edges = graph.edges
+    edge_parent = np.empty(len(edges), dtype=np.int64)
+    edge_child = np.empty(len(edges), dtype=np.int64)
+    for position, (parent, child) in enumerate(edges):
+        edge_parent[position] = node_index[parent]
+        edge_child[position] = node_index[child]
+
+    aggregate_nodes: list[int] = []
+    aggregate_names: list[str] = []
+    for position, node in enumerate(nodes):
+        aggregate = graph.aggregate_of(node)
+        if aggregate is not None:
+            aggregate_nodes.append(position)
+            aggregate_names.append(aggregate)
+
+    value_nodes: list[int] = []
+    value_data: list[Any] = []
+    for node, value in values.items():
+        position = node_index.get(node)
+        if position is not None:
+            value_nodes.append(position)
+            value_data.append(value)
+
+    meta = {
+        "format": FORMAT_VERSION,
+        "kind": "grounding",
+        "attributes": sorted(attribute_ids, key=attribute_ids.get),
+        "nodes": len(nodes),
+        "edges": len(edges),
+    }
+    return {
+        "meta": _meta_entry(meta),
+        "node_attribute": node_attribute,
+        "node_keys": as_object_array([node.key for node in nodes]),
+        "edge_parent": edge_parent,
+        "edge_child": edge_child,
+        "aggregate_nodes": np.asarray(aggregate_nodes, dtype=np.int64),
+        "aggregate_names": as_object_array(aggregate_names),
+        "value_nodes": np.asarray(value_nodes, dtype=np.int64),
+        "value_data": as_object_array(value_data),
+    }
+
+
+def load_grounding(
+    payload: Mapping[str, np.ndarray],
+) -> tuple[GroundedCausalGraph, dict[GroundedAttribute, Any]]:
+    """Decode :func:`grounding_payload` back into a graph + values mapping."""
+    meta = read_meta(payload)
+    _expect_kind(meta, "grounding")
+    attributes = meta["attributes"]
+
+    node_keys = payload["node_keys"]
+    nodes = [
+        GroundedAttribute(attributes[attribute_id], node_keys[position])
+        for position, attribute_id in enumerate(payload["node_attribute"].tolist())
+    ]
+
+    aggregate_of = dict(
+        zip(payload["aggregate_nodes"].tolist(), payload["aggregate_names"].tolist())
+    )
+    graph = GroundedCausalGraph()
+    # Bulk-build the DAG's adjacency directly: ``add_node``/``add_edge`` per
+    # element would spend most of the load re-checking invariants the payload
+    # already guarantees (nodes exist, no self-loops — validated at store
+    # time from a live graph).
+    dag = graph.dag
+    dag._parents = {node: set() for node in nodes}  # noqa: SLF001
+    dag._children = {node: set() for node in nodes}  # noqa: SLF001
+    dag._node_data = {node: {} for node in nodes}  # noqa: SLF001
+    parents_of = dag._parents  # noqa: SLF001
+    children_of = dag._children  # noqa: SLF001
+    for parent, child in zip(payload["edge_parent"].tolist(), payload["edge_child"].tolist()):
+        parents_of[nodes[child]].add(nodes[parent])
+        children_of[nodes[parent]].add(nodes[child])
+    by_attribute = graph._by_attribute  # noqa: SLF001
+    for node in nodes:
+        by_attribute[node.attribute].add(node)
+    graph._aggregates = {  # noqa: SLF001
+        nodes[position]: name for position, name in aggregate_of.items()
+    }
+
+    values = {
+        nodes[position]: value
+        for position, value in zip(payload["value_nodes"].tolist(), payload["value_data"])
+    }
+    return graph, values
+
+
+# ----------------------------------------------------------------------
+# UnitTable
+# ----------------------------------------------------------------------
+def unit_table_payload(unit_table: UnitTable) -> dict[str, np.ndarray]:
+    """Encode a unit table: numeric arrays + object-array unit keys."""
+    meta = {
+        "format": FORMAT_VERSION,
+        "kind": "unit_table",
+        "peer_columns": list(unit_table.peer_columns),
+        "covariate_columns": list(unit_table.covariate_columns),
+        "treatment_attribute": unit_table.treatment_attribute,
+        "response_attribute": unit_table.response_attribute,
+    }
+    return {
+        "meta": _meta_entry(meta),
+        "unit_keys": as_object_array(list(unit_table.unit_keys)),
+        "outcome": np.asarray(unit_table.outcome, dtype=float),
+        "treatment": np.asarray(unit_table.treatment, dtype=float),
+        "peer_treatment": np.asarray(unit_table.peer_treatment, dtype=float),
+        "peer_counts": np.asarray(unit_table.peer_counts, dtype=float),
+        "covariates": np.asarray(unit_table.covariates, dtype=float),
+    }
+
+
+def load_unit_table(payload: Mapping[str, np.ndarray]) -> UnitTable:
+    """Decode :func:`unit_table_payload` (arrays may stay memory-mapped)."""
+    meta = read_meta(payload)
+    _expect_kind(meta, "unit_table")
+    return UnitTable(
+        unit_keys=payload["unit_keys"].tolist(),
+        outcome=payload["outcome"],
+        treatment=payload["treatment"],
+        peer_treatment=payload["peer_treatment"],
+        peer_counts=payload["peer_counts"],
+        covariates=payload["covariates"],
+        peer_columns=list(meta["peer_columns"]),
+        covariate_columns=list(meta["covariate_columns"]),
+        treatment_attribute=meta["treatment_attribute"],
+        response_attribute=meta["response_attribute"],
+    )

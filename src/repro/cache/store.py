@@ -1,0 +1,340 @@
+"""Content-addressed on-disk artifact store.
+
+Artifacts are npz files under a cache root, keyed by ``(database
+fingerprint, model fingerprint, artifact kind[, detail])``::
+
+    <root>/<db_fp[:16]>-<model_fp[:16]>/<kind>[-<detail[:16]>].npz
+
+Writes are atomic (written to a temp file in the destination directory, then
+``os.replace``d into place) so a crashed or concurrent writer can never leave
+a half-written artifact where a reader will find it.  Loads verify the full
+fingerprints recorded inside the file against the requested key — a prefix
+collision therefore degrades to a cache miss, never to wrong data.
+
+Numeric arrays are memory-mapped straight out of the (uncompressed) npz: the
+store locates each member's byte offset in the zip and hands back
+``np.memmap`` views, so loading a cached grounding is O(metadata), not
+O(data).  Object arrays (key tuples, heterogeneous values) are loaded eagerly
+through numpy's pickle path.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import zipfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+from numpy.lib import format as npy_format
+
+#: Length of the fingerprint prefixes used in file names (full fingerprints
+#: are verified from the artifact itself on load).
+PREFIX = 16
+
+#: Payload layout version (re-exported by :mod:`repro.cache.serialization`,
+#: which owns the layouts).  Bumped on any layout change; artifacts whose
+#: ``meta`` records a different version read as cache misses.
+FORMAT_VERSION = 1
+
+#: Artifact kinds the engine stores (other kinds are allowed; these are known).
+KNOWN_KINDS = ("grounding", "unit_table", "table")
+
+
+class CacheError(ValueError):
+    """Raised on malformed cache keys or unusable cache roots."""
+
+
+@dataclass(frozen=True)
+class CacheKey:
+    """Identity of one cached artifact."""
+
+    database: str  #: database content fingerprint (hex)
+    program: str  #: model fingerprint (hex)
+    kind: str  #: artifact kind, e.g. ``"grounding"`` or ``"unit_table"``
+    detail: str = ""  #: sub-key, e.g. the query fingerprint of a unit table
+
+    def __post_init__(self) -> None:
+        for label, value in (("database", self.database), ("program", self.program)):
+            if not value or not all(c in "0123456789abcdef" for c in value):
+                raise CacheError(f"cache key {label} must be a hex digest, got {value!r}")
+        if not self.kind or any(c in self.kind for c in "/\\.-"):
+            raise CacheError(f"invalid artifact kind {self.kind!r}")
+        if self.detail and not all(c in "0123456789abcdef" for c in self.detail):
+            raise CacheError(f"cache key detail must be a hex digest, got {self.detail!r}")
+
+    @property
+    def entry_name(self) -> str:
+        return f"{self.database[:PREFIX]}-{self.program[:PREFIX]}"
+
+    @property
+    def file_name(self) -> str:
+        if self.detail:
+            return f"{self.kind}-{self.detail[:PREFIX]}.npz"
+        return f"{self.kind}.npz"
+
+    def as_json(self) -> str:
+        return json.dumps(
+            {
+                "database": self.database,
+                "program": self.program,
+                "kind": self.kind,
+                "detail": self.detail,
+            },
+            sort_keys=True,
+        )
+
+
+@dataclass
+class CacheStats:
+    """Per-kind hit/miss/store counters for one cache instance (in-memory)."""
+
+    hits: dict[str, int] = field(default_factory=dict)
+    misses: dict[str, int] = field(default_factory=dict)
+    stores: dict[str, int] = field(default_factory=dict)
+
+    def record(self, counter: dict[str, int], kind: str) -> None:
+        counter[kind] = counter.get(kind, 0) + 1
+
+    def hit_count(self, kind: str | None = None) -> int:
+        return self.hits.get(kind, 0) if kind else sum(self.hits.values())
+
+    def miss_count(self, kind: str | None = None) -> int:
+        return self.misses.get(kind, 0) if kind else sum(self.misses.values())
+
+    def store_count(self, kind: str | None = None) -> int:
+        return self.stores.get(kind, 0) if kind else sum(self.stores.values())
+
+    def summary(self) -> dict[str, dict[str, int]]:
+        kinds = sorted({*self.hits, *self.misses, *self.stores})
+        return {
+            kind: {
+                "hits": self.hits.get(kind, 0),
+                "misses": self.misses.get(kind, 0),
+                "stores": self.stores.get(kind, 0),
+            }
+            for kind in kinds
+        }
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One artifact on disk, as reported by :meth:`ArtifactCache.entries`."""
+
+    path: Path
+    key: CacheKey | None  #: None when the file's key record is unreadable
+    size_bytes: int
+    modified: float
+
+    @property
+    def kind(self) -> str:
+        return self.key.kind if self.key is not None else "?"
+
+
+class ArtifactCache:
+    """The persistent artifact store rooted at a directory.
+
+    ``mmap=False`` disables memory-mapping (every array is loaded eagerly);
+    useful when cached artifacts must outlive the file, e.g. if the cache may
+    be cleared while loaded artifacts are still in use.
+    """
+
+    def __init__(self, root: str | Path, mmap: bool = True) -> None:
+        self.root = Path(root)
+        self.mmap = mmap
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    # store / load
+    # ------------------------------------------------------------------
+    def path_for(self, key: CacheKey) -> Path:
+        return self.root / key.entry_name / key.file_name
+
+    def store(self, key: CacheKey, payload: dict[str, np.ndarray]) -> Path:
+        """Atomically write ``payload`` (plus the full key) as an npz artifact."""
+        if "cache_key" in payload:
+            raise CacheError("payload entry name 'cache_key' is reserved")
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        descriptor, temp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{key.file_name}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(descriptor, "wb") as handle:
+                np.savez(handle, cache_key=np.asarray(key.as_json()), **payload)
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+        self.stats.record(self.stats.stores, key.kind)
+        return path
+
+    def load(self, key: CacheKey) -> dict[str, np.ndarray] | None:
+        """Load the artifact for ``key``, or None (and count a miss).
+
+        The full fingerprints stored inside the file must match the key, and
+        the payload's recorded format version must be current; unreadable,
+        mismatching or outdated artifacts all count as misses — a hit is
+        only ever reported for a payload the caller will actually use.
+        """
+        path = self.path_for(key)
+        try:
+            payload = _read_npz(path, mmap=self.mmap)
+            stored = json.loads(str(payload.pop("cache_key")[()]))
+        except (OSError, ValueError, KeyError, zipfile.BadZipFile):
+            self.stats.record(self.stats.misses, key.kind)
+            return None
+        if stored != json.loads(key.as_json()) or not _format_is_current(payload):
+            self.stats.record(self.stats.misses, key.kind)
+            return None
+        self.stats.record(self.stats.hits, key.kind)
+        return payload
+
+    def contains(self, key: CacheKey) -> bool:
+        """True when an artifact file exists for ``key`` (no verification)."""
+        return self.path_for(key).exists()
+
+    # ------------------------------------------------------------------
+    # inspection / maintenance
+    # ------------------------------------------------------------------
+    def entries(self) -> list[CacheEntry]:
+        """Every artifact under the root, sorted by path."""
+        found: list[CacheEntry] = []
+        if not self.root.is_dir():
+            return found
+        for path in sorted(self.root.glob("*/*.npz")):
+            stat = path.stat()
+            found.append(
+                CacheEntry(
+                    path=path,
+                    key=_read_key(path),
+                    size_bytes=stat.st_size,
+                    modified=stat.st_mtime,
+                )
+            )
+        return found
+
+    def disk_stats(self) -> dict[str, dict[str, int]]:
+        """Artifact counts and total bytes on disk, grouped by kind."""
+        grouped: dict[str, dict[str, int]] = {}
+        for entry in self.entries():
+            bucket = grouped.setdefault(entry.kind, {"entries": 0, "bytes": 0})
+            bucket["entries"] += 1
+            bucket["bytes"] += entry.size_bytes
+        return grouped
+
+    def clear(self, kind: str | None = None) -> tuple[int, int]:
+        """Delete artifacts (optionally only one kind); returns (count, bytes).
+
+        Empty per-fingerprint directories are removed afterwards.
+        """
+        removed = 0
+        freed = 0
+        for entry in self.entries():
+            if kind is not None and entry.kind != kind:
+                continue
+            try:
+                entry.path.unlink()
+            except OSError:
+                continue
+            removed += 1
+            freed += entry.size_bytes
+        if self.root.is_dir():
+            for directory in self.root.iterdir():
+                if directory.is_dir():
+                    try:
+                        directory.rmdir()  # only succeeds when empty
+                    except OSError:
+                        pass
+        return removed, freed
+
+
+def _format_is_current(payload: dict[str, np.ndarray]) -> bool:
+    """False when the payload's ``meta`` records a non-current format.
+
+    Payloads without a ``meta`` entry (artifacts stored through the raw
+    store API) make no format claim and pass; a ``meta`` that exists but is
+    unreadable or versioned differently reads as a miss, so a hit is only
+    ever reported for a payload its deserializer will accept.
+    """
+    meta = payload.get("meta")
+    if meta is None:
+        return True
+    try:
+        return json.loads(str(meta[()])).get("format") == FORMAT_VERSION
+    except (ValueError, TypeError):
+        return False
+
+
+def _read_key(path: Path) -> CacheKey | None:
+    """The CacheKey recorded inside an artifact file (None when unreadable)."""
+    try:
+        with zipfile.ZipFile(path) as archive, archive.open("cache_key.npy") as member:
+            record = json.loads(str(npy_format.read_array(member, allow_pickle=False)[()]))
+        return CacheKey(**record)
+    except (OSError, ValueError, KeyError, TypeError, zipfile.BadZipFile):
+        return None
+
+
+# ----------------------------------------------------------------------
+# npz reading with memory-mapped numeric members
+# ----------------------------------------------------------------------
+def _read_npz(path: Path, mmap: bool) -> dict[str, np.ndarray]:
+    """Read an npz, memory-mapping eligible members.
+
+    A member is memory-mapped when it is stored uncompressed (``np.savez``
+    default), holds no Python objects and is C-ordered with at least one
+    element; everything else falls back to a regular eager read.
+    """
+    arrays: dict[str, np.ndarray] = {}
+    with zipfile.ZipFile(path) as archive:
+        for info in archive.infolist():
+            name = info.filename
+            if name.endswith(".npy"):
+                name = name[: -len(".npy")]
+            array: np.ndarray | None = None
+            if mmap and info.compress_type == zipfile.ZIP_STORED:
+                array = _mmap_member(path, info)
+            if array is None:
+                with archive.open(info) as member:
+                    array = npy_format.read_array(member, allow_pickle=True)
+            arrays[name] = array
+    return arrays
+
+
+def _mmap_member(path: Path, info: zipfile.ZipInfo) -> np.ndarray | None:
+    """Memory-map one stored zip member as an array (None when ineligible).
+
+    Walks the member's local file header to find the absolute byte offset of
+    the npy payload, parses the npy header there, and maps the array data in
+    place.  Any structural surprise returns None so the caller's eager path
+    takes over.
+    """
+    try:
+        with open(path, "rb") as handle:
+            handle.seek(info.header_offset)
+            local_header = handle.read(30)
+            if len(local_header) != 30 or local_header[:4] != b"PK\x03\x04":
+                return None
+            name_length = int.from_bytes(local_header[26:28], "little")
+            extra_length = int.from_bytes(local_header[28:30], "little")
+            handle.seek(info.header_offset + 30 + name_length + extra_length)
+            version = npy_format.read_magic(handle)
+            if version == (1, 0):
+                shape, fortran_order, dtype = npy_format.read_array_header_1_0(handle)
+            elif version == (2, 0):
+                shape, fortran_order, dtype = npy_format.read_array_header_2_0(handle)
+            else:
+                return None
+            if dtype.hasobject or fortran_order or not shape or 0 in shape:
+                return None
+            offset = handle.tell()
+        return np.memmap(path, dtype=dtype, mode="r", offset=offset, shape=shape, order="C")
+    except (OSError, ValueError, AttributeError):
+        return None

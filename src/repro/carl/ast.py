@@ -10,6 +10,8 @@ isolated / overall effect queries with a ``WHEN ... PEERS TREATED`` clause
 
 from __future__ import annotations
 
+import dataclasses
+import json
 from dataclasses import dataclass, field
 from typing import Any, Union
 
@@ -401,3 +403,38 @@ class Program:
         lines.extend(str(rule) for rule in self.aggregate_rules)
         lines.extend(str(query) for query in self.queries)
         return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# canonical serialization (used for content-addressed caching)
+# ----------------------------------------------------------------------
+def to_canonical(node: Any) -> Any:
+    """Lossless, JSON-able representation of an AST node (or nesting thereof).
+
+    Every dataclass node becomes a dict tagged with its class name, so two
+    structurally different programs can never collapse to the same
+    representation (unlike the pretty-printed ``str`` form, which omits e.g.
+    the aggregate function of an :class:`AggregateRule`).  Primitives pass
+    through unchanged; unknown objects degrade to their ``repr``.
+    """
+    if dataclasses.is_dataclass(node) and not isinstance(node, type):
+        canonical: dict[str, Any] = {"__ast__": type(node).__name__}
+        for f in dataclasses.fields(node):
+            canonical[f.name] = to_canonical(getattr(node, f.name))
+        return canonical
+    if isinstance(node, (list, tuple)):
+        return [to_canonical(item) for item in node]
+    if node is None or isinstance(node, (str, int, float, bool)):
+        return node
+    return {"__repr__": repr(node)}
+
+
+def canonical_text(node: Any) -> str:
+    """Deterministic text encoding of :func:`to_canonical` (stable for hashing).
+
+    Keys are sorted and separators fixed, so the same AST always yields the
+    same byte string across processes and platforms.
+    """
+    return json.dumps(
+        to_canonical(node), sort_keys=True, separators=(",", ":"), ensure_ascii=False
+    )

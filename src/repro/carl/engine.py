@@ -16,10 +16,24 @@ Ties the whole pipeline of Section 5 together:
 from __future__ import annotations
 
 import time
+from pathlib import Path
 from typing import Any
 
 import numpy as np
 
+from repro.cache.fingerprint import (
+    database_fingerprint,
+    model_fingerprint,
+    query_fingerprint,
+)
+from repro.cache.serialization import (
+    SerializationError,
+    grounding_payload,
+    load_grounding,
+    load_unit_table,
+    unit_table_payload,
+)
+from repro.cache.store import ArtifactCache, CacheKey
 from repro.carl.ast import CausalQuery, PeerCondition, Program, Variable
 from repro.carl.causal_graph import GroundedAttribute, GroundedCausalGraph
 from repro.carl.errors import QueryError
@@ -48,6 +62,7 @@ class CaRLEngine:
         estimator: str = "regression",
         embedding: str = "mean",
         backend: str = "columnar",
+        cache: ArtifactCache | str | Path | None = None,
     ) -> None:
         if backend not in UNIT_TABLE_BACKENDS:
             raise QueryError(
@@ -66,22 +81,64 @@ class CaRLEngine:
         self.default_estimator = estimator
         self.default_embedding = embedding
         self.backend = backend
+        #: Persistent artifact cache (a path enables one rooted there); the
+        #: engine probes it before grounding and before unit-table builds.
+        self.cache = ArtifactCache(cache) if isinstance(cache, (str, Path)) else cache
+        #: Fingerprint of the program as written (schema declarations +
+        #: declared rules).  Cache keys are built from this, never from the
+        #: session's accumulated rule list, so identical work keys
+        #: identically across sessions regardless of query order.
+        self._program_fingerprint = model_fingerprint(program, self.model)
+        #: Number of times this engine actually ground the program (cache
+        #: hits do not count; staleness re-grounds do).
+        self.grounding_runs = 0
 
         self._graph: GroundedCausalGraph | None = None
         self._values: dict[GroundedAttribute, Any] | None = None
+        self._db_token: tuple[Any, ...] | None = None
+        #: Unifying aggregate rules registered by response resolution whose
+        #: groundings have not been spliced into the graph yet (deferred so a
+        #: unit-table cache hit never has to touch the graph).
+        self._pending_aggregates: list[Any] = []
         self.grounding_seconds: float = 0.0
+        self._grounding_epoch = 0
 
     # ------------------------------------------------------------------
     # grounding (lazy, cached)
     # ------------------------------------------------------------------
     @property
     def graph(self) -> GroundedCausalGraph:
-        """The grounded relational causal graph ``G(Phi_Delta)`` (built lazily)."""
+        """The grounded relational causal graph ``G(Phi_Delta)``.
+
+        Built lazily; loaded from the artifact cache when one is configured
+        and holds a grounding for the current (database fingerprint, model
+        fingerprint).  If the database has mutated since the last grounding —
+        detected via its version token — the stale graph is dropped and the
+        program is re-grounded automatically.
+        """
+        if self._graph is not None and self.database.version_token() != self._db_token:
+            self.invalidate()
         if self._graph is None:
+            self._db_token = self.database.version_token()
             started = time.perf_counter()
-            self._graph = self.grounder.ground()
-            self._values = self.grounder.grounded_attribute_values(self._graph)
+            loaded = False
+            key = self._grounding_key()
+            if key is not None:
+                payload = self.cache.load(key)
+                if payload is not None:
+                    try:
+                        self._graph, self._values = load_grounding(payload)
+                        loaded = True
+                    except SerializationError:
+                        loaded = False
+            if not loaded:
+                self._graph = self.grounder.ground()
+                self._values = self.grounder.grounded_attribute_values(self._graph)
+                self.grounding_runs += 1
+                if key is not None:
+                    self.cache.store(key, grounding_payload(self._graph, self._values))
             self.grounding_seconds = time.perf_counter() - started
+            self._grounding_epoch += 1
         return self._graph
 
     @property
@@ -92,9 +149,61 @@ class CaRLEngine:
         return self._values
 
     def invalidate(self) -> None:
-        """Drop the cached grounded graph (call after modifying the database)."""
+        """Drop the cached grounded graph and rebind to the database.
+
+        Called automatically when the database's version token moves (every
+        insert and table addition bumps it), so a mutated database can never
+        silently answer queries from a stale grounding.  Rebinding also
+        rebuilds the bound instance, whose per-attribute value indexes and
+        unit lists are caches over the same data.
+        """
         self._graph = None
         self._values = None
+        self._db_token = None
+        self.instance = self.schema.bind(self.database)
+        self.grounder = Grounder(self.model, self.instance, query_backend=self.backend)
+
+    # ------------------------------------------------------------------
+    # artifact-cache plumbing
+    # ------------------------------------------------------------------
+    def _grounding_key(self) -> CacheKey | None:
+        """Key of the grounding artifact: (database, program-as-written).
+
+        The artifact stored under this key may include groundings of
+        unifying aggregate rules registered before the grounding ran; those
+        extra nodes are pure leaves (aggregate heads only receive edges), so
+        they are harmless to sessions that never ask for them, and
+        :meth:`_apply_pending_aggregates` splices any rule a session *does*
+        need on top of whatever was loaded (idempotently).
+        """
+        if self.cache is None:
+            return None
+        return CacheKey(
+            database=database_fingerprint(self.database),
+            program=self._program_fingerprint,
+            kind="grounding",
+        )
+
+    def _unit_table_key(
+        self, query: CausalQuery, embedding: Any, backend: str, response_attribute: str
+    ) -> CacheKey | None:
+        if self.cache is None:
+            return None
+        resolution: list[Any] = [response_attribute]
+        derived = self.model.derived_attributes.get(response_attribute)
+        if derived is not None:
+            resolution.append(derived)
+        return CacheKey(
+            database=database_fingerprint(self.database),
+            program=self._program_fingerprint,
+            kind="unit_table",
+            detail=query_fingerprint(query, embedding, backend, resolution),
+        )
+
+    def cache_stats(self) -> dict[str, dict[str, int]]:
+        """Per-kind hit/miss/store counters of the configured cache (empty
+        mapping when the engine runs uncached)."""
+        return self.cache.stats.summary() if self.cache is not None else {}
 
     # ------------------------------------------------------------------
     # public API
@@ -118,10 +227,19 @@ class CaRLEngine:
         estimator = estimator or self.default_estimator
         embedding = embedding or self.default_embedding
 
-        self.graph  # force grounding so its time is not charged to the unit table
+        if self.cache is None:
+            # Force grounding so its time is not charged to the unit table.
+            # With a cache configured, grounding stays lazy: a unit-table
+            # cache hit answers the query without touching the graph at all.
+            self.graph  # noqa: B018
+        epoch = self._grounding_epoch
         started = time.perf_counter()
         unit_table, peers = self._build_unit_table(query, embedding, backend=backend)
         unit_table_seconds = time.perf_counter() - started
+        if self._grounding_epoch != epoch:
+            # Grounding (or a cache load of it) ran lazily inside the build;
+            # keep the reported timings disjoint.
+            unit_table_seconds = max(0.0, unit_table_seconds - self.grounding_seconds)
 
         started = time.perf_counter()
         if query.is_peer_query:
@@ -239,6 +357,22 @@ class CaRLEngine:
         treatment_subject = self.schema.subject_of(treatment_attribute)
 
         response_attribute = self._resolve_response(query, treatment_subject)
+
+        # Probe the artifact cache after response resolution: the resolved
+        # response (and its derived-attribute definition, if unification
+        # introduced one) is part of the key, so differently-unified
+        # requests never alias — while identical requests key identically
+        # regardless of what else the session answered before.
+        table_key = self._unit_table_key(query, embedding, backend, response_attribute)
+        if table_key is not None:
+            payload = self.cache.load(table_key)
+            if payload is not None:
+                try:
+                    return load_unit_table(payload), {}
+                except SerializationError:
+                    pass
+
+        self._apply_pending_aggregates()
         values = dict(self.values)
 
         # Subject of the *base* response attribute: restrictions on that entity
@@ -289,6 +423,8 @@ class CaRLEngine:
             binarize=binarize,
             backend=backend,
         )
+        if table_key is not None:
+            self.cache.store(table_key, unit_table_payload(table))
         return table, peers
 
     def _resolve_response(self, query: CausalQuery, treatment_subject: str) -> str:
@@ -352,8 +488,25 @@ class CaRLEngine:
                 condition=rule.condition,
             )
         registered = self.model.add_aggregate_rule(rule)
-        self._extend_graph_with_aggregate(registered)
+        self._pending_aggregates.append(registered)
         return desired
+
+    def _apply_pending_aggregates(self) -> None:
+        """Ground rules registered by response unification and splice them in.
+
+        Deferred from :meth:`_ensure_unifying_aggregate` so a unit-table
+        cache hit answers without grounding anything.  The extension is
+        applied unconditionally: a graph loaded from the (program-keyed)
+        cache may or may not already contain these groundings, and splicing
+        them again is idempotent — node/edge insertion is set-based and the
+        aggregate values recompute to the same result.
+        """
+        if not self._pending_aggregates:
+            return
+        pending, self._pending_aggregates = self._pending_aggregates, []
+        self.graph  # noqa: B018 - load or ground before splicing
+        for rule in pending:
+            self._extend_graph_with_aggregate(rule)
 
     def _extend_graph_with_aggregate(self, rule: Any) -> None:
         """Ground one new aggregate rule and splice it into the cached graph."""

@@ -56,6 +56,10 @@ class Grounder:
         self.model = model
         self.instance = instance
         self.query_backend = query_backend
+        #: Number of full :meth:`ground` runs this grounder has performed.
+        #: The artifact cache's tests and benchmarks assert warm runs leave
+        #: this at zero — grounding work must be loaded, not redone.
+        self.ground_count = 0
 
     # ------------------------------------------------------------------
     # condition evaluation
@@ -152,6 +156,7 @@ class Grounder:
         when no rule mentions it (isolated attribute nodes carry observed
         values that may still serve as covariates).
         """
+        self.ground_count += 1
         graph = GroundedCausalGraph()
 
         # Ensure every grounding of every declared attribute exists as a node.

@@ -115,6 +115,31 @@ class UnitTable:
             rows.append(row)
         return rows
 
+    def equals(self, other: "UnitTable") -> bool:
+        """Bit-exact equality with ``other`` (NaN payloads and signed zeros
+        included).
+
+        This is the contract the artifact cache's ``save -> load`` round trip
+        guarantees: a unit table loaded from disk (possibly memory-mapped) is
+        ``equals`` to the one that was stored, so estimators see the exact
+        same bytes and produce bit-identical answers.
+        """
+        if self.unit_keys != other.unit_keys:
+            return False
+        if (
+            self.peer_columns != other.peer_columns
+            or self.covariate_columns != other.covariate_columns
+            or self.treatment_attribute != other.treatment_attribute
+            or self.response_attribute != other.response_attribute
+        ):
+            return False
+        for field in ("outcome", "treatment", "peer_treatment", "peer_counts", "covariates"):
+            mine = np.asarray(getattr(self, field), dtype=float)
+            theirs = np.asarray(getattr(other, field), dtype=float)
+            if mine.shape != theirs.shape or mine.tobytes() != theirs.tobytes():
+                return False
+        return True
+
     def summary(self) -> dict[str, Any]:
         treated = self.treatment > 0.5
         return {

@@ -11,21 +11,36 @@ relationship declared in the program; column names must match the declared
 keys and attribute columns (as produced by ``Database.export_csv``).
 A built-in demo (``--demo toy|review|synthetic|mimic|nis``) runs the same
 pipeline on the bundled synthetic datasets.
+
+Passing ``--cache DIR`` runs the engine against a persistent artifact cache
+(groundings and unit tables are reused across invocations); the ``cache``
+command group inspects and manages such a cache::
+
+    python -m repro.cli cache ls    [--root DIR]
+    python -m repro.cli cache stats [--root DIR] [--json]
+    python -m repro.cli cache clear [--root DIR] [--kind KIND]
 """
 
 from __future__ import annotations
 
 import argparse
+import datetime
 import json
+import os
 import sys
 from pathlib import Path
 from typing import Any
 
+from repro.cache.store import ArtifactCache
 from repro.carl.engine import CaRLEngine
 from repro.carl.parser import parse_program
 from repro.carl.queries import ATEResult, EffectsResult, QueryAnswer
 from repro.carl.schema import RelationalCausalSchema
 from repro.db.database import Database
+
+#: Default artifact-cache root for the ``cache`` command group (overridable
+#: per invocation with ``--root`` or globally with ``$REPRO_CACHE_DIR``).
+DEFAULT_CACHE_ROOT = ".repro-cache"
 
 
 def load_database_from_csv(directory: str | Path, program_text: str) -> Database:
@@ -130,10 +145,112 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--embedding", default="mean", help="embedding for covariates/peers")
     parser.add_argument("--bootstrap", type=int, default=0, help="bootstrap replicates for CIs")
     parser.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    parser.add_argument(
+        "--cache",
+        metavar="DIR",
+        help="persistent artifact cache root: reuse groundings and unit tables "
+        "across invocations (see the 'cache' command group)",
+    )
     return parser
 
 
+# ----------------------------------------------------------------------
+# the `cache` command group
+# ----------------------------------------------------------------------
+def build_cache_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli cache",
+        description="Inspect and manage a persistent artifact cache.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    for name, description in (
+        ("ls", "list cached artifacts"),
+        ("stats", "aggregate artifact counts and sizes by kind"),
+        ("clear", "delete cached artifacts"),
+    ):
+        subparser = subparsers.add_parser(name, help=description)
+        subparser.add_argument(
+            "--root",
+            default=os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_ROOT),
+            help=f"cache root directory (default: $REPRO_CACHE_DIR or {DEFAULT_CACHE_ROOT})",
+        )
+        subparser.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    subparsers.choices["clear"].add_argument(
+        "--kind", help="only delete artifacts of this kind (e.g. grounding, unit_table)"
+    )
+    return parser
+
+
+def cache_main(argv: list[str]) -> int:
+    args = build_cache_parser().parse_args(argv)
+    cache = ArtifactCache(args.root)
+
+    if args.command == "ls":
+        entries = cache.entries()
+        if args.json:
+            print(
+                json.dumps(
+                    [
+                        {
+                            "path": str(entry.path),
+                            "kind": entry.kind,
+                            "database": entry.key.database if entry.key else None,
+                            "program": entry.key.program if entry.key else None,
+                            "detail": entry.key.detail if entry.key else None,
+                            "bytes": entry.size_bytes,
+                            "modified": entry.modified,
+                        }
+                        for entry in entries
+                    ],
+                    indent=2,
+                )
+            )
+            return 0
+        if not entries:
+            print(f"cache at {cache.root} is empty")
+            return 0
+        print(f"{'kind':<12} {'database':<18} {'program':<18} {'detail':<18} {'bytes':>10}  modified")
+        for entry in entries:
+            key = entry.key
+            modified = datetime.datetime.fromtimestamp(entry.modified).isoformat(
+                sep=" ", timespec="seconds"
+            )
+            print(
+                f"{entry.kind:<12} "
+                f"{(key.database[:16] if key else '?'):<18} "
+                f"{(key.program[:16] if key else '?'):<18} "
+                f"{((key.detail[:16] if key.detail else '-') if key else '?'):<18} "
+                f"{entry.size_bytes:>10,}  {modified}"
+            )
+        return 0
+
+    if args.command == "stats":
+        grouped = cache.disk_stats()
+        if args.json:
+            print(json.dumps({"root": str(cache.root), "kinds": grouped}, indent=2))
+            return 0
+        total_entries = sum(bucket["entries"] for bucket in grouped.values())
+        total_bytes = sum(bucket["bytes"] for bucket in grouped.values())
+        print(f"cache root : {cache.root}")
+        print(f"artifacts  : {total_entries} ({total_bytes:,} bytes)")
+        for kind in sorted(grouped):
+            bucket = grouped[kind]
+            print(f"  {kind:<12} {bucket['entries']:>6} entries  {bucket['bytes']:>12,} bytes")
+        return 0
+
+    removed, freed = cache.clear(kind=args.kind)
+    if args.json:
+        print(json.dumps({"removed": removed, "bytes_freed": freed}))
+    else:
+        print(f"removed {removed} artifact(s), freed {freed:,} bytes")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "cache":
+        return cache_main(argv[1:])
     args = build_parser().parse_args(argv)
 
     if args.demo:
@@ -152,7 +269,11 @@ def main(argv: list[str] | None = None) -> int:
         return 2
 
     engine = CaRLEngine(
-        database, program_text, estimator=args.estimator, embedding=args.embedding
+        database,
+        program_text,
+        estimator=args.estimator,
+        embedding=args.embedding,
+        cache=args.cache,
     )
     outputs = {}
     for name, text in queries.items():
@@ -160,6 +281,8 @@ def main(argv: list[str] | None = None) -> int:
         outputs[name] = result_to_dict(answer)
 
     if args.json:
+        if args.cache:
+            outputs["_cache"] = engine.cache_stats()
         print(json.dumps(outputs, indent=2))
         return 0
 
@@ -180,6 +303,13 @@ def main(argv: list[str] | None = None) -> int:
         print(f"  timings (s)       : ground {payload['grounding_seconds']:.2f}, "
               f"unit table {payload['unit_table_seconds']:.2f}, "
               f"estimate {payload['estimation_seconds']:.2f}")
+    if args.cache:
+        stats = engine.cache_stats()
+        rendered = ", ".join(
+            f"{kind}: {bucket['hits']}h/{bucket['misses']}m/{bucket['stores']}s"
+            for kind, bucket in stats.items()
+        )
+        print(f"\ncache ({args.cache}): {rendered or 'no activity'}")
     return 0
 
 

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import csv
+import hashlib
 from collections.abc import Iterable, Sequence
 from pathlib import Path
 from typing import Any
@@ -29,6 +30,8 @@ class Database:
         self.name = name
         self.backend = backend
         self._tables: dict[str, AnyTable] = {}
+        self._structure_version = 0
+        self._fingerprint_cache: tuple[Any, str] | None = None
 
     # ------------------------------------------------------------------
     # table management
@@ -45,6 +48,7 @@ class Database:
         schema = TableSchema.from_spec(name, columns, tuple(primary_key))
         table = table_backend(self.backend)(schema)
         self._tables[name] = table
+        self._structure_version += 1
         return table
 
     def add_table(self, table: AnyTable) -> AnyTable:
@@ -52,6 +56,7 @@ class Database:
         if table.name in self._tables:
             raise SchemaError(f"table {table.name!r} already exists in database {self.name!r}")
         self._tables[table.name] = table
+        self._structure_version += 1
         return table
 
     def to_backend(self, backend: str) -> "Database":
@@ -66,6 +71,44 @@ class Database:
         if name not in self._tables:
             raise KeyError(f"no table named {name!r} in database {self.name!r}")
         del self._tables[name]
+        self._structure_version += 1
+
+    # ------------------------------------------------------------------
+    # versioning / fingerprinting
+    # ------------------------------------------------------------------
+    def version_token(self) -> tuple[Any, ...]:
+        """A cheap, hashable token that changes whenever the database mutates.
+
+        Combines the database's structural counter (tables created, added or
+        dropped) with every table's mutation counter, so inserts through a
+        table reference obtained before registration are still detected.
+        Comparing tokens is how the engine notices staleness without
+        recomputing content fingerprints.
+        """
+        return (
+            self._structure_version,
+            tuple((name, table.version) for name, table in self._tables.items()),
+        )
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the whole database (schema + data).
+
+        Built from the per-table content digests (see ``Table.content_digest``),
+        cached against :meth:`version_token` so repeated fingerprinting of an
+        unchanged database costs one token comparison.  The database *name* is
+        deliberately excluded: two databases with identical tables share a
+        fingerprint (and therefore cached artifacts).
+        """
+        token = self.version_token()
+        if self._fingerprint_cache is not None and self._fingerprint_cache[0] == token:
+            return self._fingerprint_cache[1]
+        hasher = hashlib.sha256()
+        for name in sorted(self._tables):
+            hasher.update(name.encode("utf-8", "backslashreplace"))
+            hasher.update(self._tables[name].content_digest().encode())
+        fingerprint = hasher.hexdigest()
+        self._fingerprint_cache = (token, fingerprint)
+        return fingerprint
 
     def table(self, name: str) -> AnyTable:
         """Look up a table by name."""

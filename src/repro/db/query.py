@@ -12,9 +12,11 @@ order):
 * ``"rows"`` — the original strategy: bindings are dicts, candidate rows are
   materialized as dicts via :meth:`~repro.db.table.Table.lookup`.
 * ``"columnar"`` — the vectorized strategy (the default): the binding set is
-  stored column-major (one value list per variable) and atoms are joined by
-  probing the table's hash index against raw column storage, so no per-row
-  dicts are allocated while the join runs.
+  stored column-major (one value list per variable) and each atom is joined
+  as a numpy join — join keys are factorized to integer codes, matched with
+  a sorted array intersection (``argsort`` + ``searchsorted``), and the
+  result assembled by bulk gathers — so no per-row Python loop runs over
+  the join output.
 """
 
 from __future__ import annotations
@@ -23,7 +25,10 @@ from dataclasses import dataclass
 from collections.abc import Iterator, Sequence
 from typing import Any
 
+import numpy as np
+
 from repro.db.database import Database
+from repro.db.table import _equality_mask, as_object_array
 
 #: Evaluation backend used when :meth:`ConjunctiveQuery.evaluate` is not given
 #: one explicitly.
@@ -185,14 +190,21 @@ class ConjunctiveQuery:
         bindings: dict[str, list[Any]],
         count: int,
     ) -> tuple[dict[str, list[Any]], int]:
-        """Extend a column-major binding set with one atom.
+        """Extend a column-major binding set with one atom, as a numpy join.
 
-        Mirrors :meth:`_extend` exactly — same access-path choice, same
-        candidate order — but keeps bindings as parallel value lists and
-        reads the table through its raw column storage.
+        Result and order match :meth:`_extend` exactly (for each binding in
+        order, matching table rows in table order), but the join runs
+        vectorized: constant and intra-atom equalities become boolean masks,
+        the (bound variable) join keys are factorized to integer codes once
+        per side, and the code arrays are intersected with a stable
+        ``argsort`` + ``searchsorted`` instead of per-binding index probes.
+        Factorization uses the raw column values (Python ``dict`` hashing),
+        so key-equality semantics are identical to the hash index the row
+        path probes.
         """
         table = database.table(atom.predicate)
         columns = table.columns
+        n_rows = len(table)
         column_lists = [table._column_list(column) for column in columns]  # noqa: SLF001
 
         # Classify term positions once (the bound-variable set is uniform
@@ -212,63 +224,83 @@ class ConjunctiveQuery:
             else:
                 constants.append((position, term))
 
-        # Access path: first bound-variable or constant position, as in _extend.
-        lookup_name: str | None = None
-        lookup_constant: Any = None
-        lookup_position: int | None = None
-        for position, term in enumerate(atom.terms):
-            if isinstance(term, Variable):
-                if term.name in bindings:
-                    lookup_position, lookup_name = position, term.name
-                    break
-            else:
-                lookup_position, lookup_constant = position, term
-                break
+        # Row-level filter: constants and repeated new variables within the
+        # atom restrict table rows independently of the binding set.
+        mask: np.ndarray | None = None
+        for position, value in constants:
+            term_mask = _equality_mask(as_object_array(column_lists[position]), value)
+            mask = term_mask if mask is None else mask & term_mask
+        for position, first in duplicate_new:
+            pair_mask = np.fromiter(
+                (a == b for a, b in zip(column_lists[position], column_lists[first])),
+                dtype=bool,
+                count=n_rows,
+            )
+            mask = pair_mask if mask is None else mask & pair_mask
+        rows = np.flatnonzero(mask) if mask is not None else np.arange(n_rows, dtype=np.intp)
 
-        index: dict[Any, list[int]] | None = None
-        all_positions: range | None = None
-        if lookup_position is not None:
-            lookup_column = columns[lookup_position]
-            if lookup_column not in table._indexes:  # noqa: SLF001 - internal fast path
-                table.build_index(lookup_column)
-            index = table._indexes[lookup_column]  # noqa: SLF001
+        if bound_positions:
+            # Factorize the join keys of both sides to integer codes.  Keys
+            # that are not equal to themselves (NaN components) can never
+            # join under the row path's ``!=`` rechecks, but a Python dict
+            # would match them by identity — route them to sentinel codes
+            # (-2 right / -1 left) that never intersect.
+            key_lists = [column_lists[position] for position, _ in bound_positions]
+            code_of: dict[Any, int] = {}
+            right_codes = np.empty(len(rows), dtype=np.intp)
+            if len(key_lists) == 1:
+                right_values = key_lists[0]
+                for out, row in enumerate(rows.tolist()):
+                    key = right_values[row]
+                    right_codes[out] = (
+                        code_of.setdefault(key, len(code_of)) if key == key else -2
+                    )
+            else:
+                for out, row in enumerate(rows.tolist()):
+                    parts = tuple(values[row] for values in key_lists)
+                    if all(part == part for part in parts):
+                        right_codes[out] = code_of.setdefault(parts, len(code_of))
+                    else:
+                        right_codes[out] = -2
+
+            left_lists = [bindings[name] for _, name in bound_positions]
+            left_codes = np.empty(count, dtype=np.intp)
+            lookup = code_of.get
+            if len(left_lists) == 1:
+                left_values = left_lists[0]
+                for position in range(count):
+                    key = left_values[position]
+                    left_codes[position] = lookup(key, -1) if key == key else -1
+            else:
+                for position in range(count):
+                    parts = tuple(values[position] for values in left_lists)
+                    if all(part == part for part in parts):
+                        left_codes[position] = lookup(parts, -1)
+                    else:
+                        left_codes[position] = -1
+
+            # Array intersection: stable sort by code, then one searchsorted
+            # window per binding; within a window, rows keep table order.
+            order = np.argsort(right_codes, kind="stable")
+            sorted_codes = right_codes[order]
+            starts = np.searchsorted(sorted_codes, left_codes, side="left")
+            matches = np.searchsorted(sorted_codes, left_codes, side="right") - starts
+            out_count = int(matches.sum())
+            left_take = np.repeat(np.arange(count, dtype=np.intp), matches)
+            segment_offsets = np.repeat(np.cumsum(matches) - matches, matches)
+            within = np.arange(out_count, dtype=np.intp) - segment_offsets
+            right_take = rows[order[np.repeat(starts, matches) + within]]
         else:
-            all_positions = range(len(table))
+            # No shared variables: cartesian product with the surviving rows.
+            out_count = count * len(rows)
+            left_take = np.repeat(np.arange(count, dtype=np.intp), len(rows))
+            right_take = np.tile(rows, count)
 
-        carried = list(bindings)
-        introduced = list(new_positions)
-        extended: dict[str, list[Any]] = {name: [] for name in (*carried, *introduced)}
-        out_count = 0
-        lookup_values = bindings[lookup_name] if lookup_name is not None else None
-
-        for binding_position in range(count):
-            if index is None:
-                candidates: Sequence[int] = all_positions  # type: ignore[assignment]
-            elif lookup_values is not None:
-                candidates = index.get(lookup_values[binding_position], ())
-            else:
-                candidates = index.get(lookup_constant, ())
-            for row_position in candidates:
-                if any(
-                    column_lists[position][row_position] != value
-                    for position, value in constants
-                ):
-                    continue
-                if any(
-                    column_lists[position][row_position] != bindings[name][binding_position]
-                    for position, name in bound_positions
-                ):
-                    continue
-                if any(
-                    column_lists[position][row_position] != column_lists[first][row_position]
-                    for position, first in duplicate_new
-                ):
-                    continue
-                for name in carried:
-                    extended[name].append(bindings[name][binding_position])
-                for name in introduced:
-                    extended[name].append(column_lists[new_positions[name]][row_position])
-                out_count += 1
+        extended: dict[str, list[Any]] = {}
+        for name, values in bindings.items():
+            extended[name] = _gather_values(values, left_take)
+        for name, position in new_positions.items():
+            extended[name] = _gather_values(column_lists[position], right_take)
         return extended, out_count
 
     def _extend(
@@ -322,3 +354,10 @@ class ConjunctiveQuery:
 
     def __repr__(self) -> str:
         return " AND ".join(repr(atom) for atom in self.atoms) or "TRUE"
+
+
+def _gather_values(values: Sequence[Any], take: np.ndarray) -> list[Any]:
+    """``[values[i] for i in take]`` as a bulk object-array gather."""
+    if not len(take):
+        return []
+    return as_object_array(values)[take].tolist()

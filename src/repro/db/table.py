@@ -17,6 +17,7 @@ holds them to that contract with differential property tests.
 
 from __future__ import annotations
 
+import hashlib
 from collections import defaultdict
 from collections.abc import Callable, Iterable, Iterator, Sequence
 from typing import Any
@@ -82,6 +83,8 @@ class Table:
         self._rows: list[tuple[Any, ...]] = []
         self._key_index: dict[tuple[Any, ...], int] = {}
         self._indexes: dict[str, dict[Any, list[int]]] = {}
+        self._version = 0
+        self._digest_cache: tuple[int, str] | None = None
         for row in rows:
             self.insert(row)
 
@@ -114,6 +117,7 @@ class Table:
             self._key_index[key] = len(self._rows)
         position = len(self._rows)
         self._rows.append(values)
+        self._version += 1
         for column, index in self._indexes.items():
             index[values[self.schema.index_of(column)]].append(position)
 
@@ -131,6 +135,28 @@ class Table:
     @property
     def columns(self) -> tuple[str, ...]:
         return self.schema.column_names
+
+    @property
+    def version(self) -> int:
+        """Mutation counter: bumped on every insert (used for cache invalidation)."""
+        return self._version
+
+    def content_digest(self) -> str:
+        """Stable hash of the table's schema and contents.
+
+        Incrementally maintained: the digest is cached and only recomputed
+        when :attr:`version` has moved since it was last computed, so repeated
+        fingerprinting of an unchanged table is O(1).  Equal content yields
+        equal digests in both storage backends.
+        """
+        if self._digest_cache is not None and self._digest_cache[0] == self._version:
+            return self._digest_cache[1]
+        hasher = hashlib.sha256(_schema_token(self.schema))
+        for column in self.schema.columns:
+            hasher.update(_column_digest(column, self.column(column.name)))
+        digest = hasher.hexdigest()
+        self._digest_cache = (self._version, digest)
+        return digest
 
     def __len__(self) -> int:
         return len(self._rows)
@@ -349,6 +375,8 @@ class ColumnarTable:
         self._array_cache: list[np.ndarray | None] = [None] * len(schema.columns)
         self._key_index: dict[tuple[Any, ...], int] = {}
         self._indexes: dict[str, dict[Any, list[int]]] = {}
+        self._version = 0
+        self._digest_cache: tuple[int, str] | None = None
         for row in rows:
             self.insert(row)
 
@@ -430,6 +458,7 @@ class ColumnarTable:
         position = len(self._data[0])
         for column_position, value in enumerate(values):
             self._data[column_position].append(value)
+        self._version += 1
         for column, index in self._indexes.items():
             index.setdefault(values[self.schema.index_of(column)], []).append(position)
 
@@ -447,6 +476,31 @@ class ColumnarTable:
     @property
     def columns(self) -> tuple[str, ...]:
         return self.schema.column_names
+
+    @property
+    def version(self) -> int:
+        """Mutation counter: bumped on every insert (used for cache invalidation)."""
+        return self._version
+
+    def content_digest(self) -> str:
+        """Stable hash of the table's schema and contents (cached per version).
+
+        Typed numeric columns hash their (cached) numpy array buffers, so
+        fingerprinting a large columnar table is a handful of ``tobytes``
+        passes rather than a per-value Python loop.  The conversion rules are
+        shared with :class:`Table`'s digest, so equal content yields equal
+        digests in both backends.
+        """
+        if self._digest_cache is not None and self._digest_cache[0] == self._version:
+            return self._digest_cache[1]
+        hasher = hashlib.sha256(_schema_token(self.schema))
+        for position, column in enumerate(self.schema.columns):
+            hasher.update(
+                _column_digest(column, self._data[position], self._array_by_position(position))
+            )
+        digest = hasher.hexdigest()
+        self._digest_cache = (self._version, digest)
+        return digest
 
     def __len__(self) -> int:
         return len(self._data[0]) if self._data else 0
@@ -675,18 +729,7 @@ class ColumnarTable:
         cached = self._array_cache[position]
         if cached is not None and len(cached) == len(data):
             return cached
-        column_schema = self.schema.columns[position]
-        array: np.ndarray | None = None
-        if not column_schema.nullable:
-            try:
-                if column_schema.dtype == "float":
-                    array = np.asarray(data, dtype=float)
-                elif column_schema.dtype == "int":
-                    array = np.asarray(data, dtype=np.int64)
-                elif column_schema.dtype == "bool":
-                    array = np.asarray(data, dtype=bool)
-            except (ValueError, TypeError, OverflowError):
-                array = None
+        array = _numeric_column_array(self.schema.columns[position], data)
         if array is None:
             array = np.empty(len(data), dtype=object)
             array[:] = data
@@ -743,6 +786,82 @@ def as_rows(table: AnyTable) -> Table:
     if isinstance(table, Table):
         return table
     return table.to_row_table()
+
+
+def _schema_token(schema: TableSchema) -> bytes:
+    """Canonical byte encoding of a table schema, for content digests."""
+    return repr(
+        (
+            schema.name,
+            tuple((column.name, column.dtype, column.nullable) for column in schema.columns),
+            schema.primary_key,
+        )
+    ).encode("utf-8", "backslashreplace")
+
+
+def as_object_array(values: Sequence[Any]) -> np.ndarray:
+    """1-d object array preserving each element as-is (tuples stay tuples).
+
+    Bulk assignment is the fast path; numpy rejects it when elements are
+    themselves sequences (it tries to broadcast them), so those fall back to
+    a per-element fill.  Shared by the vectorized query join and the artifact
+    serialization layer.
+    """
+    array = np.empty(len(values), dtype=object)
+    try:
+        array[:] = values
+    except ValueError:
+        for position, value in enumerate(values):
+            array[position] = value
+    return array
+
+
+def _numeric_column_array(column: ColumnSchema, data: Sequence[Any]) -> np.ndarray | None:
+    """A typed non-nullable numeric column as a numpy array (else None).
+
+    The single source of the backend's numeric-conversion rules: both the
+    columnar array cache and the content digests of *both* backends go
+    through here, so a column converts (or falls back to objects) the same
+    way everywhere.
+    """
+    if column.nullable:
+        return None
+    try:
+        if column.dtype == "float":
+            return np.asarray(data, dtype=float)
+        if column.dtype == "int":
+            return np.asarray(data, dtype=np.int64)
+        if column.dtype == "bool":
+            return np.asarray(data, dtype=bool)
+    except (ValueError, TypeError, OverflowError):
+        return None
+    return None
+
+
+def _column_digest(
+    column: ColumnSchema, values: Sequence[Any], array: np.ndarray | None = None
+) -> bytes:
+    """Digest of one column's values, identical across storage backends.
+
+    Numeric columns hash their array buffer (``array`` lets the columnar
+    backend pass its cached array; the row backend converts on the fly with
+    the same :func:`_numeric_column_array` rules).  Everything else hashes a
+    ``type|repr`` token per value, so ``1``, ``1.0``, ``True`` and ``"1"``
+    never collide; ``repr`` escapes newlines inside strings, so the newline
+    separator is unambiguous.
+    """
+    if array is None:
+        array = _numeric_column_array(column, values)
+    if array is not None and array.dtype != object:
+        hasher = hashlib.sha256(str(array.dtype).encode())
+        hasher.update(array.tobytes())
+        return hasher.digest()
+    hasher = hashlib.sha256()
+    for value in values:
+        hasher.update(
+            f"{type(value).__name__}|{value!r}\n".encode("utf-8", "backslashreplace")
+        )
+    return hasher.digest()
 
 
 def _equality_mask(array: np.ndarray, value: Any) -> np.ndarray:

@@ -1,0 +1,328 @@
+"""Behavioral tests for the persistent artifact cache.
+
+Covers the fingerprint contract (content-addressed, mutation-sensitive), the
+store's key verification and maintenance commands, the engine integration
+(warm runs skip grounding entirely and return bit-identical answers; database
+mutations invalidate automatically), and the ``cache`` CLI group.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import CaRLEngine
+from repro.cache import ArtifactCache, CacheKey
+from repro.cache.fingerprint import model_fingerprint, query_fingerprint
+from repro.carl.parser import parse_query
+from repro.cli import main
+from repro.datasets import TOY_REVIEW_PROGRAM, toy_review_database
+from repro.db.database import Database
+
+#: The quickstart example's three query shapes (ATE over a unified aggregated
+#: response, the effect triple under a peer condition, and a restricted ATE).
+QUICKSTART_QUERIES = (
+    "AVG_Score[A] <= Prestige[A] ?",
+    "Score[S] <= Prestige[A] ? WHEN ALL PEERS TREATED",
+    'Score[S] <= Prestige[A] ? WHERE Submitted(S, C), Blind[C] = "double"',
+)
+
+
+# ----------------------------------------------------------------------
+# fingerprints and version tokens
+# ----------------------------------------------------------------------
+class TestFingerprints:
+    def test_identical_content_identical_fingerprint(self):
+        assert toy_review_database().fingerprint() == toy_review_database().fingerprint()
+
+    def test_insert_changes_fingerprint_and_token(self):
+        database = toy_review_database()
+        fingerprint = database.fingerprint()
+        token = database.version_token()
+        database.insert("Person", {"person": "zz", "prestige": 1, "qualification": 5})
+        assert database.version_token() != token
+        assert database.fingerprint() != fingerprint
+
+    def test_fingerprint_cached_until_mutation(self):
+        database = toy_review_database()
+        assert database.fingerprint() is database.fingerprint()  # cached string
+
+    def test_structural_changes_move_the_token(self):
+        database = Database("d")
+        token = database.version_token()
+        database.create_table("t", {"a": "int"})
+        assert database.version_token() != token
+        token = database.version_token()
+        database.drop_table("t")
+        assert database.version_token() != token
+
+    def test_fingerprint_is_backend_independent(self):
+        database = toy_review_database()  # row backend
+        columnar = database.to_backend("columnar")
+        assert columnar.fingerprint() == database.fingerprint()
+        assert columnar.to_backend("rows").fingerprint() == database.fingerprint()
+
+    def test_value_type_changes_fingerprint(self):
+        left, right = Database("l"), Database("r")
+        left.load_rows("t", [{"a": 1}])
+        right.load_rows("t", [{"a": "1"}])
+        assert left.fingerprint() != right.fingerprint()
+
+    def test_model_fingerprint_tracks_dynamic_aggregates(self):
+        engine = CaRLEngine(toy_review_database(), TOY_REVIEW_PROGRAM)
+        before = model_fingerprint(engine.program, engine.model)
+        engine.answer("MAX_Score[A] <= Prestige[A] ?")
+        # Unifying Score onto authors via MAX registered a new aggregate rule
+        # (the program itself only declares the AVG unification).
+        assert model_fingerprint(engine.program, engine.model) != before
+
+    def test_query_fingerprint_distinguishes_embedding_and_backend(self):
+        query = parse_query("AVG_Score[A] <= Prestige[A] ?")
+        base = query_fingerprint(query, "mean", "columnar")
+        assert query_fingerprint(query, "moments", "columnar") != base
+        assert query_fingerprint(query, "mean", "rows") != base
+        other = parse_query("AVG_Score[A] <= Qualification[A] >= 5 ?")
+        assert query_fingerprint(other, "mean", "columnar") != base
+
+
+# ----------------------------------------------------------------------
+# the store
+# ----------------------------------------------------------------------
+class TestArtifactStore:
+    def key(self, **overrides):
+        parts = {"database": "ab" * 32, "program": "cd" * 32, "kind": "grounding"}
+        parts.update(overrides)
+        return CacheKey(**parts)
+
+    def test_prefix_collision_reads_as_miss(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        stored = self.key()
+        cache.store(stored, {"x": np.arange(3)})
+        # Same 16-char prefixes, different full fingerprint.
+        colliding = self.key(database="ab" * 8 + "ef" * 24)
+        assert cache.path_for(colliding) == cache.path_for(stored)
+        assert cache.load(colliding) is None
+        assert cache.stats.miss_count("grounding") == 1
+
+    def test_corrupt_artifact_reads_as_miss(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        key = self.key()
+        path = cache.store(key, {"x": np.arange(3)})
+        path.write_bytes(b"not a zip archive")
+        assert cache.load(key) is None
+
+    def test_reserved_payload_name_rejected(self, tmp_path):
+        with pytest.raises(Exception, match="reserved"):
+            ArtifactCache(tmp_path).store(self.key(), {"cache_key": np.arange(1)})
+
+    def test_invalid_keys_rejected(self):
+        with pytest.raises(Exception, match="hex"):
+            self.key(database="NOT HEX")
+        with pytest.raises(Exception, match="kind"):
+            self.key(kind="../escape")
+
+    def test_clear_by_kind_and_entries(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.store(self.key(), {"x": np.arange(3)})
+        cache.store(self.key(kind="unit_table", detail="ee" * 32), {"x": np.arange(5)})
+        assert {entry.kind for entry in cache.entries()} == {"grounding", "unit_table"}
+        removed, freed = cache.clear(kind="unit_table")
+        assert removed == 1 and freed > 0
+        assert [entry.kind for entry in cache.entries()] == ["grounding"]
+        removed, _ = cache.clear()
+        assert removed == 1 and cache.entries() == []
+
+    def test_outdated_format_counts_as_miss(self, tmp_path):
+        import numpy as _np
+
+        from repro.cache.serialization import FORMAT_VERSION
+
+        cache = ArtifactCache(tmp_path)
+        key = self.key()
+        cache.store(
+            key,
+            {"meta": _np.asarray(json.dumps({"format": FORMAT_VERSION - 1, "kind": "x"}))},
+        )
+        assert cache.load(key) is None
+        assert cache.stats.summary() == {
+            "grounding": {"hits": 0, "misses": 1, "stores": 1}
+        }
+
+    def test_stats_summary_counts(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        key = self.key()
+        assert cache.load(key) is None
+        cache.store(key, {"x": np.arange(2)})
+        assert cache.load(key) is not None
+        assert cache.stats.summary() == {
+            "grounding": {"hits": 1, "misses": 1, "stores": 1}
+        }
+
+
+# ----------------------------------------------------------------------
+# engine integration
+# ----------------------------------------------------------------------
+class TestEngineCache:
+    def run_pipeline(self, root) -> tuple[CaRLEngine, dict[str, object]]:
+        engine = CaRLEngine(toy_review_database(), TOY_REVIEW_PROGRAM, cache=root)
+        answers = {query: engine.answer(query) for query in QUICKSTART_QUERIES}
+        return engine, answers
+
+    def test_warm_run_does_zero_grounding_work(self, tmp_path):
+        root = tmp_path / "cache"
+        cold_engine, cold = self.run_pipeline(root)
+        assert cold_engine.grounding_runs == 1
+        assert cold_engine.cache_stats()["grounding"]["stores"] == 1
+
+        warm_engine, warm = self.run_pipeline(root)
+        # Zero grounding work: no full grounding run happened anywhere.  When
+        # every unit table hits, the grounded graph is never even loaded, so
+        # the grounding counters may show no activity at all — only misses
+        # would indicate grounding work.
+        assert warm_engine.grounding_runs == 0
+        assert warm_engine.grounder.ground_count == 0
+        stats = warm_engine.cache_stats()
+        assert stats.get("grounding", {}).get("misses", 0) == 0
+        assert stats["unit_table"]["hits"] == len(QUICKSTART_QUERIES)
+        assert stats["unit_table"]["misses"] == 0
+
+        # ... and every answer is bit-identical to the cold run's.
+        for query in QUICKSTART_QUERIES:
+            cold_result, warm_result = cold[query].result, warm[query].result
+            if hasattr(cold_result, "ate"):
+                assert warm_result.ate == cold_result.ate
+            else:
+                assert warm_result.aie == cold_result.aie
+                assert warm_result.are == cold_result.are
+                assert warm_result.aoe == cold_result.aoe
+            assert warm_result.naive_difference == cold_result.naive_difference
+            assert warm_result.correlation == cold_result.correlation
+            assert warm_result.n_units == cold_result.n_units
+
+    def test_uncached_engine_matches_cached(self, tmp_path):
+        _, cached = self.run_pipeline(tmp_path / "cache")
+        plain = CaRLEngine(toy_review_database(), TOY_REVIEW_PROGRAM)
+        for query in QUICKSTART_QUERIES[:1]:
+            assert plain.answer(query).result.ate == cached[query].result.ate
+
+    def test_mutation_invalidates_and_reruns(self, tmp_path):
+        engine = CaRLEngine(
+            toy_review_database(), TOY_REVIEW_PROGRAM, cache=tmp_path / "cache"
+        )
+        before = engine.answer(QUICKSTART_QUERIES[0]).result
+        engine.database.insert(
+            "Person", {"person": "newbie", "prestige": 0, "qualification": 3}
+        )
+        engine.database.insert("Author", {"person": "newbie", "sub": "s1"})
+        after = engine.answer(QUICKSTART_QUERIES[0]).result
+        assert engine.grounding_runs == 2  # stale grounding was redone
+        assert after.n_units == before.n_units + 1
+
+        # A fresh engine over an identically mutated database must agree —
+        # the re-ground used current data, not the stale graph.
+        database = toy_review_database()
+        database.insert("Person", {"person": "newbie", "prestige": 0, "qualification": 3})
+        database.insert("Author", {"person": "newbie", "sub": "s1"})
+        fresh = CaRLEngine(database, TOY_REVIEW_PROGRAM).answer(QUICKSTART_QUERIES[0]).result
+        assert fresh.ate == after.ate
+        assert fresh.n_units == after.n_units
+
+    def test_stale_graph_never_served_after_mutation(self):
+        engine = CaRLEngine(toy_review_database(), TOY_REVIEW_PROGRAM)
+        nodes_before = len(engine.graph)
+        engine.database.insert(
+            "Person", {"person": "late", "prestige": 1, "qualification": 7}
+        )
+        assert len(engine.graph) > nodes_before  # no manual invalidate() needed
+
+    def test_warm_cross_predicate_query_does_zero_grounding(self, tmp_path):
+        # A query whose response lives on another predicate registers a
+        # unifying aggregate rule at resolution time.  Warm engines must
+        # still answer it from the cache without any grounding: the
+        # unit-table probe runs before the graph is extended, and the cold
+        # engine stored the rule-extended grounding for miss paths.
+        root = tmp_path / "cache"
+        query = "MAX_Score[A] <= Prestige[A] ?"
+        cold = CaRLEngine(toy_review_database(), TOY_REVIEW_PROGRAM, cache=root)
+        cold.answer(QUICKSTART_QUERIES[0])  # grounds before the MAX rule exists
+        cold_answer = cold.answer(query)
+
+        warm = CaRLEngine(toy_review_database(), TOY_REVIEW_PROGRAM, cache=root)
+        warm_answer = warm.answer(query)
+        assert warm.grounder.ground_count == 0 and warm.grounding_runs == 0
+        assert warm.cache_stats().get("grounding", {}).get("misses", 0) == 0
+        assert warm_answer.result.ate == cold_answer.result.ate
+
+        # Even with the unit table evicted, the extended grounding loads
+        # instead of re-grounding.
+        ArtifactCache(root).clear(kind="unit_table")
+        warmish = CaRLEngine(toy_review_database(), TOY_REVIEW_PROGRAM, cache=root)
+        warmish_answer = warmish.answer(query)
+        assert warmish.grounder.ground_count == 0 and warmish.grounding_runs == 0
+        assert warmish.cache_stats()["grounding"]["hits"] == 1
+        assert warmish_answer.result.ate == cold_answer.result.ate
+
+    def test_cache_keys_do_not_depend_on_session_history(self, tmp_path):
+        # Session A answers a cross-predicate query (registering a unifying
+        # rule) before the plain query; session B answers only the plain
+        # query.  B must still hit A's artifacts — keys are built from the
+        # program as written plus the per-query resolution, never from the
+        # session's accumulated rule list.
+        root = tmp_path / "cache"
+        session_a = CaRLEngine(toy_review_database(), TOY_REVIEW_PROGRAM, cache=root)
+        session_a.answer("MAX_Score[A] <= Prestige[A] ?")  # registers MAX rule
+        plain = session_a.answer(QUICKSTART_QUERIES[0])
+
+        session_b = CaRLEngine(toy_review_database(), TOY_REVIEW_PROGRAM, cache=root)
+        answer_b = session_b.answer(QUICKSTART_QUERIES[0])
+        assert session_b.grounder.ground_count == 0 and session_b.grounding_runs == 0
+        assert session_b.cache_stats()["unit_table"] == {"hits": 1, "misses": 0, "stores": 0}
+        assert answer_b.result.ate == plain.result.ate
+
+    def test_unit_table_cache_used_by_unit_table_api(self, tmp_path):
+        root = tmp_path / "cache"
+        cold = CaRLEngine(toy_review_database(), TOY_REVIEW_PROGRAM, cache=root)
+        cold_table = cold.unit_table(QUICKSTART_QUERIES[0])
+        warm = CaRLEngine(toy_review_database(), TOY_REVIEW_PROGRAM, cache=root)
+        warm_table = warm.unit_table(QUICKSTART_QUERIES[0])
+        assert warm.cache_stats()["unit_table"]["hits"] == 1
+        assert warm_table.equals(cold_table)  # bit-exact, via the loaded mmap
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+class TestCacheCli:
+    def test_query_with_cache_then_ls_stats_clear(self, tmp_path, capsys):
+        root = str(tmp_path / "cache")
+        assert main(["--demo", "toy", "--cache", root, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["_cache"]["grounding"]["stores"] == 1
+
+        assert main(["--demo", "toy", "--cache", root, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        # The unit-table hit answers without loading the grounding at all.
+        assert payload["_cache"].get("grounding", {}).get("misses", 0) == 0
+        assert payload["_cache"]["unit_table"]["hits"] == 1
+
+        assert main(["cache", "ls", "--root", root]) == 0
+        listing = capsys.readouterr().out
+        assert "grounding" in listing and "unit_table" in listing
+
+        assert main(["cache", "stats", "--root", root, "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["kinds"]["grounding"]["entries"] == 1
+
+        assert main(["cache", "clear", "--root", root, "--kind", "unit_table"]) == 0
+        assert "removed 1" in capsys.readouterr().out
+        assert main(["cache", "clear", "--root", root, "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["removed"] == 1
+
+        assert main(["cache", "ls", "--root", root]) == 0
+        assert "empty" in capsys.readouterr().out
+
+    def test_cache_ls_on_missing_root(self, tmp_path, capsys):
+        assert main(["cache", "ls", "--root", str(tmp_path / "nothing")]) == 0
+        assert "empty" in capsys.readouterr().out

@@ -108,3 +108,83 @@ class TestEvaluation:
     def test_repr_is_readable(self):
         query = ConjunctiveQuery([Atom("Author", (var("A"), "s1"))])
         assert "Author(A, 's1')" in repr(query)
+
+
+class TestVectorizedJoinEdges:
+    """Shapes the numpy join must get right beyond the Hypothesis parity runs."""
+
+    def both(self, query, db):
+        rows = query.evaluate(db, backend="rows")
+        columnar = query.evaluate(db, backend="columnar")
+        assert rows == columnar  # identical bindings, identical order
+        return columnar
+
+    def test_cartesian_product_no_shared_variables(self, review_db):
+        query = ConjunctiveQuery(
+            [Atom("Person", (var("A"),)), Atom("Submission", (var("S"),))]
+        )
+        bindings = self.both(query, review_db)
+        assert len(bindings) == 9  # 3 people x 3 submissions
+
+    def test_all_constant_atom_acts_as_existence_filter(self, review_db):
+        query = ConjunctiveQuery(
+            [Atom("Person", (var("A"),)), Atom("Submitted", ("s1", "ConfDB"))]
+        )
+        assert len(self.both(query, review_db)) == 3
+        query = ConjunctiveQuery(
+            [Atom("Person", (var("A"),)), Atom("Submitted", ("s1", "ConfAI"))]
+        )
+        assert self.both(query, review_db) == []
+
+    def test_empty_intermediate_result_short_circuits(self, review_db):
+        query = ConjunctiveQuery(
+            [Atom("Author", ("Nobody", var("S"))), Atom("Submitted", (var("S"), var("C")))]
+        )
+        assert self.both(query, review_db) == []
+
+    def test_nan_join_keys_never_match(self):
+        # IEEE semantics: NaN != NaN, so a NaN key joins nothing — even when
+        # both sides hold the *same* NaN object (a dict would match it by
+        # identity; the row backend's equality rechecks reject it).
+        nan = float("nan")
+        db = Database("nanjoin")
+        db.load_rows("R", [{"a": 1, "b": nan}, {"a": 2, "b": 3.0}])
+        db.load_rows("S", [{"b": nan, "c": 0}, {"b": 3.0, "c": 1}])
+        query = ConjunctiveQuery([Atom("R", (var("X"), var("Y"))), Atom("S", (var("Y"), var("Z")))])
+        assert self.both(query, db) == [{"X": 2, "Y": 3.0, "Z": 1}]
+        # Multi-key join with one NaN component behaves the same.
+        db2 = Database("nanjoin2")
+        db2.load_rows("R", [{"a": nan, "b": 1}, {"a": 0.0, "b": 2}])
+        db2.load_rows("S", [{"a": nan, "b": 1, "c": 9}, {"a": 0.0, "b": 2, "c": 8}])
+        query = ConjunctiveQuery(
+            [Atom("R", (var("X"), var("Y"))), Atom("S", (var("X"), var("Y"), var("Z")))]
+        )
+        assert self.both(query, db2) == [{"X": 0.0, "Y": 2, "Z": 8}]
+
+    def test_repeated_new_variable_within_atom(self):
+        db = Database("self")
+        db.load_rows("Pairs", [{"a": 1, "b": 1}, {"a": 1, "b": 2}, {"a": 3, "b": 3}])
+        query = ConjunctiveQuery([Atom("Pairs", (var("X"), var("X")))])
+        assert self.both(query, db) == [{"X": 1}, {"X": 3}]
+
+    def test_three_way_join_order_matches_rows_backend(self, review_db):
+        query = ConjunctiveQuery(
+            [
+                Atom("Person", (var("A"),)),
+                Atom("Author", (var("A"), var("S"))),
+                Atom("Submitted", (var("S"), var("C"))),
+            ]
+        )
+        bindings = self.both(query, review_db)
+        assert len(bindings) == 5
+
+    def test_columnar_backend_on_columnar_tables(self):
+        db = Database("col", backend="columnar")
+        db.load_rows("R", [{"x": i, "y": i % 3} for i in range(20)])
+        db.load_rows("S", [{"y": y, "z": f"z{y}"} for y in range(3)])
+        query = ConjunctiveQuery(
+            [Atom("R", (var("X"), var("Y"))), Atom("S", (var("Y"), var("Z")))]
+        )
+        bindings = self.both(query, db)
+        assert len(bindings) == 20
+        assert all(binding["Z"] == f"z{binding['Y']}" for binding in bindings)
