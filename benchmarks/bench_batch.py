@@ -1,0 +1,145 @@
+"""Batched vs serial `answer_all` benchmark (regression check).
+
+Builds a 100k-row relational database (persons working at orgs, as in
+``bench_cache.py``), then answers the same 8-query workload twice:
+
+- **serial**: ``answer_all(..., jobs=1)`` — the plain one-query-at-a-time
+  loop every ``answer`` caller gets;
+- **batched**: ``answer_all(..., jobs=4)`` — the concurrent batch executor:
+  one up-front grounding, a thread pool overlapping the numpy/IO phases, and
+  a batch-scoped scratch sharing the graph-walk intermediates (relational
+  peers + covariate collection) between queries over the same
+  (treatment, response) attribute pair.
+
+The workload is the shape the batch executor exists for: an analyst sweeping
+threshold variants of a few treatments over one grounded graph (the paper's
+Table 3 workloads are exactly such families).  Three distinct attribute
+pairs fan out into eight queries, so the executor performs three graph walks
+where the serial loop performs eight; the thread pool additionally overlaps
+embedding/estimation/numpy work where cores allow (on a single-core runner
+the win comes from sharing alone).
+
+Asserts:
+
+1. batched and serial answers are **bit-identical** (effects, naive
+   contrasts, unit counts — every numeric field of the results), and
+2. the batched run is at least ``MIN_SPEEDUP``x faster end-to-end.
+
+Both engines are grounded before the clock starts: grounding is identical
+shared prework in both arms (and is gated separately by ``bench_cache.py``),
+so timing it would only dilute what this gate protects.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_batch.py
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from bench_cache import PROGRAM, build_database  # noqa: E402 - sibling benchmark module
+
+from repro.carl.engine import CaRLEngine  # noqa: E402
+
+#: Required batched/serial end-to-end speedup (acceptance criterion).
+MIN_SPEEDUP = 1.5
+
+#: Worker threads for the batched arm.
+JOBS = 4
+
+#: 8 queries over 3 distinct (treatment, response) attribute pairs.
+QUERIES = {
+    "treatment": "Outcome[P] <= Treatment[P] ?",
+    "age_30": "Outcome[P] <= Age[P] >= 30 ?",
+    "age_45": "Outcome[P] <= Age[P] >= 45 ?",
+    "age_60": "Outcome[P] <= Age[P] >= 60 ?",
+    "age_75": "Outcome[P] <= Age[P] >= 75 ?",
+    "income_age_25": "Income[P] <= Age[P] >= 25 ?",
+    "income_age_55": "Income[P] <= Age[P] >= 55 ?",
+    "income_age_85": "Income[P] <= Age[P] >= 85 ?",
+}
+
+
+def answer_fields(answer) -> tuple:
+    """Every numeric field that must be bit-identical across arms."""
+    result = answer.result
+    return (
+        result.ate,
+        result.naive_difference,
+        result.treated_mean,
+        result.control_mean,
+        result.correlation,
+        result.n_units,
+        result.n_treated,
+        result.n_control,
+        result.confidence_interval,
+    )
+
+
+def timed_answer_all(engine: CaRLEngine, jobs: int) -> tuple[float, dict]:
+    started = time.perf_counter()
+    answers = engine.answer_all(QUERIES, jobs=jobs)
+    return time.perf_counter() - started, answers
+
+
+def main() -> int:
+    database = build_database()
+    total_rows = database.total_rows()
+    print(f"database: {total_rows:,} rows across {len(database.table_names)} tables")
+    assert total_rows >= 100_000, "benchmark database must have at least 100k rows"
+
+    serial_engine = CaRLEngine(database, PROGRAM)
+    batch_engine = CaRLEngine(database, PROGRAM)
+    # Ground both engines before the clock: identical shared prework in both
+    # arms, gated separately by bench_cache.py.
+    serial_engine.graph
+    batch_engine.graph
+
+    serial_seconds, serial_answers = timed_answer_all(serial_engine, jobs=1)
+    print(f"serial (jobs=1)  : {serial_seconds:7.2f}s for {len(QUERIES)} queries")
+
+    batch_seconds, batch_answers = timed_answer_all(batch_engine, jobs=JOBS)
+    print(f"batched (jobs={JOBS}) : {batch_seconds:7.2f}s for {len(QUERIES)} queries")
+
+    # Gate 1: answers must agree bit-for-bit, query by query.
+    for name in QUERIES:
+        serial_fields = answer_fields(serial_answers[name])
+        batch_fields = answer_fields(batch_answers[name])
+        if serial_fields != batch_fields:
+            print(
+                f"FAIL: batched answer for {name!r} differs from serial:\n"
+                f"  serial : {serial_fields}\n  batched: {batch_fields}",
+                file=sys.stderr,
+            )
+            return 1
+
+    # Gate 2: the batch executor grounds exactly once (up front).
+    if batch_engine.grounding_runs != 1:
+        print(
+            f"FAIL: batched run ground {batch_engine.grounding_runs} times (expected 1)",
+            file=sys.stderr,
+        )
+        return 1
+
+    speedup = serial_seconds / batch_seconds
+    ate = batch_answers["treatment"].result.ate
+    print(f"\nbatched/serial speedup: {speedup:.2f}x  (ATE {ate:+.4f})")
+    if speedup < MIN_SPEEDUP:
+        print(f"FAIL: speedup regressed below {MIN_SPEEDUP}x", file=sys.stderr)
+        return 1
+    print(
+        f"OK: answer_all(jobs={JOBS}) is >= {MIN_SPEEDUP}x faster than serial "
+        f"on {len(QUERIES)} queries at {total_rows:,} rows, with bit-identical answers"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -23,6 +23,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import threading
 import zipfile
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -90,34 +91,47 @@ class CacheKey:
 
 @dataclass
 class CacheStats:
-    """Per-kind hit/miss/store counters for one cache instance (in-memory)."""
+    """Per-kind hit/miss/store counters for one cache instance (in-memory).
+
+    Counter updates take an internal lock: a read-modify-write on a plain
+    dict would lose increments when concurrent ``answer_all`` workers probe
+    the cache simultaneously, and the counters are the evidence benchmarks
+    and tests use to prove "zero grounding work happened" — they must be
+    exact, not approximately right.  Readers snapshot under the same lock.
+    """
 
     hits: dict[str, int] = field(default_factory=dict)
     misses: dict[str, int] = field(default_factory=dict)
     stores: dict[str, int] = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False, compare=False)
 
     def record(self, counter: dict[str, int], kind: str) -> None:
-        counter[kind] = counter.get(kind, 0) + 1
+        with self._lock:
+            counter[kind] = counter.get(kind, 0) + 1
 
     def hit_count(self, kind: str | None = None) -> int:
-        return self.hits.get(kind, 0) if kind else sum(self.hits.values())
+        with self._lock:
+            return self.hits.get(kind, 0) if kind else sum(self.hits.values())
 
     def miss_count(self, kind: str | None = None) -> int:
-        return self.misses.get(kind, 0) if kind else sum(self.misses.values())
+        with self._lock:
+            return self.misses.get(kind, 0) if kind else sum(self.misses.values())
 
     def store_count(self, kind: str | None = None) -> int:
-        return self.stores.get(kind, 0) if kind else sum(self.stores.values())
+        with self._lock:
+            return self.stores.get(kind, 0) if kind else sum(self.stores.values())
 
     def summary(self) -> dict[str, dict[str, int]]:
-        kinds = sorted({*self.hits, *self.misses, *self.stores})
-        return {
-            kind: {
-                "hits": self.hits.get(kind, 0),
-                "misses": self.misses.get(kind, 0),
-                "stores": self.stores.get(kind, 0),
+        with self._lock:
+            kinds = sorted({*self.hits, *self.misses, *self.stores})
+            return {
+                kind: {
+                    "hits": self.hits.get(kind, 0),
+                    "misses": self.misses.get(kind, 0),
+                    "stores": self.stores.get(kind, 0),
+                }
+                for kind in kinds
             }
-            for kind in kinds
-        }
 
 
 @dataclass(frozen=True)
@@ -140,6 +154,12 @@ class ArtifactCache:
     ``mmap=False`` disables memory-mapping (every array is loaded eagerly);
     useful when cached artifacts must outlive the file, e.g. if the cache may
     be cleared while loaded artifacts are still in use.
+
+    :meth:`store` and :meth:`load` are safe to call concurrently — from
+    threads or separate processes, including on the same key: each write
+    lands via an atomic rename and each load verifies the full key recorded
+    inside the file, so a reader observes a complete artifact or a miss,
+    never a torn one.
     """
 
     def __init__(self, root: str | Path, mmap: bool = True) -> None:
@@ -291,16 +311,24 @@ def _read_npz(path: Path, mmap: bool) -> dict[str, np.ndarray]:
     A member is memory-mapped when it is stored uncompressed (``np.savez``
     default), holds no Python objects and is C-ordered with at least one
     element; everything else falls back to a regular eager read.
+
+    The file is opened exactly once and every member — eager or mapped —
+    comes from that one handle.  Re-opening the path per member would race a
+    concurrent :meth:`ArtifactCache.store` of the same key: the atomic
+    ``os.replace`` could land between two opens and the load would stitch
+    arrays from *different* artifact versions into one payload.  A single
+    handle pins a single inode, so a load observes one complete artifact no
+    matter how many writers are replacing it.
     """
     arrays: dict[str, np.ndarray] = {}
-    with zipfile.ZipFile(path) as archive:
+    with open(path, "rb") as handle, zipfile.ZipFile(handle) as archive:
         for info in archive.infolist():
             name = info.filename
             if name.endswith(".npy"):
                 name = name[: -len(".npy")]
             array: np.ndarray | None = None
             if mmap and info.compress_type == zipfile.ZIP_STORED:
-                array = _mmap_member(path, info)
+                array = _mmap_member(handle, info)
             if array is None:
                 with archive.open(info) as member:
                     array = npy_format.read_array(member, allow_pickle=True)
@@ -308,33 +336,34 @@ def _read_npz(path: Path, mmap: bool) -> dict[str, np.ndarray]:
     return arrays
 
 
-def _mmap_member(path: Path, info: zipfile.ZipInfo) -> np.ndarray | None:
+def _mmap_member(handle: Any, info: zipfile.ZipInfo) -> np.ndarray | None:
     """Memory-map one stored zip member as an array (None when ineligible).
 
     Walks the member's local file header to find the absolute byte offset of
     the npy payload, parses the npy header there, and maps the array data in
-    place.  Any structural surprise returns None so the caller's eager path
-    takes over.
+    place — through the caller's already-open ``handle``, never by path, so
+    the mapping is guaranteed to come from the same file version as every
+    other member (the mapping itself survives the handle being closed).  Any
+    structural surprise returns None so the caller's eager path takes over.
     """
     try:
-        with open(path, "rb") as handle:
-            handle.seek(info.header_offset)
-            local_header = handle.read(30)
-            if len(local_header) != 30 or local_header[:4] != b"PK\x03\x04":
-                return None
-            name_length = int.from_bytes(local_header[26:28], "little")
-            extra_length = int.from_bytes(local_header[28:30], "little")
-            handle.seek(info.header_offset + 30 + name_length + extra_length)
-            version = npy_format.read_magic(handle)
-            if version == (1, 0):
-                shape, fortran_order, dtype = npy_format.read_array_header_1_0(handle)
-            elif version == (2, 0):
-                shape, fortran_order, dtype = npy_format.read_array_header_2_0(handle)
-            else:
-                return None
-            if dtype.hasobject or fortran_order or not shape or 0 in shape:
-                return None
-            offset = handle.tell()
-        return np.memmap(path, dtype=dtype, mode="r", offset=offset, shape=shape, order="C")
+        handle.seek(info.header_offset)
+        local_header = handle.read(30)
+        if len(local_header) != 30 or local_header[:4] != b"PK\x03\x04":
+            return None
+        name_length = int.from_bytes(local_header[26:28], "little")
+        extra_length = int.from_bytes(local_header[28:30], "little")
+        handle.seek(info.header_offset + 30 + name_length + extra_length)
+        version = npy_format.read_magic(handle)
+        if version == (1, 0):
+            shape, fortran_order, dtype = npy_format.read_array_header_1_0(handle)
+        elif version == (2, 0):
+            shape, fortran_order, dtype = npy_format.read_array_header_2_0(handle)
+        else:
+            return None
+        if dtype.hasobject or fortran_order or not shape or 0 in shape:
+            return None
+        offset = handle.tell()
+        return np.memmap(handle, dtype=dtype, mode="r", offset=offset, shape=shape, order="C")
     except (OSError, ValueError, AttributeError):
         return None

@@ -15,7 +15,10 @@ Ties the whole pipeline of Section 5 together:
 
 from __future__ import annotations
 
+import os
+import threading
 import time
+from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 from typing import Any
 
@@ -35,6 +38,7 @@ from repro.cache.serialization import (
 )
 from repro.cache.store import ArtifactCache, CacheKey
 from repro.carl.ast import CausalQuery, PeerCondition, Program, Variable
+from repro.carl.batch import BatchScratch
 from repro.carl.causal_graph import GroundedAttribute, GroundedCausalGraph
 from repro.carl.errors import QueryError
 from repro.carl.grounding import Grounder
@@ -43,7 +47,14 @@ from repro.carl.parser import parse_program, parse_query
 from repro.carl.peers import build_unifying_aggregate_rule, compute_peers
 from repro.carl.queries import ATEResult, EffectsResult, QueryAnswer
 from repro.carl.schema import RelationalCausalSchema
-from repro.carl.unit_table import UNIT_TABLE_BACKENDS, UnitTable, build_unit_table
+from repro.carl.unit_table import (
+    UNIT_TABLE_BACKENDS,
+    UnitTable,
+    UnitTableInputs,
+    build_unit_table,
+    collect_unit_table_inputs,
+    materialize_unit_table,
+)
 from repro.db.aggregates import AGGREGATES, aggregate as apply_aggregate
 from repro.db.database import Database
 from repro.inference.bootstrap import bootstrap_statistic
@@ -53,7 +64,14 @@ from repro.inference.outcome import OutcomeModel
 
 
 class CaRLEngine:
-    """End-to-end CaRL engine over a database and a CaRL program."""
+    """End-to-end CaRL engine over a database and a CaRL program.
+
+    Query answering (:meth:`answer`, :meth:`answer_all`, :meth:`unit_table`,
+    :meth:`diagnostics`, :meth:`conditional_effects`) is thread-safe: shared
+    mutable state is guarded by an internal lock, while the numpy-dominated
+    phases run outside it.  Mutating the underlying database concurrently
+    with query answering is not supported (see ``docs/batching.md``).
+    """
 
     def __init__(
         self,
@@ -100,8 +118,22 @@ class CaRLEngine:
         #: groundings have not been spliced into the graph yet (deferred so a
         #: unit-table cache hit never has to touch the graph).
         self._pending_aggregates: list[Any] = []
+        #: Wall-clock seconds of the engine's most recent grounding (or cache
+        #: load of one).  Per-answer attribution lives on
+        #: :attr:`QueryAnswer.grounding_seconds` instead: an answer is only
+        #: charged for grounding work its own call actually performed.
         self.grounding_seconds: float = 0.0
         self._grounding_epoch = 0
+        #: Reentrant lock guarding every read or write of shared mutable
+        #: state: the grounded graph and its values, the model's rule lists,
+        #: pending aggregate splices, and the bound instance's lazy indexes.
+        #: Graph walks hold it; numpy-dominated phases (embedding,
+        #: binarization, estimation, artifact I/O) run outside it so
+        #: concurrent ``answer`` calls overlap where the GIL allows.
+        self._state_lock = threading.RLock()
+        #: Per-thread accumulator of grounding seconds charged to the answer
+        #: currently executing on that thread (see :meth:`answer`).
+        self._grounding_charge = threading.local()
 
     # ------------------------------------------------------------------
     # grounding (lazy, cached)
@@ -115,31 +147,38 @@ class CaRLEngine:
         fingerprint).  If the database has mutated since the last grounding —
         detected via its version token — the stale graph is dropped and the
         program is re-grounded automatically.
+
+        Thread-safe: concurrent accessors serialize on the engine's state
+        lock, so at most one thread grounds (and that thread alone is charged
+        the grounding time); the others observe the finished graph.
         """
-        if self._graph is not None and self.database.version_token() != self._db_token:
-            self.invalidate()
-        if self._graph is None:
-            self._db_token = self.database.version_token()
-            started = time.perf_counter()
-            loaded = False
-            key = self._grounding_key()
-            if key is not None:
-                payload = self.cache.load(key)
-                if payload is not None:
-                    try:
-                        self._graph, self._values = load_grounding(payload)
-                        loaded = True
-                    except SerializationError:
-                        loaded = False
-            if not loaded:
-                self._graph = self.grounder.ground()
-                self._values = self.grounder.grounded_attribute_values(self._graph)
-                self.grounding_runs += 1
+        with self._state_lock:
+            if self._graph is not None and self.database.version_token() != self._db_token:
+                self.invalidate()
+            if self._graph is None:
+                self._db_token = self.database.version_token()
+                started = time.perf_counter()
+                loaded = False
+                key = self._grounding_key()
                 if key is not None:
-                    self.cache.store(key, grounding_payload(self._graph, self._values))
-            self.grounding_seconds = time.perf_counter() - started
-            self._grounding_epoch += 1
-        return self._graph
+                    payload = self.cache.load(key)
+                    if payload is not None:
+                        try:
+                            self._graph, self._values = load_grounding(payload)
+                            loaded = True
+                        except SerializationError:
+                            loaded = False
+                if not loaded:
+                    self._graph = self.grounder.ground()
+                    self._values = self.grounder.grounded_attribute_values(self._graph)
+                    self.grounding_runs += 1
+                    if key is not None:
+                        self.cache.store(key, grounding_payload(self._graph, self._values))
+                elapsed = time.perf_counter() - started
+                self.grounding_seconds = elapsed
+                self._grounding_epoch += 1
+                self._charge_grounding(elapsed)
+            return self._graph
 
     @property
     def values(self) -> dict[GroundedAttribute, Any]:
@@ -157,11 +196,29 @@ class CaRLEngine:
         rebuilds the bound instance, whose per-attribute value indexes and
         unit lists are caches over the same data.
         """
-        self._graph = None
-        self._values = None
-        self._db_token = None
-        self.instance = self.schema.bind(self.database)
-        self.grounder = Grounder(self.model, self.instance, query_backend=self.backend)
+        with self._state_lock:
+            self._graph = None
+            self._values = None
+            self._db_token = None
+            self.instance = self.schema.bind(self.database)
+            self.grounder = Grounder(self.model, self.instance, query_backend=self.backend)
+
+    # ------------------------------------------------------------------
+    # per-answer grounding attribution
+    # ------------------------------------------------------------------
+    def _charge_grounding(self, seconds: float) -> None:
+        """Charge grounding seconds to the answer running on this thread."""
+        charge = self._grounding_charge
+        charge.seconds = getattr(charge, "seconds", 0.0) + seconds
+
+    def _reset_grounding_charge(self) -> float:
+        """Zero this thread's grounding charge, returning the previous value."""
+        previous = getattr(self._grounding_charge, "seconds", 0.0)
+        self._grounding_charge.seconds = 0.0
+        return previous
+
+    def _grounding_charged(self) -> float:
+        return getattr(self._grounding_charge, "seconds", 0.0)
 
     # ------------------------------------------------------------------
     # artifact-cache plumbing
@@ -216,30 +273,43 @@ class CaRLEngine:
         bootstrap: int = 0,
         seed: int = 0,
         backend: str | None = None,
+        _scratch: BatchScratch | None = None,
     ) -> QueryAnswer:
         """Answer a causal query; returns effects, naive contrasts and timings.
 
         ``backend`` overrides the engine's unit-table backend for this query
         (``"rows"`` or ``"columnar"``); both produce identical answers.
+
+        The reported ``grounding_seconds`` is the grounding work this call
+        actually performed: 0.0 when the grounded graph already existed (or
+        the answer came straight from a cached unit table), the full
+        grounding (or cache-load) time when this call triggered it.
+
+        Safe to call concurrently from multiple threads; ``_scratch`` is the
+        batch memo :meth:`answer_all` threads through its workers.
         """
         if isinstance(query, str):
             query = parse_query(query)
         estimator = estimator or self.default_estimator
         embedding = embedding or self.default_embedding
 
+        self._reset_grounding_charge()
         if self.cache is None:
             # Force grounding so its time is not charged to the unit table.
             # With a cache configured, grounding stays lazy: a unit-table
             # cache hit answers the query without touching the graph at all.
             self.graph  # noqa: B018
-        epoch = self._grounding_epoch
+        charged_before_build = self._grounding_charged()
         started = time.perf_counter()
-        unit_table, peers = self._build_unit_table(query, embedding, backend=backend)
+        unit_table, peers = self._build_unit_table(
+            query, embedding, backend=backend, scratch=_scratch
+        )
         unit_table_seconds = time.perf_counter() - started
-        if self._grounding_epoch != epoch:
+        charged_during_build = self._grounding_charged() - charged_before_build
+        if charged_during_build > 0.0:
             # Grounding (or a cache load of it) ran lazily inside the build;
             # keep the reported timings disjoint.
-            unit_table_seconds = max(0.0, unit_table_seconds - self.grounding_seconds)
+            unit_table_seconds = max(0.0, unit_table_seconds - charged_during_build)
 
         started = time.perf_counter()
         if query.is_peer_query:
@@ -256,7 +326,7 @@ class CaRLEngine:
             unit_table_summary=unit_table.summary(),
             unit_table_seconds=unit_table_seconds,
             estimation_seconds=estimation_seconds,
-            grounding_seconds=self.grounding_seconds,
+            grounding_seconds=self._grounding_charged(),
         )
 
     def unit_table(
@@ -279,28 +349,103 @@ class CaRLEngine:
         queries: dict[str, str | CausalQuery] | list[str | CausalQuery],
         estimator: str | None = None,
         embedding: str | None = None,
+        bootstrap: int = 0,
+        seed: int = 0,
+        backend: str | None = None,
+        jobs: int | None = 1,
     ) -> dict[str, QueryAnswer]:
-        """Answer several queries, returning answers keyed by name (or index)."""
+        """Answer several queries, returning answers keyed by name (or index).
+
+        Forwards every option :meth:`answer` accepts, so a batch is always
+        answer-for-answer identical to issuing the same queries serially with
+        the same options.
+
+        ``jobs`` selects the execution strategy.  ``jobs=1`` (the default) is
+        the plain serial loop.  ``jobs>1`` (or ``None`` for one job per CPU)
+        runs a concurrent batch executor: the program is grounded at most
+        once — up front when the engine is uncached; lazily (or not at all,
+        when every query hits a cached unit table) with an artifact cache —
+        a thread pool overlaps the per-query work, and a batch-scoped
+        scratch shares the graph-walk intermediates (relational peers,
+        covariate collection) between queries over the same (treatment,
+        response) attribute pair.
+        Answers are bit-identical to the serial loop either way; only the
+        per-answer timing fields reflect the shared work.  ``jobs=1``
+        deliberately keeps the exact legacy serial behavior (no sharing, no
+        threads); ``jobs>1`` is worthwhile even on a single core because the
+        graph-walk sharing alone beats the serial loop on workloads with
+        repeated attribute pairs.
+        """
         if isinstance(queries, dict):
             items = list(queries.items())
         else:
             items = [(str(index), query) for index, query in enumerate(queries)]
-        return {
-            name: self.answer(query, estimator=estimator, embedding=embedding)
+        # Parse up front so a syntax error surfaces immediately (and once),
+        # not from inside a worker thread.
+        parsed = [
+            (name, parse_query(query) if isinstance(query, str) else query)
             for name, query in items
+        ]
+        if jobs is None:
+            jobs = os.cpu_count() or 1
+        if jobs < 1:
+            raise QueryError(f"jobs must be a positive integer, got {jobs!r}")
+        options: dict[str, Any] = {
+            "estimator": estimator,
+            "embedding": embedding,
+            "bootstrap": bootstrap,
+            "seed": seed,
+            "backend": backend,
         }
+        if jobs == 1 or len(parsed) <= 1:
+            return {name: self.answer(query, **options) for name, query in parsed}
 
-    def diagnostics(self, query: str | CausalQuery, embedding: str | None = None):
+        if self.cache is None:
+            # Ground once before any worker starts: no query is then charged
+            # for shared grounding.  With a cache configured, grounding stays
+            # lazy (and lock-guarded) exactly as in a serial run — a batch
+            # whose every query hits a cached unit table must keep the PR 2
+            # guarantee of never touching the graph at all.
+            self._reset_grounding_charge()
+            self.graph  # noqa: B018
+        scratch = BatchScratch()
+        with ThreadPoolExecutor(
+            max_workers=min(jobs, len(parsed)), thread_name_prefix="carl-answer"
+        ) as pool:
+            futures = [
+                (name, pool.submit(self.answer, query, _scratch=scratch, **options))
+                for name, query in parsed
+            ]
+            try:
+                return {name: future.result() for name, future in futures}
+            except BaseException:
+                # Fail fast: drop queries that have not started yet instead
+                # of building their unit tables just to discard them (threads
+                # already running still finish — they cannot be interrupted).
+                for _, future in futures:
+                    future.cancel()
+                raise
+
+    def diagnostics(
+        self,
+        query: str | CausalQuery,
+        embedding: str | None = None,
+        backend: str | None = None,
+    ):
         """Covariate-balance and overlap diagnostics for a query's unit table.
 
         Returns a :class:`repro.inference.diagnostics.BalanceReport` over the
         adjustment features (embedded covariates + peer-treatment embedding).
+        ``backend`` overrides the engine's unit-table backend for this query,
+        exactly as it does for :meth:`answer` and :meth:`unit_table`.
         """
         from repro.inference.diagnostics import covariate_balance
 
         if isinstance(query, str):
             query = parse_query(query)
-        unit_table, _ = self._build_unit_table(query, embedding or self.default_embedding)
+        unit_table, _ = self._build_unit_table(
+            query, embedding or self.default_embedding, backend=backend
+        )
         return covariate_balance(
             unit_table.treatment,
             unit_table.adjustment_features(),
@@ -311,16 +456,22 @@ class CaRLEngine:
         self,
         query: str | CausalQuery,
         embedding: str | None = None,
+        backend: str | None = None,
     ) -> np.ndarray:
         """Per-unit conditional treatment effects (CATE) under the outcome model.
 
         Used by the Figure 8 / Figure 10 benchmarks: for every unit, the
         model-predicted contrast between own-treatment 1 and 0 holding the
         unit's peers and covariates at their observed values.
+
+        ``backend`` overrides the engine's unit-table backend for this query,
+        exactly as it does for :meth:`answer` and :meth:`unit_table`.
         """
         if isinstance(query, str):
             query = parse_query(query)
-        unit_table, _ = self._build_unit_table(query, embedding or self.default_embedding)
+        unit_table, _ = self._build_unit_table(
+            query, embedding or self.default_embedding, backend=backend
+        )
         model = OutcomeModel().fit(
             unit_table.outcome,
             unit_table.treatment,
@@ -339,7 +490,11 @@ class CaRLEngine:
     # unit-table construction for a query
     # ------------------------------------------------------------------
     def _build_unit_table(
-        self, query: CausalQuery, embedding: str, backend: str | None = None
+        self,
+        query: CausalQuery,
+        embedding: str,
+        backend: str | None = None,
+        scratch: BatchScratch | None = None,
     ) -> tuple[UnitTable, dict[tuple[Any, ...], list[tuple[Any, ...]]]]:
         backend = backend or self.backend
         if backend not in UNIT_TABLE_BACKENDS:
@@ -356,14 +511,18 @@ class CaRLEngine:
             )
         treatment_subject = self.schema.subject_of(treatment_attribute)
 
-        response_attribute = self._resolve_response(query, treatment_subject)
+        # Response resolution may register a unifying aggregate rule on the
+        # shared model, so it runs under the state lock.
+        with self._state_lock:
+            response_attribute = self._resolve_response(query, treatment_subject)
+            table_key = self._unit_table_key(query, embedding, backend, response_attribute)
 
         # Probe the artifact cache after response resolution: the resolved
         # response (and its derived-attribute definition, if unification
         # introduced one) is part of the key, so differently-unified
         # requests never alias — while identical requests key identically
-        # regardless of what else the session answered before.
-        table_key = self._unit_table_key(query, embedding, backend, response_attribute)
+        # regardless of what else the session answered before.  The probe
+        # itself is lock-free: artifact reads are atomic snapshots.
         if table_key is not None:
             payload = self.cache.load(table_key)
             if payload is not None:
@@ -372,7 +531,97 @@ class CaRLEngine:
                 except SerializationError:
                     pass
 
-        self._apply_pending_aggregates()
+        # binarize=None lets the builder fall back to the default binarizer
+        # itself — and, on the columnar backend, take the vectorized
+        # bulk-binarization path instead of a per-value callable.
+        binarize = None
+        if query.treatment_threshold is not None:
+            threshold = query.treatment_threshold
+            binarize = lambda value: 1.0 if threshold.evaluate(value) else 0.0  # noqa: E731
+
+        inputs: UnitTableInputs | None = None
+        with self._state_lock:
+            self.graph  # noqa: B018 - ground before any epoch-keyed memo lookup
+            self._apply_pending_aggregates()
+            # A batch can share the graph-walk phase between queries over the
+            # same (treatment, response) pair when the WHERE clause is trivial
+            # (the collected inputs are then independent of the query's
+            # threshold, embedding and estimator).
+            shareable = (
+                scratch is not None and backend == "columnar" and query.condition.is_trivial
+            )
+            if shareable:
+                memo_key = (
+                    "unit-table-inputs",
+                    treatment_attribute,
+                    response_attribute,
+                    self._grounding_epoch,
+                )
+                peers, inputs = scratch.get_or_build(
+                    memo_key,
+                    lambda: self._collect_inputs(
+                        query, treatment_attribute, response_attribute
+                    ),
+                )
+            elif backend == "columnar":
+                peers, inputs = self._collect_inputs(
+                    query, treatment_attribute, response_attribute
+                )
+            else:
+                # The rows backend (the reference transcription of
+                # Algorithm 1) interleaves graph walks with assembly, so it
+                # builds entirely under the lock; it is pure Python and would
+                # serialize on the GIL anyway.
+                values, units, peers = self._prepare_query_state(
+                    query, treatment_attribute, response_attribute
+                )
+                table = build_unit_table(
+                    graph=self.graph,
+                    values=values,
+                    treatment_attribute=treatment_attribute,
+                    response_attribute=response_attribute,
+                    units=units,
+                    peers=peers,
+                    is_observed=self.model.is_observed,
+                    embedding=embedding,
+                    binarize=binarize,
+                    backend=backend,
+                )
+        if inputs is not None:
+            # The numpy-dominated phase (binarization, embeddings, assembly)
+            # runs outside the state lock so concurrent builds overlap.
+            table = materialize_unit_table(inputs, embedding=embedding, binarize=binarize)
+        if table_key is not None:
+            self.cache.store(table_key, unit_table_payload(table))
+        return table, peers
+
+    def _collect_inputs(
+        self, query: CausalQuery, treatment_attribute: str, response_attribute: str
+    ) -> tuple[dict[tuple[Any, ...], list[tuple[Any, ...]]], UnitTableInputs]:
+        """Graph-walk phase of the columnar build (state lock must be held)."""
+        values, units, peers = self._prepare_query_state(
+            query, treatment_attribute, response_attribute
+        )
+        inputs = collect_unit_table_inputs(
+            self.graph,
+            values,
+            treatment_attribute,
+            response_attribute,
+            units,
+            peers,
+            self.model.is_observed,
+        )
+        return peers, inputs
+
+    def _prepare_query_state(
+        self, query: CausalQuery, treatment_attribute: str, response_attribute: str
+    ) -> tuple[
+        dict[GroundedAttribute, Any],
+        list[tuple[Any, ...]],
+        dict[tuple[Any, ...], list[tuple[Any, ...]]],
+    ]:
+        """Values snapshot, restricted units and peers for one query (state
+        lock must be held)."""
         values = dict(self.values)
 
         # Subject of the *base* response attribute: restrictions on that entity
@@ -385,6 +634,7 @@ class CaRLEngine:
         else:
             base_response_subject = self.schema.subject_of(response_attribute)
 
+        treatment_subject = self.schema.subject_of(treatment_attribute)
         allowed_response, allowed_units = self._query_restrictions(
             query, treatment_subject, base_response_subject
         )
@@ -402,30 +652,7 @@ class CaRLEngine:
             raise QueryError("the query condition excludes every unit")
 
         peers = compute_peers(self.graph, treatment_attribute, response_attribute, units)
-
-        # binarize=None lets build_unit_table fall back to the default
-        # binarizer itself — and, on the columnar backend, take the
-        # vectorized bulk-binarization path instead of a per-value callable.
-        binarize = None
-        if query.treatment_threshold is not None:
-            threshold = query.treatment_threshold
-            binarize = lambda value: 1.0 if threshold.evaluate(value) else 0.0  # noqa: E731
-
-        table = build_unit_table(
-            graph=self.graph,
-            values=values,
-            treatment_attribute=treatment_attribute,
-            response_attribute=response_attribute,
-            units=units,
-            peers=peers,
-            is_observed=self.model.is_observed,
-            embedding=embedding,
-            binarize=binarize,
-            backend=backend,
-        )
-        if table_key is not None:
-            self.cache.store(table_key, unit_table_payload(table))
-        return table, peers
+        return values, units, peers
 
     def _resolve_response(self, query: CausalQuery, treatment_subject: str) -> str:
         """Resolve (and if needed create) the response attribute over the treated units.
@@ -500,6 +727,9 @@ class CaRLEngine:
         cache may or may not already contain these groundings, and splicing
         them again is idempotent — node/edge insertion is set-based and the
         aggregate values recompute to the same result.
+
+        Callers must hold the state lock: splicing mutates the shared graph
+        and values in place.
         """
         if not self._pending_aggregates:
             return

@@ -67,6 +67,15 @@ class QueryAnswer:
     on the query type.  ``unit_table_seconds`` and ``estimation_seconds``
     correspond to the two runtime columns of Table 2 in the paper
     ("Unit Table Cons." and "Query Ans.").
+
+    ``grounding_seconds`` is the grounding work *this* answer actually
+    triggered: the full grounding (or cache-load) time when answering the
+    query forced it, and 0.0 when the grounded graph already existed or the
+    answer came straight from a cached unit table.  The field never double
+    counts one grounding across answers; note that an uncached
+    ``answer_all(jobs>1)`` batch grounds up front, *before* its workers, so
+    that grounding is attributed to no individual answer (the engine's
+    ``grounding_runs``/``grounding_seconds`` still record it).
     """
 
     query: CausalQuery

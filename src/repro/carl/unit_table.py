@@ -12,6 +12,7 @@ from __future__ import annotations
 import copy
 from collections import Counter
 from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
 from typing import Any
 
 import numpy as np
@@ -300,6 +301,39 @@ _MISSING = object()
 _EMPTY_SET: frozenset[GroundedAttribute] = frozenset()
 
 
+@dataclass(frozen=True)
+class UnitTableInputs:
+    """The embedding- and binarization-independent inputs of one unit table.
+
+    Everything :func:`collect_unit_table_inputs` gathers from the grounded
+    graph — kept units, raw treatment/outcome/peer values, and flat covariate
+    ``(value, unit-row)`` buckets — depends only on ``(graph, values,
+    treatment attribute, response attribute, units, peers)``.  Queries that
+    differ only in treatment threshold or embedding can therefore share one
+    collection and diverge at :func:`materialize_unit_table`, which is how
+    :meth:`CaRLEngine.answer_all` amortizes graph walks across a batch.
+
+    Instances are treated as immutable after collection: materialization only
+    reads them, so one collection may back any number of concurrent
+    materializations.
+    """
+
+    treatment_attribute: str
+    response_attribute: str
+    unit_keys: list[tuple[Any, ...]] = field(repr=False)
+    outcomes_raw: list[Any] = field(repr=False)
+    treatments_raw: list[Any] = field(repr=False)
+    peer_counts: list[int] = field(repr=False)
+    peer_values_raw: list[Any] = field(repr=False)
+    peer_group_ids: list[int] = field(repr=False)
+    covariate_order: list[str] = field(repr=False)
+    #: column name -> (flat values, flat unit-row ids)
+    buckets: dict[str, tuple[list[Any], list[int]]] = field(repr=False)
+
+    def __len__(self) -> int:
+        return len(self.unit_keys)
+
+
 def _build_unit_table_columnar(
     graph: GroundedCausalGraph,
     values: dict[GroundedAttribute, Any],
@@ -320,11 +354,36 @@ def _build_unit_table_columnar(
     ancestor walk per unit instead of one directed-path search per (unit,
     peer), binarization happens vectorized, and embeddings run as one numpy
     pass per attribute via :meth:`Embedding.apply_flat`.
-    """
-    vectorized_binarize = binarize is None
-    binarize = binarize or default_binarizer(treatment_attribute)
-    peer_embedder = get_embedding(peer_embedding if peer_embedding is not None else MeanEmbedding())
 
+    Implemented as :func:`collect_unit_table_inputs` (graph walks, pure
+    Python) followed by :func:`materialize_unit_table` (binarization,
+    embedding and assembly, numpy); batch callers invoke the two phases
+    separately to share collections across queries.
+    """
+    inputs = collect_unit_table_inputs(
+        graph, values, treatment_attribute, response_attribute, units, peers, is_observed
+    )
+    return materialize_unit_table(
+        inputs, embedding=embedding, peer_embedding=peer_embedding, binarize=binarize
+    )
+
+
+def collect_unit_table_inputs(
+    graph: GroundedCausalGraph,
+    values: dict[GroundedAttribute, Any],
+    treatment_attribute: str,
+    response_attribute: str,
+    units: Sequence[tuple[Any, ...]],
+    peers: dict[tuple[Any, ...], list[tuple[Any, ...]]],
+    is_observed: Callable[[str], bool],
+) -> UnitTableInputs:
+    """Phase 1 of the columnar build: walk the grounded graph once.
+
+    Collects, per kept unit, the raw outcome/treatment values, the raw peer
+    treatments, and the Theorem 5.2 adjustment-set values as flat covariate
+    buckets.  The result is independent of the embedding and of treatment
+    binarization (both are applied by :func:`materialize_unit_table`).
+    """
     kept_units: list[tuple[Any, ...]] = []
     outcomes_raw: list[Any] = []
     treatments_raw: list[Any] = []
@@ -494,12 +553,44 @@ def _build_unit_table_columnar(
             f"{response_attribute!r}; cannot build a unit table"
         )
 
-    n_units = len(kept_units)
-    treatment = _binarize_vector(treatments_raw, binarize, vectorized_binarize)
-    peer_flat = _binarize_vector(peer_values_raw, binarize, vectorized_binarize)
-    outcome = np.asarray(outcomes_raw, dtype=float)
+    return UnitTableInputs(
+        treatment_attribute=treatment_attribute,
+        response_attribute=response_attribute,
+        unit_keys=kept_units,
+        outcomes_raw=outcomes_raw,
+        treatments_raw=treatments_raw,
+        peer_counts=peer_counts,
+        peer_values_raw=peer_values_raw,
+        peer_group_ids=peer_group_ids,
+        covariate_order=covariate_order,
+        buckets=buckets,
+    )
 
-    peer_gids = np.asarray(peer_group_ids, dtype=np.intp)
+
+def materialize_unit_table(
+    inputs: UnitTableInputs,
+    embedding: str | Embedding = "mean",
+    peer_embedding: str | Embedding | None = None,
+    binarize: Callable[[Any], float] | None = None,
+) -> UnitTable:
+    """Phase 2 of the columnar build: binarize, embed and assemble.
+
+    Pure function of ``inputs`` (which it never mutates) plus the embedding
+    and binarizer choices — the numpy-dominated half of the columnar path,
+    safe to run concurrently over one shared collection.
+    """
+    treatment_attribute = inputs.treatment_attribute
+    vectorized_binarize = binarize is None
+    binarize = binarize or default_binarizer(treatment_attribute)
+    peer_embedder = get_embedding(peer_embedding if peer_embedding is not None else MeanEmbedding())
+
+    kept_units = inputs.unit_keys
+    n_units = len(kept_units)
+    treatment = _binarize_vector(inputs.treatments_raw, binarize, vectorized_binarize)
+    peer_flat = _binarize_vector(inputs.peer_values_raw, binarize, vectorized_binarize)
+    outcome = np.asarray(inputs.outcomes_raw, dtype=float)
+
+    peer_gids = np.asarray(inputs.peer_group_ids, dtype=np.intp)
     if len(peer_flat) == 0:
         peer_matrix, peer_columns = np.empty((n_units, 0)), []
     else:
@@ -509,8 +600,8 @@ def _build_unit_table_columnar(
 
     blocks: list[np.ndarray] = []
     columns: list[str] = []
-    for attribute in covariate_order:
-        flat_values, flat_group_ids = buckets[attribute]
+    for attribute in inputs.covariate_order:
+        flat_values, flat_group_ids = inputs.buckets[attribute]
         group_ids = np.asarray(flat_group_ids, dtype=np.intp)
         numeric = as_numeric_array(flat_values)
         if numeric is None and _is_numeric_attribute([flat_values]):
@@ -534,12 +625,12 @@ def _build_unit_table_columnar(
         outcome=outcome,
         treatment=treatment,
         peer_treatment=peer_matrix,
-        peer_counts=np.asarray(peer_counts, dtype=float),
+        peer_counts=np.asarray(inputs.peer_counts, dtype=float),
         covariates=covariate_matrix,
         peer_columns=peer_columns,
         covariate_columns=columns,
         treatment_attribute=treatment_attribute,
-        response_attribute=response_attribute,
+        response_attribute=inputs.response_attribute,
     )
 
 

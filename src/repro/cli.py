@@ -6,6 +6,12 @@ writing Python::
     python -m repro.cli --data ./csv_dir --program model.carl \
         --query "Death[P] <= SelfPay[P] ?"
 
+Multiple ``--query`` flags form a batch; ``--jobs N`` answers it through the
+engine's concurrent batch executor (one grounding up front, worker threads
+overlapping the per-query work) instead of a serial loop — answers are
+identical either way.  ``answer`` may be given as an explicit leading
+subcommand (``python -m repro.cli answer --demo toy --jobs 4``).
+
 The data directory must contain one ``<Predicate>.csv`` per entity and
 relationship declared in the program; column names must match the declared
 keys and attribute columns (as produced by ``Database.export_csv``).
@@ -144,6 +150,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--estimator", default="regression", help="ATE estimator to use")
     parser.add_argument("--embedding", default="mean", help="embedding for covariates/peers")
     parser.add_argument("--bootstrap", type=int, default=0, help="bootstrap replicates for CIs")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="answer the queries as one concurrent batch over N worker threads "
+        "(default 1: serial; 0 selects one job per CPU)",
+    )
     parser.add_argument("--json", action="store_true", help="emit JSON instead of text")
     parser.add_argument(
         "--cache",
@@ -251,7 +265,12 @@ def main(argv: list[str] | None = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "cache":
         return cache_main(argv[1:])
+    if argv and argv[0] == "answer":
+        argv = argv[1:]
     args = build_parser().parse_args(argv)
+    if args.jobs < 0:
+        print("--jobs must be >= 0", file=sys.stderr)
+        return 2
 
     if args.demo:
         database, program_text, default_queries = _demo(args.demo)
@@ -275,10 +294,10 @@ def main(argv: list[str] | None = None) -> int:
         embedding=args.embedding,
         cache=args.cache,
     )
-    outputs = {}
-    for name, text in queries.items():
-        answer = engine.answer(text, bootstrap=args.bootstrap)
-        outputs[name] = result_to_dict(answer)
+    answers = engine.answer_all(
+        queries, bootstrap=args.bootstrap, jobs=args.jobs if args.jobs > 0 else None
+    )
+    outputs = {name: result_to_dict(answer) for name, answer in answers.items()}
 
     if args.json:
         if args.cache:
