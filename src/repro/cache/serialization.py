@@ -33,7 +33,7 @@ import numpy as np
 # re-exported here because this module owns the payload layouts it versions.
 from repro.cache.store import FORMAT_VERSION
 from repro.carl.causal_graph import GroundedAttribute, GroundedCausalGraph
-from repro.carl.unit_table import UnitTable
+from repro.carl.unit_table import UnitTable, UnitTableInputs
 from repro.db.schema import ColumnSchema, TableSchema
 from repro.db.table import ColumnarTable, as_object_array
 
@@ -124,41 +124,55 @@ def grounding_payload(
 ) -> dict[str, np.ndarray]:
     """Encode a grounded graph and its node values.
 
-    Attribute names are interned into an id table; nodes and edges are stored
-    in their original insertion order so the reconstructed graph iterates
-    identically to the one that was grounded (set iteration order included),
+    Attribute names are interned into an id table; nodes are stored in their
+    original insertion order and edges in adjacency order, so the
+    reconstructed graph iterates identically to the one that was grounded —
+    the node dicts rebuild in the same order, and the per-node adjacency
+    *sets* contain the same elements, whose iteration order is hash-driven —
     keeping warm-cache unit tables bit-identical to cold ones.
     """
     nodes = graph.nodes
-    node_index = {node: position for position, node in enumerate(nodes)}
+    node_index = dict(zip(nodes, range(len(nodes))))
 
     attribute_ids: dict[str, int] = {}
-    node_attribute = np.empty(len(nodes), dtype=np.int64)
-    for position, node in enumerate(nodes):
-        attribute_id = attribute_ids.setdefault(node.attribute, len(attribute_ids))
-        node_attribute[position] = attribute_id
+    node_attribute = np.fromiter(
+        (
+            attribute_ids.setdefault(node.attribute, len(attribute_ids))
+            for node in nodes
+        ),
+        dtype=np.int64,
+        count=len(nodes),
+    )
 
-    edges = graph.edges
-    edge_parent = np.empty(len(edges), dtype=np.int64)
-    edge_child = np.empty(len(edges), dtype=np.int64)
-    for position, (parent, child) in enumerate(edges):
-        edge_parent[position] = node_index[parent]
-        edge_child[position] = node_index[child]
+    # Edge lists straight from the adjacency (building the edge-tuple list
+    # via ``graph.edges`` would cost as much as everything else combined).
+    n_edges = graph.number_of_edges()
+    edge_parent = np.empty(n_edges, dtype=np.int64)
+    edge_child = np.empty(n_edges, dtype=np.int64)
+    position = 0
+    index_get = node_index.__getitem__
+    for child, parents in graph.dag._parents.items():  # noqa: SLF001 - hot path
+        if not parents:
+            continue
+        child_position = index_get(child)
+        for parent in parents:
+            edge_parent[position] = index_get(parent)
+            edge_child[position] = child_position
+            position += 1
 
     aggregate_nodes: list[int] = []
     aggregate_names: list[str] = []
-    for position, node in enumerate(nodes):
-        aggregate = graph.aggregate_of(node)
-        if aggregate is not None:
-            aggregate_nodes.append(position)
-            aggregate_names.append(aggregate)
+    for node, aggregate in graph._aggregates.items():  # noqa: SLF001 - hot path
+        aggregate_nodes.append(node_index[node])
+        aggregate_names.append(aggregate)
 
     value_nodes: list[int] = []
     value_data: list[Any] = []
+    index_lookup = node_index.get
     for node, value in values.items():
-        position = node_index.get(node)
-        if position is not None:
-            value_nodes.append(position)
+        node_position = index_lookup(node)
+        if node_position is not None:
+            value_nodes.append(node_position)
             value_data.append(value)
 
     meta = {
@@ -166,7 +180,7 @@ def grounding_payload(
         "kind": "grounding",
         "attributes": sorted(attribute_ids, key=attribute_ids.get),
         "nodes": len(nodes),
-        "edges": len(edges),
+        "edges": n_edges,
     }
     return {
         "meta": _meta_entry(meta),
@@ -190,39 +204,49 @@ def load_grounding(
     attributes = meta["attributes"]
 
     node_keys = payload["node_keys"]
-    nodes = [
-        GroundedAttribute(attributes[attribute_id], node_keys[position])
-        for position, attribute_id in enumerate(payload["node_attribute"].tolist())
-    ]
-
-    aggregate_of = dict(
-        zip(payload["aggregate_nodes"].tolist(), payload["aggregate_names"].tolist())
+    # C-level construction: map() over the interned attribute names and the
+    # key objects calls the NamedTuple constructor without a Python-loop
+    # frame per node (this path is every worker process's bootstrap).
+    nodes = list(
+        map(
+            GroundedAttribute,
+            map(attributes.__getitem__, payload["node_attribute"].tolist()),
+            node_keys.tolist(),
+        )
     )
+
     graph = GroundedCausalGraph()
     # Bulk-build the DAG's adjacency directly: ``add_node``/``add_edge`` per
     # element would spend most of the load re-checking invariants the payload
     # already guarantees (nodes exist, no self-loops — validated at store
     # time from a live graph).
     dag = graph.dag
-    dag._parents = {node: set() for node in nodes}  # noqa: SLF001
-    dag._children = {node: set() for node in nodes}  # noqa: SLF001
-    dag._node_data = {node: {} for node in nodes}  # noqa: SLF001
+    empty: tuple = ()
+    dag._parents = dict(zip(nodes, map(set, [empty] * len(nodes))))  # noqa: SLF001
+    dag._children = dict(zip(nodes, map(set, [empty] * len(nodes))))  # noqa: SLF001
+    dag._node_data = dict(zip(nodes, map(dict, [empty] * len(nodes))))  # noqa: SLF001
     parents_of = dag._parents  # noqa: SLF001
     children_of = dag._children  # noqa: SLF001
-    for parent, child in zip(payload["edge_parent"].tolist(), payload["edge_child"].tolist()):
-        parents_of[nodes[child]].add(nodes[parent])
-        children_of[nodes[parent]].add(nodes[child])
+    node_at = nodes.__getitem__
+    for parent, child in zip(
+        map(node_at, payload["edge_parent"].tolist()),
+        map(node_at, payload["edge_child"].tolist()),
+    ):
+        parents_of[child].add(parent)
+        children_of[parent].add(child)
     by_attribute = graph._by_attribute  # noqa: SLF001
     for node in nodes:
         by_attribute[node.attribute].add(node)
-    graph._aggregates = {  # noqa: SLF001
-        nodes[position]: name for position, name in aggregate_of.items()
-    }
+    graph._aggregates = dict(  # noqa: SLF001
+        zip(
+            map(node_at, payload["aggregate_nodes"].tolist()),
+            payload["aggregate_names"].tolist(),
+        )
+    )
 
-    values = {
-        nodes[position]: value
-        for position, value in zip(payload["value_nodes"].tolist(), payload["value_data"])
-    }
+    values = dict(
+        zip(map(node_at, payload["value_nodes"].tolist()), payload["value_data"])
+    )
     return graph, values
 
 
@@ -248,6 +272,64 @@ def unit_table_payload(unit_table: UnitTable) -> dict[str, np.ndarray]:
         "peer_counts": np.asarray(unit_table.peer_counts, dtype=float),
         "covariates": np.asarray(unit_table.covariates, dtype=float),
     }
+
+
+def unit_inputs_payload(inputs: UnitTableInputs) -> dict[str, np.ndarray]:
+    """Encode one shard's unit-table collection (see ``docs/sharding.md``).
+
+    This is how a shard worker hands its slice of the graph-walk phase back
+    to the dispatching process: row-id arrays are plain int64 (the store can
+    memory-map them), raw values stay object arrays so ints, bools and floats
+    round-trip as the exact Python objects the serial collection would have
+    gathered — anything else would change categorical covariate encodings.
+    """
+    meta = {
+        "format": FORMAT_VERSION,
+        "kind": "unit_inputs",
+        "treatment_attribute": inputs.treatment_attribute,
+        "response_attribute": inputs.response_attribute,
+        "covariate_order": list(inputs.covariate_order),
+        "units": len(inputs.unit_keys),
+    }
+    payload: dict[str, np.ndarray] = {
+        "meta": _meta_entry(meta),
+        "unit_keys": as_object_array(list(inputs.unit_keys)),
+        "outcomes_raw": as_object_array(list(inputs.outcomes_raw)),
+        "treatments_raw": as_object_array(list(inputs.treatments_raw)),
+        "peer_counts": np.asarray(inputs.peer_counts, dtype=np.int64),
+        "peer_values_raw": as_object_array(list(inputs.peer_values_raw)),
+        "peer_group_ids": np.asarray(inputs.peer_group_ids, dtype=np.int64),
+    }
+    for position, name in enumerate(inputs.covariate_order):
+        bucket_values, bucket_rows = inputs.buckets[name]
+        payload[f"bucket_{position}_values"] = as_object_array(list(bucket_values))
+        payload[f"bucket_{position}_rows"] = np.asarray(bucket_rows, dtype=np.int64)
+    return payload
+
+
+def load_unit_inputs(payload: Mapping[str, np.ndarray]) -> UnitTableInputs:
+    """Decode :func:`unit_inputs_payload` back into a collection."""
+    meta = read_meta(payload)
+    _expect_kind(meta, "unit_inputs")
+    covariate_order = list(meta["covariate_order"])
+    buckets: dict[str, tuple[list[Any], list[int]]] = {}
+    for position, name in enumerate(covariate_order):
+        buckets[name] = (
+            payload[f"bucket_{position}_values"].tolist(),
+            payload[f"bucket_{position}_rows"].tolist(),
+        )
+    return UnitTableInputs(
+        treatment_attribute=meta["treatment_attribute"],
+        response_attribute=meta["response_attribute"],
+        unit_keys=payload["unit_keys"].tolist(),
+        outcomes_raw=payload["outcomes_raw"].tolist(),
+        treatments_raw=payload["treatments_raw"].tolist(),
+        peer_counts=payload["peer_counts"].tolist(),
+        peer_values_raw=payload["peer_values_raw"].tolist(),
+        peer_group_ids=payload["peer_group_ids"].tolist(),
+        covariate_order=covariate_order,
+        buckets=buckets,
+    )
 
 
 def load_unit_table(payload: Mapping[str, np.ndarray]) -> UnitTable:

@@ -25,6 +25,7 @@ import os
 import tempfile
 import threading
 import zipfile
+from collections.abc import Iterable
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
@@ -42,7 +43,7 @@ PREFIX = 16
 FORMAT_VERSION = 1
 
 #: Artifact kinds the engine stores (other kinds are allowed; these are known).
-KNOWN_KINDS = ("grounding", "unit_table", "table")
+KNOWN_KINDS = ("grounding", "unit_table", "table", "unit_inputs")
 
 
 class CacheError(ValueError):
@@ -166,6 +167,12 @@ class ArtifactCache:
         self.root = Path(root)
         self.mmap = mmap
         self.stats = CacheStats()
+        #: Paths protected from :meth:`evict` (artifacts a live shard worker
+        #: may be memory-mapping); guarded by a lock because the process-pool
+        #: dispatcher pins from the submitting thread while stats-reading
+        #: threads may iterate.
+        self._pinned: set[Path] = set()
+        self._pin_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # store / load
@@ -249,6 +256,82 @@ class ArtifactCache:
             bucket["bytes"] += entry.size_bytes
         return grouped
 
+    # ------------------------------------------------------------------
+    # pinning (eviction protection for live shard workers)
+    # ------------------------------------------------------------------
+    def pin(self, key: CacheKey) -> Path:
+        """Protect ``key``'s artifact from :meth:`evict` until unpinned.
+
+        The process-pool shard executor pins the grounding, table and shard
+        payloads its workers memory-map for the lifetime of the pool: an
+        eviction racing a live worker must never pull a mapped file out from
+        under it (the unlink itself would be safe on POSIX, but the artifact
+        would silently stop being reusable by the next shard task).
+
+        Pins live on this cache *instance*: they shield against evictions
+        issued through the same process's handle, not against another
+        process unlinking files under the shared root.  Cross-process, a
+        live batch's artifacts are protected by recency — they are the
+        newest files and :meth:`evict` deletes oldest-first.
+        """
+        path = self.path_for(key)
+        with self._pin_lock:
+            self._pinned.add(path)
+        return path
+
+    def unpin(self, key: CacheKey) -> None:
+        """Release one pin (no-op when the key was not pinned)."""
+        with self._pin_lock:
+            self._pinned.discard(self.path_for(key))
+
+    def unpin_all(self) -> None:
+        """Release every pin (the shard executor's exit hook)."""
+        with self._pin_lock:
+            self._pinned.clear()
+
+    def pinned_paths(self) -> set[Path]:
+        """Snapshot of the currently pinned artifact paths."""
+        with self._pin_lock:
+            return set(self._pinned)
+
+    def evict(
+        self, max_bytes: int, protect: Iterable[Path] = ()
+    ) -> tuple[int, int]:
+        """Size-budgeted LRU eviction: delete oldest artifacts until the cache
+        fits in ``max_bytes``; returns ``(artifacts removed, bytes freed)``.
+
+        Artifacts are considered in ascending modification-time order (the
+        store never rewrites an artifact in place, so mtime is last-write =
+        least-recently-produced; loads do not bump it).  Pinned artifacts
+        (see :meth:`pin`) and paths in ``protect`` are skipped.  A file the
+        OS refuses to delete (e.g. ``EBUSY`` on platforms that lock
+        memory-mapped files — Linux never does, Windows and some network
+        filesystems do) is skipped too, not retried and not counted: eviction
+        is best-effort by design, so a busy artifact simply survives until
+        the next sweep.
+        """
+        if max_bytes < 0:
+            raise CacheError(f"max_bytes must be >= 0, got {max_bytes!r}")
+        entries = sorted(self.entries(), key=lambda entry: (entry.modified, entry.path))
+        total = sum(entry.size_bytes for entry in entries)
+        skip = self.pinned_paths() | set(protect)
+        removed = 0
+        freed = 0
+        for entry in entries:
+            if total <= max_bytes:
+                break
+            if entry.path in skip:
+                continue
+            try:
+                entry.path.unlink()
+            except OSError:
+                continue  # busy/permission: skip-on-EBUSY semantics
+            total -= entry.size_bytes
+            removed += 1
+            freed += entry.size_bytes
+        self._prune_empty_directories()
+        return removed, freed
+
     def clear(self, kind: str | None = None) -> tuple[int, int]:
         """Delete artifacts (optionally only one kind); returns (count, bytes).
 
@@ -265,14 +348,18 @@ class ArtifactCache:
                 continue
             removed += 1
             freed += entry.size_bytes
-        if self.root.is_dir():
-            for directory in self.root.iterdir():
-                if directory.is_dir():
-                    try:
-                        directory.rmdir()  # only succeeds when empty
-                    except OSError:
-                        pass
+        self._prune_empty_directories()
         return removed, freed
+
+    def _prune_empty_directories(self) -> None:
+        if not self.root.is_dir():
+            return
+        for directory in self.root.iterdir():
+            if directory.is_dir():
+                try:
+                    directory.rmdir()  # only succeeds when empty
+                except OSError:
+                    pass
 
 
 def _format_is_current(payload: dict[str, np.ndarray]) -> bool:

@@ -312,12 +312,7 @@ class CaRLEngine:
             unit_table_seconds = max(0.0, unit_table_seconds - charged_during_build)
 
         started = time.perf_counter()
-        if query.is_peer_query:
-            result: ATEResult | EffectsResult = self._estimate_effects(
-                query.peer_condition, unit_table, estimator
-            )
-        else:
-            result = self._estimate_ate(unit_table, estimator, bootstrap=bootstrap, seed=seed)
+        result = self._estimate_result(query, unit_table, estimator, bootstrap, seed)
         estimation_seconds = time.perf_counter() - started
 
         return QueryAnswer(
@@ -353,6 +348,8 @@ class CaRLEngine:
         seed: int = 0,
         backend: str | None = None,
         jobs: int | None = 1,
+        executor: str = "thread",
+        shards: int | None = None,
     ) -> dict[str, QueryAnswer]:
         """Answer several queries, returning answers keyed by name (or index).
 
@@ -375,6 +372,21 @@ class CaRLEngine:
         threads); ``jobs>1`` is worthwhile even on a single core because the
         graph-walk sharing alone beats the serial loop on workloads with
         repeated attribute pairs.
+
+        ``executor`` selects the worker kind.  ``"thread"`` (the default) is
+        the PR 3 thread pool described above.  ``"process"`` runs the sharded
+        process-pool executor (``docs/sharding.md``): the grounded graph and
+        the database tables are published once through the artifact cache
+        (a private temporary cache when the engine runs uncached), worker
+        *processes* memory-map that shared state, and each query's
+        graph-walk/collection phase is split into ``shards`` contiguous
+        unit-range shards (default: one per job) whose partial collections
+        merge back in the dispatching process.  Because the merge is pure
+        concatenation, process-sharded answers are bit-identical to serial
+        ones — but the pure-Python hot loops now overlap across cores
+        instead of serializing on the GIL.  A worker process that dies (or
+        raises) fails the batch with a :class:`QueryError`; the batch never
+        hangs.
         """
         if isinstance(queries, dict):
             items = list(queries.items())
@@ -390,6 +402,12 @@ class CaRLEngine:
             jobs = os.cpu_count() or 1
         if jobs < 1:
             raise QueryError(f"jobs must be a positive integer, got {jobs!r}")
+        if executor not in ("thread", "process"):
+            raise QueryError(
+                f"unknown executor {executor!r}; expected 'thread' or 'process'"
+            )
+        if shards is not None and shards < 1:
+            raise QueryError(f"shards must be a positive integer, got {shards!r}")
         options: dict[str, Any] = {
             "estimator": estimator,
             "embedding": embedding,
@@ -397,6 +415,14 @@ class CaRLEngine:
             "seed": seed,
             "backend": backend,
         }
+        if executor == "process":
+            from repro.carl.shard import answer_all_process
+
+            return answer_all_process(
+                self, parsed, options, jobs=jobs, shards=shards or jobs
+            )
+        if shards is not None:
+            raise QueryError("shards requires executor='process'")
         if jobs == 1 or len(parsed) <= 1:
             return {name: self.answer(query, **options) for name, query in parsed}
 
@@ -501,15 +527,7 @@ class CaRLEngine:
             raise QueryError(
                 f"unknown backend {backend!r}; expected one of {UNIT_TABLE_BACKENDS}"
             )
-        treatment_attribute = query.treatment.name
-        if not self.schema.has_attribute(treatment_attribute):
-            raise QueryError(f"unknown treatment attribute {treatment_attribute!r}")
-        if not self.schema.is_observed(treatment_attribute):
-            raise QueryError(
-                f"treatment attribute {treatment_attribute!r} is latent; it cannot be used "
-                "as a treatment"
-            )
-        treatment_subject = self.schema.subject_of(treatment_attribute)
+        treatment_attribute, treatment_subject = self._validated_treatment(query)
 
         # Response resolution may register a unifying aggregate rule on the
         # shared model, so it runs under the state lock.
@@ -613,6 +631,76 @@ class CaRLEngine:
         )
         return peers, inputs
 
+    def _validated_treatment(self, query: CausalQuery) -> tuple[str, str]:
+        """The query's treatment attribute and its subject predicate, validated."""
+        treatment_attribute = query.treatment.name
+        if not self.schema.has_attribute(treatment_attribute):
+            raise QueryError(f"unknown treatment attribute {treatment_attribute!r}")
+        if not self.schema.is_observed(treatment_attribute):
+            raise QueryError(
+                f"treatment attribute {treatment_attribute!r} is latent; it cannot be used "
+                "as a treatment"
+            )
+        return treatment_attribute, self.schema.subject_of(treatment_attribute)
+
+    def collect_shard_inputs(
+        self,
+        query: str | CausalQuery,
+        start: int,
+        stop: int,
+        expected_units: int | None = None,
+    ) -> UnitTableInputs:
+        """One contiguous unit-range shard ``[start, stop)`` of a query's
+        columnar collection phase (``docs/sharding.md``).
+
+        This is the task a process-pool shard worker executes: the unit list
+        is derived deterministically from the (shared) grounding and
+        database, sliced by position, and only the slice is walked — peer
+        *membership* still spans the full unit list, so a unit's peers are
+        exactly what the unsharded collection would find.  Concatenating the
+        collections of consecutive ranges (in order) through
+        :func:`~repro.carl.unit_table.merge_unit_table_inputs` reproduces
+        the unsharded collection identically.
+
+        ``expected_units`` guards the dispatcher/worker contract: the worker
+        recomputes the unit list from shared state rather than shipping it
+        across the process boundary, so the length is verified against what
+        the dispatcher saw.
+        """
+        if isinstance(query, str):
+            query = parse_query(query)
+        treatment_attribute, treatment_subject = self._validated_treatment(query)
+        with self._state_lock:
+            response_attribute = self._resolve_response(query, treatment_subject)
+            self.graph  # noqa: B018 - ground (or cache-load) before walking
+            self._apply_pending_aggregates()
+            # snapshot=False: a shard worker is single-threaded, so the
+            # collection can read the engine's values mapping in place
+            # instead of copying ~the whole grounding per task.
+            values, units = self._restricted_units(
+                query, treatment_attribute, response_attribute, snapshot=False
+            )
+            if expected_units is not None and len(units) != expected_units:
+                raise QueryError(
+                    f"shard worker derived {len(units)} units for {query!s} but the "
+                    f"dispatcher saw {expected_units}; the shared grounding and "
+                    "database state are out of sync"
+                )
+            selected = units[start:stop]
+            peers = compute_peers(
+                self.graph, treatment_attribute, response_attribute, selected, within=units
+            )
+            return collect_unit_table_inputs(
+                self.graph,
+                values,
+                treatment_attribute,
+                response_attribute,
+                selected,
+                peers,
+                self.model.is_observed,
+                allow_empty=True,
+            )
+
     def _prepare_query_state(
         self, query: CausalQuery, treatment_attribute: str, response_attribute: str
     ) -> tuple[
@@ -622,7 +710,27 @@ class CaRLEngine:
     ]:
         """Values snapshot, restricted units and peers for one query (state
         lock must be held)."""
-        values = dict(self.values)
+        values, units = self._restricted_units(query, treatment_attribute, response_attribute)
+        peers = compute_peers(self.graph, treatment_attribute, response_attribute, units)
+        return values, units, peers
+
+    def _restricted_units(
+        self,
+        query: CausalQuery,
+        treatment_attribute: str,
+        response_attribute: str,
+        snapshot: bool = True,
+    ) -> tuple[dict[GroundedAttribute, Any], list[tuple[Any, ...]]]:
+        """Values snapshot and restricted unit list for one query (state lock
+        must be held).  Deterministic in (database, program, query), which is
+        what lets shard workers re-derive the same unit list positionally.
+
+        ``snapshot=False`` returns the engine's live values mapping instead
+        of a copy — only safe for single-threaded callers (shard workers):
+        the thread executor needs the copy because a concurrent query's
+        aggregate splice mutates the shared mapping in place.
+        """
+        values = dict(self.values) if snapshot else self.values
 
         # Subject of the *base* response attribute: restrictions on that entity
         # (e.g. "only submissions at single-blind venues") are applied inside
@@ -650,9 +758,7 @@ class CaRLEngine:
             units = [unit for unit in units if unit in allowed_units]
         if not units:
             raise QueryError("the query condition excludes every unit")
-
-        peers = compute_peers(self.graph, treatment_attribute, response_attribute, units)
-        return values, units, peers
+        return values, units
 
     def _resolve_response(self, query: CausalQuery, treatment_subject: str) -> str:
         """Resolve (and if needed create) the response attribute over the treated units.
@@ -828,6 +934,19 @@ class CaRLEngine:
     # ------------------------------------------------------------------
     # estimation
     # ------------------------------------------------------------------
+    def _estimate_result(
+        self,
+        query: CausalQuery,
+        unit_table: UnitTable,
+        estimator: str,
+        bootstrap: int = 0,
+        seed: int = 0,
+    ) -> ATEResult | EffectsResult:
+        """Estimate a query's effect family from its (already built) unit table."""
+        if query.is_peer_query:
+            return self._estimate_effects(query.peer_condition, unit_table, estimator)
+        return self._estimate_ate(unit_table, estimator, bootstrap=bootstrap, seed=seed)
+
     def _estimate_ate(
         self, unit_table: UnitTable, estimator: str, bootstrap: int = 0, seed: int = 0
     ) -> ATEResult:

@@ -181,14 +181,22 @@ def compute_peers(
     treatment_attribute: str,
     response_attribute: str,
     units: list[tuple[Any, ...]],
+    within: list[tuple[Any, ...]] | None = None,
 ) -> dict[tuple[Any, ...], list[tuple[Any, ...]]]:
     """Relational peers of every unit (Definition 4.3).
 
     ``units`` are the unified treatment/response unit keys.  A unit ``p`` is
     a peer of ``x`` when there is a directed path from ``T[p]`` to ``Y[x]``
     in the grounded graph, with ``p != x``.
+
+    ``within`` restricts peer *membership* independently of which units are
+    walked: a shard worker computes peers for its unit-range slice only, but
+    a sliced unit's peers must still be drawn from the full unit list — so
+    the shard passes its slice as ``units`` and the full list as ``within``.
+    Defaults to ``units`` (peer membership = walked units), the serial
+    behavior.
     """
-    unit_set = set(units)
+    unit_set = set(units if within is None else within)
     peers: dict[tuple[Any, ...], list[tuple[Any, ...]]] = {}
     for unit in units:
         response_node = GroundedAttribute(response_attribute, unit)

@@ -1,0 +1,574 @@
+"""Process-pool sharded execution of ``answer_all`` (see ``docs/sharding.md``).
+
+The thread-pool batch executor (PR 3) overlaps the numpy phases of a batch,
+but the hot loops of query answering — relational-peer walks and the
+covariate collection of the columnar unit-table build — are pure Python and
+serialize on the GIL.  This module runs those loops in worker *processes*:
+
+* the dispatching engine publishes its shared state once through the
+  artifact cache — every database table and the grounded graph become npz
+  artifacts a worker memory-maps instead of unpickling;
+* each query's unit list is split into contiguous ranges
+  (:func:`repro.db.aggregates.shard_ranges`), one collection task per range,
+  load-balanced across the pool;
+* workers hand their partial collections back as ``unit_inputs`` artifacts
+  (numeric row ids memory-mappable, raw values exact object round-trips) and
+  the dispatcher merges them with
+  :func:`repro.carl.unit_table.merge_unit_table_inputs` — pure
+  concatenation, so the merged collection is *identical* to the serial one
+  and every downstream number (materialization, estimation) is bit-identical
+  by construction;
+* materialization and estimation run in the dispatcher, which also stores
+  the finished unit table under its normal cache key so later runs hit the
+  PR 2 warm path.
+
+A worker that raises fails the batch with the original error (wrapped in
+:class:`~repro.carl.errors.QueryError` when it is not already a CaRL error);
+a worker that *dies* breaks the pool, which surfaces as a prompt
+:class:`~repro.carl.errors.QueryError` — the batch never hangs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import os
+import shutil
+import tempfile
+import threading
+import time
+import uuid
+from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.cache.fingerprint import database_fingerprint, query_fingerprint
+from repro.cache.serialization import (
+    SerializationError,
+    columnar_table_payload,
+    grounding_payload,
+    load_columnar_table,
+    load_unit_inputs,
+    unit_inputs_payload,
+    unit_table_payload,
+)
+from repro.cache.store import ArtifactCache, CacheKey
+from repro.carl.ast import CausalQuery, Program
+from repro.carl.errors import CaRLError, QueryError
+from repro.carl.queries import QueryAnswer
+from repro.carl.unit_table import materialize_unit_table, merge_unit_table_inputs
+from repro.db.aggregates import shard_ranges
+from repro.db.database import Database
+from repro.db.table import as_columnar
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports us lazily)
+    from repro.carl.engine import CaRLEngine
+
+#: Test-only fault injection: set to ``"exit"`` to make every shard worker
+#: die abruptly (``os._exit``), or ``"raise"`` to make it raise.  Exists so
+#: the crash-handling contract ("a dead worker fails the batch cleanly, no
+#: hang") stays testable without reaching into multiprocessing internals.
+FAULT_ENV = "REPRO_SHARD_WORKER_FAULT"
+
+#: Set (to any non-empty value) to disable the fork fast path and force
+#: workers to rebuild their engine from the published artifacts even on
+#: platforms that fork.  Used by tests to exercise the portable transport.
+NO_INHERIT_ENV = "REPRO_SHARD_NO_INHERIT"
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """Everything a worker process needs to rebuild the engine.
+
+    Deliberately tiny: the program AST and a list of artifact-cache keys.
+    The bulky state (tables, grounding) stays on disk and is memory-mapped
+    by each worker through the shared cache root — the spec itself is the
+    only thing that crosses the process boundary eagerly.
+
+    ``inherit`` marks that the dispatcher forked the workers, so the engine
+    is already present in each worker as a copy-on-write inheritance and no
+    artifacts were published for bootstrap (the artifact transport still
+    carries the shard partials either way).
+    """
+
+    cache_root: str
+    database_fingerprint: str
+    program_fingerprint: str
+    #: (table name, artifact key) in the dispatcher's table order.
+    table_keys: tuple[tuple[str, CacheKey], ...]
+    program: Program
+    backend: str
+    inherit: bool = False
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One unit-range collection task of one query."""
+
+    query: CausalQuery
+    start: int
+    stop: int
+    n_units: int
+    result_key: CacheKey  #: key of the output ``unit_inputs`` artifact
+
+
+@dataclass(frozen=True)
+class FinishTask:
+    """The per-query tail: merge shard partials, materialize, estimate.
+
+    Runs in a worker too (the merge and the Python half of materialization
+    are GIL-bound, so finishing queries in the pool lets the tail of one
+    query overlap the collection of the next); only the small
+    :class:`QueryAnswer` crosses back through the pool.
+    """
+
+    query: CausalQuery
+    part_keys: tuple[CacheKey, ...]  #: unit_inputs keys, shard order
+    table_key: CacheKey | None  #: cache key for the finished unit table
+    collect_seconds: float  #: summed shard-collection work of this query
+    estimator: str
+    embedding: str
+    bootstrap: int
+    seed: int
+
+
+@dataclass
+class _QueryPlan:
+    """Dispatcher-side bookkeeping for one query of a process batch."""
+
+    name: str
+    query: CausalQuery
+    response_attribute: str
+    table_key: CacheKey | None
+    cached: bool
+    n_units: int = 0
+    #: (future, result CacheKey) per submitted (non-empty) shard range.
+    submitted: list[tuple[Future, CacheKey]] = field(default_factory=list)
+
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+_WORKER_SPEC: WorkerSpec | None = None
+_WORKER_ENGINE: "CaRLEngine | None" = None
+_WORKER_CACHE: ArtifactCache | None = None
+
+#: The dispatcher's engine, visible to workers only through fork inheritance
+#: (set around pool creation when the platform forks; always None in a
+#: spawned worker).  A forked worker reads the grounded graph copy-on-write
+#: — the cheapest possible "deserialization" — while spawned workers take
+#: the portable artifact-bootstrap path below.
+_INHERITABLE_ENGINE: "CaRLEngine | None" = None
+
+
+def _worker_init(spec: WorkerSpec) -> None:
+    """Pool initializer: stash the spec; the engine is resolved lazily on the
+    first task so construction failures surface as task errors, not as an
+    opaque broken pool."""
+    global _WORKER_SPEC, _WORKER_ENGINE, _WORKER_CACHE
+    _WORKER_SPEC = spec
+    _WORKER_ENGINE = None
+    _WORKER_CACHE = None
+
+
+def _worker_cache() -> ArtifactCache:
+    """The batch's shared artifact cache, as seen from this worker."""
+    global _WORKER_CACHE
+    if _WORKER_CACHE is None:
+        spec = _WORKER_SPEC
+        if spec is None:  # pragma: no cover - initializer always runs first
+            raise QueryError("shard worker started without a WorkerSpec")
+        _WORKER_CACHE = ArtifactCache(spec.cache_root)
+    return _WORKER_CACHE
+
+
+def _worker_engine() -> "CaRLEngine":
+    """The per-process engine: fork-inherited when possible, else rebuilt
+    from the published artifacts (memory-mapped, never unpickled)."""
+    global _WORKER_ENGINE
+    if _WORKER_ENGINE is not None:
+        return _WORKER_ENGINE
+    spec = _WORKER_SPEC
+    if spec is None:  # pragma: no cover - initializer always runs first
+        raise QueryError("shard worker started without a WorkerSpec")
+    if spec.inherit:
+        if _INHERITABLE_ENGINE is None:  # pragma: no cover - fork guarantees it
+            raise QueryError(
+                "shard worker expected a fork-inherited engine but none is present"
+            )
+        _WORKER_ENGINE = _INHERITABLE_ENGINE
+        return _WORKER_ENGINE
+    from repro.carl.engine import CaRLEngine
+
+    cache = _worker_cache()
+    database = Database(name="sharded", backend="columnar")
+    for table_name, table_key in spec.table_keys:
+        payload = cache.load(table_key)
+        if payload is None:
+            raise QueryError(
+                f"shard worker could not load the published table artifact for "
+                f"{table_name!r} from {spec.cache_root!r}"
+            )
+        try:
+            database.add_table(load_columnar_table(payload))
+        except SerializationError as error:
+            raise QueryError(
+                f"shard worker failed to decode table {table_name!r}: {error}"
+            ) from error
+    rebuilt = database_fingerprint(database)
+    if rebuilt != spec.database_fingerprint:
+        raise QueryError(
+            "shard worker rebuilt a database whose fingerprint "
+            f"{rebuilt[:16]} differs from the dispatcher's "
+            f"{spec.database_fingerprint[:16]}; the published table artifacts "
+            "did not round-trip exactly"
+        )
+    _WORKER_ENGINE = CaRLEngine(
+        database, spec.program, backend=spec.backend, cache=cache
+    )
+    return _WORKER_ENGINE
+
+
+def _run_shard_task(task: ShardTask) -> tuple[CacheKey, float]:
+    """Worker entry point: collect one unit-range shard, store it, return the
+    result artifact's key and the seconds of collection work performed."""
+    fault = os.environ.get(FAULT_ENV)
+    if fault == "exit":
+        os._exit(3)
+    if fault == "raise":
+        raise RuntimeError("injected shard-worker fault (REPRO_SHARD_WORKER_FAULT)")
+    started = time.perf_counter()
+    engine = _worker_engine()
+    inputs = engine.collect_shard_inputs(
+        task.query, task.start, task.stop, expected_units=task.n_units
+    )
+    _worker_cache().store(task.result_key, unit_inputs_payload(inputs))
+    return task.result_key, time.perf_counter() - started
+
+
+def _run_finish_task(task: FinishTask) -> QueryAnswer:
+    """Worker entry point: assemble one query's answer from its shard partials."""
+    engine = _worker_engine()
+    cache = _worker_cache()
+    started = time.perf_counter()
+    parts = []
+    for part_key in task.part_keys:
+        payload = cache.load(part_key)
+        if payload is None:
+            raise QueryError(
+                f"shard partial for {task.query!s} is missing or unreadable in the "
+                "shared cache"
+            )
+        parts.append(load_unit_inputs(payload))
+    inputs = merge_unit_table_inputs(parts)
+
+    binarize = None
+    if task.query.treatment_threshold is not None:
+        threshold = task.query.treatment_threshold
+        binarize = lambda value: 1.0 if threshold.evaluate(value) else 0.0  # noqa: E731
+    unit_table = materialize_unit_table(
+        inputs, embedding=task.embedding, binarize=binarize
+    )
+    if task.table_key is not None:
+        cache.store(task.table_key, unit_table_payload(unit_table))
+    # Per-answer attribution: the unit-table time of a sharded answer is the
+    # *summed* collection work of its shards (which ran in parallel, so this
+    # can exceed the batch's wall time) plus the merge/materialize tail.
+    unit_table_seconds = task.collect_seconds + (time.perf_counter() - started)
+
+    started = time.perf_counter()
+    result = engine._estimate_result(  # noqa: SLF001
+        task.query, unit_table, task.estimator, bootstrap=task.bootstrap, seed=task.seed
+    )
+    estimation_seconds = time.perf_counter() - started
+    return QueryAnswer(
+        query=task.query,
+        result=result,
+        unit_table_summary=unit_table.summary(),
+        unit_table_seconds=unit_table_seconds,
+        estimation_seconds=estimation_seconds,
+        # Shared grounding is batch prework, attributed to no single answer —
+        # exactly like the thread executor's up-front grounding.
+        grounding_seconds=0.0,
+    )
+
+
+# ----------------------------------------------------------------------
+# dispatcher side
+# ----------------------------------------------------------------------
+#: Serializes process batches within one dispatcher process: the fork
+#: fast path hands workers the engine through a module global, and the
+#: pinned-artifact lifecycle assumes one live batch per process — two
+#: concurrent ``answer_all(executor="process")`` calls therefore queue here
+#: instead of racing each other's state.
+_DISPATCH_LOCK = threading.Lock()
+
+
+def answer_all_process(
+    engine: "CaRLEngine",
+    parsed: list[tuple[str, CausalQuery]],
+    options: dict[str, Any],
+    jobs: int,
+    shards: int,
+) -> dict[str, QueryAnswer]:
+    """The ``executor="process"`` branch of :meth:`CaRLEngine.answer_all`.
+
+    One process batch runs at a time per dispatcher process (concurrent
+    calls serialize on an internal lock).  Do not run *thread*-based query
+    answering on the same engine while a process batch is in flight: the
+    pool may fork while another thread holds the engine's state lock, and
+    the forked child would inherit that lock mid-acquire (see
+    ``docs/sharding.md``).
+    """
+    if not parsed:
+        return {}
+    with _DISPATCH_LOCK:
+        return _answer_all_process_locked(engine, parsed, options, jobs, shards)
+
+
+def _answer_all_process_locked(
+    engine: "CaRLEngine",
+    parsed: list[tuple[str, CausalQuery]],
+    options: dict[str, Any],
+    jobs: int,
+    shards: int,
+) -> dict[str, QueryAnswer]:
+    backend = options.get("backend") or engine.backend
+    if backend != "columnar":
+        raise QueryError(
+            "executor='process' shards the columnar collection phase; "
+            f"backend {backend!r} is not shardable"
+        )
+    estimator = options.get("estimator") or engine.default_estimator
+    embedding = options.get("embedding") or engine.default_embedding
+    bootstrap = options.get("bootstrap", 0)
+    seed = options.get("seed", 0)
+
+    cleanup_root: str | None = None
+    cache = engine.cache
+    if cache is None:
+        # Uncached engine: the shared state still crosses the process
+        # boundary through an artifact cache — a private, batch-lifetime one.
+        cleanup_root = tempfile.mkdtemp(prefix="repro-shard-")
+        cache = ArtifactCache(cleanup_root)
+
+    engine._reset_grounding_charge()  # noqa: SLF001 - shared grounding is batch prework
+    transient_keys: list[CacheKey] = []
+    # Fork fast path: when worker processes are forked from this process,
+    # they inherit the grounded engine copy-on-write — no artifacts need
+    # publishing for bootstrap and workers pay zero deserialization.  On
+    # spawn platforms (or when disabled for tests) the engine state crosses
+    # through the artifact cache as memory-mapped npz payloads instead.
+    # Shard partials travel through the cache either way.
+    inherit = (
+        multiprocessing.get_start_method() == "fork"
+        and not os.environ.get(NO_INHERIT_ENV)
+    )
+    global _INHERITABLE_ENGINE
+    try:
+        spec = _publish_engine_state(engine, cache, inherit=inherit)
+        nonce = uuid.uuid4().hex
+        if inherit:
+            _INHERITABLE_ENGINE = engine
+        with ProcessPoolExecutor(
+            max_workers=jobs, initializer=_worker_init, initargs=(spec,)
+        ) as pool:
+            plans = [
+                _plan_query(engine, cache, spec, name, query, embedding, backend)
+                for name, query in parsed
+            ]
+            for plan in plans:
+                if plan.cached:
+                    continue
+                for start, stop in shard_ranges(plan.n_units, shards):
+                    if start == stop:
+                        continue  # empty trailing range: contributes nothing
+                    result_key = CacheKey(
+                        database=spec.database_fingerprint,
+                        program=spec.program_fingerprint,
+                        kind="unit_inputs",
+                        detail=_shard_detail(plan, start, stop, nonce),
+                    )
+                    cache.pin(result_key)
+                    transient_keys.append(result_key)
+                    task = ShardTask(
+                        query=plan.query,
+                        start=start,
+                        stop=stop,
+                        n_units=plan.n_units,
+                        result_key=result_key,
+                    )
+                    plan.submitted.append((pool.submit(_run_shard_task, task), result_key))
+
+            answers: dict[str, QueryAnswer] = {}
+            finish_futures: dict[str, Future] = {}
+            try:
+                for plan in plans:
+                    if plan.cached:
+                        # The unit table is already on disk: the serial path
+                        # answers straight from the warm cache, no sharding.
+                        answers[plan.name] = engine.answer(
+                            plan.query,
+                            estimator=estimator,
+                            embedding=embedding,
+                            bootstrap=bootstrap,
+                            seed=seed,
+                            backend=backend,
+                        )
+                        continue
+                    part_keys = []
+                    collect_seconds = 0.0
+                    for future, result_key in plan.submitted:
+                        _, seconds = _shard_result(future, plan)
+                        collect_seconds += seconds
+                        part_keys.append(result_key)
+                    finish_futures[plan.name] = pool.submit(
+                        _run_finish_task,
+                        FinishTask(
+                            query=plan.query,
+                            part_keys=tuple(part_keys),
+                            table_key=plan.table_key,
+                            collect_seconds=collect_seconds,
+                            estimator=estimator,
+                            embedding=embedding,
+                            bootstrap=bootstrap,
+                            seed=seed,
+                        ),
+                    )
+                for plan in plans:
+                    if plan.cached:
+                        continue
+                    answers[plan.name] = _shard_result(finish_futures[plan.name], plan)
+            except BaseException:
+                for plan in plans:
+                    for future, _ in plan.submitted:
+                        future.cancel()
+                for future in finish_futures.values():
+                    future.cancel()
+                raise
+            return {name: answers[name] for name, _ in parsed if name in answers}
+    except BrokenExecutor as error:
+        raise QueryError(
+            "a shard worker process died before finishing its task; "
+            "the batch was aborted cleanly (no partial answers were produced)"
+        ) from error
+    finally:
+        _INHERITABLE_ENGINE = None
+        cache.unpin_all()
+        if cleanup_root is not None:
+            shutil.rmtree(cleanup_root, ignore_errors=True)
+        else:
+            # Shard partials are batch-transient; never leave them to bloat a
+            # persistent cache (eviction would only get to them by mtime).
+            for key in transient_keys:
+                try:
+                    cache.path_for(key).unlink(missing_ok=True)
+                except OSError:
+                    pass
+
+
+def _publish_engine_state(
+    engine: "CaRLEngine", cache: ArtifactCache, inherit: bool
+) -> WorkerSpec:
+    """Ground once and (unless workers fork-inherit) publish the engine's
+    shared state as artifacts, pinned for the batch's lifetime."""
+    with engine._state_lock:  # noqa: SLF001 - dispatcher-side engine internals
+        engine.graph  # noqa: B018 - ground (or cache-load) once, up front
+        engine._apply_pending_aggregates()  # noqa: SLF001
+        db_fp = database_fingerprint(engine.database)
+        program_fp = engine._program_fingerprint  # noqa: SLF001
+        table_keys: list[tuple[str, CacheKey]] = []
+        if not inherit:
+            grounding_key = CacheKey(database=db_fp, program=program_fp, kind="grounding")
+            if not cache.contains(grounding_key):
+                cache.store(
+                    grounding_key,
+                    grounding_payload(engine._graph, engine._values),  # noqa: SLF001
+                )
+            else:
+                _touch(cache.path_for(grounding_key))
+            cache.pin(grounding_key)
+            for table in engine.database.tables:
+                key = CacheKey(
+                    database=db_fp,
+                    program=program_fp,
+                    kind="table",
+                    detail=hashlib.sha256(
+                        table.name.encode("utf-8", "backslashreplace")
+                    ).hexdigest(),
+                )
+                if not cache.contains(key):
+                    cache.store(key, columnar_table_payload(as_columnar(table)))
+                else:
+                    _touch(cache.path_for(key))
+                cache.pin(key)
+                table_keys.append((table.name, key))
+    return WorkerSpec(
+        cache_root=str(cache.root),
+        database_fingerprint=db_fp,
+        program_fingerprint=program_fp,
+        table_keys=tuple(table_keys),
+        program=engine.program,
+        backend=engine.backend,
+        inherit=inherit,
+    )
+
+
+def _plan_query(
+    engine: "CaRLEngine",
+    cache: ArtifactCache,
+    spec: WorkerSpec,
+    name: str,
+    query: CausalQuery,
+    embedding: str,
+    backend: str,
+) -> _QueryPlan:
+    """Resolve one query far enough to split it into shard tasks."""
+    with engine._state_lock:  # noqa: SLF001
+        treatment_attribute, treatment_subject = engine._validated_treatment(query)  # noqa: SLF001
+        response_attribute = engine._resolve_response(query, treatment_subject)  # noqa: SLF001
+        table_key = engine._unit_table_key(  # noqa: SLF001
+            query, embedding, backend, response_attribute
+        )
+        if table_key is not None and cache.contains(table_key):
+            return _QueryPlan(name, query, response_attribute, table_key, cached=True)
+        engine._apply_pending_aggregates()  # noqa: SLF001
+        _, units = engine._restricted_units(  # noqa: SLF001
+            query, treatment_attribute, response_attribute
+        )
+    return _QueryPlan(
+        name, query, response_attribute, table_key, cached=False, n_units=len(units)
+    )
+
+
+def _touch(path) -> None:
+    """Refresh an artifact's mtime so a reused published artifact is the
+    newest file under the root — in-process pins do not protect against an
+    eviction run from *another* process, but oldest-first eviction order
+    does, as long as a live batch's artifacts are recent."""
+    try:
+        os.utime(path, None)
+    except OSError:
+        pass  # best effort: a vanished or read-only file changes nothing
+
+
+def _shard_detail(plan: _QueryPlan, start: int, stop: int, nonce: str) -> str:
+    """Hex detail of one shard-result artifact (unique per batch via nonce)."""
+    stamp = query_fingerprint(
+        plan.query, "collect", "columnar", [plan.response_attribute]
+    )
+    return hashlib.sha256(f"{stamp}:{start}:{stop}:{nonce}".encode()).hexdigest()
+
+
+def _shard_result(future: Future, plan: _QueryPlan):
+    """One worker future's result, with worker errors surfaced as CaRL errors."""
+    try:
+        return future.result()
+    except CaRLError:
+        raise
+    except BrokenExecutor:
+        raise
+    except Exception as error:
+        raise QueryError(
+            f"shard worker failed while answering {plan.query!s}: {error}"
+        ) from error

@@ -376,6 +376,7 @@ def collect_unit_table_inputs(
     units: Sequence[tuple[Any, ...]],
     peers: dict[tuple[Any, ...], list[tuple[Any, ...]]],
     is_observed: Callable[[str], bool],
+    allow_empty: bool = False,
 ) -> UnitTableInputs:
     """Phase 1 of the columnar build: walk the grounded graph once.
 
@@ -383,6 +384,10 @@ def collect_unit_table_inputs(
     treatments, and the Theorem 5.2 adjustment-set values as flat covariate
     buckets.  The result is independent of the embedding and of treatment
     binarization (both are applied by :func:`materialize_unit_table`).
+
+    ``allow_empty`` suppresses the no-units error: a shard worker collecting
+    one unit *range* of a larger table may legitimately keep zero units (the
+    merged collection raises instead when every shard came back empty).
     """
     kept_units: list[tuple[Any, ...]] = []
     outcomes_raw: list[Any] = []
@@ -547,7 +552,7 @@ def collect_unit_table_inputs(
         peer_counts.append(len(unit_peers))
         row += 1
 
-    if not kept_units:
+    if not kept_units and not allow_empty:
         raise EstimationError(
             f"no units with observed treatment {treatment_attribute!r} and response "
             f"{response_attribute!r}; cannot build a unit table"
@@ -557,6 +562,79 @@ def collect_unit_table_inputs(
         treatment_attribute=treatment_attribute,
         response_attribute=response_attribute,
         unit_keys=kept_units,
+        outcomes_raw=outcomes_raw,
+        treatments_raw=treatments_raw,
+        peer_counts=peer_counts,
+        peer_values_raw=peer_values_raw,
+        peer_group_ids=peer_group_ids,
+        covariate_order=covariate_order,
+        buckets=buckets,
+    )
+
+
+def merge_unit_table_inputs(parts: Sequence[UnitTableInputs]) -> UnitTableInputs:
+    """Merge shard collections over consecutive unit ranges into one.
+
+    Given collections produced by :func:`collect_unit_table_inputs` over
+    consecutive slices of one unit list (in slice order), the merge is pure
+    concatenation: per-unit fields append in shard order, bucket and peer
+    row ids shift by the number of units the earlier shards kept, and the
+    covariate column order is the first-seen order across shards — exactly
+    the order a single collection over the full unit list discovers.  The
+    merged result is therefore *identical* (not just equivalent) to the
+    unsharded collection, which is what makes sharded unit-table builds
+    bit-identical to serial ones: materialization sees the same inputs.
+    """
+    if not parts:
+        raise EstimationError("cannot merge zero unit-table shard collections")
+    first = parts[0]
+    for part in parts[1:]:
+        if (
+            part.treatment_attribute != first.treatment_attribute
+            or part.response_attribute != first.response_attribute
+        ):
+            raise EstimationError(
+                "unit-table shard collections disagree on the treatment/response pair: "
+                f"({first.treatment_attribute!r}, {first.response_attribute!r}) vs "
+                f"({part.treatment_attribute!r}, {part.response_attribute!r})"
+            )
+
+    unit_keys: list[tuple[Any, ...]] = []
+    outcomes_raw: list[Any] = []
+    treatments_raw: list[Any] = []
+    peer_counts: list[int] = []
+    peer_values_raw: list[Any] = []
+    peer_group_ids: list[int] = []
+    covariate_order: list[str] = []
+    buckets: dict[str, tuple[list[Any], list[int]]] = {}
+
+    offset = 0
+    for part in parts:
+        unit_keys.extend(part.unit_keys)
+        outcomes_raw.extend(part.outcomes_raw)
+        treatments_raw.extend(part.treatments_raw)
+        peer_counts.extend(part.peer_counts)
+        peer_values_raw.extend(part.peer_values_raw)
+        peer_group_ids.extend(row + offset for row in part.peer_group_ids)
+        for name in part.covariate_order:
+            bucket = buckets.get(name)
+            if bucket is None:
+                covariate_order.append(name)
+                bucket = buckets[name] = ([], [])
+            part_values, part_rows = part.buckets[name]
+            bucket[0].extend(part_values)
+            bucket[1].extend(row + offset for row in part_rows)
+        offset += len(part.unit_keys)
+
+    if not unit_keys:
+        raise EstimationError(
+            f"no units with observed treatment {first.treatment_attribute!r} and response "
+            f"{first.response_attribute!r}; cannot build a unit table"
+        )
+    return UnitTableInputs(
+        treatment_attribute=first.treatment_attribute,
+        response_attribute=first.response_attribute,
+        unit_keys=unit_keys,
         outcomes_raw=outcomes_raw,
         treatments_raw=treatments_raw,
         peer_counts=peer_counts,

@@ -155,8 +155,24 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         metavar="N",
-        help="answer the queries as one concurrent batch over N worker threads "
+        help="answer the queries as one concurrent batch over N workers "
         "(default 1: serial; 0 selects one job per CPU)",
+    )
+    parser.add_argument(
+        "--executor",
+        choices=["thread", "process"],
+        default="thread",
+        help="batch worker kind: 'thread' overlaps numpy phases, 'process' runs "
+        "the sharded process pool (unit ranges collected in parallel worker "
+        "processes, merged exactly; see docs/sharding.md)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="M",
+        help="unit-range shards per query for --executor process "
+        "(default: one per job)",
     )
     parser.add_argument("--json", action="store_true", help="emit JSON instead of text")
     parser.add_argument(
@@ -181,6 +197,7 @@ def build_cache_parser() -> argparse.ArgumentParser:
         ("ls", "list cached artifacts"),
         ("stats", "aggregate artifact counts and sizes by kind"),
         ("clear", "delete cached artifacts"),
+        ("evict", "evict least-recently-written artifacts down to a size budget"),
     ):
         subparser = subparsers.add_parser(name, help=description)
         subparser.add_argument(
@@ -191,6 +208,17 @@ def build_cache_parser() -> argparse.ArgumentParser:
         subparser.add_argument("--json", action="store_true", help="emit JSON instead of text")
     subparsers.choices["clear"].add_argument(
         "--kind", help="only delete artifacts of this kind (e.g. grounding, unit_table)"
+    )
+    subparsers.choices["evict"].add_argument(
+        "--max-bytes",
+        type=int,
+        required=True,
+        metavar="N",
+        help="shrink the cache to at most N bytes, deleting oldest artifacts first; "
+        "files the OS refuses to delete are skipped. Pins protect a live shard "
+        "session's artifacts from evictions in its own process only — a live "
+        "batch in another process is protected by recency (its artifacts are "
+        "the newest, and eviction deletes oldest first)",
     )
     return parser
 
@@ -252,6 +280,17 @@ def cache_main(argv: list[str]) -> int:
             print(f"  {kind:<12} {bucket['entries']:>6} entries  {bucket['bytes']:>12,} bytes")
         return 0
 
+    if args.command == "evict":
+        if args.max_bytes < 0:
+            print("--max-bytes must be >= 0", file=sys.stderr)
+            return 2
+        removed, freed = cache.evict(args.max_bytes)
+        if args.json:
+            print(json.dumps({"removed": removed, "bytes_freed": freed}))
+        else:
+            print(f"evicted {removed} artifact(s), freed {freed:,} bytes")
+        return 0
+
     removed, freed = cache.clear(kind=args.kind)
     if args.json:
         print(json.dumps({"removed": removed, "bytes_freed": freed}))
@@ -270,6 +309,12 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.jobs < 0:
         print("--jobs must be >= 0", file=sys.stderr)
+        return 2
+    if args.shards is not None and args.shards < 1:
+        print("--shards must be >= 1", file=sys.stderr)
+        return 2
+    if args.shards is not None and args.executor != "process":
+        print("--shards requires --executor process", file=sys.stderr)
         return 2
 
     if args.demo:
@@ -295,7 +340,11 @@ def main(argv: list[str] | None = None) -> int:
         cache=args.cache,
     )
     answers = engine.answer_all(
-        queries, bootstrap=args.bootstrap, jobs=args.jobs if args.jobs > 0 else None
+        queries,
+        bootstrap=args.bootstrap,
+        jobs=args.jobs if args.jobs > 0 else None,
+        executor=args.executor,
+        shards=args.shards,
     )
     outputs = {name: result_to_dict(answer) for name, answer in answers.items()}
 

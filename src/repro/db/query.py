@@ -135,13 +135,19 @@ class ConjunctiveQuery:
             bindings = list(self._extend(database, atom, bindings))
             if not bindings:
                 return []
-        # Deduplicate over the variable set.
+        # Deduplicate over the variable set (same factorized-code dedup as
+        # the columnar path; no per-binding tuple keys).
         names = [variable.name for variable in self.variables]
-        unique: dict[tuple[Any, ...], Binding] = {}
-        for binding in bindings:
-            key = tuple(binding.get(name) for name in names)
-            unique.setdefault(key, {name: binding.get(name) for name in names})
-        return list(unique.values())
+        if not names:
+            return [{}]
+        value_lists: list[list[Any] | None] = [
+            [binding.get(name) for binding in bindings] for name in names
+        ]
+        positions = _distinct_positions(value_lists, len(bindings))
+        return [
+            {name: values[position] for name, values in zip(names, value_lists)}
+            for position in positions
+        ]
 
     def _evaluate_columnar(self, database: Database) -> list[Binding]:
         """Column-major evaluation: the binding set is one value list per
@@ -153,15 +159,16 @@ class ConjunctiveQuery:
             if count == 0:
                 return []
         names = [variable.name for variable in self.variables]
-        unique: dict[tuple[Any, ...], int] = {}
-        for position in range(count):
-            key = tuple(
-                columns[name][position] if name in columns else None for name in names
-            )
-            unique.setdefault(key, position)
+        if not names:
+            return [{}]
+        value_lists = [columns.get(name) for name in names]
+        positions = _distinct_positions(value_lists, count)
         return [
-            {name: columns[name][position] if name in columns else None for name in names}
-            for position in unique.values()
+            {
+                name: values[position] if values is not None else None
+                for name, values in zip(names, value_lists)
+            }
+            for position in positions
         ]
 
     def _ordered_atoms(self, database: Database) -> list[Atom]:
@@ -246,38 +253,29 @@ class ConjunctiveQuery:
             # would match them by identity — route them to sentinel codes
             # (-2 right / -1 left) that never intersect.
             key_lists = [column_lists[position] for position, _ in bound_positions]
-            code_of: dict[Any, int] = {}
-            right_codes = np.empty(len(rows), dtype=np.intp)
+            left_lists = [bindings[name] for _, name in bound_positions]
             if len(key_lists) == 1:
+                code_of: dict[Any, int] = {}
+                right_codes = np.empty(len(rows), dtype=np.intp)
                 right_values = key_lists[0]
                 for out, row in enumerate(rows.tolist()):
                     key = right_values[row]
                     right_codes[out] = (
                         code_of.setdefault(key, len(code_of)) if key == key else -2
                     )
-            else:
-                for out, row in enumerate(rows.tolist()):
-                    parts = tuple(values[row] for values in key_lists)
-                    if all(part == part for part in parts):
-                        right_codes[out] = code_of.setdefault(parts, len(code_of))
-                    else:
-                        right_codes[out] = -2
-
-            left_lists = [bindings[name] for _, name in bound_positions]
-            left_codes = np.empty(count, dtype=np.intp)
-            lookup = code_of.get
-            if len(left_lists) == 1:
+                left_codes = np.empty(count, dtype=np.intp)
+                lookup = code_of.get
                 left_values = left_lists[0]
                 for position in range(count):
                     key = left_values[position]
                     left_codes[position] = lookup(key, -1) if key == key else -1
             else:
-                for position in range(count):
-                    parts = tuple(values[position] for values in left_lists)
-                    if all(part == part for part in parts):
-                        left_codes[position] = lookup(parts, -1)
-                    else:
-                        left_codes[position] = -1
+                # Multi-column keys: factorize per column and combine the
+                # per-column codes into one int64 key per row (mixed radix)
+                # instead of building a tuple per row.
+                right_codes, left_codes = _factorize_multi_keys(
+                    key_lists, rows, left_lists, count
+                )
 
             # Array intersection: stable sort by code, then one searchsorted
             # window per binding; within a window, rows keep table order.
@@ -361,3 +359,154 @@ def _gather_values(values: Sequence[Any], take: np.ndarray) -> list[Any]:
     if not len(take):
         return []
     return as_object_array(values)[take].tolist()
+
+
+# ----------------------------------------------------------------------
+# vectorized code factorization (projection dedup and multi-column joins)
+# ----------------------------------------------------------------------
+#: Mixed-radix code combination stays in exact int64 territory as long as the
+#: product of the per-column cardinalities fits; beyond that the callers fall
+#: back to per-row tuple keys (identical semantics, just slower).
+_MAX_COMBINED_CODES = 2**62
+
+
+def _combine_code_columns(
+    code_columns: np.ndarray, cardinalities: Sequence[int]
+) -> np.ndarray | None:
+    """Combine per-column int64 codes into one key per row (mixed radix).
+
+    ``code_columns`` is ``(n_columns, n_rows)`` with non-negative codes;
+    rows are equal iff their code tuples are equal, which the combined int64
+    keys preserve exactly.  Returns ``None`` when the combined key space
+    could overflow int64, signalling the caller to fall back to tuples.
+    """
+    total = 1
+    for cardinality in cardinalities:
+        total *= max(cardinality, 1)
+    if total >= _MAX_COMBINED_CODES:
+        return None
+    combined = code_columns[0].astype(np.int64, copy=True)
+    for position in range(1, len(code_columns)):
+        combined *= max(cardinalities[position], 1)
+        combined += code_columns[position]
+    return combined
+
+
+def _distinct_positions(value_lists: Sequence[list[Any] | None], count: int) -> list[int]:
+    """First-occurrence positions of the distinct rows of a column-major set.
+
+    Each column is factorized to integer codes with Python ``dict`` equality
+    (so ``1``/``1.0``/``True`` collapse and NaN objects key by identity,
+    exactly like the per-row tuple keys this replaces), the per-column codes
+    combine into a single int64 key array, and ``np.unique`` finds the first
+    occurrence of every distinct key; sorting those keeps first-seen order.
+    A ``None`` column (unbound variable) is a constant.
+    """
+    code_columns = np.empty((len(value_lists), count), dtype=np.int64)
+    cardinalities: list[int] = []
+    for position, values in enumerate(value_lists):
+        if values is None:
+            code_columns[position] = 0
+            cardinalities.append(1)
+            continue
+        code_of: dict[Any, int] = {}
+        setdefault = code_of.setdefault
+        out = code_columns[position]
+        for row in range(count):
+            out[row] = setdefault(values[row], len(code_of))
+        cardinalities.append(len(code_of))
+    combined = _combine_code_columns(code_columns, cardinalities)
+    if combined is None:  # pragma: no cover - needs >= 2**62 combined keys
+        unique: dict[tuple[Any, ...], int] = {}
+        for row in range(count):
+            key = tuple(
+                values[row] if values is not None else None for values in value_lists
+            )
+            unique.setdefault(key, row)
+        return list(unique.values())
+    _, first_seen = np.unique(combined, return_index=True)
+    first_seen.sort()
+    return first_seen.tolist()
+
+
+def _factorize_multi_keys(
+    key_lists: Sequence[list[Any]],
+    rows: np.ndarray,
+    left_lists: Sequence[list[Any]],
+    count: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Factorize multi-column join keys per column and combine to int64.
+
+    Right-side codes come from per-column dicts over the surviving table
+    rows; left-side codes look the binding values up in the same dicts.
+    Rows with a NaN component (or, on the left, an unmatched component) get
+    the usual sentinel codes (-2 right / -1 left) *after* combination, so a
+    sentinel can never collide with a valid combined key.
+    """
+    n_columns = len(key_lists)
+    row_list = rows.tolist()
+    right_columns = np.empty((n_columns, len(row_list)), dtype=np.int64)
+    right_valid = np.ones(len(row_list), dtype=bool)
+    dictionaries: list[dict[Any, int]] = []
+    for position, values in enumerate(key_lists):
+        code_of: dict[Any, int] = {}
+        setdefault = code_of.setdefault
+        out = right_columns[position]
+        for index, row in enumerate(row_list):
+            key = values[row]
+            if key == key:
+                out[index] = setdefault(key, len(code_of))
+            else:
+                out[index] = 0
+                right_valid[index] = False
+        dictionaries.append(code_of)
+
+    left_columns = np.empty((n_columns, count), dtype=np.int64)
+    left_valid = np.ones(count, dtype=bool)
+    for position, values in enumerate(left_lists):
+        lookup = dictionaries[position].get
+        out = left_columns[position]
+        for index in range(count):
+            key = values[index]
+            code = lookup(key, -1) if key == key else -1
+            if code < 0:
+                out[index] = 0
+                left_valid[index] = False
+            else:
+                out[index] = code
+
+    cardinalities = [len(dictionary) for dictionary in dictionaries]
+    right_combined = _combine_code_columns(right_columns, cardinalities)
+    if right_combined is None:  # pragma: no cover - needs >= 2**62 combined keys
+        return _factorize_tuple_keys(key_lists, row_list, left_lists, count)
+    left_combined = _combine_code_columns(left_columns, cardinalities)
+    assert left_combined is not None  # same cardinalities as the right side
+    right_combined[~right_valid] = -2
+    left_combined[~left_valid] = -1
+    return right_combined, left_combined
+
+
+def _factorize_tuple_keys(
+    key_lists: Sequence[list[Any]],
+    row_list: list[int],
+    left_lists: Sequence[list[Any]],
+    count: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-row tuple-key fallback for gigantic combined key spaces."""
+    code_of: dict[Any, int] = {}
+    right_codes = np.empty(len(row_list), dtype=np.int64)
+    for out, row in enumerate(row_list):
+        parts = tuple(values[row] for values in key_lists)
+        if all(part == part for part in parts):
+            right_codes[out] = code_of.setdefault(parts, len(code_of))
+        else:
+            right_codes[out] = -2
+    left_codes = np.empty(count, dtype=np.int64)
+    lookup = code_of.get
+    for position in range(count):
+        parts = tuple(values[position] for values in left_lists)
+        if all(part == part for part in parts):
+            left_codes[position] = lookup(parts, -1)
+        else:
+            left_codes[position] = -1
+    return right_codes, left_codes

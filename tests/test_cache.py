@@ -160,6 +160,72 @@ class TestArtifactStore:
             "grounding": {"hits": 1, "misses": 1, "stores": 1}
         }
 
+    def store_aged(self, cache, **overrides):
+        """Store an artifact and age its mtime monotonically per call."""
+        key = self.key(**overrides)
+        path = cache.store(key, {"x": np.arange(64)})
+        stamp = getattr(self, "_stamp", 1_000_000_000)
+        self._stamp = stamp + 100
+        import os
+
+        os.utime(path, (stamp, stamp))
+        return key, path
+
+    def test_evict_oldest_first_down_to_budget(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        oldest, oldest_path = self.store_aged(cache)
+        middle, _ = self.store_aged(cache, kind="unit_table", detail="aa" * 32)
+        newest, newest_path = self.store_aged(cache, kind="unit_table", detail="bb" * 32)
+        sizes = {entry.path: entry.size_bytes for entry in cache.entries()}
+        total = sum(sizes.values())
+
+        # Budget that forces exactly one eviction: the oldest goes.
+        removed, freed = cache.evict(total - 1)
+        assert removed == 1 and freed == sizes[oldest_path]
+        assert not oldest_path.exists() and newest_path.exists()
+
+        # Already within budget: nothing happens.
+        assert cache.evict(total) == (0, 0)
+
+        # Budget zero clears everything (no pins).
+        removed, _ = cache.evict(0)
+        assert removed == 2 and cache.entries() == []
+        with pytest.raises(Exception, match="max_bytes"):
+            cache.evict(-1)
+
+    def test_evict_skips_pinned_artifacts(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        pinned_key, pinned_path = self.store_aged(cache)
+        _, other_path = self.store_aged(cache, kind="unit_table", detail="aa" * 32)
+        cache.pin(pinned_key)
+        removed, _ = cache.evict(0)
+        # The pinned (older) artifact survives; the unpinned one is evicted.
+        assert removed == 1
+        assert pinned_path.exists() and not other_path.exists()
+        cache.unpin(pinned_key)
+        assert cache.evict(0)[0] == 1
+        assert cache.entries() == []
+
+    def test_evict_skips_undeletable_files(self, tmp_path, monkeypatch):
+        """skip-on-EBUSY semantics: an unlink the OS refuses is skipped, the
+        sweep continues, and the artifact simply survives."""
+        from pathlib import Path
+
+        cache = ArtifactCache(tmp_path)
+        _, busy_path = self.store_aged(cache)
+        _, free_path = self.store_aged(cache, kind="unit_table", detail="aa" * 32)
+        real_unlink = Path.unlink
+
+        def fake_unlink(self, *args, **kwargs):
+            if self == busy_path:
+                raise OSError(16, "Device or resource busy")
+            return real_unlink(self, *args, **kwargs)
+
+        monkeypatch.setattr(Path, "unlink", fake_unlink)
+        removed, _ = cache.evict(0)
+        assert removed == 1
+        assert busy_path.exists() and not free_path.exists()
+
 
 # ----------------------------------------------------------------------
 # engine integration
@@ -326,3 +392,21 @@ class TestCacheCli:
     def test_cache_ls_on_missing_root(self, tmp_path, capsys):
         assert main(["cache", "ls", "--root", str(tmp_path / "nothing")]) == 0
         assert "empty" in capsys.readouterr().out
+
+    def test_cache_evict_cli(self, tmp_path, capsys):
+        root = str(tmp_path / "cache")
+        assert main(["--demo", "toy", "--cache", root, "--json"]) == 0
+        capsys.readouterr()
+
+        # A generous budget evicts nothing.
+        assert main(["cache", "evict", "--root", root, "--max-bytes", "10000000"]) == 0
+        assert "evicted 0" in capsys.readouterr().out
+
+        # Budget zero clears the cache, oldest artifacts first.
+        assert main(["cache", "evict", "--root", root, "--max-bytes", "0", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["removed"] >= 2 and payload["bytes_freed"] > 0
+        assert main(["cache", "ls", "--root", root]) == 0
+        assert "empty" in capsys.readouterr().out
+
+        assert main(["cache", "evict", "--root", root, "--max-bytes", "-1"]) == 2

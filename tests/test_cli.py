@@ -89,6 +89,29 @@ class TestMain:
         assert result["kind"] == "ate"
         assert result["n_units"] == 3
 
+    def test_process_executor_matches_serial(self, capsys):
+        query = "AVG_Score[A] <= Prestige[A] ?"
+        assert main(["--demo", "toy", "--query", query, "--json"]) == 0
+        serial = json.loads(capsys.readouterr().out)
+        assert (
+            main(
+                [
+                    "--demo", "toy", "--query", query, "--json",
+                    "--jobs", "2", "--executor", "process", "--shards", "3",
+                ]
+            )
+            == 0
+        )
+        sharded = json.loads(capsys.readouterr().out)
+        for field in ("ate", "naive_difference", "correlation", "n_units"):
+            assert sharded["query_0"][field] == serial["query_0"][field]
+
+    def test_shards_flag_validation(self, capsys):
+        assert main(["--demo", "toy", "--shards", "2"]) == 2
+        assert "--executor process" in capsys.readouterr().err
+        assert main(["--demo", "toy", "--shards", "0", "--executor", "process"]) == 2
+        assert ">= 1" in capsys.readouterr().err
+
     def test_data_without_program_errors(self, csv_dir, capsys):
         assert main(["--data", str(csv_dir), "--query", "X[A] <= Y[A] ?"]) == 2
 

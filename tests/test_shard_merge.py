@@ -1,0 +1,424 @@
+"""Shard-merge parity suite (see ``docs/sharding.md``).
+
+Three layers of the sharded execution stack are held to differential
+contracts against their serial references:
+
+* **grouped aggregates** — ``sharded_grouped_aggregate`` must match the
+  scalar aggregate family (``agg_*``) bit-for-bit per group (NaNs compare as
+  NaNs: the merge canonicalizes NaN payloads, scalar inf arithmetic does
+  not), and must be bit-*identical* — payload bits included — across shard
+  counts 1/2/7;
+* **unit-table collection** — collecting consecutive unit ranges and merging
+  must reproduce the unsharded collection exactly (bit-identical
+  materialized unit tables);
+* **process-pool answering** — ``answer_all(executor="process")`` must be
+  answer-for-answer bit-identical to the serial loop at any shard count, and
+  a worker that dies or raises must fail the batch with a clean
+  :class:`QueryError`, never a hang.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cache.serialization import (
+    load_unit_inputs,
+    unit_inputs_payload,
+)
+from repro.cache.store import ArtifactCache, CacheKey
+from repro.carl.engine import CaRLEngine
+from repro.carl.errors import QueryError
+from repro.carl.unit_table import materialize_unit_table, merge_unit_table_inputs
+from repro.datasets import TOY_REVIEW_PROGRAM, toy_review_database
+from repro.db.aggregates import (
+    AGGREGATES,
+    SHARDABLE_AGGREGATES,
+    AggregateError,
+    grouped_shard_partial,
+    merge_grouped_shards,
+    shard_ranges,
+    sharded_grouped_aggregate,
+)
+from repro.db.table import ColumnarTable, Table
+
+SHARD_COUNTS = (1, 2, 7)
+
+#: The batch used by the process-executor parity tests: every query family
+#: (plain ATE, aggregate-unified response, threshold variants, peer effects).
+QUERIES = {
+    "ate": "Score[S] <= Prestige[A] ?",
+    "agg": "AVG_Score[A] <= Prestige[A] ?",
+    "thresh": "AVG_Score[A] <= Prestige[A] >= 1 ?",
+    "peers": "Score[S] <= Prestige[A] ? WHEN ALL PEERS TREATED",
+}
+
+
+def fresh_engine(**kwargs) -> CaRLEngine:
+    return CaRLEngine(toy_review_database(), TOY_REVIEW_PROGRAM, **kwargs)
+
+
+def result_key(answer):
+    """Every numeric field of an answer that must match bit-for-bit."""
+    result = answer.result
+    if hasattr(result, "ate"):
+        return (
+            result.ate,
+            result.naive_difference,
+            result.treated_mean,
+            result.control_mean,
+            result.correlation,
+            result.n_units,
+            result.n_treated,
+            result.n_control,
+            result.confidence_interval,
+        )
+    return (
+        result.aie,
+        result.are,
+        result.aoe,
+        result.naive_difference,
+        result.correlation,
+        result.n_units,
+        result.mean_peer_count,
+    )
+
+
+# ----------------------------------------------------------------------
+# sharded grouped aggregates vs the scalar family
+# ----------------------------------------------------------------------
+@st.composite
+def grouped_data(draw):
+    """A flat value array with group assignments; NaNs included, some groups
+    possibly empty, sizes down to zero rows and one row."""
+    n_groups = draw(st.integers(min_value=1, max_value=5))
+    values = draw(
+        st.lists(
+            st.one_of(
+                st.floats(min_value=-1e12, max_value=1e12, allow_nan=False),
+                st.just(math.nan),
+            ),
+            min_size=0,
+            max_size=40,
+        )
+    )
+    group_ids = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=n_groups - 1),
+            min_size=len(values),
+            max_size=len(values),
+        )
+    )
+    return np.asarray(values, dtype=float), np.asarray(group_ids, dtype=np.intp), n_groups
+
+
+def assert_matches_scalar(name, out, reference):
+    """Bitwise equality, with NaN==NaN (payload bits aside)."""
+    out = np.asarray(out, dtype=float)
+    reference = np.asarray(reference, dtype=float)
+    both_nan = np.isnan(out) & np.isnan(reference)
+    assert np.array_equal(
+        np.where(both_nan, 0.0, out), np.where(both_nan, 0.0, reference)
+    ), f"{name}: sharded {out!r} != scalar {reference!r}"
+
+
+@pytest.mark.parametrize("name", SHARDABLE_AGGREGATES)
+@given(data=grouped_data())
+def test_sharded_aggregate_matches_scalar_per_group(name, data):
+    values, group_ids, n_groups = data
+    try:
+        reference = [
+            AGGREGATES[name](values[group_ids == group].tolist())
+            for group in range(n_groups)
+        ]
+    except AggregateError:
+        # MIN/MAX of an empty group: every shard count must raise too.
+        for shards in SHARD_COUNTS:
+            with pytest.raises(AggregateError):
+                sharded_grouped_aggregate(name, values, group_ids, n_groups, shards=shards)
+        return
+    outputs = []
+    for shards in SHARD_COUNTS:
+        out = np.asarray(
+            sharded_grouped_aggregate(name, values, group_ids, n_groups, shards=shards),
+            dtype=float,
+        )
+        assert_matches_scalar(name, out, reference)
+        outputs.append(out.tobytes())
+    # Across shard counts the result is bit-identical, NaN payloads included.
+    assert len(set(outputs)) == 1, f"{name}: result depends on the shard count"
+
+
+@pytest.mark.parametrize("name", SHARDABLE_AGGREGATES)
+def test_sharded_aggregate_infinity_edges(name):
+    """Signed infinities follow the scalar family's IEEE-fallback semantics."""
+    values = np.asarray([math.inf, 1.0, -math.inf, 2.0, math.inf, -1.0])
+    group_ids = np.asarray([0, 0, 0, 1, 1, 2])
+    reference = [AGGREGATES[name](values[group_ids == g].tolist()) for g in range(3)]
+    for shards in SHARD_COUNTS:
+        out = sharded_grouped_aggregate(name, values, group_ids, 3, shards=shards)
+        assert_matches_scalar(name, out, reference)
+
+
+def test_sharded_aggregate_same_sign_overflow_matches_scalar():
+    """A running sum that overflows the double range degrades to the scalar
+    family's IEEE fallback (inf), never to a manufactured NaN, and stays
+    shard-count independent."""
+    values = np.asarray([1e308, 1e308, 1e308, -1.0])
+    group_ids = np.zeros(4, dtype=np.intp)
+    assert AGGREGATES["SUM"](values.tolist()) == math.inf
+    for name in ("SUM", "AVG"):
+        reference = AGGREGATES[name](values.tolist())
+        for shards in (1, 2, 4):
+            out = sharded_grouped_aggregate(name, values, group_ids, 1, shards=shards)
+            assert float(out[0]) == reference, (name, shards, out)
+
+
+def test_sharded_aggregate_single_row_and_empty():
+    one = np.asarray([5.0])
+    zero_groups = np.asarray([0])
+    for shards in SHARD_COUNTS:
+        assert sharded_grouped_aggregate("AVG", one, zero_groups, 1, shards=shards)[0] == 5.0
+        assert sharded_grouped_aggregate("VAR", one, zero_groups, 1, shards=shards)[0] == 0.0
+        # Groups beyond the data are empty: COUNT 0, AVG 0.0 (agg_avg on []).
+        counts = sharded_grouped_aggregate("COUNT", one, zero_groups, 3, shards=shards)
+        assert counts.tolist() == [1, 0, 0]
+        means = sharded_grouped_aggregate("AVG", one, zero_groups, 3, shards=shards)
+        assert means.tolist() == [5.0, 0.0, 0.0]
+        empty = sharded_grouped_aggregate(
+            "SUM", np.empty(0), np.empty(0, dtype=np.intp), 2, shards=shards
+        )
+        assert empty.tolist() == [0.0, 0.0]
+
+
+def test_shard_ranges_cover_and_balance():
+    with pytest.raises(AggregateError):
+        shard_ranges(10, 0)
+    for n_rows, shards in [(0, 3), (1, 7), (10, 3), (10, 1), (100, 7)]:
+        ranges = shard_ranges(n_rows, shards)
+        assert len(ranges) == shards
+        assert ranges[0][0] == 0 and ranges[-1][1] == n_rows
+        for (_, stop), (start, _) in zip(ranges, ranges[1:]):
+            assert stop == start  # contiguous, in order
+        sizes = [stop - start for start, stop in ranges]
+        assert max(sizes) - min(sizes) <= 1
+
+
+def test_shard_partials_round_trip_through_artifact_store(tmp_path):
+    """Partials are numeric npz payloads: storing and loading them through the
+    artifact cache (the process boundary) must not change the merged result."""
+    rng = np.random.default_rng(3)
+    values = rng.normal(size=200) * 1e6
+    group_ids = rng.integers(0, 6, size=200)
+    cache = ArtifactCache(tmp_path)
+    for name in ("SUM", "AVG", "MEDIAN", "MIN", "COUNT"):
+        direct = sharded_grouped_aggregate(name, values, group_ids, 6, shards=3)
+        parts = []
+        for index, (start, stop) in enumerate(shard_ranges(len(values), 3)):
+            partial = grouped_shard_partial(
+                name, values[start:stop], group_ids[start:stop], 6
+            )
+            key = CacheKey(
+                database="ab" * 32, program="cd" * 32, kind="unit_inputs",
+                detail=f"{index:02x}" * 8,
+            )
+            cache.store(key, partial)
+            parts.append(cache.load(key))
+        merged = merge_grouped_shards(name, parts, 6)
+        assert np.asarray(merged, dtype=float).tobytes() == np.asarray(
+            direct, dtype=float
+        ).tobytes()
+
+
+# ----------------------------------------------------------------------
+# sharded ColumnarTable.group_by vs the row backend
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", SHARDABLE_AGGREGATES)
+def test_sharded_group_by_matches_row_backend_bitwise(name):
+    """With shards set, the columnar group-by adopts the scalar (fsum) family
+    and therefore matches the row backend *bit for bit*, at any shard count."""
+    rng = np.random.default_rng(11)
+    rows = [
+        {"k": int(i % 4), "v": float(v)}
+        for i, v in enumerate(rng.normal(size=150) * 10.0 ** rng.integers(-3, 7, size=150).astype(float))
+    ]
+    row_table = Table.from_rows("t", rows)
+    columnar = row_table.to_columnar()
+    reference = row_table.group_by(["k"], {"out": ("v", name)}).to_list()
+    for shards in SHARD_COUNTS:
+        sharded = columnar.group_by(["k"], {"out": ("v", name)}, shards=shards).to_list()
+        assert sharded == reference
+
+
+def test_row_slice_shards_reassemble():
+    rng = np.random.default_rng(5)
+    table = ColumnarTable.from_columns(
+        "t",
+        {"a": rng.normal(size=23).tolist(), "b": [f"s{i}" for i in range(23)]},
+        dtypes={"a": "float", "b": "str"},
+    )
+    pieces = [table.row_slice(start, stop) for start, stop in shard_ranges(len(table), 5)]
+    reassembled = [row for piece in pieces for row in piece.to_list()]
+    assert reassembled == table.to_list()
+    assert len(table.row_slice(50, 99)) == 0  # clamped, not an error
+    assert table.row_slice(-5, 4).to_list() == table.to_list()[:4]
+
+
+# ----------------------------------------------------------------------
+# sharded unit-table collection
+# ----------------------------------------------------------------------
+def collect_via_shards(engine, query, shards):
+    n_units = None
+    # Derive the full unit count exactly as the dispatcher does.
+    parsed = query
+    from repro.carl.parser import parse_query
+
+    if isinstance(parsed, str):
+        parsed = parse_query(parsed)
+    with engine._state_lock:  # noqa: SLF001 - test reaches into the engine
+        t_attr, t_subject = engine._validated_treatment(parsed)  # noqa: SLF001
+        response = engine._resolve_response(parsed, t_subject)  # noqa: SLF001
+        engine.graph
+        engine._apply_pending_aggregates()  # noqa: SLF001
+        _, units = engine._restricted_units(parsed, t_attr, response)  # noqa: SLF001
+        n_units = len(units)
+    parts = [
+        engine.collect_shard_inputs(parsed, start, stop, expected_units=n_units)
+        for start, stop in shard_ranges(n_units, shards)
+    ]
+    return merge_unit_table_inputs(parts)
+
+
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+@pytest.mark.parametrize("query", list(QUERIES.values()))
+def test_sharded_collection_merges_to_serial(query, shards):
+    engine = fresh_engine()
+    serial = engine.unit_table(query)
+    merged_inputs = collect_via_shards(engine, query, shards)
+    from repro.carl.parser import parse_query
+
+    parsed = parse_query(query)
+    binarize = None
+    if parsed.treatment_threshold is not None:
+        threshold = parsed.treatment_threshold
+        binarize = lambda value: 1.0 if threshold.evaluate(value) else 0.0  # noqa: E731
+    merged = materialize_unit_table(merged_inputs, embedding="mean", binarize=binarize)
+    assert merged.equals(serial)
+
+
+def test_unit_inputs_payload_round_trip():
+    engine = fresh_engine()
+    inputs = engine.collect_shard_inputs("Score[S] <= Prestige[A] ?", 0, 10**9)
+    loaded = load_unit_inputs(unit_inputs_payload(inputs))
+    assert loaded.unit_keys == inputs.unit_keys
+    assert loaded.outcomes_raw == inputs.outcomes_raw
+    assert loaded.treatments_raw == inputs.treatments_raw
+    assert loaded.peer_counts == inputs.peer_counts
+    assert loaded.peer_values_raw == inputs.peer_values_raw
+    assert loaded.peer_group_ids == inputs.peer_group_ids
+    assert loaded.covariate_order == inputs.covariate_order
+    assert loaded.buckets == inputs.buckets
+    assert materialize_unit_table(loaded).equals(materialize_unit_table(inputs))
+
+
+def test_merge_rejects_mismatched_collections():
+    import dataclasses
+
+    from repro.carl.errors import EstimationError
+
+    engine = fresh_engine()
+    a = engine.collect_shard_inputs("Score[S] <= Prestige[A] ?", 0, 5)
+    b = dataclasses.replace(a, response_attribute="SomethingElse")
+    with pytest.raises(EstimationError, match="disagree"):
+        merge_unit_table_inputs([a, b])
+    with pytest.raises(EstimationError):
+        merge_unit_table_inputs([])
+
+
+# ----------------------------------------------------------------------
+# answer_all(executor="process")
+# ----------------------------------------------------------------------
+def test_process_executor_is_bit_identical_to_serial():
+    serial = fresh_engine().answer_all(QUERIES, jobs=1)
+    for shards in SHARD_COUNTS:
+        answers = fresh_engine().answer_all(
+            QUERIES, jobs=2, executor="process", shards=shards
+        )
+        assert set(answers) == set(QUERIES)
+        for name in QUERIES:
+            assert result_key(answers[name]) == result_key(serial[name]), (shards, name)
+            assert (
+                answers[name].unit_table_summary == serial[name].unit_table_summary
+            ), (shards, name)
+
+
+def test_process_executor_artifact_transport_is_bit_identical(monkeypatch):
+    """Force the portable transport (workers rebuild the engine from the
+    published memory-mapped artifacts instead of fork-inheriting it): the
+    answers must be exactly the same either way."""
+    serial = fresh_engine().answer_all(QUERIES, jobs=1)
+    monkeypatch.setenv("REPRO_SHARD_NO_INHERIT", "1")
+    answers = fresh_engine().answer_all(QUERIES, jobs=2, executor="process", shards=3)
+    for name in QUERIES:
+        assert result_key(answers[name]) == result_key(serial[name]), name
+        assert answers[name].unit_table_summary == serial[name].unit_table_summary
+
+
+def test_process_executor_honors_estimator_and_bootstrap():
+    options = {"estimator": "ipw", "bootstrap": 25, "seed": 9}
+    serial = fresh_engine().answer_all({"ate": QUERIES["ate"]}, jobs=1, **options)
+    sharded = fresh_engine().answer_all(
+        {"ate": QUERIES["ate"]}, jobs=2, executor="process", shards=2, **options
+    )
+    assert result_key(sharded["ate"]) == result_key(serial["ate"])
+    assert sharded["ate"].result.estimator == "ipw"
+    assert sharded["ate"].result.confidence_interval is not None
+
+
+def test_process_executor_with_cache_warm_run(tmp_path):
+    cold_engine = fresh_engine(cache=tmp_path / "cache")
+    cold = cold_engine.answer_all(QUERIES, jobs=2, executor="process", shards=2)
+    # Shard partials are batch-transient: none may outlive the batch.
+    kinds = [entry.kind for entry in ArtifactCache(tmp_path / "cache").entries()]
+    assert "unit_inputs" not in kinds
+    # Grounding and unit tables persist for the next session ("table"
+    # artifacts appear only on the no-fork transport, which publishes them).
+    assert "grounding" in kinds and "unit_table" in kinds
+    # A fresh engine over the warm cache answers without grounding at all.
+    warm_engine = fresh_engine(cache=tmp_path / "cache")
+    warm = warm_engine.answer_all(QUERIES, jobs=2, executor="process", shards=2)
+    assert warm_engine.grounding_runs == 0
+    for name in QUERIES:
+        assert result_key(warm[name]) == result_key(cold[name])
+
+
+def test_process_executor_worker_death_raises_cleanly(monkeypatch):
+    monkeypatch.setenv("REPRO_SHARD_WORKER_FAULT", "exit")
+    with pytest.raises(QueryError):
+        fresh_engine().answer_all(
+            {"ate": QUERIES["ate"]}, jobs=2, executor="process", shards=2
+        )
+
+
+def test_process_executor_worker_exception_raises_cleanly(monkeypatch):
+    monkeypatch.setenv("REPRO_SHARD_WORKER_FAULT", "raise")
+    with pytest.raises(QueryError, match="shard worker"):
+        fresh_engine().answer_all(
+            {"ate": QUERIES["ate"]}, jobs=2, executor="process", shards=2
+        )
+
+
+def test_answer_all_option_validation():
+    engine = fresh_engine()
+    with pytest.raises(QueryError, match="executor"):
+        engine.answer_all(QUERIES, executor="fiber")
+    with pytest.raises(QueryError, match="shards"):
+        engine.answer_all(QUERIES, jobs=2, shards=0, executor="process")
+    with pytest.raises(QueryError, match="shards"):
+        engine.answer_all(QUERIES, jobs=2, shards=2)  # thread executor
+    with pytest.raises(QueryError, match="columnar"):
+        engine.answer_all(QUERIES, jobs=2, executor="process", backend="rows")
+    assert engine.answer_all({}, jobs=2, executor="process") == {}
