@@ -10,6 +10,9 @@ Public API overview
   adjustment, matching, IPW, ...), built from scratch on numpy.
 * :mod:`repro.cache` — persistent, fingerprinted artifact cache for grounded
   graphs and unit tables (see ``docs/persistence.md``).
+* :mod:`repro.service` — streaming query service: incremental answers,
+  retry-and-requeue scheduling, shard-level cache reuse (see
+  ``docs/service.md``).
 * :mod:`repro.datasets` — synthetic relational dataset generators standing in
   for REVIEWDATA, SYNTHETIC REVIEWDATA, MIMIC-III and NIS.
 * :mod:`repro.baselines` — the universal-table and naive baselines the paper
@@ -46,6 +49,7 @@ from repro.carl import (
 )
 from repro.cache import ArtifactCache
 from repro.db import Database, Table
+from repro.service import QuerySession
 
 __version__ = "1.0.0"
 
@@ -60,6 +64,7 @@ __all__ = [
     "GroundedCausalGraph",
     "ParseError",
     "QueryAnswer",
+    "QuerySession",
     "RelationalCausalModel",
     "RelationalCausalSchema",
     "Table",

@@ -55,6 +55,38 @@ def model_fingerprint(program: Program, model: RelationalCausalModel) -> str:
     )
 
 
+def collect_fingerprint(
+    treatment_attribute: str,
+    response_attribute: str,
+    derived_definition: Any = None,
+    condition: Any = None,
+) -> str:
+    """Stable hash of one unit-table *collection* (the graph-walk phase).
+
+    Collected :class:`~repro.carl.unit_table.UnitTableInputs` depend only on
+    the grounding (covered by the cache key's database/program fingerprints),
+    the treatment attribute, the *resolved* response attribute (plus its
+    derived-attribute definition when response unification introduced one)
+    and the query's WHERE clause — **not** on the treatment threshold, the
+    embedding, the estimator or the peer condition, which all apply after
+    collection.  Keying shard partials by this hash is what lets a threshold
+    sweep (``Age >= 30``, ``Age >= 45``, ...) reuse one collection per unit
+    range across every query of the sweep — and across re-sweeps in later
+    sessions (``docs/service.md``).
+    """
+    return _digest(
+        canonical_text(
+            [
+                "collect",
+                treatment_attribute,
+                response_attribute,
+                derived_definition,
+                condition,
+            ]
+        )
+    )
+
+
 def query_fingerprint(
     query: CausalQuery, embedding: Any, backend: str, resolution: Any = None
 ) -> str:

@@ -274,7 +274,9 @@ def unit_table_payload(unit_table: UnitTable) -> dict[str, np.ndarray]:
     }
 
 
-def unit_inputs_payload(inputs: UnitTableInputs) -> dict[str, np.ndarray]:
+def unit_inputs_payload(
+    inputs: UnitTableInputs, span: tuple[int, int, int] | None = None
+) -> dict[str, np.ndarray]:
     """Encode one shard's unit-table collection (see ``docs/sharding.md``).
 
     This is how a shard worker hands its slice of the graph-walk phase back
@@ -282,6 +284,12 @@ def unit_inputs_payload(inputs: UnitTableInputs) -> dict[str, np.ndarray]:
     memory-map them), raw values stay object arrays so ints, bools and floats
     round-trip as the exact Python objects the serial collection would have
     gathered — anything else would change categorical covariate encodings.
+
+    ``span`` — ``(start, stop, total units)`` of the collected unit range —
+    is recorded in the meta entry when given.  Persistent shard partials
+    (``docs/service.md``) carry it so ``repro cache ls`` and a human reading
+    the artifact can tell which slice of which unit list a partial covers;
+    loads do not depend on it.
     """
     meta = {
         "format": FORMAT_VERSION,
@@ -291,6 +299,8 @@ def unit_inputs_payload(inputs: UnitTableInputs) -> dict[str, np.ndarray]:
         "covariate_order": list(inputs.covariate_order),
         "units": len(inputs.unit_keys),
     }
+    if span is not None:
+        meta["span"] = list(span)
     payload: dict[str, np.ndarray] = {
         "meta": _meta_entry(meta),
         "unit_keys": as_object_array(list(inputs.unit_keys)),

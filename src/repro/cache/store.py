@@ -167,11 +167,14 @@ class ArtifactCache:
         self.root = Path(root)
         self.mmap = mmap
         self.stats = CacheStats()
-        #: Paths protected from :meth:`evict` (artifacts a live shard worker
-        #: may be memory-mapping); guarded by a lock because the process-pool
-        #: dispatcher pins from the submitting thread while stats-reading
-        #: threads may iterate.
-        self._pinned: set[Path] = set()
+        #: Refcounted paths protected from :meth:`evict` (artifacts a live
+        #: shard worker may be memory-mapping); guarded by a lock because the
+        #: process-pool dispatcher pins from the submitting thread while
+        #: stats-reading threads may iterate.  Each first pin also drops a
+        #: ``.pin`` sidecar file naming this process, so an eviction issued
+        #: from *another* process (``repro cache evict``) can see — and
+        #: respect — the pins of every in-flight session on the machine.
+        self._pinned: dict[Path, int] = {}
         self._pin_lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -259,60 +262,147 @@ class ArtifactCache:
     # ------------------------------------------------------------------
     # pinning (eviction protection for live shard workers)
     # ------------------------------------------------------------------
+    @staticmethod
+    def _pin_path(path: Path) -> Path:
+        """This process's ``.pin`` sidecar for one artifact path.
+
+        Sidecars are per-process (the owning pid is part of the file name),
+        so two sessions in different processes pinning the same artifact
+        hold independent sidecars — one unpinning never strips the other's
+        protection.  Within one process, pins are additionally refcounted
+        in memory per cache handle.
+        """
+        return path.with_name(f"{path.name}.pin.{os.getpid()}")
+
+    @staticmethod
+    def _pin_sidecars(path: Path) -> list[Path]:
+        """Every process's pin sidecar currently guarding ``path``."""
+        if not path.parent.is_dir():
+            return []
+        return sorted(path.parent.glob(path.name + ".pin.*"))
+
     def pin(self, key: CacheKey) -> Path:
         """Protect ``key``'s artifact from :meth:`evict` until unpinned.
 
-        The process-pool shard executor pins the grounding, table and shard
-        payloads its workers memory-map for the lifetime of the pool: an
-        eviction racing a live worker must never pull a mapped file out from
-        under it (the unlink itself would be safe on POSIX, but the artifact
-        would silently stop being reusable by the next shard task).
+        The process-pool shard executor and the streaming query service pin
+        the grounding, table and shard payloads their workers memory-map for
+        the lifetime of the pool: an eviction racing a live worker must never
+        pull a mapped file out from under it (the unlink itself would be safe
+        on POSIX, but the artifact would silently stop being reusable by the
+        next shard task).
 
-        Pins live on this cache *instance*: they shield against evictions
-        issued through the same process's handle, not against another
-        process unlinking files under the shared root.  Cross-process, a
-        live batch's artifacts are protected by recency — they are the
-        newest files and :meth:`evict` deletes oldest-first.
+        Pins are refcounted per instance *and* mirrored on disk: the first
+        pin of a path writes a per-process ``<artifact>.pin.<pid>`` sidecar,
+        so an eviction issued through *any* handle — including ``repro
+        cache evict`` running in another process — skips the artifact while
+        any pinning process is alive, and one process unpinning never
+        strips another's protection.  A sidecar whose process is gone (a
+        crashed session) is stale and ignored, so crashes never leak
+        permanent protection.  The artifact itself need not exist yet: the
+        service pins shard-partial keys when it enqueues the task that will
+        produce them.
         """
         path = self.path_for(key)
         with self._pin_lock:
-            self._pinned.add(path)
+            count = self._pinned.get(path, 0)
+            self._pinned[path] = count + 1
+            if count == 0:
+                try:
+                    path.parent.mkdir(parents=True, exist_ok=True)
+                    self._pin_path(path).write_text(json.dumps({"pid": os.getpid()}))
+                except OSError:
+                    pass  # best effort: in-process protection still holds
         return path
 
     def unpin(self, key: CacheKey) -> None:
         """Release one pin (no-op when the key was not pinned)."""
+        self._unpin_path(self.path_for(key))
+
+    def _unpin_path(self, path: Path) -> None:
         with self._pin_lock:
-            self._pinned.discard(self.path_for(key))
+            count = self._pinned.get(path, 0)
+            if count > 1:
+                self._pinned[path] = count - 1
+                return
+            self._pinned.pop(path, None)
+            if count == 1:
+                try:
+                    self._pin_path(path).unlink(missing_ok=True)
+                except OSError:
+                    pass
 
     def unpin_all(self) -> None:
-        """Release every pin (the shard executor's exit hook)."""
+        """Release every pin held by this instance (exit hook of last resort).
+
+        Only this instance's refcounts — and the sidecars it owns — are
+        cleared; pins held by other cache handles or other processes are
+        untouched.
+        """
         with self._pin_lock:
+            paths = list(self._pinned)
             self._pinned.clear()
+        for path in paths:
+            try:
+                self._pin_path(path).unlink(missing_ok=True)
+            except OSError:
+                pass
 
     def pinned_paths(self) -> set[Path]:
-        """Snapshot of the currently pinned artifact paths."""
+        """Snapshot of the artifact paths pinned through this instance."""
         with self._pin_lock:
             return set(self._pinned)
 
+    def _pinned_elsewhere(self, path: Path) -> bool:
+        """True when a live process holds an on-disk pin for ``path`` —
+        another process's session, or another cache handle in this one.
+
+        Stale sidecars (their recorded pid no longer runs) are deleted on
+        sight, so a crashed session's pins decay at the next eviction sweep
+        instead of protecting garbage forever.
+        """
+        protected = False
+        for sidecar in self._pin_sidecars(path):
+            try:
+                pid = int(sidecar.name.rpartition(".")[2])
+            except ValueError:
+                pid = -1
+            if _pid_alive(pid):
+                # Live pinner — possibly another cache handle in this very
+                # process: respect the pin either way.
+                protected = True
+                continue
+            try:
+                sidecar.unlink(missing_ok=True)
+            except OSError:
+                pass
+        return protected
+
     def evict(
-        self, max_bytes: int, protect: Iterable[Path] = ()
+        self, max_bytes: int, protect: Iterable[Path] = (), kind: str | None = None
     ) -> tuple[int, int]:
         """Size-budgeted LRU eviction: delete oldest artifacts until the cache
         fits in ``max_bytes``; returns ``(artifacts removed, bytes freed)``.
 
         Artifacts are considered in ascending modification-time order (the
         store never rewrites an artifact in place, so mtime is last-write =
-        least-recently-produced; loads do not bump it).  Pinned artifacts
-        (see :meth:`pin`) and paths in ``protect`` are skipped.  A file the
-        OS refuses to delete (e.g. ``EBUSY`` on platforms that lock
-        memory-mapped files — Linux never does, Windows and some network
-        filesystems do) is skipped too, not retried and not counted: eviction
-        is best-effort by design, so a busy artifact simply survives until
-        the next sweep.
+        least-recently-produced; loads do not bump it).  Pinned artifacts —
+        pinned through this instance (see :meth:`pin`) or by a live session
+        in *another* process (its ``.pin`` sidecar) — and paths in
+        ``protect`` are skipped.  A file the OS refuses to delete (e.g.
+        ``EBUSY`` on platforms that lock memory-mapped files — Linux never
+        does, Windows and some network filesystems do) is skipped too, not
+        retried and not counted: eviction is best-effort by design, so a busy
+        artifact simply survives until the next sweep.
+
+        With ``kind`` set, only artifacts of that kind are counted against
+        ``max_bytes`` and considered for deletion — ``kind="unit_inputs"``
+        trims shard partials without touching groundings or unit tables.
         """
         if max_bytes < 0:
             raise CacheError(f"max_bytes must be >= 0, got {max_bytes!r}")
         entries = sorted(self.entries(), key=lambda entry: (entry.modified, entry.path))
+        if kind is not None:
+            entries = [entry for entry in entries if entry.kind == kind]
         total = sum(entry.size_bytes for entry in entries)
         skip = self.pinned_paths() | set(protect)
         removed = 0
@@ -320,7 +410,7 @@ class ArtifactCache:
         for entry in entries:
             if total <= max_bytes:
                 break
-            if entry.path in skip:
+            if entry.path in skip or self._pinned_elsewhere(entry.path):
                 continue
             try:
                 entry.path.unlink()
@@ -360,6 +450,21 @@ class ArtifactCache:
                     directory.rmdir()  # only succeeds when empty
                 except OSError:
                     pass
+
+
+def _pid_alive(pid: int) -> bool:
+    """True when a process with ``pid`` is running (signal-0 probe)."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - other user's process
+        return True
+    except OSError:  # pragma: no cover - e.g. platforms without kill
+        return False
+    return True
 
 
 def _format_is_current(payload: dict[str, np.ndarray]) -> bool:

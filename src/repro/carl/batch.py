@@ -69,6 +69,20 @@ class BatchScratch:
             raise entry[2]
         return entry[1]
 
+    def clear(self) -> None:
+        """Drop every memoized entry.
+
+        A long-lived :class:`~repro.service.session.QuerySession` reuses one
+        scratch across many submissions; entries are keyed by grounding
+        epoch, so after a database mutation re-grounds the engine the stale
+        epoch's entries become unreachable garbage — the session clears the
+        scratch at the epoch boundary to keep its memory bounded.  Entries
+        still being built are abandoned to their builders (the per-entry
+        events keep waiters correct); only the map is reset.
+        """
+        with self._lock:
+            self._entries = {}
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)

@@ -418,8 +418,12 @@ class CaRLEngine:
         if executor == "process":
             from repro.carl.shard import answer_all_process
 
+            # `shards or jobs` would silently turn an (invalid) explicit
+            # shards=0 into jobs if it ever slipped past the validation
+            # above; spell the default out instead.
             return answer_all_process(
-                self, parsed, options, jobs=jobs, shards=shards or jobs
+                self, parsed, options, jobs=jobs,
+                shards=jobs if shards is None else shards,
             )
         if shards is not None:
             raise QueryError("shards requires executor='process'")
@@ -451,6 +455,91 @@ class CaRLEngine:
                 for _, future in futures:
                     future.cancel()
                 raise
+
+    def answer_iter(
+        self,
+        queries: dict[str, str | CausalQuery] | list[str | CausalQuery],
+        estimator: str | None = None,
+        embedding: str | None = None,
+        bootstrap: int = 0,
+        seed: int = 0,
+        backend: str | None = None,
+        jobs: int | None = 1,
+        executor: str = "thread",
+        shards: int | None = None,
+        retries: int = 2,
+        timeout: float | None = None,
+    ):
+        """Answer queries incrementally: yield each answer as it completes.
+
+        The streaming counterpart of :meth:`answer_all`
+        (``docs/service.md``): yields ``(key, QueryAnswer | QueryError)``
+        pairs in *completion order* — ``key`` is the dict name or list
+        position — so an analyst watching a long sweep sees the first
+        answer after roughly ``1/len(queries)`` of the batch's wall time
+        instead of at the end.  A failing query yields a
+        :class:`QueryError` for its key alone; every other query streams
+        on.  Each completed answer is bit-identical to the serial
+        :meth:`answer` of the same query with the same options.
+
+        ``executor="process"`` runs the shard scheduler: worker faults are
+        retried on other workers up to ``retries`` times per task, and
+        shard partials are reused from the artifact cache (a warm re-sweep
+        performs zero collection work).  ``timeout`` bounds each query's
+        wall time; an expired query yields a timeout ``QueryError``.  For
+        full control (incremental submission, cancellation, per-query
+        options) use :meth:`open_session` directly.
+        """
+        from repro.service.session import answer_iter as _answer_iter
+
+        return _answer_iter(
+            self,
+            queries,
+            estimator=estimator,
+            embedding=embedding,
+            bootstrap=bootstrap,
+            seed=seed,
+            backend=backend,
+            jobs=jobs,
+            executor=executor,
+            shards=shards,
+            retries=retries,
+            timeout=timeout,
+        )
+
+    def open_session(
+        self,
+        jobs: int | None = 1,
+        executor: str = "thread",
+        shards: int | None = None,
+        retries: int = 2,
+        estimator: str | None = None,
+        embedding: str | None = None,
+        bootstrap: int = 0,
+        seed: int = 0,
+        backend: str | None = None,
+    ):
+        """Open a streaming :class:`~repro.service.session.QuerySession`.
+
+        The futures-style surface of the query service: ``submit()`` /
+        ``as_completed()`` / ``result()`` / ``cancel()`` with per-query
+        timeouts and options.  Use as a context manager; see
+        ``docs/service.md``.
+        """
+        from repro.service.session import QuerySession
+
+        return QuerySession(
+            self,
+            jobs=jobs,
+            executor=executor,
+            shards=shards,
+            retries=retries,
+            estimator=estimator,
+            embedding=embedding,
+            bootstrap=bootstrap,
+            seed=seed,
+            backend=backend,
+        )
 
     def diagnostics(
         self,

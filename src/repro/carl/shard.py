@@ -18,6 +18,12 @@ serialize on the GIL.  This module runs those loops in worker *processes*:
   concatenation, so the merged collection is *identical* to the serial one
   and every downstream number (materialization, estimation) is bit-identical
   by construction;
+* partials are keyed deterministically by ``(grounding fingerprint,
+  collection signature, unit range)`` (:func:`shard_partial_key`) and — in a
+  persistent cache — outlive the batch: a warm re-sweep probes the cache
+  before enqueuing each collect task and performs zero collection work, and
+  queries of one batch that share a collection signature (a threshold
+  sweep) share each range's work in flight (``docs/service.md``);
 * materialization and estimation run in the dispatcher, which also stores
   the finished unit table under its normal cache key so later runs hit the
   PR 2 warm path.
@@ -37,12 +43,11 @@ import shutil
 import tempfile
 import threading
 import time
-import uuid
 from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
-from repro.cache.fingerprint import database_fingerprint, query_fingerprint
+from repro.cache.fingerprint import collect_fingerprint, database_fingerprint
 from repro.cache.serialization import (
     SerializationError,
     columnar_table_payload,
@@ -68,7 +73,41 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports us la
 #: die abruptly (``os._exit``), or ``"raise"`` to make it raise.  Exists so
 #: the crash-handling contract ("a dead worker fails the batch cleanly, no
 #: hang") stays testable without reaching into multiprocessing internals.
+#: The streaming query service (``docs/service.md``) extends the syntax with
+#: a target list — ``"exit@0"`` / ``"raise@0,2"`` fault only the service
+#: workers whose ids are listed (pool workers have no id and never match),
+#: which is how the retry-and-requeue tests pin a fault to one worker while
+#: its peers stay healthy.
 FAULT_ENV = "REPRO_SHARD_WORKER_FAULT"
+
+#: Test-only slow-down: a float number of seconds every shard-collect task
+#: sleeps before doing real work.  The service's cancellation/timeout tests
+#: use it to hold tasks in flight deterministically.
+DELAY_ENV = "REPRO_SERVICE_TASK_DELAY"
+
+#: Id of this service worker process (None under the PR 4 pool executor,
+#: whose anonymous workers cannot be fault-targeted individually).  Set by
+#: the service's worker bootstrap, read by :func:`_fault_action`.
+_WORKER_ID: int | None = None
+
+
+def _fault_action() -> str | None:
+    """The injected fault this worker should perform now, if any."""
+    spec = os.environ.get(FAULT_ENV)
+    if not spec:
+        return None
+    action, sep, ids = spec.partition("@")
+    if action not in ("exit", "raise"):
+        return None
+    if not sep:
+        return action  # untargeted: every worker faults (the PR 4 contract)
+    if _WORKER_ID is None:
+        return None
+    try:
+        targets = {int(part) for part in ids.split(",") if part.strip()}
+    except ValueError:
+        return None
+    return action if _WORKER_ID in targets else None
 
 #: Set (to any non-empty value) to disable the fork fast path and force
 #: workers to rebuild their engine from the published artifacts even on
@@ -142,8 +181,13 @@ class _QueryPlan:
     table_key: CacheKey | None
     cached: bool
     n_units: int = 0
-    #: (future, result CacheKey) per submitted (non-empty) shard range.
-    submitted: list[tuple[Future, CacheKey]] = field(default_factory=list)
+    #: Collection fingerprint (:func:`collect_fingerprint`): identical for
+    #: every query that collects the same inputs — a threshold sweep shares
+    #: one signature, so its shard partials alias shard-for-shard.
+    signature: str = ""
+    #: (future or None when the partial came from the cache, result CacheKey)
+    #: per (non-empty) shard range, in range order.
+    submitted: list[tuple[Future | None, CacheKey]] = field(default_factory=list)
 
 
 # ----------------------------------------------------------------------
@@ -232,17 +276,23 @@ def _worker_engine() -> "CaRLEngine":
 def _run_shard_task(task: ShardTask) -> tuple[CacheKey, float]:
     """Worker entry point: collect one unit-range shard, store it, return the
     result artifact's key and the seconds of collection work performed."""
-    fault = os.environ.get(FAULT_ENV)
+    fault = _fault_action()
     if fault == "exit":
         os._exit(3)
     if fault == "raise":
         raise RuntimeError("injected shard-worker fault (REPRO_SHARD_WORKER_FAULT)")
+    delay = float(os.environ.get(DELAY_ENV) or 0.0)
+    if delay > 0.0:
+        time.sleep(delay)
     started = time.perf_counter()
     engine = _worker_engine()
     inputs = engine.collect_shard_inputs(
         task.query, task.start, task.stop, expected_units=task.n_units
     )
-    _worker_cache().store(task.result_key, unit_inputs_payload(inputs))
+    _worker_cache().store(
+        task.result_key,
+        unit_inputs_payload(inputs, span=(task.start, task.stop, task.n_units)),
+    )
     return task.result_key, time.perf_counter() - started
 
 
@@ -353,7 +403,7 @@ def _answer_all_process_locked(
         cache = ArtifactCache(cleanup_root)
 
     engine._reset_grounding_charge()  # noqa: SLF001 - shared grounding is batch prework
-    transient_keys: list[CacheKey] = []
+    pinned_keys: list[CacheKey] = []
     # Fork fast path: when worker processes are forked from this process,
     # they inherit the grounded engine copy-on-write — no artifacts need
     # publishing for bootstrap and workers pay zero deserialization.  On
@@ -366,8 +416,7 @@ def _answer_all_process_locked(
     )
     global _INHERITABLE_ENGINE
     try:
-        spec = _publish_engine_state(engine, cache, inherit=inherit)
-        nonce = uuid.uuid4().hex
+        spec = _publish_engine_state(engine, cache, inherit=inherit, pinned=pinned_keys)
         if inherit:
             _INHERITABLE_ENGINE = engine
         with ProcessPoolExecutor(
@@ -377,20 +426,40 @@ def _answer_all_process_locked(
                 _plan_query(engine, cache, spec, name, query, embedding, backend)
                 for name, query in parsed
             ]
+            # Shard partials are keyed deterministically by (grounding,
+            # collection signature, unit range) — see docs/service.md — so
+            # a partial produced once is reusable: within this batch (a
+            # threshold sweep's queries share collections shard-for-shard,
+            # deduplicated through `inflight`) and across batches (a warm
+            # re-sweep probes the cache and skips collection entirely).
+            inflight: dict[CacheKey, Future] = {}
             for plan in plans:
                 if plan.cached:
                     continue
                 for start, stop in shard_ranges(plan.n_units, shards):
                     if start == stop:
                         continue  # empty trailing range: contributes nothing
-                    result_key = CacheKey(
-                        database=spec.database_fingerprint,
-                        program=spec.program_fingerprint,
-                        kind="unit_inputs",
-                        detail=_shard_detail(plan, start, stop, nonce),
+                    result_key = shard_partial_key(
+                        spec.database_fingerprint,
+                        spec.program_fingerprint,
+                        plan.signature,
+                        start,
+                        stop,
+                        plan.n_units,
                     )
                     cache.pin(result_key)
-                    transient_keys.append(result_key)
+                    pinned_keys.append(result_key)
+                    running = inflight.get(result_key)
+                    if running is not None:
+                        # Another query of this batch already collects this
+                        # exact range (same signature): share its work.
+                        plan.submitted.append((running, result_key))
+                        continue
+                    if cache.load(result_key) is not None:
+                        # Verified warm partial from an earlier sweep: zero
+                        # collection work for this range.
+                        plan.submitted.append((None, result_key))
+                        continue
                     task = ShardTask(
                         query=plan.query,
                         start=start,
@@ -398,7 +467,9 @@ def _answer_all_process_locked(
                         n_units=plan.n_units,
                         result_key=result_key,
                     )
-                    plan.submitted.append((pool.submit(_run_shard_task, task), result_key))
+                    future = pool.submit(_run_shard_task, task)
+                    inflight[result_key] = future
+                    plan.submitted.append((future, result_key))
 
             answers: dict[str, QueryAnswer] = {}
             finish_futures: dict[str, Future] = {}
@@ -419,8 +490,9 @@ def _answer_all_process_locked(
                     part_keys = []
                     collect_seconds = 0.0
                     for future, result_key in plan.submitted:
-                        _, seconds = _shard_result(future, plan)
-                        collect_seconds += seconds
+                        if future is not None:
+                            _, seconds = _shard_result(future, plan)
+                            collect_seconds += seconds
                         part_keys.append(result_key)
                     finish_futures[plan.name] = pool.submit(
                         _run_finish_task,
@@ -442,7 +514,8 @@ def _answer_all_process_locked(
             except BaseException:
                 for plan in plans:
                     for future, _ in plan.submitted:
-                        future.cancel()
+                        if future is not None:
+                            future.cancel()
                 for future in finish_futures.values():
                     future.cancel()
                 raise
@@ -454,24 +527,29 @@ def _answer_all_process_locked(
         ) from error
     finally:
         _INHERITABLE_ENGINE = None
-        cache.unpin_all()
+        # Unpin exactly what this batch pinned (never unpin_all: a streaming
+        # session sharing the cache instance holds pins of its own).  The
+        # partials themselves stay: persistently cached, they are what lets
+        # the next sweep skip collection shard by shard; `repro cache evict
+        # --kind unit_inputs` trims them when space matters.
+        for key in pinned_keys:
+            cache.unpin(key)
         if cleanup_root is not None:
             shutil.rmtree(cleanup_root, ignore_errors=True)
-        else:
-            # Shard partials are batch-transient; never leave them to bloat a
-            # persistent cache (eviction would only get to them by mtime).
-            for key in transient_keys:
-                try:
-                    cache.path_for(key).unlink(missing_ok=True)
-                except OSError:
-                    pass
 
 
 def _publish_engine_state(
-    engine: "CaRLEngine", cache: ArtifactCache, inherit: bool
+    engine: "CaRLEngine",
+    cache: ArtifactCache,
+    inherit: bool,
+    pinned: list[CacheKey] | None = None,
 ) -> WorkerSpec:
     """Ground once and (unless workers fork-inherit) publish the engine's
-    shared state as artifacts, pinned for the batch's lifetime."""
+    shared state as artifacts, pinned for the batch's lifetime.
+
+    Every key pinned on ``cache`` is appended to ``pinned`` (when given) so
+    the caller can release exactly its own pins on exit.
+    """
     with engine._state_lock:  # noqa: SLF001 - dispatcher-side engine internals
         engine.graph  # noqa: B018 - ground (or cache-load) once, up front
         engine._apply_pending_aggregates()  # noqa: SLF001
@@ -488,6 +566,8 @@ def _publish_engine_state(
             else:
                 _touch(cache.path_for(grounding_key))
             cache.pin(grounding_key)
+            if pinned is not None:
+                pinned.append(grounding_key)
             for table in engine.database.tables:
                 key = CacheKey(
                     database=db_fp,
@@ -502,6 +582,8 @@ def _publish_engine_state(
                 else:
                     _touch(cache.path_for(key))
                 cache.pin(key)
+                if pinned is not None:
+                    pinned.append(key)
                 table_keys.append((table.name, key))
     return WorkerSpec(
         cache_root=str(cache.root),
@@ -532,12 +614,24 @@ def _plan_query(
         )
         if table_key is not None and cache.contains(table_key):
             return _QueryPlan(name, query, response_attribute, table_key, cached=True)
+        signature = collect_fingerprint(
+            treatment_attribute,
+            response_attribute,
+            engine.model.derived_attributes.get(response_attribute),
+            query.condition,
+        )
         engine._apply_pending_aggregates()  # noqa: SLF001
         _, units = engine._restricted_units(  # noqa: SLF001
             query, treatment_attribute, response_attribute
         )
     return _QueryPlan(
-        name, query, response_attribute, table_key, cached=False, n_units=len(units)
+        name,
+        query,
+        response_attribute,
+        table_key,
+        cached=False,
+        n_units=len(units),
+        signature=signature,
     )
 
 
@@ -552,12 +646,32 @@ def _touch(path) -> None:
         pass  # best effort: a vanished or read-only file changes nothing
 
 
-def _shard_detail(plan: _QueryPlan, start: int, stop: int, nonce: str) -> str:
-    """Hex detail of one shard-result artifact (unique per batch via nonce)."""
-    stamp = query_fingerprint(
-        plan.query, "collect", "columnar", [plan.response_attribute]
+def shard_partial_key(
+    database_fp: str,
+    program_fp: str,
+    signature: str,
+    start: int,
+    stop: int,
+    n_units: int,
+) -> CacheKey:
+    """The deterministic cache key of one shard partial.
+
+    ``(grounding fingerprint, collection signature, unit range)`` fully
+    determines the collected :class:`~repro.carl.unit_table.UnitTableInputs`
+    — the unit list is a pure function of (database, program, condition) and
+    collection walks only the grounding — so re-keying partials this way
+    (instead of PR 4's per-batch nonce) makes them *reusable*: any later
+    batch or streaming session over the same database re-derives the same
+    key and skips the collection.  ``n_units`` is part of the key as a
+    belt-and-braces guard: ranges only align between runs that saw the same
+    unit count.
+    """
+    detail = hashlib.sha256(
+        f"{signature}:{start}:{stop}:{n_units}".encode()
+    ).hexdigest()
+    return CacheKey(
+        database=database_fp, program=program_fp, kind="unit_inputs", detail=detail
     )
-    return hashlib.sha256(f"{stamp}:{start}:{stop}:{nonce}".encode()).hexdigest()
 
 
 def _shard_result(future: Future, plan: _QueryPlan):

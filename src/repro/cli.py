@@ -9,7 +9,11 @@ writing Python::
 Multiple ``--query`` flags form a batch; ``--jobs N`` answers it through the
 engine's concurrent batch executor (one grounding up front, worker threads
 overlapping the per-query work) instead of a serial loop — answers are
-identical either way.  ``answer`` may be given as an explicit leading
+identical either way.  ``--stream`` switches to the streaming query service
+(``docs/service.md``): each answer prints the moment its query completes,
+a failing query reports its own error while the rest stream on, and
+``--timeout``/``--retries`` control per-query deadlines and the scheduler's
+task retry budget.  ``answer`` may be given as an explicit leading
 subcommand (``python -m repro.cli answer --demo toy --jobs 4``).
 
 The data directory must contain one ``<Predicate>.csv`` per entity and
@@ -129,6 +133,26 @@ def result_to_dict(answer: QueryAnswer) -> dict[str, Any]:
     return payload
 
 
+def _print_answer_text(name: str, payload: dict[str, Any]) -> None:
+    """Render one answered query as the CLI's text block."""
+    print(f"\n[{name}] {payload['query']}")
+    if payload["kind"] == "ate":
+        print(f"  ATE               : {payload['ate']:+.4f}")
+        print(f"  naive difference  : {payload['naive_difference']:+.4f}")
+        print(f"  correlation       : {payload['correlation']:+.4f}")
+        print(f"  units (T/C)       : {payload['n_units']} ({payload['n_treated']}/{payload['n_control']})")
+        if payload["confidence_interval"]:
+            low, high = payload["confidence_interval"]
+            print(f"  95% bootstrap CI  : [{low:+.4f}, {high:+.4f}]")
+    else:
+        print(f"  AIE / ARE / AOE   : {payload['aie']:+.4f} / {payload['are']:+.4f} / {payload['aoe']:+.4f}")
+        print(f"  peer condition    : {payload['peer_condition']}")
+        print(f"  naive difference  : {payload['naive_difference']:+.4f}")
+    print(f"  timings (s)       : ground {payload['grounding_seconds']:.2f}, "
+          f"unit table {payload['unit_table_seconds']:.2f}, "
+          f"estimate {payload['estimation_seconds']:.2f}")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.cli", description="Run CaRL causal queries from the command line."
@@ -174,6 +198,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="unit-range shards per query for --executor process "
         "(default: one per job)",
     )
+    parser.add_argument(
+        "--stream",
+        action="store_true",
+        help="print each answer the moment its query completes (completion "
+        "order) instead of waiting for the whole batch; a failing query "
+        "prints its error and the rest stream on (see docs/service.md)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-query wall-clock budget for --stream; an expired query "
+        "reports a timeout error without affecting the others",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="per-task retry budget of the --stream process scheduler: a "
+        "failed shard task is requeued (on another worker) up to N times "
+        "before its query fails (default 2)",
+    )
     parser.add_argument("--json", action="store_true", help="emit JSON instead of text")
     parser.add_argument(
         "--cache",
@@ -215,10 +263,16 @@ def build_cache_parser() -> argparse.ArgumentParser:
         required=True,
         metavar="N",
         help="shrink the cache to at most N bytes, deleting oldest artifacts first; "
-        "files the OS refuses to delete are skipped. Pins protect a live shard "
-        "session's artifacts from evictions in its own process only — a live "
-        "batch in another process is protected by recency (its artifacts are "
-        "the newest, and eviction deletes oldest first)",
+        "files the OS refuses to delete are skipped. Artifacts pinned by a live "
+        "session — in this process or any other (each pin leaves a .pin sidecar "
+        "naming its process; stale sidecars of dead processes are ignored) — "
+        "are never evicted",
+    )
+    subparsers.choices["evict"].add_argument(
+        "--kind",
+        help="only evict artifacts of this kind and budget against that kind's "
+        "bytes alone (e.g. --kind unit_inputs trims shard partials without "
+        "touching groundings or unit tables)",
     )
     return parser
 
@@ -284,7 +338,7 @@ def cache_main(argv: list[str]) -> int:
         if args.max_bytes < 0:
             print("--max-bytes must be >= 0", file=sys.stderr)
             return 2
-        removed, freed = cache.evict(args.max_bytes)
+        removed, freed = cache.evict(args.max_bytes, kind=args.kind)
         if args.json:
             print(json.dumps({"removed": removed, "bytes_freed": freed}))
         else:
@@ -316,6 +370,12 @@ def main(argv: list[str] | None = None) -> int:
     if args.shards is not None and args.executor != "process":
         print("--shards requires --executor process", file=sys.stderr)
         return 2
+    if args.timeout is not None and not args.stream:
+        print("--timeout requires --stream", file=sys.stderr)
+        return 2
+    if args.retries < 0:
+        print("--retries must be >= 0", file=sys.stderr)
+        return 2
 
     if args.demo:
         database, program_text, default_queries = _demo(args.demo)
@@ -339,6 +399,45 @@ def main(argv: list[str] | None = None) -> int:
         embedding=args.embedding,
         cache=args.cache,
     )
+
+    if args.stream:
+        # Streaming mode: one line/block per query, the moment it finishes
+        # (completion order).  A failed query reports its error and the rest
+        # stream on; the exit code says whether every query succeeded.
+        failures = 0
+        for name, outcome in engine.answer_iter(
+            queries,
+            bootstrap=args.bootstrap,
+            jobs=args.jobs if args.jobs > 0 else None,
+            executor=args.executor,
+            shards=args.shards,
+            retries=args.retries,
+            timeout=args.timeout,
+        ):
+            if isinstance(outcome, QueryAnswer):
+                payload = result_to_dict(outcome)
+                if args.json:
+                    print(json.dumps({"name": str(name), **payload}), flush=True)
+                else:
+                    _print_answer_text(str(name), payload)
+            else:
+                failures += 1
+                if args.json:
+                    print(
+                        json.dumps({"name": str(name), "error": str(outcome)}),
+                        flush=True,
+                    )
+                else:
+                    print(f"\n[{name}] ERROR: {outcome}", flush=True)
+        if args.cache and not args.json:
+            stats = engine.cache_stats()
+            rendered = ", ".join(
+                f"{kind}: {bucket['hits']}h/{bucket['misses']}m/{bucket['stores']}s"
+                for kind, bucket in stats.items()
+            )
+            print(f"\ncache ({args.cache}): {rendered or 'no activity'}")
+        return 1 if failures else 0
+
     answers = engine.answer_all(
         queries,
         bootstrap=args.bootstrap,
@@ -355,22 +454,7 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     for name, payload in outputs.items():
-        print(f"\n[{name}] {payload['query']}")
-        if payload["kind"] == "ate":
-            print(f"  ATE               : {payload['ate']:+.4f}")
-            print(f"  naive difference  : {payload['naive_difference']:+.4f}")
-            print(f"  correlation       : {payload['correlation']:+.4f}")
-            print(f"  units (T/C)       : {payload['n_units']} ({payload['n_treated']}/{payload['n_control']})")
-            if payload["confidence_interval"]:
-                low, high = payload["confidence_interval"]
-                print(f"  95% bootstrap CI  : [{low:+.4f}, {high:+.4f}]")
-        else:
-            print(f"  AIE / ARE / AOE   : {payload['aie']:+.4f} / {payload['are']:+.4f} / {payload['aoe']:+.4f}")
-            print(f"  peer condition    : {payload['peer_condition']}")
-            print(f"  naive difference  : {payload['naive_difference']:+.4f}")
-        print(f"  timings (s)       : ground {payload['grounding_seconds']:.2f}, "
-              f"unit table {payload['unit_table_seconds']:.2f}, "
-              f"estimate {payload['estimation_seconds']:.2f}")
+        _print_answer_text(name, payload)
     if args.cache:
         stats = engine.cache_stats()
         rendered = ", ".join(

@@ -1,0 +1,25 @@
+"""Streaming query service over the CaRL engine (``docs/service.md``).
+
+The service turns the all-or-nothing batch executors of PR 3/4 into an
+incremental, fault-tolerant query pipeline:
+
+* :class:`~repro.service.session.QuerySession` — a futures-style session
+  with ``submit()`` / ``as_completed()`` / ``cancel()`` and per-query
+  timeouts, streaming each answer the moment its query finishes;
+* :class:`~repro.service.scheduler.ShardScheduler` — the process-mode task
+  scheduler behind it: shard-level collect tasks plus a per-query finish
+  task, per-task state tracking, retry-and-requeue of failed tasks on
+  other workers (bounded budget), and shard-level cache reuse (a warm
+  re-sweep performs zero collection work);
+* :meth:`repro.carl.engine.CaRLEngine.answer_iter` — the one-call wrapper:
+  ``for key, outcome in engine.answer_iter(queries, ...):`` yields each
+  ``(key, QueryAnswer | QueryError)`` in completion order.
+
+Every completed answer is bit-identical to the serial
+:meth:`~repro.carl.engine.CaRLEngine.answer` of the same query.
+"""
+
+from repro.service.scheduler import ServiceStats, ShardScheduler, TaskState
+from repro.service.session import QuerySession
+
+__all__ = ["QuerySession", "ServiceStats", "ShardScheduler", "TaskState"]

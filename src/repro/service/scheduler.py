@@ -1,0 +1,815 @@
+"""The streaming service's process-mode task scheduler (``docs/service.md``).
+
+PR 4's process executor fails the whole batch on the first worker fault and
+returns nothing until every query is done.  This scheduler replaces both
+behaviors with explicit task-level bookkeeping:
+
+* each submitted query is decomposed into shard-level **collect tasks**
+  (one per contiguous unit range, reusing :class:`~repro.carl.shard.ShardTask`)
+  plus one **finish task** (merge partials, materialize, estimate —
+  :class:`~repro.carl.shard.FinishTask`), tracked through the
+  :class:`TaskState` machine ``PENDING → RUNNING → DONE | FAILED``;
+* workers are long-lived processes the scheduler manages itself (not a
+  ``ProcessPoolExecutor``, whose pool breaks permanently on a worker death):
+  a task whose worker raises or dies is **retried and requeued** — on a
+  different worker where possible (the faulting worker is excluded for that
+  task), with a dead worker replaced by a fresh process — up to a bounded
+  retry budget, after which only the affected query fails with a
+  :class:`~repro.carl.errors.QueryError`; the rest of the session streams
+  on;
+* before enqueuing a collect task the scheduler **probes the artifact
+  cache** under the deterministic partial key
+  (:func:`repro.carl.shard.shard_partial_key`), so a warm re-sweep performs
+  zero collection work, and tasks are deduplicated by key within the
+  session, so a threshold sweep collects each unit range once.
+
+Everything a worker computes flows through the artifact cache exactly as in
+PR 4 (partials as ``unit_inputs`` artifacts, never bulk pickles), and the
+per-query merge is pure concatenation — so every answer the scheduler emits
+is bit-identical to the serial :meth:`~repro.carl.engine.CaRLEngine.answer`
+of the same query.  The task queue plus artifact-keyed partials are the
+designed seam for the ROADMAP's remote-dispatch backend: a multi-host
+dispatcher needs exactly this bookkeeping with a remote transport instead of
+local pipes.
+"""
+
+from __future__ import annotations
+
+import enum
+import multiprocessing
+import os
+import queue
+import shutil
+import tempfile
+import threading
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.carl import shard as shard_module
+from repro.carl.errors import CaRLError, QueryError
+from repro.carl.shard import (
+    FinishTask,
+    NO_INHERIT_ENV,
+    ShardTask,
+    WorkerSpec,
+    _plan_query,
+    _publish_engine_state,
+    _run_finish_task,
+    _run_shard_task,
+    _worker_init,
+    shard_partial_key,
+)
+from repro.cache.store import ArtifactCache, CacheKey
+from repro.carl.ast import CausalQuery
+from repro.carl.queries import QueryAnswer
+from repro.db.aggregates import shard_ranges
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.carl.engine import CaRLEngine
+
+#: Seconds the dispatcher blocks on the result queue per loop iteration —
+#: the upper bound on how stale its view of worker deaths, deadlines and
+#: control messages can get.
+_POLL_SECONDS = 0.02
+
+#: Seconds :meth:`ShardScheduler.close` waits for a worker to exit politely
+#: (after its ``None`` sentinel) before terminating it.
+_SHUTDOWN_GRACE = 2.0
+
+#: Seconds :meth:`ShardScheduler.close` waits for the dispatcher thread —
+#: longer than the worker grace, because the dispatcher may be mid-plan on
+#: the engine when the stop flag is set.
+_DISPATCHER_JOIN = 5.0
+
+#: Serializes the hand-off of the fork-inherited engine around process
+#: spawns: the engine crosses into a forked worker through a module global
+#: in :mod:`repro.carl.shard`, so two sessions (or a session's replacement
+#: spawn racing another session's) must not interleave set → fork → restore.
+_SPAWN_LOCK = threading.Lock()
+
+
+class TaskState(enum.Enum):
+    """Lifecycle of one scheduler task."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+
+class QueryState(enum.Enum):
+    """Lifecycle of one submitted query."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+
+@dataclass
+class ServiceStats:
+    """Counters of one session's scheduling activity.
+
+    ``collect_cache_hits`` + ``collect_tasks_run`` covers every shard range
+    of every scheduled query: on a fully warm re-sweep ``collect_tasks_run``
+    is 0 — the evidence ``benchmarks/bench_stream.py`` gates on.
+    """
+
+    collect_tasks_run: int = 0
+    collect_cache_hits: int = 0
+    finish_tasks_run: int = 0
+    retries: int = 0
+    worker_deaths: int = 0
+    workers_spawned: int = 0
+    reaped_results: int = 0
+    timeouts: int = 0
+    cancelled: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "collect_tasks_run": self.collect_tasks_run,
+            "collect_cache_hits": self.collect_cache_hits,
+            "finish_tasks_run": self.finish_tasks_run,
+            "retries": self.retries,
+            "worker_deaths": self.worker_deaths,
+            "workers_spawned": self.workers_spawned,
+            "reaped_results": self.reaped_results,
+            "timeouts": self.timeouts,
+            "cancelled": self.cancelled,
+        }
+
+
+@dataclass
+class _Task:
+    """One schedulable unit of work (a collect shard or a query finish)."""
+
+    id: int
+    kind: str  #: ``"collect"`` or ``"finish"``
+    spec: ShardTask | FinishTask
+    #: Indexes of the session queries depending on this task.  Collect
+    #: tasks are shared between queries with the same collection signature;
+    #: a finish task always belongs to exactly one query.
+    queries: set[int]
+    state: TaskState = TaskState.PENDING
+    attempts: int = 0
+    #: Worker ids this task must not be assigned to again (they faulted on
+    #: it); relaxed only when every live worker is excluded.
+    excluded: set[int] = field(default_factory=set)
+    worker: int | None = None  #: id of the worker currently running it
+    seconds: float = 0.0  #: collection seconds (collect tasks, once done)
+
+
+@dataclass
+class _QueryRecord:
+    """Dispatcher-side bookkeeping for one submitted query."""
+
+    index: int
+    query: CausalQuery
+    options: dict[str, Any]  #: estimator/embedding/bootstrap/seed/...
+    deadline: float | None  #: monotonic deadline, None = no timeout
+    state: QueryState = QueryState.PENDING
+    table_key: CacheKey | None = None
+    #: Ordered partial keys (range order) the finish task will merge.
+    part_keys: list[CacheKey] = field(default_factory=list)
+    #: Ids of this query's unfinished collect tasks.
+    waiting_on: set[int] = field(default_factory=set)
+    collect_seconds: float = 0.0
+    finish_task: int | None = None
+
+
+class _Worker:
+    """One managed worker process plus its private task pipe."""
+
+    def __init__(self, worker_id: int, process: multiprocessing.Process, tasks: Any) -> None:
+        self.id = worker_id
+        self.process = process
+        self.tasks = tasks  #: multiprocessing.SimpleQueue of (task id, spec)
+        self.task_id: int | None = None  #: task currently assigned, if any
+
+
+def _service_worker_main(worker_id: int, spec: WorkerSpec, tasks: Any, results: Any) -> None:
+    """Worker process entry point: run tasks off the private pipe forever.
+
+    Every outcome — success or failure — is reported on the shared result
+    queue; a worker that dies without reporting is detected by the
+    dispatcher through its process handle.  Errors cross the boundary as
+    ``(type name, message, is-CaRL-error)`` triples: CaRL errors are
+    deterministic semantic failures the scheduler must not retry, anything
+    else is treated as a (possibly transient) fault and requeued.
+    """
+    _worker_init(spec)
+    shard_module._WORKER_ID = worker_id  # noqa: SLF001 - fault-injection target id
+    while True:
+        item = tasks.get()
+        if item is None:
+            return
+        task_id, task_spec = item
+        try:
+            if isinstance(task_spec, ShardTask):
+                outcome: Any = _run_shard_task(task_spec)
+            else:
+                outcome = _run_finish_task(task_spec)
+            results.put((worker_id, task_id, "ok", outcome))
+        except BaseException as error:  # noqa: BLE001 - must cross the pipe
+            results.put(
+                (
+                    worker_id,
+                    task_id,
+                    "error",
+                    (type(error).__name__, str(error), isinstance(error, CaRLError)),
+                )
+            )
+
+
+class ShardScheduler:
+    """Process-mode backend of a :class:`~repro.service.session.QuerySession`.
+
+    Public surface (all thread-safe; everything else runs on the internal
+    dispatcher thread):
+
+    * :meth:`start` / :meth:`close` — spawn and tear down workers;
+    * :meth:`submit` — register one parsed query (with per-query options and
+      an optional timeout) for scheduling;
+    * :meth:`cancel` — drop a query before it completes;
+    * :attr:`events` — queue of ``(index, QueryAnswer | QueryError)`` in
+      completion order;
+    * :meth:`stats` — a :class:`ServiceStats` snapshot.
+    """
+
+    def __init__(
+        self,
+        engine: "CaRLEngine",
+        jobs: int,
+        shards: int,
+        retries: int,
+        backend: str,
+    ) -> None:
+        if retries < 0:
+            raise QueryError(f"retries must be >= 0, got {retries!r}")
+        self._engine = engine
+        self._jobs = jobs
+        self._shards = shards
+        self._retries = retries
+        self._backend = backend
+
+        self.events: "queue.Queue[tuple[int, QueryAnswer | QueryError]]" = queue.Queue()
+        self._lock = threading.RLock()
+        self._stats = ServiceStats()
+        self._records: dict[int, _QueryRecord] = {}
+        self._tasks: dict[int, _Task] = {}
+        self._task_by_key: dict[CacheKey, int] = {}
+        self._ready: deque[int] = deque()
+        self._control: deque[tuple[str, int]] = deque()
+        self._next_task_id = 0
+        self._next_worker_id = 0
+        self._workers: dict[int, _Worker] = {}
+        self._results: Any = None
+        self._pinned: list[CacheKey] = []
+        self._cleanup_root: str | None = None
+        self._cache: ArtifactCache | None = None
+        self._spec: WorkerSpec | None = None
+        self._stop = threading.Event()
+        self._dispatcher: threading.Thread | None = None
+        #: Lazily created single thread for warm unit-table answers: they
+        #: run `engine.answer` (merge + estimate + bootstrap), which must
+        #: not stall the dispatcher's scheduling loop.
+        self._warm_pool: ThreadPoolExecutor | None = None
+        #: Serializes worker forks against in-flight warm answers: a child
+        #: forked while the warm thread holds the engine's state lock (or a
+        #: cache stats lock) would inherit it mid-acquire and deadlock, so
+        #: spawns wait for the warm thread to go idle and vice versa.
+        self._fork_lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Publish the engine's shared state and spawn the worker pool."""
+        cache = self._engine.cache
+        if cache is None:
+            # Uncached engine: shared state still crosses the process
+            # boundary through an artifact cache — a private one that lives
+            # (and dies) with the session, so nothing is reused across runs.
+            self._cleanup_root = tempfile.mkdtemp(prefix="repro-service-")
+            cache = ArtifactCache(self._cleanup_root)
+        self._cache = cache
+        inherit = (
+            multiprocessing.get_start_method() == "fork"
+            and not os.environ.get(NO_INHERIT_ENV)
+        )
+        self._spec = _publish_engine_state(
+            self._engine, cache, inherit=inherit, pinned=self._pinned
+        )
+        self._results = multiprocessing.Queue()
+        for _ in range(self._jobs):
+            self._spawn_worker()
+        self._dispatcher = threading.Thread(
+            target=self._run_dispatcher, name="carl-service-dispatcher", daemon=True
+        )
+        self._dispatcher.start()
+
+    def close(self) -> None:
+        """Stop the dispatcher, shut workers down, release pins.
+
+        Idempotent.  In-flight work is abandoned: running tasks are left to
+        their workers until the grace period expires, then the processes are
+        terminated.  Partials already stored stay in a persistent cache
+        (that is the shard-level reuse); the private cache of an uncached
+        engine is deleted with the session.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._stop.set()
+        if self._dispatcher is not None:
+            self._dispatcher.join(timeout=_DISPATCHER_JOIN)
+        if self._warm_pool is not None:
+            self._warm_pool.shutdown(wait=False)
+        for worker in list(self._workers.values()):
+            try:
+                worker.tasks.put(None)
+            except (OSError, ValueError):  # pragma: no cover - pipe already gone
+                pass
+        deadline = time.monotonic() + _SHUTDOWN_GRACE
+        for worker in list(self._workers.values()):
+            worker.process.join(timeout=max(0.0, deadline - time.monotonic()))
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=_SHUTDOWN_GRACE)
+        if self._results is not None:
+            self._results.close()
+        if self._cache is not None:
+            for key in self._pinned:
+                self._cache.unpin(key)
+            self._pinned.clear()
+        if self._cleanup_root is not None:
+            shutil.rmtree(self._cleanup_root, ignore_errors=True)
+
+    # ------------------------------------------------------------------
+    # public API (user threads)
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        index: int,
+        query: CausalQuery,
+        options: dict[str, Any],
+        timeout: float | None,
+    ) -> None:
+        """Register one parsed query; planning happens on the dispatcher."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._lock:
+            if self._closed:
+                raise QueryError("the query session is closed")
+            self._records[index] = _QueryRecord(
+                index=index, query=query, options=dict(options), deadline=deadline
+            )
+            self._control.append(("plan", index))
+
+    def cancel(self, index: int) -> bool:
+        """Drop a query; True when it will never emit an event."""
+        with self._lock:
+            record = self._records.get(index)
+            if record is None or record.state in (QueryState.DONE, QueryState.FAILED):
+                return False
+            if record.state is QueryState.CANCELLED:
+                return True
+            record.state = QueryState.CANCELLED
+            self._stats.cancelled += 1
+            self._control.append(("cancelled", index))
+            return True
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return self._stats.as_dict()
+
+    # ------------------------------------------------------------------
+    # dispatcher thread
+    # ------------------------------------------------------------------
+    def _run_dispatcher(self) -> None:
+        try:
+            while not self._stop.is_set():
+                self._drain_control()
+                self._reap_dead_workers()
+                self._expire_deadlines()
+                self._assign_ready_tasks()
+                try:
+                    message = self._results.get(timeout=_POLL_SECONDS)
+                except queue.Empty:
+                    continue
+                except (OSError, ValueError):  # pragma: no cover - queue closed
+                    break
+                self._handle_result(message)
+        except BaseException as error:  # noqa: BLE001 - dispatcher must not die silently
+            self._fail_all_live(
+                QueryError(f"the service dispatcher failed: {error}")
+            )
+
+    def _drain_control(self) -> None:
+        while True:
+            with self._lock:
+                if not self._control:
+                    return
+                action, index = self._control.popleft()
+            if action == "plan":
+                self._plan(index)
+            elif action == "cancelled":
+                self._detach_query(index)
+
+    # -- planning -------------------------------------------------------
+    def _plan(self, index: int) -> None:
+        with self._lock:
+            record = self._records.get(index)
+            if record is None or record.state is not QueryState.PENDING:
+                return
+        options = record.options
+        try:
+            plan = _plan_query(
+                self._engine,
+                self._cache,
+                self._spec,
+                str(index),
+                record.query,
+                options["embedding"],
+                self._backend,
+            )
+        except Exception as error:  # noqa: BLE001 - a plan failure is per-query
+            self._finish_query(index, self._as_query_error(error))
+            return
+        if plan.cached:
+            # Warm unit table: the serial warm path (load + estimate)
+            # answers without any scheduling — but `engine.answer` can be
+            # slow (bootstrap), so it runs on a helper thread rather than
+            # stalling the dispatcher's deadline/death/assignment loop.
+            with self._lock:
+                if record.state is not QueryState.PENDING:
+                    return  # cancelled while planning
+                record.state = QueryState.RUNNING
+                if self._warm_pool is None:
+                    self._warm_pool = ThreadPoolExecutor(
+                        max_workers=1, thread_name_prefix="carl-service-warm"
+                    )
+
+            def _answer_warm() -> None:
+                try:
+                    with self._fork_lock:
+                        answer = self._engine.answer(
+                            record.query,
+                            estimator=options["estimator"],
+                            embedding=options["embedding"],
+                            bootstrap=options["bootstrap"],
+                            seed=options["seed"],
+                            backend=self._backend,
+                        )
+                except Exception as error:  # noqa: BLE001 - per-query failure
+                    self._finish_query(index, self._as_query_error(error))
+                else:
+                    self._finish_query(index, answer)
+
+            self._warm_pool.submit(_answer_warm)
+            return
+
+        with self._lock:
+            if record.state is not QueryState.PENDING:
+                # cancel() raced the unlocked planning phase above: the
+                # query must never transition to RUNNING (or enqueue tasks)
+                # once it has been cancelled.
+                return
+            record.state = QueryState.RUNNING
+            record.table_key = plan.table_key
+            for start, stop in shard_ranges(plan.n_units, self._shards):
+                if start == stop:
+                    continue
+                result_key = shard_partial_key(
+                    self._spec.database_fingerprint,
+                    self._spec.program_fingerprint,
+                    plan.signature,
+                    start,
+                    stop,
+                    plan.n_units,
+                )
+                record.part_keys.append(result_key)
+                existing_id = self._task_by_key.get(result_key)
+                if existing_id is not None and self._tasks[
+                    existing_id
+                ].state in (TaskState.PENDING, TaskState.RUNNING, TaskState.DONE):
+                    task = self._tasks[existing_id]
+                    task.queries.add(index)
+                    if task.state is not TaskState.DONE:
+                        record.waiting_on.add(task.id)
+                    else:
+                        record.collect_seconds += task.seconds
+                    continue
+                self._cache.pin(result_key)
+                self._pinned.append(result_key)
+                spec = ShardTask(
+                    query=record.query,
+                    start=start,
+                    stop=stop,
+                    n_units=plan.n_units,
+                    result_key=result_key,
+                )
+                if self._cache.load(result_key) is not None:
+                    # Shard-level cache reuse: the partial already exists
+                    # (verified), so this range needs no collection at all.
+                    # Registered as an already-DONE task so later queries of
+                    # the session reuse the probe instead of repeating it.
+                    self._stats.collect_cache_hits += 1
+                    task = _Task(
+                        id=self._next_task_id,
+                        kind="collect",
+                        spec=spec,
+                        queries={index},
+                        state=TaskState.DONE,
+                    )
+                    self._next_task_id += 1
+                    self._tasks[task.id] = task
+                    self._task_by_key[result_key] = task.id
+                    continue
+                task = _Task(
+                    id=self._next_task_id,
+                    kind="collect",
+                    spec=spec,
+                    queries={index},
+                )
+                self._next_task_id += 1
+                self._tasks[task.id] = task
+                self._task_by_key[result_key] = task.id
+                self._ready.append(task.id)
+                record.waiting_on.add(task.id)
+            if not record.waiting_on:
+                self._enqueue_finish(record)
+
+    def _enqueue_finish(self, record: _QueryRecord) -> None:
+        """All collects of a query are resolved: schedule its finish task.
+
+        Caller must hold the lock."""
+        options = record.options
+        task = _Task(
+            id=self._next_task_id,
+            kind="finish",
+            spec=FinishTask(
+                query=record.query,
+                part_keys=tuple(record.part_keys),
+                table_key=record.table_key,
+                collect_seconds=record.collect_seconds,
+                estimator=options["estimator"],
+                embedding=options["embedding"],
+                bootstrap=options["bootstrap"],
+                seed=options["seed"],
+            ),
+            queries={record.index},
+        )
+        self._next_task_id += 1
+        self._tasks[task.id] = task
+        # Finish tasks jump the queue: a ready finish completes a query *now*,
+        # and streaming is about completion latency — collect tasks of later
+        # queries can wait one task's worth of time.
+        self._ready.appendleft(task.id)
+        record.finish_task = task.id
+
+    # -- workers --------------------------------------------------------
+    def _spawn_worker(self) -> _Worker:
+        tasks: Any = multiprocessing.SimpleQueue()
+        worker_id = self._next_worker_id
+        self._next_worker_id += 1
+        process = multiprocessing.Process(
+            target=_service_worker_main,
+            args=(worker_id, self._spec, tasks, self._results),
+            name=f"carl-service-worker-{worker_id}",
+            daemon=True,
+        )
+        # The fork-inherited engine crosses through a module global that the
+        # child snapshots at fork time; serialize spawns so concurrent
+        # sessions cannot hand a worker the wrong engine.  The fork lock
+        # additionally keeps the fork out of any window where this
+        # session's warm-answer thread holds an engine or cache lock.
+        with _SPAWN_LOCK, self._fork_lock:
+            previous = shard_module._INHERITABLE_ENGINE  # noqa: SLF001
+            if self._spec.inherit:
+                shard_module._INHERITABLE_ENGINE = self._engine  # noqa: SLF001
+            try:
+                process.start()
+            finally:
+                shard_module._INHERITABLE_ENGINE = previous  # noqa: SLF001
+        worker = _Worker(worker_id, process, tasks)
+        self._workers[worker_id] = worker
+        with self._lock:
+            self._stats.workers_spawned += 1
+        return worker
+
+    def _reap_dead_workers(self) -> None:
+        for worker in [w for w in self._workers.values() if not w.process.is_alive()]:
+            del self._workers[worker.id]
+            with self._lock:
+                self._stats.worker_deaths += 1
+            task_id = worker.task_id
+            if task_id is not None:
+                self._task_faulted(
+                    task_id,
+                    worker.id,
+                    QueryError(
+                        f"shard worker {worker.id} died (exit code "
+                        f"{worker.process.exitcode}) while running a task"
+                    ),
+                    retryable=True,
+                )
+            # Keep the pool at strength: a replacement inherits (or
+            # rebuilds) the engine exactly like the workers before it.
+            if not self._stop.is_set():
+                self._spawn_worker()
+
+    def _assign_ready_tasks(self) -> None:
+        with self._lock:
+            if not self._ready:
+                return
+            idle = [w for w in self._workers.values() if w.task_id is None]
+            if not idle:
+                return
+            alive_ids = set(self._workers)
+            still_ready: deque[int] = deque()
+            while self._ready and idle:
+                task_id = self._ready.popleft()
+                task = self._tasks.get(task_id)
+                if task is None or task.state is not TaskState.PENDING:
+                    continue
+                eligible = [w for w in idle if w.id not in task.excluded]
+                if not eligible:
+                    if task.excluded >= alive_ids:
+                        # Every live worker already faulted on this task:
+                        # exclusion would deadlock it, so any worker may
+                        # retry (the budget still bounds total attempts).
+                        eligible = idle
+                    else:
+                        still_ready.append(task_id)
+                        continue
+                worker = eligible[0]
+                idle.remove(worker)
+                worker.task_id = task.id
+                task.state = TaskState.RUNNING
+                task.worker = worker.id
+                task.attempts += 1
+                if task.kind == "collect":
+                    self._stats.collect_tasks_run += 1
+                else:
+                    self._stats.finish_tasks_run += 1
+                worker.tasks.put((task.id, task.spec))
+            self._ready.extendleft(reversed(still_ready))
+
+    # -- results --------------------------------------------------------
+    def _handle_result(self, message: tuple[int, int, str, Any]) -> None:
+        worker_id, task_id, status, payload = message
+        worker = self._workers.get(worker_id)
+        if worker is not None and worker.task_id == task_id:
+            worker.task_id = None
+        with self._lock:
+            task = self._tasks.get(task_id)
+            if task is None or task.state is not TaskState.RUNNING:
+                self._stats.reaped_results += 1
+                return
+        if status == "ok":
+            self._task_succeeded(task, payload)
+            return
+        type_name, text, is_carl = payload
+        error = QueryError(
+            f"shard worker {worker_id} failed while running a "
+            f"{task.kind} task: {type_name}: {text}"
+        )
+        self._task_faulted(task_id, worker_id, error, retryable=not is_carl)
+
+    def _task_succeeded(self, task: _Task, payload: Any) -> None:
+        emit: list[tuple[int, QueryAnswer | QueryError]] = []
+        with self._lock:
+            task.state = TaskState.DONE
+            task.worker = None
+            if task.kind == "collect":
+                _, task.seconds = payload
+                for index in sorted(task.queries):
+                    record = self._records.get(index)
+                    if record is None or record.state is not QueryState.RUNNING:
+                        continue
+                    record.waiting_on.discard(task.id)
+                    record.collect_seconds += task.seconds
+                    if not record.waiting_on and record.finish_task is None:
+                        self._enqueue_finish(record)
+            else:
+                (index,) = task.queries
+                emit.append((index, payload))
+        for index, outcome in emit:
+            self._finish_query(index, outcome)
+
+    def _task_faulted(
+        self, task_id: int, worker_id: int, error: QueryError, retryable: bool
+    ) -> None:
+        """A task's execution failed: requeue it or fail its queries."""
+        with self._lock:
+            task = self._tasks.get(task_id)
+            if task is None or task.state not in (TaskState.RUNNING, TaskState.PENDING):
+                self._stats.reaped_results += 1
+                return
+            task.worker = None
+            task.excluded.add(worker_id)
+            if retryable and task.attempts <= self._retries:
+                # Requeue: the next assignment avoids the faulting worker
+                # (a replacement for a dead one has a fresh id and is
+                # eligible).  attempts counts executions, so a task is run
+                # at most 1 + retries times.
+                task.state = TaskState.PENDING
+                self._stats.retries += 1
+                self._ready.append(task.id)
+                return
+            task.state = TaskState.FAILED
+            affected = sorted(task.queries)
+        budget_note = (
+            f" (after {task.attempts} attempts; retry budget {self._retries})"
+            if retryable
+            else ""
+        )
+        for index in affected:
+            self._finish_query(
+                index, QueryError(f"{error}{budget_note}"), failed_task=task_id
+            )
+
+    # -- query completion / detachment ---------------------------------
+    def _finish_query(
+        self,
+        index: int,
+        outcome: QueryAnswer | QueryError,
+        failed_task: int | None = None,
+    ) -> None:
+        """Resolve one query and emit its event (unless cancelled)."""
+        with self._lock:
+            record = self._records.get(index)
+            if record is None or record.state in (QueryState.DONE, QueryState.FAILED):
+                return
+            cancelled = record.state is QueryState.CANCELLED
+            record.state = (
+                QueryState.FAILED if isinstance(outcome, QueryError) else QueryState.DONE
+            )
+            if cancelled:
+                record.state = QueryState.CANCELLED
+        self._release_query_tasks(index, keep=failed_task)
+        if not cancelled:
+            self.events.put((index, outcome))
+
+    def _detach_query(self, index: int) -> None:
+        self._release_query_tasks(index, keep=None)
+
+    def _release_query_tasks(self, index: int, keep: int | None) -> None:
+        """Detach a resolved/cancelled query from its tasks; drop orphans.
+
+        A pending task no other live query needs is cancelled outright; a
+        running one is left to its worker and its (stored) partial simply
+        becomes a warm cache entry — "reaping" an in-flight shard never
+        wastes the work it already did.
+        """
+        with self._lock:
+            for task in self._tasks.values():
+                if index not in task.queries or task.id == keep:
+                    continue
+                live = {
+                    q
+                    for q in task.queries
+                    if q != index
+                    and (record := self._records.get(q)) is not None
+                    and record.state in (QueryState.PENDING, QueryState.RUNNING)
+                }
+                if not live and task.state is TaskState.PENDING:
+                    task.state = TaskState.CANCELLED
+
+    def _expire_deadlines(self) -> None:
+        now = time.monotonic()
+        expired: list[int] = []
+        with self._lock:
+            for record in self._records.values():
+                if (
+                    record.deadline is not None
+                    and record.state in (QueryState.PENDING, QueryState.RUNNING)
+                    and now >= record.deadline
+                ):
+                    expired.append(record.index)
+                    self._stats.timeouts += 1
+        for index in expired:
+            self._finish_query(
+                index, QueryError(f"query {index} timed out before completing")
+            )
+
+    def _fail_all_live(self, error: QueryError) -> None:
+        with self._lock:
+            live = [
+                record.index
+                for record in self._records.values()
+                if record.state in (QueryState.PENDING, QueryState.RUNNING)
+            ]
+        for index in live:
+            self._finish_query(index, error)
+
+    @staticmethod
+    def _as_query_error(error: Exception) -> QueryError:
+        return error if isinstance(error, QueryError) else QueryError(str(error))

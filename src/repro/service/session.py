@@ -1,0 +1,446 @@
+"""Futures-style query sessions with incremental answers (``docs/service.md``).
+
+A :class:`QuerySession` is the analyst-facing surface of the streaming
+service: queries go in one at a time (:meth:`~QuerySession.submit`), answers
+come out the moment they are ready (:meth:`~QuerySession.as_completed`,
+:meth:`~QuerySession.result`), and a long sweep survives individual query
+failures — each failed query yields its own
+:class:`~repro.carl.errors.QueryError` event instead of killing the batch.
+
+Two executors back a session:
+
+* ``executor="thread"`` — each query runs as one
+  :meth:`~repro.carl.engine.CaRLEngine.answer` call on a thread pool,
+  sharing graph-walk intermediates through a session-scoped
+  :class:`~repro.carl.batch.BatchScratch` (the PR 3 machinery);
+* ``executor="process"`` — queries are decomposed into shard-level collect
+  tasks plus a finish task and run by the
+  :class:`~repro.service.scheduler.ShardScheduler`'s managed worker
+  processes, with retry-and-requeue on worker faults and shard-level cache
+  reuse.
+
+Either way, every completed answer is **bit-identical** to the serial
+``engine.answer`` of the same query with the same options.
+
+Guarantees (see ``docs/service.md`` for the fine print):
+
+* *completion order*: events arrive as queries finish, not as submitted;
+* *cancellation*: a query cancelled before its event was delivered never
+  yields one;
+* *timeouts*: a query past its deadline yields a ``QueryError``; its
+  in-flight shard tasks are reaped (left to finish and their results
+  discarded — stored partials simply become warm cache entries);
+* *isolation*: one query's failure, timeout or cancellation never affects
+  another query's answer.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import TYPE_CHECKING, Any, Iterator
+
+from repro.carl.ast import CausalQuery
+from repro.carl.batch import BatchScratch
+from repro.carl.errors import CaRLError, QueryError
+from repro.carl.parser import parse_query
+from repro.service.scheduler import ShardScheduler
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.carl.engine import CaRLEngine
+
+#: Seconds the event loop blocks per poll while waiting for the next event
+#: (also the granularity of thread-mode deadline enforcement).
+_POLL_SECONDS = 0.02
+
+
+class QuerySession:
+    """A streaming query session over one engine.
+
+    Create through :meth:`repro.carl.engine.CaRLEngine.open_session` (or
+    directly); use as a context manager so workers are always torn down::
+
+        with engine.open_session(jobs=4, executor="process") as session:
+            for text in sweep:
+                session.submit(text)
+            for index, outcome in session.as_completed():
+                ...  # QueryAnswer, or QueryError for that query alone
+
+    Thread-safe: ``submit`` / ``cancel`` / ``stats`` may be called from any
+    thread, also while another thread iterates ``as_completed``.  The
+    *engine* must not be mutated (or used for process batches) while a
+    process-mode session is open — see ``docs/service.md``.
+    """
+
+    def __init__(
+        self,
+        engine: "CaRLEngine",
+        jobs: int | None = 1,
+        executor: str = "thread",
+        shards: int | None = None,
+        retries: int = 2,
+        estimator: str | None = None,
+        embedding: str | None = None,
+        bootstrap: int = 0,
+        seed: int = 0,
+        backend: str | None = None,
+    ) -> None:
+        if executor not in ("thread", "process"):
+            raise QueryError(
+                f"unknown executor {executor!r}; expected 'thread' or 'process'"
+            )
+        if jobs is None:
+            jobs = os.cpu_count() or 1
+        if jobs < 1:
+            raise QueryError(f"jobs must be a positive integer, got {jobs!r}")
+        if shards is not None and shards < 1:
+            raise QueryError(f"shards must be a positive integer, got {shards!r}")
+        if shards is not None and executor != "process":
+            raise QueryError("shards requires executor='process'")
+        backend = backend or engine.backend
+        if executor == "process" and backend != "columnar":
+            raise QueryError(
+                "executor='process' shards the columnar collection phase; "
+                f"backend {backend!r} is not shardable"
+            )
+
+        self._engine = engine
+        self._executor = executor
+        self._defaults = {
+            "estimator": estimator or engine.default_estimator,
+            "embedding": embedding or engine.default_embedding,
+            "bootstrap": bootstrap,
+            "seed": seed,
+        }
+        self._backend = backend
+        self._lock = threading.RLock()
+        self._next_index = 0
+        self._live: set[int] = set()  #: submitted, no outcome delivered yet
+        self._resolved: dict[int, Any] = {}  #: outcomes ready for delivery
+        self._delivered: set[int] = set()
+        #: Indexes whose late backend events must be dropped (cancelled
+        #: queries, and thread-mode timeouts whose result is already in).
+        self._suppressed: set[int] = set()
+        self._cancelled_count = 0
+        self._closed = False
+
+        self._scheduler: ShardScheduler | None = None
+        self._pool: ThreadPoolExecutor | None = None
+        if executor == "process":
+            self._scheduler = ShardScheduler(
+                engine,
+                jobs=jobs,
+                shards=shards or jobs,
+                retries=retries,
+                backend=backend,
+            )
+            self._scheduler.start()
+            self._events = self._scheduler.events
+        else:
+            self._pool = ThreadPoolExecutor(
+                max_workers=jobs, thread_name_prefix="carl-session"
+            )
+            self._scratch = BatchScratch()
+            self._scratch_epoch = engine._grounding_epoch  # noqa: SLF001
+            self._events: "queue.Queue[tuple[int, Any]]" = queue.Queue()
+            self._futures: dict[int, Future] = {}
+            self._deadlines: dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        query: str | CausalQuery,
+        timeout: float | None = None,
+        estimator: str | None = None,
+        embedding: str | None = None,
+        bootstrap: int | None = None,
+        seed: int | None = None,
+    ) -> int:
+        """Submit one query; returns its session index immediately.
+
+        Syntax errors raise here (in the caller); every later failure —
+        planning, worker faults past the retry budget, timeout — is
+        reported as a :class:`QueryError` *event* for this index only.
+        ``timeout`` is this query's wall-clock budget in seconds, counted
+        from submission.  Per-query options default to the session's.
+        """
+        if isinstance(query, str):
+            query = parse_query(query)
+        options = {
+            "estimator": estimator or self._defaults["estimator"],
+            "embedding": embedding or self._defaults["embedding"],
+            "bootstrap": self._defaults["bootstrap"] if bootstrap is None else bootstrap,
+            "seed": self._defaults["seed"] if seed is None else seed,
+        }
+        with self._lock:
+            if self._closed:
+                raise QueryError("the query session is closed")
+            index = self._next_index
+            self._next_index += 1
+            self._live.add(index)
+        if self._scheduler is not None:
+            self._scheduler.submit(index, query, options, timeout)
+        else:
+            with self._lock:
+                if timeout is not None:
+                    self._deadlines[index] = time.monotonic() + timeout
+                self._futures[index] = self._pool.submit(
+                    self._answer_one, index, query, options
+                )
+        return index
+
+    def _answer_one(self, index: int, query: CausalQuery, options: dict[str, Any]) -> None:
+        """Thread-mode worker body: answer one query and emit its event."""
+        with self._lock:
+            if index in self._suppressed:
+                return  # cancelled before it started
+            # A database mutation re-grounds the engine; scratch entries are
+            # epoch-keyed, so stale ones are unreachable — drop them to keep
+            # a long-lived session's memory bounded.
+            epoch = self._engine._grounding_epoch  # noqa: SLF001
+            if epoch != self._scratch_epoch:
+                self._scratch.clear()
+                self._scratch_epoch = epoch
+        try:
+            outcome: Any = self._engine.answer(
+                query, backend=self._backend, _scratch=self._scratch, **options
+            )
+        except CaRLError as error:
+            outcome = error if isinstance(error, QueryError) else QueryError(str(error))
+        except Exception as error:  # noqa: BLE001 - a worker must emit, not die
+            outcome = QueryError(f"query {index} failed unexpectedly: {error}")
+        self._events.put((index, outcome))
+
+    # ------------------------------------------------------------------
+    # consumption
+    # ------------------------------------------------------------------
+    def as_completed(self, timeout: float | None = None) -> Iterator[tuple[int, Any]]:
+        """Yield ``(index, QueryAnswer | QueryError)`` in completion order.
+
+        Iterates until every live (non-cancelled) query has been delivered —
+        including queries submitted *while* iterating.  ``timeout`` bounds
+        the wait for each *next* event (the clock restarts after every
+        yield); on expiry a :class:`TimeoutError` is raised — the session
+        stays usable and iteration can be resumed.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            with self._lock:
+                undelivered = [
+                    i for i in sorted(self._resolved) if i not in self._delivered
+                ]
+                if not undelivered and not self._live:
+                    return
+            if undelivered:
+                for index in undelivered:
+                    with self._lock:
+                        if index in self._delivered:
+                            continue
+                        self._delivered.add(index)
+                        outcome = self._resolved[index]
+                    yield index, outcome
+                    deadline = (
+                        None if timeout is None else time.monotonic() + timeout
+                    )
+                continue
+            if deadline is not None and time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"no query completed within {timeout} seconds"
+                )
+            self._pump(timeout)
+
+    def result(self, index: int, timeout: float | None = None) -> Any:
+        """Block until query ``index`` resolves; return its outcome.
+
+        Returns the :class:`QueryAnswer` or :class:`QueryError` (never
+        raises it); raises :class:`TimeoutError` if the outcome does not
+        arrive in ``timeout`` seconds and :class:`QueryError` for an index
+        that was never submitted or was cancelled.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            with self._lock:
+                if index in self._resolved:
+                    self._delivered.add(index)
+                    return self._resolved[index]
+                if index in self._suppressed:
+                    raise QueryError(f"query {index} was cancelled")
+                if index not in self._live:
+                    raise QueryError(f"unknown query index {index}")
+            remaining = None if deadline is None else deadline - time.monotonic()
+            if remaining is not None and remaining <= 0:
+                raise TimeoutError(f"query {index} did not complete in time")
+            self._pump(remaining)
+
+    def _pump(self, timeout: float | None) -> None:
+        """Move one event (if any) from the backend into ``_resolved``.
+
+        Also enforces thread-mode deadlines: the scheduler expires process-
+        mode deadlines itself, but thread futures cannot be interrupted, so
+        their deadlines are checked here, at every event-loop turn.
+        """
+        self._expire_thread_deadlines()
+        wait = _POLL_SECONDS if timeout is None else max(0.0, min(timeout, _POLL_SECONDS))
+        try:
+            index, outcome = self._events.get(timeout=wait)
+        except queue.Empty:
+            return
+        with self._lock:
+            if index in self._suppressed or index not in self._live:
+                return  # cancelled or already expired: reaped, never yielded
+            self._live.discard(index)
+            self._resolved[index] = outcome
+
+    def _expire_thread_deadlines(self) -> None:
+        if self._scheduler is not None:
+            return
+        now = time.monotonic()
+        with self._lock:
+            expired = [
+                index
+                for index, deadline in self._deadlines.items()
+                if index in self._live and now >= deadline
+            ]
+            for index in expired:
+                del self._deadlines[index]
+                self._futures[index].cancel()
+                self._live.discard(index)
+                self._suppressed.add(index)  # reap a late in-flight result
+                self._resolved[index] = QueryError(
+                    f"query {index} timed out before completing"
+                )
+
+    # ------------------------------------------------------------------
+    # cancellation / bookkeeping
+    # ------------------------------------------------------------------
+    def cancel(self, index: int) -> bool:
+        """Cancel a query; True when it will never be delivered.
+
+        A query whose outcome was already delivered (by
+        :meth:`as_completed` or :meth:`result`) cannot be cancelled.  A
+        pending query is dropped before it runs; a running one is reaped —
+        its workers' results are discarded on arrival.
+        """
+        with self._lock:
+            if index in self._delivered or index not in range(self._next_index):
+                return False
+            if index in self._suppressed:
+                # Already cancelled — or timed out with its error event not
+                # yet consumed: cancelling now withdraws that event too.
+                self._resolved.pop(index, None)
+                return True
+            was_live = index in self._live
+            resolved_undelivered = index in self._resolved
+            if not was_live and not resolved_undelivered:
+                return False
+            self._cancelled_count += 1
+            self._suppressed.add(index)
+            self._live.discard(index)
+            self._resolved.pop(index, None)
+            if self._scheduler is None:
+                future = self._futures.get(index)
+                if future is not None:
+                    future.cancel()
+                self._deadlines.pop(index, None)
+        if self._scheduler is not None:
+            self._scheduler.cancel(index)
+        return True
+
+    def outstanding(self) -> int:
+        """Queries submitted but not yet delivered (or cancelled)."""
+        with self._lock:
+            return len(self._live) + len(
+                [i for i in self._resolved if i not in self._delivered]
+            )
+
+    def stats(self) -> dict[str, Any]:
+        """Execution counters: mode, delivery counts, scheduler activity."""
+        with self._lock:
+            base: dict[str, Any] = {
+                "executor": self._executor,
+                "submitted": self._next_index,
+                "delivered": len(self._delivered),
+                "cancelled": self._cancelled_count,
+                "outstanding": len(self._live),
+            }
+        if self._scheduler is not None:
+            base["scheduler"] = self._scheduler.stats()
+        return base
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Tear the session down; idempotent.  Outstanding queries are
+        abandoned (their workers are stopped or their results discarded)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        if self._scheduler is not None:
+            self._scheduler.close()
+        if self._pool is not None:
+            for future in self._futures.values():
+                future.cancel()
+            self._pool.shutdown(wait=False)
+
+    def __enter__(self) -> "QuerySession":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.close()
+
+
+def answer_iter(
+    engine: "CaRLEngine",
+    queries: Any,
+    estimator: str | None = None,
+    embedding: str | None = None,
+    bootstrap: int = 0,
+    seed: int = 0,
+    backend: str | None = None,
+    jobs: int | None = 1,
+    executor: str = "thread",
+    shards: int | None = None,
+    retries: int = 2,
+    timeout: float | None = None,
+) -> Iterator[tuple[Any, Any]]:
+    """Implementation of :meth:`repro.carl.engine.CaRLEngine.answer_iter`.
+
+    Yields ``(key, QueryAnswer | QueryError)`` in completion order, where
+    ``key`` is the query's dict name or its position in the list.  Closing
+    the iterator early tears the session down (workers stopped, outstanding
+    queries abandoned).
+    """
+    if isinstance(queries, dict):
+        items = list(queries.items())
+    else:
+        items = [(position, query) for position, query in enumerate(queries)]
+    # Parse up front so a syntax error raises immediately (and once), before
+    # any worker spawns — the answer_all contract.
+    parsed = [
+        (key, parse_query(query) if isinstance(query, str) else query)
+        for key, query in items
+    ]
+    with QuerySession(
+        engine,
+        jobs=jobs,
+        executor=executor,
+        shards=shards,
+        retries=retries,
+        estimator=estimator,
+        embedding=embedding,
+        bootstrap=bootstrap,
+        seed=seed,
+        backend=backend,
+    ) as session:
+        keys = {
+            session.submit(query, timeout=timeout): key for key, query in parsed
+        }
+        for index, outcome in session.as_completed():
+            yield keys[index], outcome

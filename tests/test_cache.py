@@ -206,6 +206,83 @@ class TestArtifactStore:
         assert cache.evict(0)[0] == 1
         assert cache.entries() == []
 
+    def test_evict_kind_filter_budgets_that_kind_alone(self, tmp_path):
+        """--kind eviction: only the named kind is counted and deleted."""
+        cache = ArtifactCache(tmp_path)
+        _, grounding_path = self.store_aged(cache)
+        _, partial_a = self.store_aged(cache, kind="unit_inputs", detail="aa" * 32)
+        _, partial_b = self.store_aged(cache, kind="unit_inputs", detail="bb" * 32)
+        removed, _ = cache.evict(0, kind="unit_inputs")
+        assert removed == 2
+        assert grounding_path.exists()
+        assert not partial_a.exists() and not partial_b.exists()
+        # A kind under budget evicts nothing even when the cache overall is over.
+        assert cache.evict(10**9, kind="grounding") == (0, 0)
+        assert grounding_path.exists()
+
+    def test_evict_respects_live_pin_from_another_cache_handle(self, tmp_path):
+        """The pin sidecar protects an in-flight session's partials against
+        evictions issued through *any* handle — the `repro cache evict`
+        scenario, where the evicting process never saw the pin call."""
+        session_cache = ArtifactCache(tmp_path)
+        pinned_key, pinned_path = self.store_aged(
+            session_cache, kind="unit_inputs", detail="aa" * 32
+        )
+        _, loose_path = self.store_aged(
+            session_cache, kind="unit_inputs", detail="bb" * 32
+        )
+        session_cache.pin(pinned_key)
+        sidecar = session_cache._pin_path(pinned_path)
+        assert sidecar.exists()
+        evictor = ArtifactCache(tmp_path)  # fresh handle: no in-memory pins
+        removed, _ = evictor.evict(0)
+        assert removed == 1
+        assert pinned_path.exists() and not loose_path.exists()
+        session_cache.unpin(pinned_key)
+        assert not sidecar.exists()
+        assert evictor.evict(0)[0] == 1
+
+    def test_evict_ignores_and_cleans_stale_pin_sidecars(self, tmp_path):
+        """A sidecar naming a dead process is stale: the artifact is evicted
+        and the sidecar cleaned up — crashes never leak protection."""
+        cache = ArtifactCache(tmp_path)
+        _, path = self.store_aged(cache, kind="unit_inputs", detail="aa" * 32)
+        sidecar = path.with_name(f"{path.name}.pin.{2**22 + 12345}")  # no such pid
+        sidecar.write_text("{}")
+        removed, _ = cache.evict(0)
+        assert removed == 1
+        assert not path.exists() and not sidecar.exists()
+
+    def test_unpin_never_strips_another_processes_pin(self, tmp_path):
+        """Sidecars are per-process: two live sessions pinning the same
+        artifact hold independent sidecars, so one unpinning leaves the
+        other's protection intact."""
+        cache = ArtifactCache(tmp_path)
+        key, path = self.store_aged(cache)
+        cache.pin(key)
+        # A second, still-running process's pin (pid 1 is always alive).
+        other = path.with_name(path.name + ".pin.1")
+        other.write_text("{}")
+        cache.unpin(key)  # removes only this process's sidecar
+        assert not cache._pin_path(path).exists()
+        assert other.exists()
+        assert cache.evict(0) == (0, 0)  # still protected by the other pin
+        other.unlink()
+        assert cache.evict(0)[0] == 1
+
+    def test_pin_refcount_keeps_sidecar_until_last_unpin(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        key, path = self.store_aged(cache)
+        sidecar = cache._pin_path(path)
+        cache.pin(key)
+        cache.pin(key)
+        cache.unpin(key)
+        assert sidecar.exists()  # one pin still held
+        assert cache.evict(0) == (0, 0)
+        cache.unpin(key)
+        assert not sidecar.exists()
+        cache.unpin(key)  # extra unpin is a no-op
+
     def test_evict_skips_undeletable_files(self, tmp_path, monkeypatch):
         """skip-on-EBUSY semantics: an unlink the OS refuses is skipped, the
         sweep continues, and the artifact simply survives."""
@@ -410,3 +487,25 @@ class TestCacheCli:
         assert "empty" in capsys.readouterr().out
 
         assert main(["cache", "evict", "--root", root, "--max-bytes", "-1"]) == 2
+
+    def test_cache_evict_cli_kind_filter(self, tmp_path, capsys):
+        """`repro cache evict --kind unit_inputs` clears shard partials
+        independently of groundings and unit tables."""
+        root = str(tmp_path / "cache")
+        engine = CaRLEngine(toy_review_database(), TOY_REVIEW_PROGRAM, cache=root)
+        engine.answer_all(
+            {"q": "AVG_Score[A] <= Prestige[A] ?"}, jobs=2, executor="process", shards=2
+        )
+        cache = ArtifactCache(root)
+        kinds = [entry.kind for entry in cache.entries()]
+        assert "unit_inputs" in kinds and "grounding" in kinds
+
+        assert main(
+            ["cache", "evict", "--root", root, "--max-bytes", "0",
+             "--kind", "unit_inputs", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["removed"] == kinds.count("unit_inputs")
+        left = [entry.kind for entry in cache.entries()]
+        assert "unit_inputs" not in left
+        assert "grounding" in left and "unit_table" in left

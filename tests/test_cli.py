@@ -112,6 +112,44 @@ class TestMain:
         assert main(["--demo", "toy", "--shards", "0", "--executor", "process"]) == 2
         assert ">= 1" in capsys.readouterr().err
 
+    def test_stream_text_output_matches_batch_fields(self, capsys):
+        assert main(["--demo", "toy", "--stream", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "[ate]" in out and "ATE" in out
+
+    def test_stream_json_emits_one_line_per_query(self, capsys):
+        assert (
+            main(
+                ["--demo", "toy", "--stream", "--json", "--executor", "process",
+                 "--jobs", "2",
+                 "--query", "AVG_Score[A] <= Prestige[A] ?",
+                 "--query", "Score[S] <= Prestige[A] ?"]
+            )
+            == 0
+        )
+        lines = [line for line in capsys.readouterr().out.splitlines() if line.strip()]
+        assert len(lines) == 2
+        names = {json.loads(line)["name"] for line in lines}
+        assert names == {"query_0", "query_1"}
+
+    def test_stream_reports_per_query_errors_and_exit_code(self, capsys):
+        assert (
+            main(
+                ["--demo", "toy", "--stream", "--jobs", "2",
+                 "--query", "AVG_Score[A] <= Prestige[A] ?",
+                 "--query", "Nope[A] <= Prestige[A] ?"]
+            )
+            == 1
+        )
+        out = capsys.readouterr().out
+        assert "ERROR" in out and "ATE" in out  # the good query still answered
+
+    def test_stream_flag_validation(self, capsys):
+        assert main(["--demo", "toy", "--timeout", "1.0"]) == 2
+        assert "--stream" in capsys.readouterr().err
+        assert main(["--demo", "toy", "--stream", "--retries", "-1"]) == 2
+        assert ">= 0" in capsys.readouterr().err
+
     def test_data_without_program_errors(self, csv_dir, capsys):
         assert main(["--data", str(csv_dir), "--query", "X[A] <= Y[A] ?"]) == 2
 

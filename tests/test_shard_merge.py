@@ -381,18 +381,70 @@ def test_process_executor_honors_estimator_and_bootstrap():
 def test_process_executor_with_cache_warm_run(tmp_path):
     cold_engine = fresh_engine(cache=tmp_path / "cache")
     cold = cold_engine.answer_all(QUERIES, jobs=2, executor="process", shards=2)
-    # Shard partials are batch-transient: none may outlive the batch.
-    kinds = [entry.kind for entry in ArtifactCache(tmp_path / "cache").entries()]
-    assert "unit_inputs" not in kinds
-    # Grounding and unit tables persist for the next session ("table"
-    # artifacts appear only on the no-fork transport, which publishes them).
+    # Shard partials persist under deterministic (signature, range) keys so
+    # later sweeps can reuse them; groundings and unit tables persist too
+    # ("table" artifacts appear only on the no-fork transport, which
+    # publishes them).  Nothing stays pinned once the batch is done.
+    store = ArtifactCache(tmp_path / "cache")
+    kinds = [entry.kind for entry in store.entries()]
+    assert "unit_inputs" in kinds
     assert "grounding" in kinds and "unit_table" in kinds
+    assert cold_engine.cache.pinned_paths() == set()
+    assert not list((tmp_path / "cache").glob("*/*.pin.*"))
     # A fresh engine over the warm cache answers without grounding at all.
     warm_engine = fresh_engine(cache=tmp_path / "cache")
     warm = warm_engine.answer_all(QUERIES, jobs=2, executor="process", shards=2)
     assert warm_engine.grounding_runs == 0
     for name in QUERIES:
         assert result_key(warm[name]) == result_key(cold[name])
+
+
+def test_process_executor_shard_level_cache_reuse(tmp_path):
+    """With unit tables evicted but partials kept, a re-sweep performs zero
+    shard collection: every collect task resolves from the cache."""
+    cold_engine = fresh_engine(cache=tmp_path / "cache")
+    cold = cold_engine.answer_all(QUERIES, jobs=2, executor="process", shards=2)
+    store = ArtifactCache(tmp_path / "cache")
+    partial_count = sum(1 for e in store.entries() if e.kind == "unit_inputs")
+    assert partial_count > 0
+    # Drop the finished unit tables; keep the shard partials.
+    removed, _ = store.clear(kind="unit_table")
+    assert removed > 0
+    warm_engine = fresh_engine(cache=tmp_path / "cache")
+    warm = warm_engine.answer_all(QUERIES, jobs=2, executor="process", shards=2)
+    stats = warm_engine.cache_stats()
+    # Every shard range of every query probed warm: no dispatcher-side probe
+    # missed, and no new partial artifact appeared on disk (collect tasks
+    # would have stored one each from their worker processes).
+    assert stats["unit_inputs"]["misses"] == 0
+    assert stats["unit_inputs"]["hits"] > 0
+    after = sum(1 for e in ArtifactCache(tmp_path / "cache").entries() if e.kind == "unit_inputs")
+    assert after == partial_count
+    for name in QUERIES:
+        assert result_key(warm[name]) == result_key(cold[name])
+
+
+def test_threshold_sweep_shares_collections_within_one_batch(tmp_path):
+    """Queries differing only in treatment threshold have one collection
+    signature: a cold 3-query sweep collects each unit range once."""
+    sweep = {
+        "t1": "AVG_Score[A] <= Prestige[A] >= 1 ?",
+        "t2": "AVG_Score[A] <= Prestige[A] >= 2 ?",
+        "t3": "AVG_Score[A] <= Prestige[A] >= 3 ?",
+    }
+    engine = fresh_engine(cache=tmp_path / "cache")
+    serial = {name: fresh_engine().answer(q) for name, q in sweep.items()}
+    answers = engine.answer_all(sweep, jobs=2, executor="process", shards=2)
+    partials = [
+        e for e in ArtifactCache(tmp_path / "cache").entries() if e.kind == "unit_inputs"
+    ]
+    # 2 shard-partial artifacts total, not 2 per query: the sweep shares one
+    # collection signature, so ranges are collected once and shared in flight.
+    assert len(partials) == 2
+    for name in sweep:
+        # repr-compare: exact float round-trip, but NaN == NaN (the >=1
+        # threshold treats every unit, so the naive contrast is NaN).
+        assert repr(result_key(answers[name])) == repr(result_key(serial[name]))
 
 
 def test_process_executor_worker_death_raises_cleanly(monkeypatch):
@@ -422,3 +474,27 @@ def test_answer_all_option_validation():
     with pytest.raises(QueryError, match="columnar"):
         engine.answer_all(QUERIES, jobs=2, executor="process", backend="rows")
     assert engine.answer_all({}, jobs=2, executor="process") == {}
+    # An explicit shards=0 must never silently become `jobs` (the old
+    # `shards or jobs` resolution): it is rejected with a clear error, at
+    # any jobs setting — including the jobs=None (one per CPU) default.
+    with pytest.raises(QueryError, match="shards must be a positive integer"):
+        engine.answer_all(QUERIES, jobs=None, shards=0, executor="process")
+    with pytest.raises(QueryError, match="shards must be a positive integer"):
+        engine.answer_all(QUERIES, jobs=1, shards=-3, executor="process")
+    with pytest.raises(QueryError, match="jobs must be a positive integer"):
+        engine.answer_all(QUERIES, jobs=0)
+    with pytest.raises(QueryError, match="jobs must be a positive integer"):
+        engine.answer_all(QUERIES, jobs=-1, executor="process")
+
+
+def test_process_executor_jobs_none_defaults_per_cpu(monkeypatch):
+    """The executor='process' + jobs=None default path: one job per CPU and
+    one shard per job, bit-identical to serial."""
+    import os as os_module
+
+    monkeypatch.setattr(os_module, "cpu_count", lambda: 2)
+    serial = fresh_engine().answer_all({"ate": QUERIES["ate"]}, jobs=1)
+    answers = fresh_engine().answer_all(
+        {"ate": QUERIES["ate"]}, jobs=None, executor="process"
+    )
+    assert result_key(answers["ate"]) == result_key(serial["ate"])
