@@ -11,8 +11,9 @@ Supported artifacts:
 
 * :class:`~repro.db.table.ColumnarTable` — schema + one array per column;
 * a grounded causal graph together with its grounded attribute values —
-  interned attribute names, int edge lists (memory-mappable) and object
-  arrays for keys/values;
+  interned attribute names, dual-CSR adjacency arrays (memory-mappable,
+  deterministic node-id order; see ``docs/grounding.md``) and object arrays
+  for keys/values;
 * :class:`~repro.carl.unit_table.UnitTable` — the flat estimator input, all
   numeric except the unit keys.
 
@@ -33,6 +34,7 @@ import numpy as np
 # re-exported here because this module owns the payload layouts it versions.
 from repro.cache.store import FORMAT_VERSION
 from repro.carl.causal_graph import GroundedAttribute, GroundedCausalGraph
+from repro.graph.csr import CSRGraph
 from repro.carl.unit_table import UnitTable, UnitTableInputs
 from repro.db.schema import ColumnSchema, TableSchema
 from repro.db.table import ColumnarTable, as_object_array
@@ -125,14 +127,21 @@ def grounding_payload(
     """Encode a grounded graph and its node values.
 
     Attribute names are interned into an id table; nodes are stored in their
-    original insertion order and edges in adjacency order, so the
-    reconstructed graph iterates identically to the one that was grounded —
-    the node dicts rebuild in the same order, and the per-node adjacency
-    *sets* contain the same elements, whose iteration order is hash-driven —
-    keeping warm-cache unit tables bit-identical to cold ones.
+    insertion (= node-id) order; adjacency is stored as the graph's compiled
+    dual-CSR arrays (parents grouped by child and children grouped by parent,
+    both sorted by node id).  A warm load therefore memory-maps the adjacency
+    as-is — no dict/set rebuild — and every iteration order is a pure
+    function of node ids, identical in every process regardless of
+    ``PYTHONHASHSEED``, keeping warm-cache unit tables bit-identical to cold
+    ones even in spawn workers with a different hash seed.
+
+    CSR index arrays are narrowed to int32 when they fit (they always do
+    below 2**31 nodes/edges), which keeps this payload strictly smaller than
+    the v1 edge-list layout for any graph with more edges than nodes.
     """
     nodes = graph.nodes
     node_index = dict(zip(nodes, range(len(nodes))))
+    csr = graph.csr()
 
     attribute_ids: dict[str, int] = {}
     node_attribute = np.fromiter(
@@ -144,21 +153,7 @@ def grounding_payload(
         count=len(nodes),
     )
 
-    # Edge lists straight from the adjacency (building the edge-tuple list
-    # via ``graph.edges`` would cost as much as everything else combined).
-    n_edges = graph.number_of_edges()
-    edge_parent = np.empty(n_edges, dtype=np.int64)
-    edge_child = np.empty(n_edges, dtype=np.int64)
-    position = 0
-    index_get = node_index.__getitem__
-    for child, parents in graph.dag._parents.items():  # noqa: SLF001 - hot path
-        if not parents:
-            continue
-        child_position = index_get(child)
-        for parent in parents:
-            edge_parent[position] = index_get(parent)
-            edge_child[position] = child_position
-            position += 1
+    index_dtype = np.int32 if len(nodes) < 2**31 and csr.n_edges < 2**31 else np.int64
 
     aggregate_nodes: list[int] = []
     aggregate_names: list[str] = []
@@ -180,14 +175,16 @@ def grounding_payload(
         "kind": "grounding",
         "attributes": sorted(attribute_ids, key=attribute_ids.get),
         "nodes": len(nodes),
-        "edges": n_edges,
+        "edges": csr.n_edges,
     }
     return {
         "meta": _meta_entry(meta),
-        "node_attribute": node_attribute,
+        "node_attribute": node_attribute.astype(index_dtype, copy=False),
         "node_keys": as_object_array([node.key for node in nodes]),
-        "edge_parent": edge_parent,
-        "edge_child": edge_child,
+        "parent_indptr": np.asarray(csr.parent_indptr).astype(index_dtype, copy=False),
+        "parent_indices": np.asarray(csr.parent_indices).astype(index_dtype, copy=False),
+        "child_indptr": np.asarray(csr.child_indptr).astype(index_dtype, copy=False),
+        "child_indices": np.asarray(csr.child_indices).astype(index_dtype, copy=False),
         "aggregate_nodes": np.asarray(aggregate_nodes, dtype=np.int64),
         "aggregate_names": as_object_array(aggregate_names),
         "value_nodes": np.asarray(value_nodes, dtype=np.int64),
@@ -198,11 +195,18 @@ def grounding_payload(
 def load_grounding(
     payload: Mapping[str, np.ndarray],
 ) -> tuple[GroundedCausalGraph, dict[GroundedAttribute, Any]]:
-    """Decode :func:`grounding_payload` back into a graph + values mapping."""
+    """Decode :func:`grounding_payload` back into a graph + values mapping.
+
+    The adjacency arrays are adopted directly (possibly still memory-mapped);
+    only the node objects and the id-lookup dict are materialized, so a warm
+    load is O(nodes) object construction instead of rebuilding hundreds of
+    thousands of per-node dicts and sets edge by edge.
+    """
     meta = read_meta(payload)
     _expect_kind(meta, "grounding")
     attributes = meta["attributes"]
 
+    node_attribute = payload["node_attribute"]
     node_keys = payload["node_keys"]
     # C-level construction: map() over the interned attribute names and the
     # key objects calls the NamedTuple constructor without a Python-loop
@@ -210,33 +214,30 @@ def load_grounding(
     nodes = list(
         map(
             GroundedAttribute,
-            map(attributes.__getitem__, payload["node_attribute"].tolist()),
+            map(attributes.__getitem__, node_attribute.tolist()),
             node_keys.tolist(),
         )
     )
 
     graph = GroundedCausalGraph()
-    # Bulk-build the DAG's adjacency directly: ``add_node``/``add_edge`` per
-    # element would spend most of the load re-checking invariants the payload
-    # already guarantees (nodes exist, no self-loops — validated at store
-    # time from a live graph).
-    dag = graph.dag
-    empty: tuple = ()
-    dag._parents = dict(zip(nodes, map(set, [empty] * len(nodes))))  # noqa: SLF001
-    dag._children = dict(zip(nodes, map(set, [empty] * len(nodes))))  # noqa: SLF001
-    dag._node_data = dict(zip(nodes, map(dict, [empty] * len(nodes))))  # noqa: SLF001
-    parents_of = dag._parents  # noqa: SLF001
-    children_of = dag._children  # noqa: SLF001
-    node_at = nodes.__getitem__
-    for parent, child in zip(
-        map(node_at, payload["edge_parent"].tolist()),
-        map(node_at, payload["edge_child"].tolist()),
-    ):
-        parents_of[child].add(parent)
-        children_of[parent].add(child)
+    graph._adopt_arrays(  # noqa: SLF001 - loader fast path
+        nodes,
+        CSRGraph(
+            len(nodes),
+            payload["parent_indptr"],
+            payload["parent_indices"],
+            payload["child_indptr"],
+            payload["child_indices"],
+        ),
+    )
+    # The per-attribute id index, one vectorized pass per attribute name
+    # (attribute ids are assigned in first-appearance order, so insertion
+    # order of the dict matches the grounding process).
     by_attribute = graph._by_attribute  # noqa: SLF001
-    for node in nodes:
-        by_attribute[node.attribute].add(node)
+    for attribute_id, name in enumerate(attributes):
+        by_attribute[name] = np.flatnonzero(node_attribute == attribute_id).tolist()
+
+    node_at = nodes.__getitem__
     graph._aggregates = dict(  # noqa: SLF001
         zip(
             map(node_at, payload["aggregate_nodes"].tolist()),

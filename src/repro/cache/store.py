@@ -39,8 +39,12 @@ PREFIX = 16
 
 #: Payload layout version (re-exported by :mod:`repro.cache.serialization`,
 #: which owns the layouts).  Bumped on any layout change; artifacts whose
-#: ``meta`` records a different version read as cache misses.
-FORMAT_VERSION = 1
+#: ``meta`` records a different version read as cache misses.  v2: grounding
+#: artifacts store CSR adjacency arrays instead of edge lists (and all
+#: ordered graph queries became node-id-ordered), so v1 artifacts — grounded
+#: under hash-order-dependent iteration — are invalidated wholesale and
+#: re-grounded on first use.
+FORMAT_VERSION = 2
 
 #: Artifact kinds the engine stores (other kinds are allowed; these are known).
 KNOWN_KINDS = ("grounding", "unit_table", "table", "unit_inputs")

@@ -46,7 +46,10 @@ def parent_adjustment_set(
             treatment_node, response_node
         ):
             continue
-        for parent in graph.parents(treatment_node):
+        # id-ordered iteration: the discovery order of adjustment covariates
+        # (and hence the unit table's column order) must be deterministic and
+        # identical to the columnar path's.
+        for parent in graph.parent_nodes(treatment_node):
             if parent.attribute == treatment_attribute:
                 continue
             if is_observed(parent.attribute):
@@ -79,7 +82,7 @@ def verify_adjustment_set(
     if not parent_union:
         return True
     conditioning = list(treatment_nodes) + list(adjustment)
-    return d_separated(graph.dag, [response_node], parent_union, conditioning)
+    return d_separated(graph, [response_node], parent_union, conditioning)
 
 
 def minimal_adjustment_set(
@@ -112,7 +115,7 @@ def minimal_adjustment_set(
     if not parent_union:
         return []
     reduced = find_minimal_separator(
-        graph.dag,
+        graph,
         [response_node],
         parent_union,
         list(treatment_nodes) + candidate,

@@ -940,7 +940,9 @@ class CaRLEngine:
         for grounded_rule in self.grounder.ground_aggregate_rule(rule):
             graph.add_grounded_rule(grounded_rule, aggregate=rule.aggregate)
             parent_values = [
-                values[parent] for parent in graph.parents(grounded_rule.head) if parent in values
+                values[parent]
+                for parent in graph.parent_nodes(grounded_rule.head)
+                if parent in values
             ]
             values[grounded_rule.head] = (
                 apply_aggregate(rule.aggregate, parent_values) if parent_values else None
@@ -1011,7 +1013,7 @@ class CaRLEngine:
         for node in graph.nodes_of(response_attribute):
             parents = [
                 parent
-                for parent in graph.parents(node)
+                for parent in graph.parent_nodes(node)
                 if parent.attribute == derived.base and parent.key in allowed_response
             ]
             parent_values = [updated[parent] for parent in parents if parent in updated]

@@ -195,12 +195,12 @@ class Grounder:
                     values[node] = value
 
         # Aggregates in topological order so nested aggregates (if any) resolve.
-        for node in graph.dag.topological_order():
+        for node in graph.topological_order():
             aggregate_name = graph.aggregate_of(node)
             if aggregate_name is None:
                 continue
             parent_values = [
-                values[parent] for parent in graph.parents(node) if parent in values
+                values[parent] for parent in graph.parent_nodes(node) if parent in values
             ]
             values[node] = apply_aggregate(aggregate_name, parent_values)
         return values

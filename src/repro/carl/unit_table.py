@@ -298,7 +298,6 @@ def build_unit_table(
 # columnar (bulk) materialization
 # ----------------------------------------------------------------------
 _MISSING = object()
-_EMPTY_SET: frozenset[GroundedAttribute] = frozenset()
 
 
 @dataclass(frozen=True)
@@ -399,11 +398,15 @@ def collect_unit_table_inputs(
     #: column name -> (flat values, flat unit-row ids)
     buckets: dict[str, tuple[list[Any], list[int]]] = {}
 
-    # Hot-loop locals: raw parent-set mapping for O(1) membership tests (the
-    # public ``graph.parents`` copies its set; we keep it for *iteration* so
-    # the covariate discovery order matches the row path exactly).
-    dag_parents = graph.dag._parents  # noqa: SLF001 - read-only fast path
-    graph_parents = graph.parents
+    # Hot-loop locals: interned node ids for membership tests, binary-search
+    # edge probes and ancestor masks over the compiled CSR adjacency.
+    # Iteration uses the id-ordered ``parent_nodes`` so the covariate
+    # discovery order matches the row path exactly.
+    node_id = graph.index_of
+    csr = graph.csr()
+    csr_has_edge = csr.has_edge
+    csr_ancestor_mask = csr.ancestor_mask
+    graph_parents = graph.parent_nodes
     values_get = values.get
     peers_get = peers.get
     observed_cache: dict[str, bool] = {}
@@ -470,25 +473,24 @@ def collect_unit_table_inputs(
 
         # Theorem 5.2 adjustment sets.  ``has_directed_path(T[x], Y[u])`` is
         # equivalent to ``T[x] in ancestors(Y[u])`` (or equality).  Direct
-        # parenthood — by far the common case — is an O(1) set probe; only
-        # indirect paths trigger the (lazily computed, per-unit) ancestor
-        # walk, which is then shared by the unit and all of its peers.
-        response_parents = dag_parents.get(response_node)
-        response_ancestors: set[GroundedAttribute] | None = None
+        # parenthood — by far the common case — is a binary-search edge
+        # probe; only indirect paths trigger the (lazily computed, per-unit)
+        # ancestor mask, which is then shared by the unit and all of its peers.
+        response_id = node_id(response_node)
+        treatment_id = node_id(treatment_node)
+        response_ancestors: np.ndarray | None = None
         own_nodes: set[GroundedAttribute] = set()
-        if treatment_node in dag_parents:
+        if treatment_id is not None:
             if treatment_node == response_node:
                 reachable = True
-            elif response_parents is not None and treatment_node in response_parents:
+            elif response_id is not None and csr_has_edge(treatment_id, response_id):
                 reachable = True
             else:
-                if response_ancestors is None:
-                    response_ancestors = (
-                        graph.ancestors(response_node)
-                        if response_parents is not None
-                        else _EMPTY_SET
-                    )
-                reachable = treatment_node in response_ancestors
+                if response_ancestors is None and response_id is not None:
+                    response_ancestors = csr_ancestor_mask((response_id,))
+                reachable = response_ancestors is not None and bool(
+                    response_ancestors[treatment_id]
+                )
             if reachable:
                 info = parent_info_get(treatment_node)
                 if info is None:
@@ -510,18 +512,15 @@ def collect_unit_table_inputs(
                         bucket[1].append(row)
         seen_peer_parents: set[GroundedAttribute] = set()
         for peer_node in peer_nodes:
-            if peer_node not in dag_parents:
+            peer_id = node_id(peer_node)
+            if peer_id is None:
                 continue
             if peer_node != response_node and not (
-                response_parents is not None and peer_node in response_parents
+                response_id is not None and csr_has_edge(peer_id, response_id)
             ):
-                if response_ancestors is None:
-                    response_ancestors = (
-                        graph.ancestors(response_node)
-                        if response_parents is not None
-                        else _EMPTY_SET
-                    )
-                if peer_node not in response_ancestors:
+                if response_ancestors is None and response_id is not None:
+                    response_ancestors = csr_ancestor_mask((response_id,))
+                if response_ancestors is None or not response_ancestors[peer_id]:
                     continue
             info = parent_info_get(peer_node)
             if info is None:

@@ -3,11 +3,13 @@
 The grounded relational causal graph of the paper (Section 3.2.3) is a DAG
 over grounded attributes.  This package provides the generic graph machinery
 the engine relies on: a :class:`DAG` container with ancestor/descendant
-queries and topological ordering, and d-separation (used by covariate
-detection, Theorem 5.2).
+queries and topological ordering, :class:`CSRGraph` — the arrays-first
+adjacency the grounded graph compiles its walks onto — and d-separation
+(used by covariate detection, Theorem 5.2).
 """
 
+from repro.graph.csr import CSRGraph
 from repro.graph.dag import CycleError, DAG
 from repro.graph.dseparation import d_separated, find_minimal_separator
 
-__all__ = ["DAG", "CycleError", "d_separated", "find_minimal_separator"]
+__all__ = ["DAG", "CSRGraph", "CycleError", "d_separated", "find_minimal_separator"]

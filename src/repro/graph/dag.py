@@ -2,8 +2,14 @@
 
 The grounded causal graphs produced by CaRL can contain one node per grounded
 attribute (one per author, per submission, per patient, ...), so the
-implementation favours adjacency sets and iterative traversals over anything
-recursive.
+implementation favours flat adjacency maps and iterative traversals over
+anything recursive.
+
+Adjacency is stored as dict-of-dicts rather than dict-of-sets: Python dicts
+preserve insertion order, so every iteration (``edges``,
+``topological_order``, traversals) is deterministic and independent of
+``PYTHONHASHSEED``.  Set iteration order is hash-seed-dependent, which made
+the old representation nondeterministic across processes.
 """
 
 from __future__ import annotations
@@ -27,8 +33,9 @@ class DAG:
     """
 
     def __init__(self) -> None:
-        self._parents: dict[Hashable, set[Hashable]] = {}
-        self._children: dict[Hashable, set[Hashable]] = {}
+        # Inner dicts are used as insertion-ordered sets (values are None).
+        self._parents: dict[Hashable, dict[Hashable, None]] = {}
+        self._children: dict[Hashable, dict[Hashable, None]] = {}
         self._node_data: dict[Hashable, dict[str, Any]] = {}
 
     # ------------------------------------------------------------------
@@ -37,8 +44,8 @@ class DAG:
     def add_node(self, node: Hashable, **data: Any) -> None:
         """Add ``node`` (idempotent); keyword arguments become node metadata."""
         if node not in self._parents:
-            self._parents[node] = set()
-            self._children[node] = set()
+            self._parents[node] = {}
+            self._children[node] = {}
             self._node_data[node] = {}
         if data:
             self._node_data[node].update(data)
@@ -49,22 +56,26 @@ class DAG:
             raise ValueError(f"self-loop not allowed: {parent!r}")
         self.add_node(parent)
         self.add_node(child)
-        self._children[parent].add(child)
-        self._parents[child].add(parent)
+        self._children[parent][child] = None
+        self._parents[child][parent] = None
 
     def remove_edge(self, parent: Hashable, child: Hashable) -> None:
         """Remove the edge ``parent -> child`` if present."""
-        self._children.get(parent, set()).discard(child)
-        self._parents.get(child, set()).discard(parent)
+        children = self._children.get(parent)
+        if children is not None:
+            children.pop(child, None)
+        parents = self._parents.get(child)
+        if parents is not None:
+            parents.pop(parent, None)
 
     def remove_node(self, node: Hashable) -> None:
         """Remove ``node`` and every incident edge."""
         if node not in self._parents:
             return
         for parent in self._parents.pop(node):
-            self._children[parent].discard(node)
+            self._children[parent].pop(node, None)
         for child in self._children.pop(node):
-            self._parents[child].discard(node)
+            self._parents[child].pop(node, None)
         self._node_data.pop(node, None)
 
     def copy(self) -> "DAG":
@@ -96,7 +107,7 @@ class DAG:
 
     @property
     def edges(self) -> list[tuple[Hashable, Hashable]]:
-        """All edges as ``(parent, child)`` pairs."""
+        """All edges as ``(parent, child)`` pairs, in insertion order."""
         return [
             (parent, child)
             for parent, children in self._children.items()
@@ -111,15 +122,16 @@ class DAG:
         return self._node_data[node]
 
     def has_edge(self, parent: Hashable, child: Hashable) -> bool:
-        return child in self._children.get(parent, set())
+        children = self._children.get(parent)
+        return children is not None and child in children
 
     def parents(self, node: Hashable) -> set[Hashable]:
         """Direct parents (empty set for unknown nodes)."""
-        return set(self._parents.get(node, set()))
+        return set(self._parents.get(node, ()))
 
     def children(self, node: Hashable) -> set[Hashable]:
         """Direct children (empty set for unknown nodes)."""
-        return set(self._children.get(node, set()))
+        return set(self._children.get(node, ()))
 
     def roots(self) -> list[Hashable]:
         """Nodes with no parents."""
@@ -158,7 +170,7 @@ class DAG:
         return target in self.descendants(source)
 
     def _reach(
-        self, node: Hashable, adjacency: dict[Hashable, set[Hashable]]
+        self, node: Hashable, adjacency: dict[Hashable, dict[Hashable, None]]
     ) -> set[Hashable]:
         if node not in self._parents:
             return set()
@@ -169,7 +181,9 @@ class DAG:
             if current in seen:
                 continue
             seen.add(current)
-            frontier.extend(adjacency[current] - seen)
+            frontier.extend(
+                neighbour for neighbour in adjacency[current] if neighbour not in seen
+            )
         return seen
 
     # ------------------------------------------------------------------
@@ -219,12 +233,15 @@ class DAG:
         return mutilated
 
     def subgraph(self, nodes: Iterable[Hashable]) -> "DAG":
-        """Induced subgraph on ``nodes``."""
+        """Induced subgraph on ``nodes``, preserving this graph's node order."""
         keep = {node for node in nodes if node in self}
         sub = DAG()
-        for node in keep:
-            sub.add_node(node, **self._node_data[node])
-        for node in keep:
+        for node in self._parents:
+            if node in keep:
+                sub.add_node(node, **self._node_data[node])
+        for node in self._children:
+            if node not in keep:
+                continue
             for child in self._children[node]:
                 if child in keep:
                     sub.add_edge(node, child)

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from collections import deque
 from collections.abc import Hashable, Iterable
+from typing import Any
 
 from repro.graph.dag import DAG
 
@@ -63,7 +64,7 @@ def _reachable(graph: DAG, sources: set[Hashable], given: set[Hashable]) -> set[
 
 
 def d_separated(
-    graph: DAG,
+    graph: DAG | Any,
     x: Iterable[Hashable] | Hashable,
     y: Iterable[Hashable] | Hashable,
     given: Iterable[Hashable] = (),
@@ -73,7 +74,16 @@ def d_separated(
     ``x`` and ``y`` may be single nodes or iterables of nodes; the statement
     holds when *every* node of ``x`` is d-separated from *every* node of
     ``y``.  Nodes in the conditioning set are excluded from both sides.
+
+    ``graph`` is usually a :class:`DAG` (walked with the classic Bayes-ball
+    traversal above); a graph exposing its own ``d_separated`` method — the
+    CSR-backed :class:`~repro.carl.causal_graph.GroundedCausalGraph` — is
+    delegated to, which keeps :func:`find_minimal_separator` generic over
+    both representations.
     """
+    own = getattr(graph, "d_separated", None)
+    if own is not None:
+        return own(x, y, given)
     x_set = _as_set(graph, x)
     y_set = _as_set(graph, y)
     given_set = _as_set(graph, given)
@@ -88,7 +98,7 @@ def d_separated(
 
 
 def find_minimal_separator(
-    graph: DAG,
+    graph: DAG | Any,
     x: Iterable[Hashable] | Hashable,
     y: Iterable[Hashable] | Hashable,
     candidate: Iterable[Hashable],

@@ -125,7 +125,7 @@ def groundings(draw) -> tuple[GroundedCausalGraph, dict[GroundedAttribute, objec
     for child_index in range(1, len(nodes)):
         for parent_index in range(child_index):
             if draw(st.booleans()) and draw(st.booleans()):
-                graph.dag.add_edge(nodes[parent_index], nodes[child_index])
+                graph.add_edge(nodes[parent_index], nodes[child_index])
     values = {
         node: draw(grounded_values) for node in nodes if draw(st.integers(0, 3)) > 0
     }

@@ -90,3 +90,40 @@ class TestReachabilityAndSeparation:
 
     def test_str_rendering(self):
         assert str(node("Score", "s1")) == "Score['s1']"
+
+
+class TestNodeIdOrdering:
+    """Ordered queries sort by interned node id, not ``str(key)``.
+
+    Regression for the lexicographic-ordering bug: sorting by ``str(node.key)``
+    put ``(10,)`` before ``(2,)`` for integer keys.  Node ids follow insertion
+    order, so units interned in numeric order come back in numeric order.
+    (This reordering is why the artifact format version was bumped: answers
+    derived from stored v1 groundings could order covariate columns
+    differently, so old artifacts are invalidated wholesale.)
+    """
+
+    @pytest.fixture()
+    def numeric_graph(self) -> GroundedCausalGraph:
+        graph = GroundedCausalGraph()
+        for index in range(1, 13):
+            graph.add_grounded_rule(
+                GroundedRule(head=node("Score", 0), body=(node("Prestige", index),))
+            )
+        return graph
+
+    def test_nodes_of_numeric_keys_in_numeric_order(self, numeric_graph):
+        keys = [item.key for item in numeric_graph.nodes_of("Prestige")]
+        assert keys == [(index,) for index in range(1, 13)]
+        # str-sorting would have yielded (1,), (10,), (11,), (12,), (2,), ...
+        assert keys != sorted(keys, key=str)
+
+    def test_parents_by_attribute_numeric_order(self, numeric_graph):
+        grouped = numeric_graph.parents_by_attribute(node("Score", 0))
+        assert [item.key for item in grouped["Prestige"]] == [
+            (index,) for index in range(1, 13)
+        ]
+
+    def test_ancestor_nodes_of_attribute_numeric_order(self, numeric_graph):
+        ancestors = numeric_graph.ancestor_nodes_of_attribute(node("Score", 0), "Prestige")
+        assert [item.key for item in ancestors] == [(index,) for index in range(1, 13)]

@@ -144,6 +144,34 @@ class TestOrderingAndSurgery:
         assert sub.has_edge("b", "c")
         assert sub.number_of_edges() == 1
 
+    def test_subgraph_preserves_source_node_order(self):
+        # Regression: the induced subgraph used to insert nodes in Python
+        # `set` iteration order, which is hash-seed-dependent.  It must
+        # follow the source graph's insertion order, whatever order the
+        # requested nodes arrive in.
+        graph = chain("a", "b", "c", "d", "e")
+        sub = graph.subgraph(["e", "c", "a", "d"])
+        assert sub.nodes == ["a", "c", "d", "e"]
+        assert sub.edges == [("c", "d"), ("d", "e")]
+
     def test_iteration_matches_nodes(self):
         graph = chain("a", "b")
         assert list(iter(graph)) == graph.nodes
+
+
+class TestDeterministicIteration:
+    def test_edges_in_insertion_order(self):
+        graph = DAG()
+        graph.add_edge("z", "a")
+        graph.add_edge("b", "a")
+        graph.add_edge("z", "m")
+        assert graph.edges == [("z", "a"), ("z", "m"), ("b", "a")]
+
+    def test_topological_order_is_stable(self):
+        graph = DAG()
+        graph.add_edge("c", "x")
+        graph.add_edge("a", "x")
+        graph.add_edge("b", "x")
+        assert graph.topological_order() == graph.topological_order()
+        # Roots dequeue in insertion order, not hash order.
+        assert graph.topological_order() == ["c", "a", "b", "x"]
