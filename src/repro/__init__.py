@@ -11,8 +11,12 @@ Public API overview
 * :mod:`repro.cache` — persistent, fingerprinted artifact cache for grounded
   graphs and unit tables (see ``docs/persistence.md``).
 * :mod:`repro.service` — streaming query service: incremental answers,
-  retry-and-requeue scheduling, shard-level cache reuse (see
-  ``docs/service.md``).
+  retry-and-requeue scheduling, shard-level cache reuse, and the
+  multi-tenant :class:`~repro.service.daemon.QueryDaemon` with admission
+  control (see ``docs/service.md``).
+* :mod:`repro.observability` — structured telemetry: per-query span trees,
+  counters and gauges behind a frozen event schema (see
+  ``docs/observability.md``).
 * :mod:`repro.datasets` — synthetic relational dataset generators standing in
   for REVIEWDATA, SYNTHETIC REVIEWDATA, MIMIC-III and NIS.
 * :mod:`repro.baselines` — the universal-table and naive baselines the paper
@@ -49,12 +53,13 @@ from repro.carl import (
 )
 from repro.cache import ArtifactCache
 from repro.db import Database, Table
-from repro.service import QuerySession
+from repro.service import AdmissionError, QueryDaemon, QueueFullError, QuerySession
 
 __version__ = "1.0.0"
 
 __all__ = [
     "ATEResult",
+    "AdmissionError",
     "ArtifactCache",
     "CaRLEngine",
     "CaRLError",
@@ -64,6 +69,8 @@ __all__ = [
     "GroundedCausalGraph",
     "ParseError",
     "QueryAnswer",
+    "QueryDaemon",
+    "QueueFullError",
     "QuerySession",
     "RelationalCausalModel",
     "RelationalCausalSchema",

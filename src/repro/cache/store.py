@@ -33,6 +33,8 @@ from typing import Any
 import numpy as np
 from numpy.lib import format as npy_format
 
+from repro.observability.telemetry import get_registry
+
 #: Length of the fingerprint prefixes used in file names (full fingerprints
 #: are verified from the artifact itself on load).
 PREFIX = 16
@@ -207,6 +209,7 @@ class ArtifactCache:
                 pass
             raise
         self.stats.record(self.stats.stores, key.kind)
+        get_registry().count("cache.store", kind=key.kind)
         return path
 
     def load(self, key: CacheKey) -> dict[str, np.ndarray] | None:
@@ -223,11 +226,14 @@ class ArtifactCache:
             stored = json.loads(str(payload.pop("cache_key")[()]))
         except (OSError, ValueError, KeyError, zipfile.BadZipFile):
             self.stats.record(self.stats.misses, key.kind)
+            get_registry().count("cache.miss", kind=key.kind)
             return None
         if stored != json.loads(key.as_json()) or not _format_is_current(payload):
             self.stats.record(self.stats.misses, key.kind)
+            get_registry().count("cache.miss", kind=key.kind)
             return None
         self.stats.record(self.stats.hits, key.kind)
+        get_registry().count("cache.hit", kind=key.kind)
         return payload
 
     def contains(self, key: CacheKey) -> bool:

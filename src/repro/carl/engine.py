@@ -58,6 +58,7 @@ from repro.carl.unit_table import (
 from repro.db.aggregates import AGGREGATES, aggregate as apply_aggregate
 from repro.db.database import Database
 from repro.inference.bootstrap import bootstrap_statistic
+from repro.observability.telemetry import get_registry
 from repro.inference.correlation import naive_difference, pearson_correlation
 from repro.inference.estimators import estimate_ate, estimate_ate_from_unit_table
 from repro.inference.outcome import OutcomeModel
@@ -158,6 +159,7 @@ class CaRLEngine:
             if self._graph is None:
                 self._db_token = self.database.version_token()
                 started = time.perf_counter()
+                ground_span = get_registry().start_span("engine.ground")
                 loaded = False
                 key = self._grounding_key()
                 if key is not None:
@@ -174,6 +176,7 @@ class CaRLEngine:
                     self.grounding_runs += 1
                     if key is not None:
                         self.cache.store(key, grounding_payload(self._graph, self._values))
+                get_registry().finish_span(ground_span, cached=loaded)
                 elapsed = time.perf_counter() - started
                 self.grounding_seconds = elapsed
                 self._grounding_epoch += 1
@@ -518,13 +521,18 @@ class CaRLEngine:
         bootstrap: int = 0,
         seed: int = 0,
         backend: str | None = None,
+        max_pending: int | None = None,
+        submit_timeout: float | None = None,
     ):
         """Open a streaming :class:`~repro.service.session.QuerySession`.
 
         The futures-style surface of the query service: ``submit()`` /
         ``as_completed()`` / ``result()`` / ``cancel()`` with per-query
-        timeouts and options.  Use as a context manager; see
-        ``docs/service.md``.
+        timeouts and options.  ``max_pending`` bounds the undelivered
+        backlog (``submit`` raises
+        :class:`~repro.service.session.QueueFullError` beyond it, after
+        blocking up to ``submit_timeout`` seconds when set).  Use as a
+        context manager; see ``docs/service.md``.
         """
         from repro.service.session import QuerySession
 
@@ -539,6 +547,8 @@ class CaRLEngine:
             bootstrap=bootstrap,
             seed=seed,
             backend=backend,
+            max_pending=max_pending,
+            submit_timeout=submit_timeout,
         )
 
     def diagnostics(

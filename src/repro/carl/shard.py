@@ -127,7 +127,10 @@ class WorkerSpec:
     ``inherit`` marks that the dispatcher forked the workers, so the engine
     is already present in each worker as a copy-on-write inheritance and no
     artifacts were published for bootstrap (the artifact transport still
-    carries the shard partials either way).
+    carries the shard partials either way).  ``inherit_token`` names the
+    dispatcher-side registry slot (:func:`register_inheritable_engine`) the
+    forked child reads its engine from — tokens let any number of sessions
+    fork workers concurrently without handing one the other's engine.
     """
 
     cache_root: str
@@ -138,6 +141,7 @@ class WorkerSpec:
     program: Program
     backend: str
     inherit: bool = False
+    inherit_token: str | None = None
 
 
 @dataclass(frozen=True)
@@ -197,12 +201,41 @@ _WORKER_SPEC: WorkerSpec | None = None
 _WORKER_ENGINE: "CaRLEngine | None" = None
 _WORKER_CACHE: ArtifactCache | None = None
 
-#: The dispatcher's engine, visible to workers only through fork inheritance
-#: (set around pool creation when the platform forks; always None in a
-#: spawned worker).  A forked worker reads the grounded graph copy-on-write
-#: — the cheapest possible "deserialization" — while spawned workers take
-#: the portable artifact-bootstrap path below.
-_INHERITABLE_ENGINE: "CaRLEngine | None" = None
+#: Dispatcher engines visible to workers through fork inheritance, keyed by
+#: inherit token (always empty in a spawned worker).  A forked worker reads
+#: the grounded graph copy-on-write — the cheapest possible
+#: "deserialization" — while spawned workers take the portable
+#: artifact-bootstrap path below.  A token-keyed registry (instead of one
+#: module global swapped around each fork) means concurrent sessions can
+#: fork workers simultaneously without a global spawn lock: a child forked
+#: at any moment sees every registered engine and picks its own by the
+#: token in its :class:`WorkerSpec`.
+_INHERITABLE_ENGINES: dict[str, "CaRLEngine"] = {}
+_INHERIT_LOCK = threading.Lock()
+_next_inherit_token = 0
+
+
+def register_inheritable_engine(engine: "CaRLEngine") -> str:
+    """Make ``engine`` fork-inheritable; returns the registry token.
+
+    The caller keeps the token registered for as long as it may fork workers
+    (a batch's pool creation; a scheduler's whole lifetime, since it respawns
+    replacement workers at any point) and must unregister it on teardown.
+    """
+    global _next_inherit_token
+    with _INHERIT_LOCK:
+        _next_inherit_token += 1
+        token = f"e{_next_inherit_token}"
+        _INHERITABLE_ENGINES[token] = engine
+    return token
+
+
+def unregister_inheritable_engine(token: str | None) -> None:
+    """Drop a registry slot (no-op for None or an unknown token)."""
+    if token is None:
+        return
+    with _INHERIT_LOCK:
+        _INHERITABLE_ENGINES.pop(token, None)
 
 
 def _worker_init(spec: WorkerSpec) -> None:
@@ -236,11 +269,13 @@ def _worker_engine() -> "CaRLEngine":
     if spec is None:  # pragma: no cover - initializer always runs first
         raise QueryError("shard worker started without a WorkerSpec")
     if spec.inherit:
-        if _INHERITABLE_ENGINE is None:  # pragma: no cover - fork guarantees it
+        inherited = _INHERITABLE_ENGINES.get(spec.inherit_token or "")
+        if inherited is None:  # pragma: no cover - fork guarantees it
             raise QueryError(
-                "shard worker expected a fork-inherited engine but none is present"
+                "shard worker expected a fork-inherited engine but none is "
+                f"registered under token {spec.inherit_token!r}"
             )
-        _WORKER_ENGINE = _INHERITABLE_ENGINE
+        _WORKER_ENGINE = inherited
         return _WORKER_ENGINE
     from repro.carl.engine import CaRLEngine
 
@@ -414,11 +449,13 @@ def _answer_all_process_locked(
         multiprocessing.get_start_method() == "fork"
         and not os.environ.get(NO_INHERIT_ENV)
     )
-    global _INHERITABLE_ENGINE
+    inherit_token: str | None = None
     try:
-        spec = _publish_engine_state(engine, cache, inherit=inherit, pinned=pinned_keys)
         if inherit:
-            _INHERITABLE_ENGINE = engine
+            inherit_token = register_inheritable_engine(engine)
+        spec = _publish_engine_state(
+            engine, cache, inherit=inherit, pinned=pinned_keys, inherit_token=inherit_token
+        )
         with ProcessPoolExecutor(
             max_workers=jobs, initializer=_worker_init, initargs=(spec,)
         ) as pool:
@@ -526,7 +563,7 @@ def _answer_all_process_locked(
             "the batch was aborted cleanly (no partial answers were produced)"
         ) from error
     finally:
-        _INHERITABLE_ENGINE = None
+        unregister_inheritable_engine(inherit_token)
         # Unpin exactly what this batch pinned (never unpin_all: a streaming
         # session sharing the cache instance holds pins of its own).  The
         # partials themselves stay: persistently cached, they are what lets
@@ -543,6 +580,7 @@ def _publish_engine_state(
     cache: ArtifactCache,
     inherit: bool,
     pinned: list[CacheKey] | None = None,
+    inherit_token: str | None = None,
 ) -> WorkerSpec:
     """Ground once and (unless workers fork-inherit) publish the engine's
     shared state as artifacts, pinned for the batch's lifetime.
@@ -593,6 +631,7 @@ def _publish_engine_state(
         program=engine.program,
         backend=engine.backend,
         inherit=inherit,
+        inherit_token=inherit_token,
     )
 
 

@@ -29,6 +29,13 @@ command group inspects and manages such a cache::
     python -m repro.cli cache ls    [--root DIR]
     python -m repro.cli cache stats [--root DIR] [--json]
     python -m repro.cli cache clear [--root DIR] [--kind KIND]
+
+Passing ``--telemetry FILE`` appends every structured telemetry event of the
+run (query span trees, cache counters — ``docs/observability.md``) to a
+JSON-lines log; the ``telemetry`` command group reads such logs back::
+
+    python -m repro.cli telemetry dump    --log FILE [--event NAME] [--json]
+    python -m repro.cli telemetry summary --log FILE [--json]
 """
 
 from __future__ import annotations
@@ -229,6 +236,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="persistent artifact cache root: reuse groundings and unit tables "
         "across invocations (see the 'cache' command group)",
     )
+    parser.add_argument(
+        "--telemetry",
+        metavar="FILE",
+        help="append structured telemetry events (JSON lines) to FILE; read "
+        "them back with the 'telemetry' command group (docs/observability.md)",
+    )
     return parser
 
 
@@ -353,11 +366,101 @@ def cache_main(argv: list[str]) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# the `telemetry` command group
+# ----------------------------------------------------------------------
+def build_telemetry_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli telemetry",
+        description="Read back JSON-lines telemetry logs (docs/observability.md).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    for name, description in (
+        ("dump", "print raw telemetry events, one per line"),
+        ("summary", "aggregate span latencies (p50/p99), counters and gauges"),
+    ):
+        subparser = subparsers.add_parser(name, help=description)
+        subparser.add_argument(
+            "--log",
+            required=True,
+            metavar="FILE",
+            help="JSON-lines telemetry log (written via --telemetry or a sink)",
+        )
+        subparser.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    subparsers.choices["dump"].add_argument(
+        "--event", help="only show events with this name (e.g. query.collect)"
+    )
+    subparsers.choices["dump"].add_argument(
+        "--kind", choices=["span", "counter", "gauge"], help="only show events of this kind"
+    )
+    return parser
+
+
+def telemetry_main(argv: list[str]) -> int:
+    from repro.observability.telemetry import read_log, summarize_events
+
+    args = build_telemetry_parser().parse_args(argv)
+    events = read_log(args.log)
+
+    if args.command == "dump":
+        if args.event:
+            events = [event for event in events if event.get("event") == args.event]
+        if args.kind:
+            events = [event for event in events if event.get("kind") == args.kind]
+        if args.json:
+            print(json.dumps(events, indent=2))
+            return 0
+        for event in events:
+            kind = event.get("kind")
+            if kind == "span":
+                t0, t1 = event.get("t0"), event.get("t1")
+                seconds = (
+                    f"{float(t1) - float(t0):.4f}s"
+                    if isinstance(t0, (int, float)) and isinstance(t1, (int, float))
+                    else "?"
+                )
+                extra = f"trace={event.get('trace')} span={event.get('span')}"
+                if event.get("parent"):
+                    extra += f" parent={event.get('parent')}"
+                print(f"span    {event.get('event'):<20} {seconds:>10}  {extra}  {event.get('meta')}")
+            else:
+                print(
+                    f"{kind:<7} {event.get('event'):<20} {event.get('value'):>10}  {event.get('meta')}"
+                )
+        if not events:
+            print(f"no matching events in {args.log}")
+        return 0
+
+    summary = summarize_events(events)
+    if args.json:
+        print(json.dumps(summary, indent=2))
+        return 0
+    print(f"events   : {summary['events']}")
+    if summary["spans"]:
+        print("spans    :")
+        for name, stats in summary["spans"].items():
+            print(
+                f"  {name:<20} n={stats['count']:<6} total={stats['total_seconds']:.4f}s "
+                f"p50={stats['p50_seconds'] * 1000.0:.2f}ms p99={stats['p99_seconds'] * 1000.0:.2f}ms"
+            )
+    if summary["counters"]:
+        print("counters :")
+        for name, total in summary["counters"].items():
+            print(f"  {name:<24} {total}")
+    if summary["gauges"]:
+        print("gauges   :")
+        for name, value in summary["gauges"].items():
+            print(f"  {name:<24} {value}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "cache":
         return cache_main(argv[1:])
+    if argv and argv[0] == "telemetry":
+        return telemetry_main(argv[1:])
     if argv and argv[0] == "answer":
         argv = argv[1:]
     args = build_parser().parse_args(argv)
@@ -376,6 +479,11 @@ def main(argv: list[str] | None = None) -> int:
     if args.retries < 0:
         print("--retries must be >= 0", file=sys.stderr)
         return 2
+
+    if args.telemetry:
+        from repro.observability.telemetry import get_registry
+
+        get_registry().set_sink(args.telemetry)
 
     if args.demo:
         database, program_text, default_queries = _demo(args.demo)

@@ -1,0 +1,34 @@
+"""Structured telemetry for the CaRL service stack (``docs/observability.md``).
+
+* :mod:`repro.observability.schema` — the frozen event registry: every span,
+  counter and gauge the system may emit, with its metadata contract, checked
+  on every emission (and pinned by a tier-1 test so the schema cannot drift
+  silently);
+* :mod:`repro.observability.telemetry` — the process-wide
+  :class:`~repro.observability.telemetry.TelemetryRegistry`: monotonic-clock
+  span trees per answered query, counters, gauges, a bounded in-memory ring
+  buffer, and an optional JSON-lines sink (``repro telemetry`` reads it back).
+"""
+
+from repro.observability.schema import EVENTS, EventSpec, TelemetryError, validate_event
+from repro.observability.telemetry import (
+    Span,
+    TelemetryRegistry,
+    get_registry,
+    read_log,
+    reset_registry,
+    summarize_events,
+)
+
+__all__ = [
+    "EVENTS",
+    "EventSpec",
+    "Span",
+    "TelemetryError",
+    "TelemetryRegistry",
+    "get_registry",
+    "read_log",
+    "reset_registry",
+    "summarize_events",
+    "validate_event",
+]

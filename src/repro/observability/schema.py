@@ -1,0 +1,116 @@
+"""The frozen telemetry event registry (``docs/observability.md``).
+
+Every event the system may emit — spans, counters and gauges — is declared
+here, with its kind and its allowed/required metadata fields.  Emission
+validates against this registry at runtime (:func:`validate_event`), and a
+tier-1 test pins the registry contents, so a new span or a renamed field is
+an explicit, reviewed schema change — never silent drift that breaks the
+dashboards and checkers reading the JSON-lines log.
+
+Naming convention: ``<subsystem>.<what>`` for subsystem-level events and the
+``query.*`` family for the per-query span tree (one ``query`` root per
+answered query, with ``query.ground`` / ``query.collect`` / ``query.finish``
+children — see ``docs/observability.md`` for the tree contract).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class TelemetryError(ValueError):
+    """Raised when an emission does not conform to the event registry."""
+
+
+#: Event kinds: a ``span`` has monotonic start/end times and nests under a
+#: trace; a ``counter`` accumulates integer deltas; a ``gauge`` records the
+#: latest value of a level (queue depth, live sessions).
+KINDS = ("span", "counter", "gauge")
+
+
+@dataclass(frozen=True)
+class EventSpec:
+    """Declaration of one event: its kind and its metadata contract."""
+
+    name: str
+    kind: str
+    required: tuple[str, ...] = ()
+    optional: tuple[str, ...] = ()
+
+    @property
+    def allowed(self) -> frozenset[str]:
+        return frozenset(self.required) | frozenset(self.optional)
+
+
+def _spec(name: str, kind: str, required: tuple[str, ...] = (), optional: tuple[str, ...] = ()) -> EventSpec:
+    if kind not in KINDS:
+        raise TelemetryError(f"unknown event kind {kind!r} for {name!r}")
+    return EventSpec(name=name, kind=kind, required=required, optional=optional)
+
+
+#: The registry.  Frozen by ``tests/test_observability.py`` — extending it is
+#: fine (add the event here *and* update the pinned snapshot in the test),
+#: but renames and field changes must be deliberate.
+EVENTS: dict[str, EventSpec] = {
+    spec.name: spec
+    for spec in (
+        # -- the per-query span tree (scheduler / session) ---------------
+        _spec(
+            "query",
+            "span",
+            required=("index",),
+            optional=("mode", "outcome", "tenant", "executor"),
+        ),
+        _spec("query.ground", "span", optional=("cached",)),
+        _spec(
+            "query.collect",
+            "span",
+            required=("start", "stop"),
+            optional=("worker", "attempt", "outcome"),
+        ),
+        _spec("query.finish", "span", optional=("mode", "worker", "outcome")),
+        # -- engine -------------------------------------------------------
+        _spec("engine.ground", "span", optional=("cached",)),
+        # -- artifact cache ----------------------------------------------
+        _spec("cache.hit", "counter", optional=("kind",)),
+        _spec("cache.miss", "counter", optional=("kind",)),
+        _spec("cache.store", "counter", optional=("kind",)),
+        # -- scheduler ----------------------------------------------------
+        _spec("scheduler.retry", "counter", optional=("kind",)),
+        _spec("scheduler.timeout", "counter"),
+        _spec("scheduler.cancelled", "counter"),
+        _spec("scheduler.worker_death", "counter"),
+        _spec("scheduler.queue_depth", "gauge"),
+        # -- daemon -------------------------------------------------------
+        _spec("daemon.admit", "counter", required=("tenant",)),
+        _spec("daemon.reject", "counter", required=("tenant",), optional=("reason",)),
+        _spec("daemon.sessions", "gauge"),
+        # -- session ------------------------------------------------------
+        _spec("session.queue_full", "counter"),
+    )
+}
+
+
+def validate_event(name: str, kind: str, meta: dict[str, object]) -> None:
+    """Raise :class:`TelemetryError` unless ``(name, kind, meta)`` conforms.
+
+    Checks: the event is registered, its kind matches the declaration, every
+    metadata field is allowed, and every required field is present.
+    """
+    spec = EVENTS.get(name)
+    if spec is None:
+        raise TelemetryError(f"unregistered telemetry event {name!r}")
+    if spec.kind != kind:
+        raise TelemetryError(
+            f"telemetry event {name!r} is a {spec.kind}, emitted as a {kind}"
+        )
+    unknown = set(meta) - spec.allowed
+    if unknown:
+        raise TelemetryError(
+            f"telemetry event {name!r} does not allow fields {sorted(unknown)!r}"
+        )
+    missing = set(spec.required) - set(meta)
+    if missing:
+        raise TelemetryError(
+            f"telemetry event {name!r} requires fields {sorted(missing)!r}"
+        )

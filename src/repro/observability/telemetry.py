@@ -1,0 +1,341 @@
+"""Process-wide structured telemetry: spans, counters, gauges, JSONL sink.
+
+The registry (:class:`TelemetryRegistry`) is the single in-process collection
+point for every event declared in :mod:`repro.observability.schema`:
+
+* **spans** carry monotonic start/end clocks and form per-query trees
+  (``trace`` groups a tree, ``parent`` nests spans) — the scheduler opens a
+  ``query`` root span per submitted query and hangs ``query.ground`` /
+  ``query.collect`` / ``query.finish`` children off it;
+* **counters** accumulate integer deltas (cache hits, retries, admission
+  rejections);
+* **gauges** record the latest value of a level (ready-queue depth, live
+  daemon sessions).
+
+Every emission is validated against the frozen schema registry — an
+unregistered event name or an off-contract metadata field raises
+:class:`~repro.observability.schema.TelemetryError` immediately, in the
+emitting thread, so telemetry drift fails fast in tests instead of silently
+corrupting the log consumers downstream.
+
+Events land in a bounded in-memory ring buffer (cheap enough to leave on
+permanently) and, when a sink is configured, are appended to a JSON-lines
+file — one self-describing object per line (``docs/observability.md`` gives
+the line schema).  The registry records its creating process id: a forked
+worker that inherits it copy-on-write starts from a clean slate on first
+emission and never writes to the parent's sink file, so worker-side cache
+counters cannot interleave garbage into the daemon's log.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.observability.schema import validate_event
+
+#: Default ring-buffer capacity (events kept in memory for inspection).
+DEFAULT_CAPACITY = 8192
+
+
+class Span:
+    """A started (possibly unfinished) span — a handle, not a record.
+
+    Produced by :meth:`TelemetryRegistry.start_span`; the event record is
+    emitted when :meth:`TelemetryRegistry.finish_span` is called on it.
+    """
+
+    __slots__ = ("name", "trace", "span_id", "parent", "t0", "t1", "meta", "_finished")
+
+    def __init__(self, name: str, trace: str, span_id: str, parent: str | None, meta: dict[str, Any]) -> None:
+        self.name = name
+        self.trace = trace
+        self.span_id = span_id
+        self.parent = parent
+        self.t0 = time.monotonic()
+        self.t1: float | None = None
+        self.meta = meta
+        self._finished = False
+
+
+class TelemetryRegistry:
+    """Thread-safe event collector with an optional JSON-lines sink."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY, sink: str | Path | None = None) -> None:
+        self._lock = threading.Lock()
+        self._capacity = capacity
+        self._events: deque[dict[str, Any]] = deque(maxlen=capacity)
+        self._counter_totals: dict[str, int] = {}
+        self._gauge_values: dict[str, float] = {}
+        self._next_trace = 0
+        self._next_span = 0
+        self._pid = os.getpid()
+        self._sink_path: Path | None = None
+        self._sink_handle: Any = None
+        if sink is not None:
+            self.set_sink(sink)
+
+    # ------------------------------------------------------------------
+    # fork / sink management
+    # ------------------------------------------------------------------
+    def _ensure_pid_locked(self) -> None:
+        """Reset inherited state on first use inside a forked child.
+
+        A forked worker inherits the registry (and any open sink handle)
+        copy-on-write; emitting through it must never interleave with the
+        parent's log, so the child starts empty and sink-less.
+        """
+        pid = os.getpid()
+        if pid == self._pid:
+            return
+        self._pid = pid
+        self._events = deque(maxlen=self._capacity)
+        self._counter_totals = {}
+        self._gauge_values = {}
+        self._next_trace = 0
+        self._next_span = 0
+        self._sink_path = None
+        self._sink_handle = None  # never close: the fd belongs to the parent
+
+    def set_sink(self, path: str | Path | None) -> None:
+        """Append subsequent events to a JSON-lines file (None disables)."""
+        with self._lock:
+            self._ensure_pid_locked()
+            if self._sink_handle is not None:
+                try:
+                    self._sink_handle.close()
+                except OSError:  # pragma: no cover - close failure is benign
+                    pass
+                self._sink_handle = None
+            self._sink_path = None
+            if path is not None:
+                path = Path(path)
+                path.parent.mkdir(parents=True, exist_ok=True)
+                self._sink_handle = open(path, "a", encoding="utf-8")
+                self._sink_path = path
+
+    @property
+    def sink_path(self) -> Path | None:
+        with self._lock:
+            return self._sink_path
+
+    # ------------------------------------------------------------------
+    # emission
+    # ------------------------------------------------------------------
+    def new_trace(self) -> str:
+        with self._lock:
+            self._ensure_pid_locked()
+            self._next_trace += 1
+            return f"t{self._next_trace}"
+
+    def start_span(
+        self, name: str, trace: str | None = None, parent: Span | str | None = None, **meta: Any
+    ) -> Span:
+        """Open a span; nothing is emitted until :meth:`finish_span`.
+
+        Metadata is validated here (fail fast, in the caller) and again at
+        finish (fields may be added then).  ``parent`` accepts a
+        :class:`Span` or a raw span id.
+        """
+        validate_event(name, "span", meta)
+        if trace is None:
+            trace = self.new_trace()
+        parent_id = parent.span_id if isinstance(parent, Span) else parent
+        with self._lock:
+            self._ensure_pid_locked()
+            self._next_span += 1
+            span_id = f"s{self._next_span}"
+        return Span(name, trace, span_id, parent_id, dict(meta))
+
+    def finish_span(self, span: Span, **meta: Any) -> None:
+        """Close a span and emit its record; idempotent per span."""
+        if span._finished:  # noqa: SLF001 - own class
+            return
+        span._finished = True  # noqa: SLF001
+        span.t1 = time.monotonic()
+        span.meta.update(meta)
+        validate_event(span.name, "span", span.meta)
+        self._emit(
+            {
+                "event": span.name,
+                "kind": "span",
+                "trace": span.trace,
+                "span": span.span_id,
+                "parent": span.parent,
+                "t0": span.t0,
+                "t1": span.t1,
+                "meta": dict(span.meta),
+            }
+        )
+
+    @contextmanager
+    def span(
+        self, name: str, trace: str | None = None, parent: Span | str | None = None, **meta: Any
+    ) -> Iterator[Span]:
+        """Lexically scoped span: finished (and emitted) on exit."""
+        handle = self.start_span(name, trace=trace, parent=parent, **meta)
+        try:
+            yield handle
+        finally:
+            self.finish_span(handle)
+
+    def count(self, name: str, value: int = 1, **meta: Any) -> None:
+        """Add ``value`` to a counter (and emit one counter event)."""
+        validate_event(name, "counter", meta)
+        self._emit(
+            {"event": name, "kind": "counter", "value": int(value), "meta": dict(meta)}
+        )
+
+    def gauge(self, name: str, value: float, **meta: Any) -> None:
+        """Record the current level of a gauge (and emit one gauge event)."""
+        validate_event(name, "gauge", meta)
+        self._emit({"event": name, "kind": "gauge", "value": value, "meta": dict(meta)})
+
+    def _emit(self, record: dict[str, Any]) -> None:
+        record["ts"] = time.time()
+        with self._lock:
+            self._ensure_pid_locked()
+            record["pid"] = self._pid
+            self._events.append(record)
+            if record["kind"] == "counter":
+                name = record["event"]
+                self._counter_totals[name] = (
+                    self._counter_totals.get(name, 0) + record["value"]
+                )
+            elif record["kind"] == "gauge":
+                self._gauge_values[record["event"]] = record["value"]
+            handle = self._sink_handle
+            if handle is not None:
+                try:
+                    handle.write(json.dumps(record, sort_keys=True) + "\n")
+                    handle.flush()
+                except (OSError, ValueError):  # pragma: no cover - sink best effort
+                    self._sink_handle = None
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def events(self, name: str | None = None, kind: str | None = None) -> list[dict[str, Any]]:
+        """Snapshot of buffered events, optionally filtered."""
+        with self._lock:
+            snapshot = list(self._events)
+        if name is not None:
+            snapshot = [event for event in snapshot if event["event"] == name]
+        if kind is not None:
+            snapshot = [event for event in snapshot if event["kind"] == kind]
+        return snapshot
+
+    def spans(self, name: str | None = None) -> list[dict[str, Any]]:
+        return self.events(name=name, kind="span")
+
+    def counters(self) -> dict[str, int]:
+        with self._lock:
+            return dict(self._counter_totals)
+
+    def gauges(self) -> dict[str, float]:
+        with self._lock:
+            return dict(self._gauge_values)
+
+    def clear(self) -> None:
+        """Drop buffered events and totals (the sink file is left as is)."""
+        with self._lock:
+            self._events.clear()
+            self._counter_totals.clear()
+            self._gauge_values.clear()
+
+
+# ----------------------------------------------------------------------
+# the process-wide registry
+# ----------------------------------------------------------------------
+_REGISTRY = TelemetryRegistry()
+_REGISTRY_LOCK = threading.Lock()
+
+
+def get_registry() -> TelemetryRegistry:
+    """The process-wide registry every instrumented subsystem emits to."""
+    return _REGISTRY
+
+
+def reset_registry(capacity: int = DEFAULT_CAPACITY, sink: str | Path | None = None) -> TelemetryRegistry:
+    """Replace the process-wide registry (tests; CLI sink configuration)."""
+    global _REGISTRY
+    with _REGISTRY_LOCK:
+        _REGISTRY = TelemetryRegistry(capacity=capacity, sink=sink)
+        return _REGISTRY
+
+
+# ----------------------------------------------------------------------
+# log reading (CLI + tests)
+# ----------------------------------------------------------------------
+def read_log(path: str | Path) -> list[dict[str, Any]]:
+    """Parse a JSON-lines telemetry log; malformed lines are skipped."""
+    events: list[dict[str, Any]] = []
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError:
+        return events
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            continue
+        if isinstance(record, dict) and "event" in record:
+            events.append(record)
+    return events
+
+
+def summarize_events(events: list[dict[str, Any]]) -> dict[str, Any]:
+    """Aggregate a list of event records for ``repro telemetry summary``.
+
+    Spans get count / total / p50 / p99 duration (seconds); counters their
+    summed deltas; gauges their last value.
+    """
+    span_durations: dict[str, list[float]] = {}
+    counter_totals: dict[str, int] = {}
+    gauge_last: dict[str, float] = {}
+    for event in events:
+        kind = event.get("kind")
+        name = event.get("event", "?")
+        if kind == "span":
+            t0, t1 = event.get("t0"), event.get("t1")
+            if isinstance(t0, (int, float)) and isinstance(t1, (int, float)):
+                span_durations.setdefault(name, []).append(float(t1) - float(t0))
+        elif kind == "counter":
+            counter_totals[name] = counter_totals.get(name, 0) + int(event.get("value", 0))
+        elif kind == "gauge":
+            value = event.get("value")
+            if isinstance(value, (int, float)):
+                gauge_last[name] = float(value)
+    spans = {
+        name: {
+            "count": len(durations),
+            "total_seconds": sum(durations),
+            "p50_seconds": _percentile(durations, 50.0),
+            "p99_seconds": _percentile(durations, 99.0),
+        }
+        for name, durations in sorted(span_durations.items())
+    }
+    return {
+        "events": len(events),
+        "spans": spans,
+        "counters": dict(sorted(counter_totals.items())),
+        "gauges": dict(sorted(gauge_last.items())),
+    }
+
+
+def _percentile(values: list[float], q: float) -> float:
+    """Nearest-rank percentile of a non-empty list (0.0 for an empty one)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1, int(round(q / 100.0 * (len(ordered) - 1)))))
+    return ordered[rank]

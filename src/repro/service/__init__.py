@@ -13,13 +13,27 @@ incremental, fault-tolerant query pipeline:
   re-sweep performs zero collection work);
 * :meth:`repro.carl.engine.CaRLEngine.answer_iter` — the one-call wrapper:
   ``for key, outcome in engine.answer_iter(queries, ...):`` yields each
-  ``(key, QueryAnswer | QueryError)`` in completion order.
+  ``(key, QueryAnswer | QueryError)`` in completion order;
+* :class:`~repro.service.daemon.QueryDaemon` — the multi-tenant daemon:
+  one shared scheduler serving many concurrent sessions, with per-tenant
+  token-bucket admission control (:class:`~repro.service.daemon.AdmissionError`
+  on rejection) and fair round-robin scheduling across tenants.
 
 Every completed answer is bit-identical to the serial
 :meth:`~repro.carl.engine.CaRLEngine.answer` of the same query.
 """
 
+from repro.service.daemon import AdmissionError, QueryDaemon, TokenBucket
 from repro.service.scheduler import ServiceStats, ShardScheduler, TaskState
-from repro.service.session import QuerySession
+from repro.service.session import QueueFullError, QuerySession
 
-__all__ = ["QuerySession", "ServiceStats", "ShardScheduler", "TaskState"]
+__all__ = [
+    "AdmissionError",
+    "QueryDaemon",
+    "QueueFullError",
+    "QuerySession",
+    "ServiceStats",
+    "ShardScheduler",
+    "TaskState",
+    "TokenBucket",
+]

@@ -1,0 +1,456 @@
+"""Multi-tenant query daemon: one scheduler, many admission-controlled sessions.
+
+A :class:`QueryDaemon` is the long-lived, service-shaped front of the CaRL
+engine (``docs/service.md``).  It owns **one**
+:class:`~repro.service.scheduler.ShardScheduler` — one worker pool, one
+artifact cache, one published engine state — and multiplexes any number of
+concurrent :class:`~repro.service.session.QuerySession`\\ s over it:
+
+* :meth:`~QueryDaemon.open_session` returns an ordinary ``QuerySession``
+  whose backend is a per-tenant **admission facade** instead of a private
+  scheduler — same ``submit`` / ``as_completed`` / ``result`` surface, no
+  per-session worker spawn;
+* admission control is per tenant: a **token bucket** (``rate`` tokens per
+  second, ``burst`` capacity) plus a bound on in-flight queries; a rejected
+  submit raises :class:`AdmissionError` in the submitting caller — a
+  structured error, never a hang — and is counted in telemetry
+  (``daemon.reject``);
+* the scheduler schedules **fairly across tenants**: every session's
+  queries carry its tenant as the fairness group, and ready collect tasks
+  drain round-robin across groups, so one tenant's deep backlog cannot
+  starve another's interactive queries;
+* a **router thread** demultiplexes the shared scheduler's completion
+  events back to the owning session's queue.  Routing state is one dict
+  entry per in-flight query, deleted at delivery — the daemon's memory is
+  O(in-flight), not O(queries ever served);
+* :meth:`~QueryDaemon.drain` stops admission and waits for in-flight work;
+  :meth:`~QueryDaemon.close` drains (best effort) and tears the pool down.
+
+Answers keep the engine's core guarantee: every event a daemon session
+emits is bit-identical to the serial ``engine.answer`` of the same query.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from typing import TYPE_CHECKING, Any
+
+from repro.carl.ast import CausalQuery
+from repro.carl.errors import QueryError
+from repro.observability.telemetry import get_registry
+from repro.service.scheduler import ShardScheduler
+from repro.service.session import QuerySession
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.carl.engine import CaRLEngine
+
+#: Seconds the router blocks on the scheduler's event queue per loop turn.
+_POLL_SECONDS = 0.02
+
+#: Default per-tenant bound on in-flight (admitted, undelivered) queries.
+DEFAULT_MAX_INFLIGHT = 64
+
+
+class AdmissionError(QueryError):
+    """Raised by ``submit`` on a daemon session the daemon refuses to admit:
+    the tenant is over its token-bucket rate, over its in-flight bound, or
+    the daemon is draining/closed.  Subclasses :class:`QueryError`, so
+    generic error handling keeps working; catch it specifically to back off.
+    """
+
+    def __init__(self, message: str, reason: str) -> None:
+        super().__init__(message)
+        self.reason = reason  #: ``"rate" | "inflight" | "draining" | "closed"``
+
+
+class TokenBucket:
+    """Classic token bucket on the monotonic clock.
+
+    ``rate`` tokens are added per second up to ``burst``; each admitted
+    query consumes one.  ``rate=None`` disables rate limiting (the bucket
+    always grants).  Thread-safe.
+    """
+
+    def __init__(self, rate: float | None, burst: int) -> None:
+        if rate is not None and rate <= 0:
+            raise QueryError(f"rate must be positive (or None), got {rate!r}")
+        if burst < 1:
+            raise QueryError(f"burst must be a positive integer, got {burst!r}")
+        self._rate = rate
+        self._burst = float(burst)
+        self._tokens = float(burst)
+        self._stamp = time.monotonic()
+        self._lock = threading.Lock()
+
+    def try_acquire(self) -> bool:
+        """Consume one token if available; never blocks."""
+        if self._rate is None:
+            return True
+        with self._lock:
+            now = time.monotonic()
+            self._tokens = min(self._burst, self._tokens + (now - self._stamp) * self._rate)
+            self._stamp = now
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                return True
+            return False
+
+
+class _TenantBackend:
+    """Per-session scheduler facade: admission control + event routing.
+
+    Quacks like a :class:`~repro.service.scheduler.ShardScheduler` as far as
+    :class:`~repro.service.session.QuerySession` is concerned (``submit`` /
+    ``cancel`` / ``stats`` / ``close`` plus an ``events`` queue), but routes
+    through the daemon's shared scheduler.  The session's *local* indexes
+    are translated to daemon-*global* ones on the way in and back on the way
+    out, so concurrent sessions never collide.
+    """
+
+    def __init__(self, daemon: "QueryDaemon", tenant: str, bucket: TokenBucket, max_inflight: int) -> None:
+        self._daemon = daemon
+        self.tenant = tenant
+        self._bucket = bucket
+        self._max_inflight = max_inflight
+        self.events: "queue.Queue[tuple[int, Any]]" = queue.Queue()
+        self._lock = threading.Lock()
+        self._to_global: dict[int, int] = {}  #: local → global, in-flight only
+        self.admitted = 0
+        self.rejected = 0
+        self._closed = False
+
+    # -- the QuerySession-facing surface --------------------------------
+    def submit(
+        self,
+        index: int,
+        query: CausalQuery,
+        options: dict[str, Any],
+        timeout: float | None,
+    ) -> None:
+        reason: str | None = None
+        with self._lock:
+            if self._closed:
+                reason = "closed"
+            elif self._daemon._refuses_admission():  # noqa: SLF001 - daemon pair
+                reason = "draining"
+            elif len(self._to_global) >= self._max_inflight:
+                reason = "inflight"
+            elif not self._bucket.try_acquire():
+                reason = "rate"
+            if reason is not None:
+                self.rejected += 1
+            else:
+                self.admitted += 1
+        telemetry = get_registry()
+        if reason is not None:
+            telemetry.count("daemon.reject", tenant=self.tenant, reason=reason)
+            raise AdmissionError(
+                f"tenant {self.tenant!r}: query not admitted ({reason}); "
+                "back off and retry, consume pending events, or raise the "
+                "tenant's quota",
+                reason=reason,
+            )
+        telemetry.count("daemon.admit", tenant=self.tenant)
+        global_index = self._daemon._route(self, index)  # noqa: SLF001
+        with self._lock:
+            # Mapped before the scheduler sees the query: a fast completion
+            # may route back the instant submit returns.
+            self._to_global[index] = global_index
+        try:
+            self._daemon._scheduler.submit(  # noqa: SLF001
+                global_index, query, options, timeout, group=self.tenant
+            )
+        except BaseException:
+            self._daemon._unroute(global_index)  # noqa: SLF001
+            with self._lock:
+                self._to_global.pop(index, None)
+            raise
+
+    def cancel(self, index: int) -> bool:
+        with self._lock:
+            global_index = self._to_global.get(index)
+        if global_index is None:
+            return False
+        cancelled = self._daemon._scheduler.cancel(global_index)  # noqa: SLF001
+        if cancelled:
+            self._daemon._unroute(global_index)  # noqa: SLF001
+            with self._lock:
+                self._to_global.pop(index, None)
+        return cancelled
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            tenant_stats = {
+                "tenant": self.tenant,
+                "admitted": self.admitted,
+                "rejected": self.rejected,
+                "inflight": len(self._to_global),
+            }
+        stats = self._daemon._scheduler.stats()  # noqa: SLF001
+        stats.update(tenant_stats)
+        return stats
+
+    def close(self) -> None:
+        """Close this tenant's session: cancel its in-flight queries.
+
+        The shared scheduler stays up — it belongs to the daemon.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            inflight = list(self._to_global.items())
+            self._to_global.clear()
+        for _local, global_index in inflight:
+            self._daemon._scheduler.cancel(global_index)  # noqa: SLF001
+            self._daemon._unroute(global_index)  # noqa: SLF001
+        self._daemon._session_closed(self)  # noqa: SLF001
+
+    # -- the router-facing surface --------------------------------------
+    def _deliver(self, local_index: int, outcome: Any) -> None:
+        with self._lock:
+            self._to_global.pop(local_index, None)
+            closed = self._closed
+        if not closed:
+            self.events.put((local_index, outcome))
+
+
+class QueryDaemon:
+    """A long-lived multi-tenant query service over one engine.
+
+    ::
+
+        with QueryDaemon(engine, jobs=4, shards=4) as daemon:
+            alice = daemon.open_session(tenant="alice", rate=50.0, burst=10)
+            bob = daemon.open_session(tenant="bob")
+            alice.submit("ATE(treatment, outcome)")
+            ...
+            daemon.drain()
+
+    One :class:`~repro.service.scheduler.ShardScheduler` (one worker pool)
+    serves every session; per-tenant admission control and round-robin task
+    fairness keep tenants isolated.  Thread-safe; sessions may be opened,
+    used and closed concurrently from any threads.
+    """
+
+    def __init__(
+        self,
+        engine: "CaRLEngine",
+        jobs: int | None = 1,
+        shards: int | None = None,
+        retries: int = 2,
+        backend: str | None = None,
+    ) -> None:
+        backend = backend or engine.backend
+        if backend != "columnar":
+            raise QueryError(
+                "the query daemon shards the columnar collection phase; "
+                f"backend {backend!r} is not shardable"
+            )
+        if jobs is None:
+            import os
+
+            jobs = os.cpu_count() or 1
+        if jobs < 1:
+            raise QueryError(f"jobs must be a positive integer, got {jobs!r}")
+        self._engine = engine
+        self._backend = backend
+        self._scheduler = ShardScheduler(
+            engine, jobs=jobs, shards=shards or jobs, retries=retries, backend=backend
+        )
+        self._scheduler.start()
+        self._lock = threading.Lock()
+        self._next_global = 0
+        #: Global index → (facade, local index); one entry per in-flight
+        #: query, deleted when its event is routed (or it is cancelled).
+        self._routes: dict[int, tuple[_TenantBackend, int]] = {}
+        self._sessions: set[_TenantBackend] = set()
+        self._next_anonymous = 0
+        self._draining = False
+        self._closed = False
+        self._stop = threading.Event()
+        self._router = threading.Thread(
+            target=self._run_router, name="carl-daemon-router", daemon=True
+        )
+        self._router.start()
+
+    # ------------------------------------------------------------------
+    # sessions
+    # ------------------------------------------------------------------
+    def open_session(
+        self,
+        tenant: str | None = None,
+        rate: float | None = None,
+        burst: int = 16,
+        max_inflight: int = DEFAULT_MAX_INFLIGHT,
+        max_pending: int | None = None,
+        submit_timeout: float | None = None,
+        estimator: str | None = None,
+        embedding: str | None = None,
+        bootstrap: int = 0,
+        seed: int = 0,
+    ) -> QuerySession:
+        """Open one tenant's session (use as a context manager).
+
+        ``rate``/``burst`` shape the tenant's token bucket (``rate=None``
+        disables rate limiting); ``max_inflight`` bounds the tenant's
+        admitted-but-undelivered queries.  Both reject with
+        :class:`AdmissionError` at ``submit``.  ``max_pending`` /
+        ``submit_timeout`` add session-side backpressure on top (see
+        :class:`~repro.service.session.QuerySession`).  Closing the session
+        cancels its in-flight queries; the daemon's workers live on.
+        """
+        if max_inflight < 1:
+            raise QueryError(
+                f"max_inflight must be a positive integer, got {max_inflight!r}"
+            )
+        with self._lock:
+            if self._closed:
+                raise QueryError("the query daemon is closed")
+            if self._draining:
+                raise QueryError("the query daemon is draining")
+            if tenant is None:
+                tenant = f"tenant-{self._next_anonymous}"
+                self._next_anonymous += 1
+        backend = _TenantBackend(
+            self, tenant, TokenBucket(rate, burst), max_inflight
+        )
+        with self._lock:
+            self._sessions.add(backend)
+            live = len(self._sessions)
+        get_registry().gauge("daemon.sessions", live)
+        return QuerySession(
+            self._engine,
+            executor="process",
+            backend=self._backend,
+            estimator=estimator,
+            embedding=embedding,
+            bootstrap=bootstrap,
+            seed=seed,
+            max_pending=max_pending,
+            submit_timeout=submit_timeout,
+            _backend=backend,
+        )
+
+    def _session_closed(self, backend: _TenantBackend) -> None:
+        with self._lock:
+            self._sessions.discard(backend)
+            live = len(self._sessions)
+        get_registry().gauge("daemon.sessions", live)
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def _refuses_admission(self) -> bool:
+        with self._lock:
+            return self._draining or self._closed
+
+    def _route(self, backend: _TenantBackend, local_index: int) -> int:
+        with self._lock:
+            global_index = self._next_global
+            self._next_global += 1
+            self._routes[global_index] = (backend, local_index)
+            return global_index
+
+    def _unroute(self, global_index: int) -> None:
+        with self._lock:
+            self._routes.pop(global_index, None)
+
+    def _run_router(self) -> None:
+        while not self._stop.is_set():
+            try:
+                global_index, outcome = self._scheduler.events.get(
+                    timeout=_POLL_SECONDS
+                )
+            except queue.Empty:
+                continue
+            except (OSError, ValueError):  # pragma: no cover - queue closed
+                return
+            with self._lock:
+                route = self._routes.pop(global_index, None)
+            if route is None:
+                continue  # session closed (or query cancelled) before delivery
+            backend, local_index = route
+            backend._deliver(local_index, outcome)  # noqa: SLF001 - daemon pair
+
+    # ------------------------------------------------------------------
+    # lifecycle / inspection
+    # ------------------------------------------------------------------
+    def inflight(self) -> int:
+        """Admitted queries whose events have not been routed yet."""
+        with self._lock:
+            return len(self._routes)
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Stop admitting queries and wait for in-flight ones to resolve.
+
+        Returns True when the daemon went idle within ``timeout`` seconds
+        (False on expiry — the daemon stays draining either way; a False
+        return means some queries are still in flight, not that they were
+        lost).
+        """
+        with self._lock:
+            self._draining = True
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            if self.inflight() == 0:
+                return True
+            if deadline is not None and time.monotonic() >= deadline:
+                return False
+            time.sleep(_POLL_SECONDS)
+
+    def stats(self) -> dict[str, Any]:
+        """Daemon-level counters plus the shared scheduler's snapshot."""
+        with self._lock:
+            sessions = list(self._sessions)
+            snapshot: dict[str, Any] = {
+                "sessions": len(sessions),
+                "inflight": len(self._routes),
+                "draining": self._draining,
+                "tenants": {},
+            }
+        admitted = rejected = 0
+        for backend in sessions:
+            with backend._lock:  # noqa: SLF001 - daemon pair
+                snapshot["tenants"][backend.tenant] = {
+                    "admitted": backend.admitted,
+                    "rejected": backend.rejected,
+                    "inflight": len(backend._to_global),  # noqa: SLF001
+                }
+                admitted += backend.admitted
+                rejected += backend.rejected
+        snapshot["admitted"] = admitted
+        snapshot["rejected"] = rejected
+        snapshot["scheduler"] = self._scheduler.stats()
+        return snapshot
+
+    def close(self, drain_timeout: float = 0.0) -> None:
+        """Tear the daemon down; idempotent.
+
+        With ``drain_timeout > 0`` the daemon first waits (bounded) for
+        in-flight queries; any still unresolved are abandoned with the
+        scheduler's workers.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._draining = True
+        if drain_timeout > 0:
+            self.drain(timeout=drain_timeout)
+        self._stop.set()
+        self._router.join(timeout=5.0)
+        self._scheduler.close()
+        with self._lock:
+            self._routes.clear()
+            live_sessions = list(self._sessions)
+        for backend in live_sessions:
+            backend.close()
+
+    def __enter__(self) -> "QueryDaemon":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.close()

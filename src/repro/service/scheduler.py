@@ -23,6 +23,22 @@ behaviors with explicit task-level bookkeeping:
   zero collection work, and tasks are deduplicated by key within the
   session, so a threshold sweep collects each unit range once.
 
+Long-lived service hardening (PR 7):
+
+* **bounded bookkeeping** — a query's record is reaped the moment its event
+  is emitted and completed task rows are reaped as their results land; the
+  session-level dedup that DONE task rows used to provide moves to a bounded
+  LRU of warm partial keys (each holding one refcounted cache pin), so the
+  scheduler's memory is O(in-flight work), not O(session history);
+* **fair scheduling across submitters** — :meth:`submit` takes an optional
+  ``group`` label (the daemon passes one per tenant session) and ready
+  collect tasks are drained round-robin across groups, while finish tasks
+  keep absolute priority (they complete a query *now*);
+* **telemetry** — every query emits a span tree (``query`` root with
+  ``query.ground`` / ``query.collect`` / ``query.finish`` children) plus
+  retry/timeout/queue-depth signals through
+  :mod:`repro.observability.telemetry` (see ``docs/observability.md``).
+
 Everything a worker computes flows through the artifact cache exactly as in
 PR 4 (partials as ``unit_inputs`` artifacts, never bulk pickles), and the
 per-query merge is pure concatenation — so every answer the scheduler emits
@@ -43,7 +59,7 @@ import shutil
 import tempfile
 import threading
 import time
-from collections import deque
+from collections import OrderedDict, deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
@@ -60,12 +76,15 @@ from repro.carl.shard import (
     _run_finish_task,
     _run_shard_task,
     _worker_init,
+    register_inheritable_engine,
     shard_partial_key,
+    unregister_inheritable_engine,
 )
 from repro.cache.store import ArtifactCache, CacheKey
 from repro.carl.ast import CausalQuery
 from repro.carl.queries import QueryAnswer
 from repro.db.aggregates import shard_ranges
+from repro.observability.telemetry import Span, get_registry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.carl.engine import CaRLEngine
@@ -84,11 +103,11 @@ _SHUTDOWN_GRACE = 2.0
 #: the engine when the stop flag is set.
 _DISPATCHER_JOIN = 5.0
 
-#: Serializes the hand-off of the fork-inherited engine around process
-#: spawns: the engine crosses into a forked worker through a module global
-#: in :mod:`repro.carl.shard`, so two sessions (or a session's replacement
-#: spawn racing another session's) must not interleave set → fork → restore.
-_SPAWN_LOCK = threading.Lock()
+#: Bound on the warm partial-key LRU: completed collect work is remembered
+#: (and its artifact kept pinned) up to this many unit ranges, so a hot
+#: sweep re-submitted to a long-lived session skips the cache probe without
+#: the scheduler accumulating a row per task it ever ran.
+_WARM_KEYS_CAP = 4096
 
 
 class TaskState(enum.Enum):
@@ -129,6 +148,8 @@ class ServiceStats:
     reaped_results: int = 0
     timeouts: int = 0
     cancelled: int = 0
+    records_reaped: int = 0
+    tasks_reaped: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -141,6 +162,8 @@ class ServiceStats:
             "reaped_results": self.reaped_results,
             "timeouts": self.timeouts,
             "cancelled": self.cancelled,
+            "records_reaped": self.records_reaped,
+            "tasks_reaped": self.tasks_reaped,
         }
 
 
@@ -162,24 +185,39 @@ class _Task:
     excluded: set[int] = field(default_factory=set)
     worker: int | None = None  #: id of the worker currently running it
     seconds: float = 0.0  #: collection seconds (collect tasks, once done)
+    group: str | None = None  #: fairness group of the query that created it
+    trace: str | None = None  #: telemetry trace of the creating query
+    parent: str | None = None  #: telemetry span id of the creating query
+    span: Span | None = None  #: open span of the current execution attempt
 
 
 @dataclass
 class _QueryRecord:
-    """Dispatcher-side bookkeeping for one submitted query."""
+    """Dispatcher-side bookkeeping for one submitted query.
+
+    Lives from :meth:`ShardScheduler.submit` until the query's event is
+    emitted (or it is detached by cancellation) — records are reaped at
+    resolution, so the record table is O(in-flight queries).
+    """
 
     index: int
     query: CausalQuery
     options: dict[str, Any]  #: estimator/embedding/bootstrap/seed/...
     deadline: float | None  #: monotonic deadline, None = no timeout
+    group: str | None = None  #: fairness group (daemon: one per tenant)
     state: QueryState = QueryState.PENDING
     table_key: CacheKey | None = None
     #: Ordered partial keys (range order) the finish task will merge.
     part_keys: list[CacheKey] = field(default_factory=list)
+    #: Partial keys this record pinned (one refcount each; released at reap).
+    pins: list[CacheKey] = field(default_factory=list)
     #: Ids of this query's unfinished collect tasks.
     waiting_on: set[int] = field(default_factory=set)
     collect_seconds: float = 0.0
     finish_task: int | None = None
+    mode: str = ""  #: "warm" | "cold" once planned
+    trace: str | None = None  #: telemetry trace id
+    span: Span | None = None  #: open root ``query`` span
 
 
 class _Worker:
@@ -233,12 +271,13 @@ class ShardScheduler:
     dispatcher thread):
 
     * :meth:`start` / :meth:`close` — spawn and tear down workers;
-    * :meth:`submit` — register one parsed query (with per-query options and
-      an optional timeout) for scheduling;
+    * :meth:`submit` — register one parsed query (with per-query options,
+      an optional timeout, and an optional fairness group) for scheduling;
     * :meth:`cancel` — drop a query before it completes;
     * :attr:`events` — queue of ``(index, QueryAnswer | QueryError)`` in
       completion order;
-    * :meth:`stats` — a :class:`ServiceStats` snapshot.
+    * :meth:`stats` — a :class:`ServiceStats` snapshot plus live
+      bookkeeping sizes (``live_records`` / ``live_tasks`` / ...).
     """
 
     def __init__(
@@ -262,17 +301,35 @@ class ShardScheduler:
         self._stats = ServiceStats()
         self._records: dict[int, _QueryRecord] = {}
         self._tasks: dict[int, _Task] = {}
+        #: In-flight (PENDING/RUNNING) collect tasks by partial key — the
+        #: within-session dedup that lets a threshold sweep share ranges.
         self._task_by_key: dict[CacheKey, int] = {}
-        self._ready: deque[int] = deque()
+        #: Completed collect work: partial key → collection seconds, LRU up
+        #: to ``_WARM_KEYS_CAP``.  Each entry holds one cache pin, released
+        #: on LRU eviction or at close.  Replaces the DONE task rows the
+        #: scheduler used to keep forever.
+        self._warm_keys: "OrderedDict[CacheKey, float]" = OrderedDict()
+        #: Ready collect tasks, one deque per fairness group, drained
+        #: round-robin (``_group_order`` is the rotation); finish tasks go
+        #: to ``_priority`` and always run first.
+        self._ready_groups: dict[str | None, deque[int]] = {}
+        self._group_order: deque[str | None] = deque()
+        self._priority: deque[int] = deque()
+        self._ready_count = 0
+        self._last_queue_depth = -1
         self._control: deque[tuple[str, int]] = deque()
         self._next_task_id = 0
         self._next_worker_id = 0
         self._workers: dict[int, _Worker] = {}
         self._results: Any = None
+        #: Session-lifetime pins: the published engine-state artifacts
+        #: (grounding + tables).  Partial-key pins live on their records and
+        #: on ``_warm_keys`` entries instead.
         self._pinned: list[CacheKey] = []
         self._cleanup_root: str | None = None
         self._cache: ArtifactCache | None = None
         self._spec: WorkerSpec | None = None
+        self._inherit_token: str | None = None
         self._stop = threading.Event()
         self._dispatcher: threading.Thread | None = None
         #: Lazily created single thread for warm unit-table answers: they
@@ -283,6 +340,8 @@ class ShardScheduler:
         #: forked while the warm thread holds the engine's state lock (or a
         #: cache stats lock) would inherit it mid-acquire and deadlock, so
         #: spawns wait for the warm thread to go idle and vice versa.
+        #: Per-scheduler: concurrent sessions fork independently (the
+        #: engine hand-off is token-keyed, see repro.carl.shard).
         self._fork_lock = threading.Lock()
         self._closed = False
 
@@ -303,8 +362,17 @@ class ShardScheduler:
             multiprocessing.get_start_method() == "fork"
             and not os.environ.get(NO_INHERIT_ENV)
         )
+        if inherit:
+            # Registered for the scheduler's whole lifetime: replacement
+            # workers may fork at any point, and the token-keyed registry
+            # lets any number of sessions fork concurrently.
+            self._inherit_token = register_inheritable_engine(self._engine)
         self._spec = _publish_engine_state(
-            self._engine, cache, inherit=inherit, pinned=self._pinned
+            self._engine,
+            cache,
+            inherit=inherit,
+            pinned=self._pinned,
+            inherit_token=self._inherit_token,
         )
         self._results = multiprocessing.Queue()
         for _ in range(self._jobs):
@@ -345,7 +413,17 @@ class ShardScheduler:
                 worker.process.join(timeout=_SHUTDOWN_GRACE)
         if self._results is not None:
             self._results.close()
+        unregister_inheritable_engine(self._inherit_token)
+        self._inherit_token = None
         if self._cache is not None:
+            with self._lock:
+                for record in self._records.values():
+                    for key in record.pins:
+                        self._cache.unpin(key)
+                    record.pins.clear()
+                for key in self._warm_keys:
+                    self._cache.unpin(key)
+                self._warm_keys.clear()
             for key in self._pinned:
                 self._cache.unpin(key)
             self._pinned.clear()
@@ -361,14 +439,24 @@ class ShardScheduler:
         query: CausalQuery,
         options: dict[str, Any],
         timeout: float | None,
+        group: str | None = None,
     ) -> None:
-        """Register one parsed query; planning happens on the dispatcher."""
+        """Register one parsed query; planning happens on the dispatcher.
+
+        ``group`` labels the query for fair scheduling: ready collect tasks
+        are drained round-robin across groups, so one group's deep backlog
+        cannot starve another's (the daemon passes one group per tenant).
+        """
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._lock:
             if self._closed:
                 raise QueryError("the query session is closed")
             self._records[index] = _QueryRecord(
-                index=index, query=query, options=dict(options), deadline=deadline
+                index=index,
+                query=query,
+                options=dict(options),
+                deadline=deadline,
+                group=group,
             )
             self._control.append(("plan", index))
 
@@ -383,11 +471,79 @@ class ShardScheduler:
             record.state = QueryState.CANCELLED
             self._stats.cancelled += 1
             self._control.append(("cancelled", index))
-            return True
+        get_registry().count("scheduler.cancelled")
+        return True
 
     def stats(self) -> dict[str, int]:
         with self._lock:
-            return self._stats.as_dict()
+            snapshot = self._stats.as_dict()
+            snapshot["live_records"] = len(self._records)
+            snapshot["live_tasks"] = len(self._tasks)
+            snapshot["warm_keys"] = len(self._warm_keys)
+            snapshot["ready_tasks"] = self._ready_count
+            snapshot["pinned_keys"] = (
+                len(self._pinned)
+                + len(self._warm_keys)
+                + sum(len(record.pins) for record in self._records.values())
+            )
+        return snapshot
+
+    # ------------------------------------------------------------------
+    # ready-queue plumbing (callers hold the lock)
+    # ------------------------------------------------------------------
+    def _enqueue_ready_locked(self, task: _Task, front: bool = False) -> None:
+        group = task.group
+        dq = self._ready_groups.get(group)
+        if dq is None:
+            dq = self._ready_groups[group] = deque()
+            self._group_order.append(group)
+        if front:
+            dq.appendleft(task.id)
+        else:
+            dq.append(task.id)
+        self._ready_count += 1
+
+    def _pop_ready_locked(self) -> int | None:
+        if self._priority:
+            self._ready_count -= 1
+            return self._priority.popleft()
+        for _ in range(len(self._group_order)):
+            group = self._group_order.popleft()
+            dq = self._ready_groups.get(group)
+            if not dq:
+                # Drained group: drop it from the rotation (re-added on the
+                # next enqueue), so departed tenants do not accumulate.
+                self._ready_groups.pop(group, None)
+                continue
+            task_id = dq.popleft()
+            self._group_order.append(group)
+            self._ready_count -= 1
+            return task_id
+        return None
+
+    def _emit_queue_depth_locked(self) -> None:
+        if self._ready_count != self._last_queue_depth:
+            self._last_queue_depth = self._ready_count
+            get_registry().gauge("scheduler.queue_depth", self._ready_count)
+
+    # ------------------------------------------------------------------
+    # warm partial-key bookkeeping (callers hold the lock)
+    # ------------------------------------------------------------------
+    def _remember_warm_locked(self, key: CacheKey, seconds: float) -> None:
+        """Record completed collect work for ``key`` (pinned, LRU-bounded)."""
+        if key in self._warm_keys:
+            self._warm_keys.move_to_end(key)
+            self._warm_keys[key] = max(self._warm_keys[key], seconds)
+            return
+        self._cache.pin(key)
+        self._warm_keys[key] = seconds
+        while len(self._warm_keys) > _WARM_KEYS_CAP:
+            evicted, _ = self._warm_keys.popitem(last=False)
+            self._cache.unpin(evicted)
+
+    def _forget_warm_locked(self, key: CacheKey) -> None:
+        if self._warm_keys.pop(key, None) is not None:
+            self._cache.unpin(key)
 
     # ------------------------------------------------------------------
     # dispatcher thread
@@ -429,6 +585,15 @@ class ShardScheduler:
             if record is None or record.state is not QueryState.PENDING:
                 return
         options = record.options
+        telemetry = get_registry()
+        span_meta: dict[str, Any] = {"executor": "process"}
+        if record.group is not None:
+            span_meta["tenant"] = record.group
+        record.span = telemetry.start_span("query", index=index, **span_meta)
+        record.trace = record.span.trace
+        ground_span = telemetry.start_span(
+            "query.ground", trace=record.trace, parent=record.span
+        )
         try:
             plan = _plan_query(
                 self._engine,
@@ -440,8 +605,10 @@ class ShardScheduler:
                 self._backend,
             )
         except Exception as error:  # noqa: BLE001 - a plan failure is per-query
+            telemetry.finish_span(ground_span)
             self._finish_query(index, self._as_query_error(error))
             return
+        telemetry.finish_span(ground_span, cached=plan.cached)
         if plan.cached:
             # Warm unit table: the serial warm path (load + estimate)
             # answers without any scheduling — but `engine.answer` can be
@@ -451,12 +618,16 @@ class ShardScheduler:
                 if record.state is not QueryState.PENDING:
                     return  # cancelled while planning
                 record.state = QueryState.RUNNING
+                record.mode = "warm"
                 if self._warm_pool is None:
                     self._warm_pool = ThreadPoolExecutor(
                         max_workers=1, thread_name_prefix="carl-service-warm"
                     )
 
             def _answer_warm() -> None:
+                finish_span = get_registry().start_span(
+                    "query.finish", trace=record.trace, parent=record.span, mode="warm"
+                )
                 try:
                     with self._fork_lock:
                         answer = self._engine.answer(
@@ -468,8 +639,10 @@ class ShardScheduler:
                             backend=self._backend,
                         )
                 except Exception as error:  # noqa: BLE001 - per-query failure
+                    get_registry().finish_span(finish_span, outcome="error")
                     self._finish_query(index, self._as_query_error(error))
                 else:
+                    get_registry().finish_span(finish_span, outcome="ok")
                     self._finish_query(index, answer)
 
             self._warm_pool.submit(_answer_warm)
@@ -482,6 +655,7 @@ class ShardScheduler:
                 # once it has been cancelled.
                 return
             record.state = QueryState.RUNNING
+            record.mode = "cold"
             record.table_key = plan.table_key
             for start, stop in shard_ranges(plan.n_units, self._shards):
                 if start == stop:
@@ -495,19 +669,31 @@ class ShardScheduler:
                     plan.n_units,
                 )
                 record.part_keys.append(result_key)
+                # One pin per referencing record, released when the record
+                # is reaped — eviction can never pull a partial out from
+                # under a query that will merge it.
+                self._cache.pin(result_key)
+                record.pins.append(result_key)
                 existing_id = self._task_by_key.get(result_key)
-                if existing_id is not None and self._tasks[
-                    existing_id
-                ].state in (TaskState.PENDING, TaskState.RUNNING, TaskState.DONE):
+                if existing_id is not None:
+                    # The range is already being collected for another live
+                    # query of this session (same collection signature):
+                    # share its in-flight work.
                     task = self._tasks[existing_id]
                     task.queries.add(index)
-                    if task.state is not TaskState.DONE:
-                        record.waiting_on.add(task.id)
-                    else:
-                        record.collect_seconds += task.seconds
+                    record.waiting_on.add(task.id)
                     continue
-                self._cache.pin(result_key)
-                self._pinned.append(result_key)
+                warm_seconds = self._warm_keys.get(result_key)
+                if warm_seconds is not None:
+                    if self._cache.contains(result_key):
+                        # Completed earlier in this session: no probe, no
+                        # task — the partial is on disk and pinned.
+                        self._warm_keys.move_to_end(result_key)
+                        record.collect_seconds += warm_seconds
+                        continue
+                    # Evicted externally despite the pin (best-effort
+                    # protection): forget it and re-collect below.
+                    self._forget_warm_locked(result_key)
                 spec = ShardTask(
                     query=record.query,
                     start=start,
@@ -518,33 +704,28 @@ class ShardScheduler:
                 if self._cache.load(result_key) is not None:
                     # Shard-level cache reuse: the partial already exists
                     # (verified), so this range needs no collection at all.
-                    # Registered as an already-DONE task so later queries of
-                    # the session reuse the probe instead of repeating it.
+                    # Remembered as a warm key so later queries of the
+                    # session skip the probe instead of repeating it.
                     self._stats.collect_cache_hits += 1
-                    task = _Task(
-                        id=self._next_task_id,
-                        kind="collect",
-                        spec=spec,
-                        queries={index},
-                        state=TaskState.DONE,
-                    )
-                    self._next_task_id += 1
-                    self._tasks[task.id] = task
-                    self._task_by_key[result_key] = task.id
+                    self._remember_warm_locked(result_key, 0.0)
                     continue
                 task = _Task(
                     id=self._next_task_id,
                     kind="collect",
                     spec=spec,
                     queries={index},
+                    group=record.group,
+                    trace=record.trace,
+                    parent=record.span.span_id if record.span is not None else None,
                 )
                 self._next_task_id += 1
                 self._tasks[task.id] = task
                 self._task_by_key[result_key] = task.id
-                self._ready.append(task.id)
+                self._enqueue_ready_locked(task)
                 record.waiting_on.add(task.id)
             if not record.waiting_on:
                 self._enqueue_finish(record)
+            self._emit_queue_depth_locked()
 
     def _enqueue_finish(self, record: _QueryRecord) -> None:
         """All collects of a query are resolved: schedule its finish task.
@@ -565,13 +746,17 @@ class ShardScheduler:
                 seed=options["seed"],
             ),
             queries={record.index},
+            group=record.group,
+            trace=record.trace,
+            parent=record.span.span_id if record.span is not None else None,
         )
         self._next_task_id += 1
         self._tasks[task.id] = task
         # Finish tasks jump the queue: a ready finish completes a query *now*,
         # and streaming is about completion latency — collect tasks of later
         # queries can wait one task's worth of time.
-        self._ready.appendleft(task.id)
+        self._priority.append(task.id)
+        self._ready_count += 1
         record.finish_task = task.id
 
     # -- workers --------------------------------------------------------
@@ -585,19 +770,14 @@ class ShardScheduler:
             name=f"carl-service-worker-{worker_id}",
             daemon=True,
         )
-        # The fork-inherited engine crosses through a module global that the
-        # child snapshots at fork time; serialize spawns so concurrent
-        # sessions cannot hand a worker the wrong engine.  The fork lock
-        # additionally keeps the fork out of any window where this
-        # session's warm-answer thread holds an engine or cache lock.
-        with _SPAWN_LOCK, self._fork_lock:
-            previous = shard_module._INHERITABLE_ENGINE  # noqa: SLF001
-            if self._spec.inherit:
-                shard_module._INHERITABLE_ENGINE = self._engine  # noqa: SLF001
-            try:
-                process.start()
-            finally:
-                shard_module._INHERITABLE_ENGINE = previous  # noqa: SLF001
+        # The fork-inherited engine crosses through the token-keyed registry
+        # in repro.carl.shard, which the child snapshots at fork time — no
+        # global spawn lock needed, so concurrent sessions fork without
+        # blocking each other.  The per-scheduler fork lock keeps the fork
+        # out of any window where this session's warm-answer thread holds an
+        # engine or cache lock.
+        with self._fork_lock:
+            process.start()
         worker = _Worker(worker_id, process, tasks)
         self._workers[worker_id] = worker
         with self._lock:
@@ -609,6 +789,7 @@ class ShardScheduler:
             del self._workers[worker.id]
             with self._lock:
                 self._stats.worker_deaths += 1
+            get_registry().count("scheduler.worker_death")
             task_id = worker.task_id
             if task_id is not None:
                 self._task_faulted(
@@ -627,15 +808,17 @@ class ShardScheduler:
 
     def _assign_ready_tasks(self) -> None:
         with self._lock:
-            if not self._ready:
+            if not self._ready_count:
                 return
             idle = [w for w in self._workers.values() if w.task_id is None]
             if not idle:
                 return
             alive_ids = set(self._workers)
-            still_ready: deque[int] = deque()
-            while self._ready and idle:
-                task_id = self._ready.popleft()
+            deferred: list[_Task] = []
+            while idle:
+                task_id = self._pop_ready_locked()
+                if task_id is None:
+                    break
                 task = self._tasks.get(task_id)
                 if task is None or task.state is not TaskState.PENDING:
                     continue
@@ -647,7 +830,7 @@ class ShardScheduler:
                         # retry (the budget still bounds total attempts).
                         eligible = idle
                     else:
-                        still_ready.append(task_id)
+                        deferred.append(task)
                         continue
                 worker = eligible[0]
                 idle.remove(worker)
@@ -657,10 +840,30 @@ class ShardScheduler:
                 task.attempts += 1
                 if task.kind == "collect":
                     self._stats.collect_tasks_run += 1
+                    task.span = get_registry().start_span(
+                        "query.collect",
+                        trace=task.trace,
+                        parent=task.parent,
+                        start=task.spec.start,
+                        stop=task.spec.stop,
+                        worker=worker.id,
+                        attempt=task.attempts,
+                    )
                 else:
                     self._stats.finish_tasks_run += 1
+                    task.span = get_registry().start_span(
+                        "query.finish",
+                        trace=task.trace,
+                        parent=task.parent,
+                        mode="cold",
+                        worker=worker.id,
+                    )
                 worker.tasks.put((task.id, task.spec))
-            self._ready.extendleft(reversed(still_ready))
+            for task in deferred:
+                # No eligible idle worker this round: back to the front of
+                # the task's own group so fairness is preserved.
+                self._enqueue_ready_locked(task, front=True)
+            self._emit_queue_depth_locked()
 
     # -- results --------------------------------------------------------
     def _handle_result(self, message: tuple[int, int, str, Any]) -> None:
@@ -698,11 +901,28 @@ class ShardScheduler:
                     record.collect_seconds += task.seconds
                     if not record.waiting_on and record.finish_task is None:
                         self._enqueue_finish(record)
+                # Reap the task row: the partial is on disk, so all later
+                # queries need is the warm key (bounded LRU, pinned).
+                self._remember_warm_locked(task.spec.result_key, task.seconds)
+                self._reap_task_locked(task)
             else:
                 (index,) = task.queries
                 emit.append((index, payload))
+                self._reap_task_locked(task)
+        if task.span is not None:
+            get_registry().finish_span(task.span, outcome="ok")
+            task.span = None
         for index, outcome in emit:
             self._finish_query(index, outcome)
+
+    def _reap_task_locked(self, task: _Task) -> None:
+        """Drop a resolved task's row (caller holds the lock)."""
+        if self._tasks.pop(task.id, None) is not None:
+            self._stats.tasks_reaped += 1
+        if task.kind == "collect":
+            key = task.spec.result_key
+            if self._task_by_key.get(key) == task.id:
+                del self._task_by_key[key]
 
     def _task_faulted(
         self, task_id: int, worker_id: int, error: QueryError, retryable: bool
@@ -715,6 +935,9 @@ class ShardScheduler:
                 return
             task.worker = None
             task.excluded.add(worker_id)
+            if task.span is not None:
+                get_registry().finish_span(task.span, outcome="fault")
+                task.span = None
             if retryable and task.attempts <= self._retries:
                 # Requeue: the next assignment avoids the faulting worker
                 # (a replacement for a dead one has a fresh id and is
@@ -722,7 +945,9 @@ class ShardScheduler:
                 # at most 1 + retries times.
                 task.state = TaskState.PENDING
                 self._stats.retries += 1
-                self._ready.append(task.id)
+                self._enqueue_ready_locked(task)
+                self._emit_queue_depth_locked()
+                get_registry().count("scheduler.retry", kind=task.kind)
                 return
             task.state = TaskState.FAILED
             affected = sorted(task.queries)
@@ -735,6 +960,10 @@ class ShardScheduler:
             self._finish_query(
                 index, QueryError(f"{error}{budget_note}"), failed_task=task_id
             )
+        with self._lock:
+            failed = self._tasks.get(task_id)
+            if failed is not None:
+                self._reap_task_locked(failed)
 
     # -- query completion / detachment ---------------------------------
     def _finish_query(
@@ -743,7 +972,7 @@ class ShardScheduler:
         outcome: QueryAnswer | QueryError,
         failed_task: int | None = None,
     ) -> None:
-        """Resolve one query and emit its event (unless cancelled)."""
+        """Resolve one query, emit its event (unless cancelled), reap it."""
         with self._lock:
             record = self._records.get(index)
             if record is None or record.state in (QueryState.DONE, QueryState.FAILED):
@@ -757,9 +986,41 @@ class ShardScheduler:
         self._release_query_tasks(index, keep=failed_task)
         if not cancelled:
             self.events.put((index, outcome))
+        self._reap_record(index)
 
     def _detach_query(self, index: int) -> None:
         self._release_query_tasks(index, keep=None)
+        self._reap_record(index)
+
+    def _reap_record(self, index: int) -> None:
+        """Drop a resolved/cancelled query's record and release its pins."""
+        with self._lock:
+            record = self._records.pop(index, None)
+            if record is None:
+                return
+            self._stats.records_reaped += 1
+            if record.finish_task is not None:
+                finish = self._tasks.get(record.finish_task)
+                if finish is not None and finish.state in (
+                    TaskState.CANCELLED,
+                    TaskState.FAILED,
+                    TaskState.DONE,
+                ):
+                    self._reap_task_locked(finish)
+            if self._cache is not None:
+                for key in record.pins:
+                    self._cache.unpin(key)
+                record.pins.clear()
+            span = record.span
+            record.span = None
+        if span is not None:
+            outcome = "cancelled" if record.state is QueryState.CANCELLED else (
+                "error" if record.state is QueryState.FAILED else "ok"
+            )
+            meta: dict[str, Any] = {"outcome": outcome}
+            if record.mode:
+                meta["mode"] = record.mode
+            get_registry().finish_span(span, **meta)
 
     def _release_query_tasks(self, index: int, keep: int | None) -> None:
         """Detach a resolved/cancelled query from its tasks; drop orphans.
@@ -770,6 +1031,7 @@ class ShardScheduler:
         wastes the work it already did.
         """
         with self._lock:
+            orphans: list[_Task] = []
             for task in self._tasks.values():
                 if index not in task.queries or task.id == keep:
                     continue
@@ -782,6 +1044,11 @@ class ShardScheduler:
                 }
                 if not live and task.state is TaskState.PENDING:
                     task.state = TaskState.CANCELLED
+                    orphans.append(task)
+            for task in orphans:
+                # The id may still sit in a ready deque; the assignment loop
+                # skips ids whose task row is gone.
+                self._reap_task_locked(task)
 
     def _expire_deadlines(self) -> None:
         now = time.monotonic()
@@ -796,6 +1063,7 @@ class ShardScheduler:
                     expired.append(record.index)
                     self._stats.timeouts += 1
         for index in expired:
+            get_registry().count("scheduler.timeout")
             self._finish_query(
                 index, QueryError(f"query {index} timed out before completing")
             )

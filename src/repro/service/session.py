@@ -17,10 +17,22 @@ Two executors back a session:
   tasks plus a finish task and run by the
   :class:`~repro.service.scheduler.ShardScheduler`'s managed worker
   processes, with retry-and-requeue on worker faults and shard-level cache
-  reuse.
+  reuse.  A :class:`~repro.service.daemon.QueryDaemon` session is backed by
+  the daemon's *shared* scheduler through a per-tenant admission facade
+  instead of a private one.
 
 Either way, every completed answer is **bit-identical** to the serial
 ``engine.answer`` of the same query with the same options.
+
+Long-lived sessions are safe by construction (PR 7):
+
+* bookkeeping is **O(in-flight)** — a delivered outcome's live bookkeeping
+  is dropped the moment it is consumed (the most recent
+  :data:`DELIVERED_KEEP` outcomes stay re-readable through
+  :meth:`~QuerySession.result`, older ones are reaped for good);
+* ``max_pending`` bounds the undelivered backlog: a submit over the bound
+  raises :class:`QueueFullError` immediately, or blocks up to
+  ``submit_timeout`` seconds for space before raising.
 
 Guarantees (see ``docs/service.md`` for the fine print):
 
@@ -40,6 +52,7 @@ import os
 import queue
 import threading
 import time
+from collections import OrderedDict
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import TYPE_CHECKING, Any, Iterator
 
@@ -47,6 +60,7 @@ from repro.carl.ast import CausalQuery
 from repro.carl.batch import BatchScratch
 from repro.carl.errors import CaRLError, QueryError
 from repro.carl.parser import parse_query
+from repro.observability.telemetry import get_registry
 from repro.service.scheduler import ShardScheduler
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -55,6 +69,22 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 #: Seconds the event loop blocks per poll while waiting for the next event
 #: (also the granularity of thread-mode deadline enforcement).
 _POLL_SECONDS = 0.02
+
+#: Delivered outcomes kept for idempotent :meth:`QuerySession.result`
+#: re-reads.  Older delivered queries are reaped completely — that is what
+#: keeps a long-lived session's memory flat.
+DELIVERED_KEEP = 256
+
+#: Cancelled/suppressed indexes remembered (for idempotent re-cancel and
+#: the "was cancelled" error out of :meth:`QuerySession.result`).
+SUPPRESSED_KEEP = 1024
+
+
+class QueueFullError(QueryError):
+    """Raised by :meth:`QuerySession.submit` when the session's pending
+    backlog is at ``max_pending`` (after waiting ``submit_timeout`` seconds,
+    when one is configured).  Subclasses :class:`QueryError`, so existing
+    error handling keeps working; catch it specifically to shed load."""
 
 
 class QuerySession:
@@ -73,6 +103,17 @@ class QuerySession:
     thread, also while another thread iterates ``as_completed``.  The
     *engine* must not be mutated (or used for process batches) while a
     process-mode session is open — see ``docs/service.md``.
+
+    ``max_pending`` bounds the undelivered backlog (submitted but not yet
+    delivered or cancelled): a submit over the bound raises
+    :class:`QueueFullError` — immediately, or after blocking up to
+    ``submit_timeout`` seconds for capacity.
+
+    ``_backend`` (internal) injects a scheduler-like backend — an object
+    with ``submit/cancel/stats/close`` and an ``events`` queue — in place of
+    a private :class:`~repro.service.scheduler.ShardScheduler`; the
+    :class:`~repro.service.daemon.QueryDaemon` uses it to multiplex many
+    tenant sessions over one shared scheduler.
     """
 
     def __init__(
@@ -87,6 +128,9 @@ class QuerySession:
         bootstrap: int = 0,
         seed: int = 0,
         backend: str | None = None,
+        max_pending: int | None = None,
+        submit_timeout: float | None = None,
+        _backend: Any = None,
     ) -> None:
         if executor not in ("thread", "process"):
             raise QueryError(
@@ -100,6 +144,10 @@ class QuerySession:
             raise QueryError(f"shards must be a positive integer, got {shards!r}")
         if shards is not None and executor != "process":
             raise QueryError("shards requires executor='process'")
+        if max_pending is not None and max_pending < 1:
+            raise QueryError(f"max_pending must be a positive integer, got {max_pending!r}")
+        if submit_timeout is not None and submit_timeout < 0:
+            raise QueryError(f"submit_timeout must be >= 0, got {submit_timeout!r}")
         backend = backend or engine.backend
         if executor == "process" and backend != "columnar":
             raise QueryError(
@@ -116,20 +164,32 @@ class QuerySession:
             "seed": seed,
         }
         self._backend = backend
+        self._max_pending = max_pending
+        self._submit_timeout = submit_timeout
         self._lock = threading.RLock()
         self._next_index = 0
         self._live: set[int] = set()  #: submitted, no outcome delivered yet
         self._resolved: dict[int, Any] = {}  #: outcomes ready for delivery
-        self._delivered: set[int] = set()
+        #: Most recent delivered outcomes (index → outcome), LRU-bounded:
+        #: keeps :meth:`result` idempotent for recent queries while the
+        #: session's memory stays O(in-flight), not O(history).
+        self._delivered: "OrderedDict[int, Any]" = OrderedDict()
+        self._delivered_count = 0
         #: Indexes whose late backend events must be dropped (cancelled
-        #: queries, and thread-mode timeouts whose result is already in).
-        self._suppressed: set[int] = set()
+        #: queries, and thread-mode timeouts whose result is already in);
+        #: LRU-bounded like the delivered history.
+        self._suppressed: "OrderedDict[int, None]" = OrderedDict()
         self._cancelled_count = 0
         self._closed = False
 
-        self._scheduler: ShardScheduler | None = None
+        self._scheduler: Any = None
         self._pool: ThreadPoolExecutor | None = None
-        if executor == "process":
+        if _backend is not None:
+            # Daemon-injected backend: quacks like a ShardScheduler but
+            # routes through shared workers with per-tenant admission.
+            self._scheduler = _backend
+            self._events = _backend.events
+        elif executor == "process":
             self._scheduler = ShardScheduler(
                 engine,
                 jobs=jobs,
@@ -168,6 +228,11 @@ class QuerySession:
         reported as a :class:`QueryError` *event* for this index only.
         ``timeout`` is this query's wall-clock budget in seconds, counted
         from submission.  Per-query options default to the session's.
+
+        With ``max_pending`` configured, a submit over the bound raises
+        :class:`QueueFullError` (after blocking up to ``submit_timeout``
+        seconds, when set); admission-controlled daemon sessions raise
+        :class:`~repro.service.daemon.AdmissionError` here too.
         """
         if isinstance(query, str):
             query = parse_query(query)
@@ -177,6 +242,7 @@ class QuerySession:
             "bootstrap": self._defaults["bootstrap"] if bootstrap is None else bootstrap,
             "seed": self._defaults["seed"] if seed is None else seed,
         }
+        self._wait_for_capacity()
         with self._lock:
             if self._closed:
                 raise QueryError("the query session is closed")
@@ -184,7 +250,16 @@ class QuerySession:
             self._next_index += 1
             self._live.add(index)
         if self._scheduler is not None:
-            self._scheduler.submit(index, query, options, timeout)
+            try:
+                self._scheduler.submit(index, query, options, timeout)
+            except BaseException:
+                # Admission rejected (or the backend failed): the index was
+                # never scheduled, so withdraw it — the error is the
+                # caller's, not a query event.
+                with self._lock:
+                    self._live.discard(index)
+                    self._remember_suppressed(index)
+                raise
         else:
             with self._lock:
                 if timeout is not None:
@@ -193,6 +268,33 @@ class QuerySession:
                     self._answer_one, index, query, options
                 )
         return index
+
+    def _wait_for_capacity(self) -> None:
+        """Block (bounded) until the pending backlog is under ``max_pending``."""
+        if self._max_pending is None:
+            return
+        deadline = (
+            None
+            if self._submit_timeout is None
+            else time.monotonic() + self._submit_timeout
+        )
+        while True:
+            with self._lock:
+                pending = len(self._live) + len(self._resolved)
+                if pending < self._max_pending:
+                    return
+            if deadline is None or time.monotonic() >= deadline:
+                get_registry().count("session.queue_full")
+                raise QueueFullError(
+                    f"the session's pending backlog is at max_pending="
+                    f"{self._max_pending}; consume events (as_completed/result) "
+                    "or raise the bound"
+                )
+            # Draining our own event queue is what frees capacity when the
+            # consumer thread is this one; with a separate consumer thread
+            # this degrades to a bounded poll.
+            remaining = deadline - time.monotonic()
+            self._pump(max(0.0, min(remaining, _POLL_SECONDS)))
 
     def _answer_one(self, index: int, query: CausalQuery, options: dict[str, Any]) -> None:
         """Thread-mode worker body: answer one query and emit its event."""
@@ -206,6 +308,7 @@ class QuerySession:
             if epoch != self._scratch_epoch:
                 self._scratch.clear()
                 self._scratch_epoch = epoch
+        span = get_registry().start_span("query", index=index, executor="thread")
         try:
             outcome: Any = self._engine.answer(
                 query, backend=self._backend, _scratch=self._scratch, **options
@@ -214,6 +317,9 @@ class QuerySession:
             outcome = error if isinstance(error, QueryError) else QueryError(str(error))
         except Exception as error:  # noqa: BLE001 - a worker must emit, not die
             outcome = QueryError(f"query {index} failed unexpectedly: {error}")
+        get_registry().finish_span(
+            span, outcome="error" if isinstance(outcome, QueryError) else "ok"
+        )
         self._events.put((index, outcome))
 
     # ------------------------------------------------------------------
@@ -231,18 +337,16 @@ class QuerySession:
         deadline = None if timeout is None else time.monotonic() + timeout
         while True:
             with self._lock:
-                undelivered = [
-                    i for i in sorted(self._resolved) if i not in self._delivered
-                ]
+                undelivered = sorted(self._resolved)
                 if not undelivered and not self._live:
                     return
             if undelivered:
                 for index in undelivered:
                     with self._lock:
-                        if index in self._delivered:
-                            continue
-                        self._delivered.add(index)
-                        outcome = self._resolved[index]
+                        if index not in self._resolved:
+                            continue  # another consumer raced us to it
+                        outcome = self._resolved.pop(index)
+                        self._mark_delivered(index, outcome)
                     yield index, outcome
                     deadline = (
                         None if timeout is None else time.monotonic() + timeout
@@ -260,22 +364,48 @@ class QuerySession:
         Returns the :class:`QueryAnswer` or :class:`QueryError` (never
         raises it); raises :class:`TimeoutError` if the outcome does not
         arrive in ``timeout`` seconds and :class:`QueryError` for an index
-        that was never submitted or was cancelled.
+        that was never submitted or was cancelled.  Re-reads are idempotent
+        for the most recent :data:`DELIVERED_KEEP` delivered queries; older
+        records are reaped, and re-reading one raises :class:`QueryError`.
         """
         deadline = None if timeout is None else time.monotonic() + timeout
         while True:
             with self._lock:
                 if index in self._resolved:
-                    self._delivered.add(index)
-                    return self._resolved[index]
+                    outcome = self._resolved.pop(index)
+                    self._mark_delivered(index, outcome)
+                    return outcome
+                if index in self._delivered:
+                    self._delivered.move_to_end(index)
+                    return self._delivered[index]
                 if index in self._suppressed:
                     raise QueryError(f"query {index} was cancelled")
                 if index not in self._live:
+                    if 0 <= index < self._next_index:
+                        raise QueryError(
+                            f"query {index} was already delivered and its "
+                            "record reaped (see DELIVERED_KEEP)"
+                        )
                     raise QueryError(f"unknown query index {index}")
             remaining = None if deadline is None else deadline - time.monotonic()
             if remaining is not None and remaining <= 0:
                 raise TimeoutError(f"query {index} did not complete in time")
             self._pump(remaining)
+
+    def _mark_delivered(self, index: int, outcome: Any) -> None:
+        """Move one outcome into the bounded delivered history (lock held)."""
+        self._delivered[index] = outcome
+        self._delivered.move_to_end(index)
+        self._delivered_count += 1
+        while len(self._delivered) > DELIVERED_KEEP:
+            self._delivered.popitem(last=False)
+
+    def _remember_suppressed(self, index: int) -> None:
+        """Track a suppressed index in the bounded LRU (lock held)."""
+        self._suppressed[index] = None
+        self._suppressed.move_to_end(index)
+        while len(self._suppressed) > SUPPRESSED_KEEP:
+            self._suppressed.popitem(last=False)
 
     def _pump(self, timeout: float | None) -> None:
         """Move one event (if any) from the backend into ``_resolved``.
@@ -291,13 +421,18 @@ class QuerySession:
         except queue.Empty:
             return
         with self._lock:
+            if self._pool is not None:
+                # Thread-mode bookkeeping for this index is settled either
+                # way — drop it so a long-lived session stays flat.
+                self._futures.pop(index, None)
+                self._deadlines.pop(index, None)
             if index in self._suppressed or index not in self._live:
                 return  # cancelled or already expired: reaped, never yielded
             self._live.discard(index)
             self._resolved[index] = outcome
 
     def _expire_thread_deadlines(self) -> None:
-        if self._scheduler is not None:
+        if self._pool is None:
             return
         now = time.monotonic()
         with self._lock:
@@ -308,9 +443,11 @@ class QuerySession:
             ]
             for index in expired:
                 del self._deadlines[index]
-                self._futures[index].cancel()
+                future = self._futures.pop(index, None)
+                if future is not None:
+                    future.cancel()
                 self._live.discard(index)
-                self._suppressed.add(index)  # reap a late in-flight result
+                self._remember_suppressed(index)  # reap a late in-flight result
                 self._resolved[index] = QueryError(
                     f"query {index} timed out before completing"
                 )
@@ -339,11 +476,11 @@ class QuerySession:
             if not was_live and not resolved_undelivered:
                 return False
             self._cancelled_count += 1
-            self._suppressed.add(index)
+            self._remember_suppressed(index)
             self._live.discard(index)
             self._resolved.pop(index, None)
-            if self._scheduler is None:
-                future = self._futures.get(index)
+            if self._pool is not None:
+                future = self._futures.pop(index, None)
                 if future is not None:
                     future.cancel()
                 self._deadlines.pop(index, None)
@@ -354,9 +491,7 @@ class QuerySession:
     def outstanding(self) -> int:
         """Queries submitted but not yet delivered (or cancelled)."""
         with self._lock:
-            return len(self._live) + len(
-                [i for i in self._resolved if i not in self._delivered]
-            )
+            return len(self._live) + len(self._resolved)
 
     def stats(self) -> dict[str, Any]:
         """Execution counters: mode, delivery counts, scheduler activity."""
@@ -364,9 +499,10 @@ class QuerySession:
             base: dict[str, Any] = {
                 "executor": self._executor,
                 "submitted": self._next_index,
-                "delivered": len(self._delivered),
+                "delivered": self._delivered_count,
                 "cancelled": self._cancelled_count,
                 "outstanding": len(self._live),
+                "max_pending": self._max_pending,
             }
         if self._scheduler is not None:
             base["scheduler"] = self._scheduler.stats()

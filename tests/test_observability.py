@@ -1,0 +1,304 @@
+"""Structured-telemetry suite (``docs/observability.md``).
+
+Contracts held here:
+
+* **frozen schema** — the event registry's exact contents (names, kinds,
+  required/optional fields) are pinned; extending telemetry is a deliberate
+  two-place change (schema + this snapshot), never silent drift;
+* **validation** — every emission is checked against the registry: wrong
+  names, kinds and metadata fields raise :class:`TelemetryError` in the
+  emitting thread;
+* **registry mechanics** — counters accumulate, gauges keep the last value,
+  the ring buffer is bounded, span handles nest and finish idempotently,
+  the JSON-lines sink round-trips through :func:`read_log`, and a forked
+  child's inherited registry starts clean;
+* **span-tree invariants** — every answered process-mode query emits
+  exactly one ``query`` root with one ``query.ground`` and one
+  ``query.finish`` child, nested monotonic timestamps, and ``query.collect``
+  children only when collection actually ran: a warm (cached unit table)
+  answer emits **zero** collect spans.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.carl.engine import CaRLEngine
+from repro.datasets import TOY_REVIEW_PROGRAM, toy_review_database
+from repro.observability import (
+    EVENTS,
+    TelemetryError,
+    TelemetryRegistry,
+    get_registry,
+    read_log,
+    reset_registry,
+    summarize_events,
+    validate_event,
+)
+
+QUERIES = {
+    "ate": "Score[S] <= Prestige[A] ?",
+    "agg": "AVG_Score[A] <= Prestige[A] ?",
+    "thresh": "AVG_Score[A] <= Prestige[A] >= 1 ?",
+    "peers": "Score[S] <= Prestige[A] ? WHEN ALL PEERS TREATED",
+}
+
+
+def fresh_engine(**kwargs) -> CaRLEngine:
+    return CaRLEngine(toy_review_database(), TOY_REVIEW_PROGRAM, **kwargs)
+
+
+@pytest.fixture(autouse=True)
+def fresh_registry():
+    registry = reset_registry()
+    yield registry
+    reset_registry()
+
+
+# ----------------------------------------------------------------------
+# the frozen schema
+# ----------------------------------------------------------------------
+#: Pinned snapshot of the registry: name -> (kind, required, optional).
+#: Changing telemetry means changing the schema module AND this snapshot —
+#: that review step is the whole point (drift would silently break every
+#: consumer of the JSON-lines log).
+FROZEN_SCHEMA = {
+    "query": ("span", ("index",), ("mode", "outcome", "tenant", "executor")),
+    "query.ground": ("span", (), ("cached",)),
+    "query.collect": ("span", ("start", "stop"), ("worker", "attempt", "outcome")),
+    "query.finish": ("span", (), ("mode", "worker", "outcome")),
+    "engine.ground": ("span", (), ("cached",)),
+    "cache.hit": ("counter", (), ("kind",)),
+    "cache.miss": ("counter", (), ("kind",)),
+    "cache.store": ("counter", (), ("kind",)),
+    "scheduler.retry": ("counter", (), ("kind",)),
+    "scheduler.timeout": ("counter", (), ()),
+    "scheduler.cancelled": ("counter", (), ()),
+    "scheduler.worker_death": ("counter", (), ()),
+    "scheduler.queue_depth": ("gauge", (), ()),
+    "daemon.admit": ("counter", ("tenant",), ()),
+    "daemon.reject": ("counter", ("tenant",), ("reason",)),
+    "daemon.sessions": ("gauge", (), ()),
+    "session.queue_full": ("counter", (), ()),
+}
+
+
+def test_event_schema_is_frozen():
+    snapshot = {
+        name: (spec.kind, spec.required, spec.optional) for name, spec in EVENTS.items()
+    }
+    assert snapshot == FROZEN_SCHEMA
+
+
+def test_validate_event_rejects_off_schema_emissions():
+    with pytest.raises(TelemetryError, match="unregistered"):
+        validate_event("no.such.event", "counter", {})
+    with pytest.raises(TelemetryError, match="is a counter"):
+        validate_event("cache.hit", "span", {})
+    with pytest.raises(TelemetryError, match="does not allow"):
+        validate_event("cache.hit", "counter", {"surprise": 1})
+    with pytest.raises(TelemetryError, match="requires"):
+        validate_event("daemon.admit", "counter", {})
+    validate_event("daemon.admit", "counter", {"tenant": "a"})  # conforming
+
+
+def test_registry_rejects_off_schema_emissions_at_the_call_site():
+    registry = get_registry()
+    with pytest.raises(TelemetryError):
+        registry.count("no.such.event")
+    with pytest.raises(TelemetryError):
+        registry.gauge("cache.hit", 1.0)  # declared as a counter
+    with pytest.raises(TelemetryError):
+        registry.start_span("query")  # missing required index
+    span = registry.start_span("query", index=0)
+    with pytest.raises(TelemetryError):
+        registry.finish_span(span, bogus_field=1)
+
+
+# ----------------------------------------------------------------------
+# registry mechanics
+# ----------------------------------------------------------------------
+def test_counters_accumulate_and_gauges_keep_last_value():
+    registry = get_registry()
+    registry.count("cache.hit", kind="grounding")
+    registry.count("cache.hit", 2, kind="unit_table")
+    registry.gauge("scheduler.queue_depth", 5)
+    registry.gauge("scheduler.queue_depth", 2)
+    assert registry.counters()["cache.hit"] == 3
+    assert registry.gauges()["scheduler.queue_depth"] == 2
+    assert len(registry.events(name="cache.hit")) == 2
+
+
+def test_ring_buffer_is_bounded():
+    registry = reset_registry(capacity=16)
+    for _ in range(100):
+        registry.count("cache.miss")
+    assert len(registry.events()) == 16
+    assert registry.counters()["cache.miss"] == 100  # totals are not windowed
+
+
+def test_spans_nest_with_monotonic_timestamps_and_finish_idempotently():
+    registry = get_registry()
+    root = registry.start_span("query", index=0)
+    child = registry.start_span("query.ground", trace=root.trace, parent=root)
+    registry.finish_span(child, cached=False)
+    registry.finish_span(child)  # idempotent: emits once
+    registry.finish_span(root, outcome="ok")
+    spans = registry.spans()
+    assert [span["event"] for span in spans] == ["query.ground", "query"]
+    ground, query = spans
+    assert ground["trace"] == query["trace"]
+    assert ground["parent"] == query["span"]
+    assert query["t0"] <= ground["t0"] <= ground["t1"] <= query["t1"]
+    assert query["meta"] == {"index": 0, "outcome": "ok"}
+
+
+def test_span_context_manager_emits_on_exit():
+    registry = get_registry()
+    with registry.span("engine.ground", cached=True):
+        pass
+    (record,) = registry.spans("engine.ground")
+    assert record["meta"] == {"cached": True}
+
+
+def test_sink_round_trips_through_read_log_and_summarize(tmp_path):
+    log = tmp_path / "telemetry.jsonl"
+    registry = reset_registry(sink=log)
+    with registry.span("engine.ground", cached=False):
+        pass
+    registry.count("cache.store", kind="grounding")
+    registry.gauge("daemon.sessions", 3)
+    log.open("a").write("not json\n")  # malformed lines are skipped
+    events = read_log(log)
+    assert [event["event"] for event in events] == [
+        "engine.ground",
+        "cache.store",
+        "daemon.sessions",
+    ]
+    summary = summarize_events(events)
+    assert summary["events"] == 3
+    assert summary["spans"]["engine.ground"]["count"] == 1
+    assert summary["spans"]["engine.ground"]["p99_seconds"] >= 0.0
+    assert summary["counters"] == {"cache.store": 1}
+    assert summary["gauges"] == {"daemon.sessions": 3.0}
+    assert read_log(tmp_path / "missing.jsonl") == []
+
+
+def test_forked_child_registry_starts_clean(tmp_path):
+    registry = TelemetryRegistry(sink=tmp_path / "parent.jsonl")
+    registry.count("cache.hit")
+    assert registry.counters() == {"cache.hit": 1}
+    registry._pid = -1  # simulate: this handle was inherited across a fork
+    registry.count("cache.miss")
+    # The "child" starts from scratch and never touches the parent's sink.
+    assert registry.counters() == {"cache.miss": 1}
+    assert registry.sink_path is None
+
+
+# ----------------------------------------------------------------------
+# span-tree invariants over real sessions
+# ----------------------------------------------------------------------
+def _tree(registry, executor):
+    """Map each ``query`` root span to its children, keyed by span name."""
+    roots = {span["span"]: span for span in registry.spans("query")}
+    children = {span_id: {"query.ground": [], "query.collect": [], "query.finish": []}
+                for span_id in roots}
+    for span in registry.spans():
+        if span["event"] in ("query.ground", "query.collect", "query.finish"):
+            if span["parent"] in children:
+                children[span["parent"]][span["event"]].append(span)
+    assert all(span["meta"].get("executor") == executor for span in roots.values())
+    return roots, children
+
+
+def test_process_query_span_trees_cold_then_warm(tmp_path):
+    registry = get_registry()
+    engine = fresh_engine(cache=tmp_path / "cache")
+    with engine.open_session(jobs=2, executor="process", shards=2) as session:
+        for query in QUERIES.values():
+            session.submit(query)
+        assert len(dict(session.as_completed())) == len(QUERIES)
+    roots, children = _tree(registry, "process")
+    assert len(roots) == len(QUERIES)  # exactly one root per answered query
+    for span_id, root in roots.items():
+        assert root["meta"]["outcome"] == "ok"
+        assert root["meta"]["mode"] == "cold"
+        tree = children[span_id]
+        assert len(tree["query.ground"]) == 1
+        assert len(tree["query.finish"]) == 1
+        # A collect span hangs off the query that *created* the shard task;
+        # queries sharing a collection signature share those tasks, so only
+        # the first such query carries the collect children.  The first
+        # submitted query always collects.
+        if root["meta"]["index"] == 0:
+            assert len(tree["query.collect"]) >= 1
+        assert tree["query.finish"][0]["meta"]["mode"] == "cold"
+        for child in (
+            tree["query.ground"] + tree["query.collect"] + tree["query.finish"]
+        ):
+            assert child["trace"] == root["trace"]
+            # Nested monotonic clocks: children live inside their root.
+            assert root["t0"] <= child["t0"] <= child["t1"] <= root["t1"]
+        # Phase order: ground ends before any collect starts, and every
+        # collect ends before the finish starts.
+        ground, finish = tree["query.ground"][0], tree["query.finish"][0]
+        for collect in tree["query.collect"]:
+            assert ground["t1"] <= collect["t0"]
+            assert collect["t1"] <= finish["t0"]
+
+    # Warm re-sweep: cached unit tables answer without any collection —
+    # every root is mode="warm" and emits zero collect spans.
+    registry.clear()
+    warm_engine = fresh_engine(cache=tmp_path / "cache")
+    with warm_engine.open_session(jobs=2, executor="process", shards=2) as session:
+        for query in QUERIES.values():
+            session.submit(query)
+        assert len(dict(session.as_completed())) == len(QUERIES)
+    roots, children = _tree(registry, "process")
+    assert len(roots) == len(QUERIES)
+    for span_id, root in roots.items():
+        assert root["meta"]["mode"] == "warm"
+        tree = children[span_id]
+        assert len(tree["query.ground"]) == 1
+        assert tree["query.ground"][0]["meta"]["cached"] is True
+        assert tree["query.collect"] == []  # cache hit => zero collect spans
+        assert len(tree["query.finish"]) == 1
+        assert tree["query.finish"][0]["meta"]["mode"] == "warm"
+
+
+def test_thread_sessions_emit_one_query_span_per_answer():
+    registry = get_registry()
+    engine = fresh_engine()
+    with engine.open_session(jobs=2) as session:
+        for query in QUERIES.values():
+            session.submit(query)
+        got = dict(session.as_completed())
+    assert len(got) == len(QUERIES)
+    roots = registry.spans("query")
+    assert len(roots) == len(QUERIES)
+    assert sorted(span["meta"]["index"] for span in roots) == [0, 1, 2, 3]
+    assert all(span["meta"]["outcome"] == "ok" for span in roots)
+
+
+def test_failed_query_root_span_reports_error(tmp_path):
+    registry = get_registry()
+    engine = fresh_engine(cache=tmp_path / "cache")
+    with engine.open_session(jobs=1, executor="process", shards=1) as session:
+        session.submit("Score[S] <= NoSuchAttr[A] ?")
+        ((_, outcome),) = list(session.as_completed())
+    assert not isinstance(outcome, dict)
+    (root,) = registry.spans("query")
+    assert root["meta"]["outcome"] == "error"
+
+
+def test_engine_grounding_emits_cached_span(tmp_path):
+    registry = get_registry()
+    engine = fresh_engine(cache=tmp_path / "cache")
+    engine.answer(QUERIES["ate"])
+    warm = fresh_engine(cache=tmp_path / "cache")
+    warm.graph  # noqa: B018 - force grounding (answer may skip it entirely)
+    spans = registry.spans("engine.ground")
+    assert [span["meta"]["cached"] for span in spans] == [False, True]
+    counters = registry.counters()
+    assert counters.get("cache.store", 0) >= 1
+    assert counters.get("cache.hit", 0) >= 1
