@@ -1,0 +1,33 @@
+"""``repro lint`` — AST-based invariant checking for this codebase.
+
+Every hard bug this reproduction has shipped-and-fixed is an instance of a
+statically checkable invariant: hash-seed nondeterminism from bare-``set``
+iteration (fixed in the CSR grounding rework), unbounded daemon bookkeeping
+(fixed by the O(in-flight) reaping pass), and telemetry-schema drift that is
+otherwise only caught at runtime, per emit.  This package encodes those
+contracts once as lint rules so CI proves them on every PR
+(``docs/static_analysis.md``):
+
+* **determinism** — no iteration over bare ``set``/``frozenset`` values in
+  order-sensitive positions, no ``sorted(..., key=str)`` over heterogeneous
+  keys, no builtin ``hash()`` near persisted fingerprints, no wall-clock
+  ``time.time()`` where span timing requires the monotonic clock;
+* **lock discipline** — attributes annotated ``# guarded-by: <lock>`` may
+  only be touched under ``with self.<lock>`` (or in a method that declares
+  the lock held), and bulk numpy calls stay out of lock scope;
+* **telemetry schema** — every span/counter/gauge emit call site is
+  cross-checked against the frozen ``EVENTS`` registry;
+* **boundedness** — long-lived classes may not grow container attributes
+  without a matching reap (or an explicit ``# unbounded-ok:`` justification).
+
+Entry points: the ``repro lint`` CLI subcommand
+(:func:`repro.analysis.cli.lint_main`) and the programmatic
+:func:`repro.analysis.core.run_lint`.
+"""
+
+from repro.analysis.core import Finding, Rule, all_rules, run_lint
+
+# Importing the rule modules registers their rules.
+from repro.analysis import boundedness, determinism, locks, telemetry_rules  # noqa: F401  isort: skip
+
+__all__ = ["Finding", "Rule", "all_rules", "run_lint"]

@@ -1,0 +1,75 @@
+"""Baseline file: grandfathered findings that do not fail the build.
+
+The baseline is a committed JSON file mapping finding fingerprints (see
+:meth:`repro.analysis.core.Finding.fingerprint` — path + rule + stripped
+source line, so unrelated line drift does not invalidate entries) to
+occurrence counts.  ``repro lint --baseline <file>`` subtracts baselined
+occurrences from the enforcement view: a finding fails the build only when
+its fingerprint is absent, or appears more often than the baseline allows
+(the same bad pattern was *added again*).
+
+Policy (``docs/static_analysis.md``): the baseline exists to let a new rule
+land before every legacy violation is fixed.  This repo's committed
+baseline is empty — every rule runs clean — and should stay that way;
+shrinking it is always fine, growing it needs the same scrutiny as a
+suppression comment.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from repro.analysis.core import Finding
+
+#: Format marker so a future layout change can migrate old files.
+_VERSION = 1
+
+
+def load_baseline(path: str | Path) -> dict[str, int]:
+    """fingerprint -> allowed count; missing file means an empty baseline."""
+    try:
+        raw = json.loads(Path(path).read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        return {}
+    if not isinstance(raw, dict) or raw.get("version") != _VERSION:
+        raise ValueError(f"unrecognized baseline format in {path}")
+    entries = raw.get("findings", {})
+    if not isinstance(entries, dict):
+        raise ValueError(f"malformed baseline findings in {path}")
+    return {str(fingerprint): int(count) for fingerprint, count in entries.items()}
+
+
+def save_baseline(path: str | Path, findings: list[Finding]) -> dict[str, int]:
+    """Write the unsuppressed findings as the new baseline; returns it."""
+    counts = Counter(f.fingerprint() for f in findings if not f.suppressed)
+    payload = {
+        "version": _VERSION,
+        "findings": {fingerprint: counts[fingerprint] for fingerprint in sorted(counts)},
+    }
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return dict(payload["findings"])
+
+
+def apply_baseline(findings: list[Finding], baseline: dict[str, int]) -> list[Finding]:
+    """The findings that are *not* covered by the baseline.
+
+    Suppressed findings pass through untouched (they are reported, never
+    enforced).  For each fingerprint the first ``baseline[fp]`` occurrences
+    (in the driver's deterministic path/line order) are absorbed; any
+    excess — the same pattern introduced again — is returned for
+    enforcement.
+    """
+    remaining = dict(baseline)
+    kept: list[Finding] = []
+    for finding in findings:
+        if finding.suppressed:
+            kept.append(finding)
+            continue
+        fingerprint = finding.fingerprint()
+        if remaining.get(fingerprint, 0) > 0:
+            remaining[fingerprint] -= 1
+            continue
+        kept.append(finding)
+    return kept

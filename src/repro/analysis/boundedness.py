@@ -1,0 +1,181 @@
+"""Boundedness rule: long-lived classes must not grow containers forever.
+
+The motivating bug (PR 7): the daemon kept per-query bookkeeping in dicts
+keyed by global index and never reaped them — memory grew with every query
+answered over the process lifetime, invisible in short tests.  The fix was
+an O(in-flight) reaping pass; this rule keeps the *pattern* out: in a
+long-lived class (daemon, scheduler, session, registry, engine — matched
+by name), a container attribute that some method grows must either also
+shrink somewhere in the class (pop/remove/clear/del/reassignment), be
+created bounded (``deque(maxlen=...)``), or carry an explicit
+``# unbounded-ok: <reason>`` justification on its initialization line.
+
+``queue.Queue`` instances are exempt — a cross-thread handoff queue is
+drained by its consumer by design, which this lexical analysis cannot see.
+Reassignment counts as a shrink, including the swap-under-lock idiom
+``pending, self._buf = self._buf, []``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.analysis.core import FileContext, Finding, Rule, register
+
+#: Class names considered long-lived (process- or session-lifetime).
+_LONG_LIVED = re.compile(r"(Daemon|Scheduler|Session|Registry|Engine|Cache|Store|Backend)")
+
+#: Methods that grow a container in place.
+_GROW_METHODS = frozenset({"append", "appendleft", "add", "extend", "update", "setdefault", "insert"})
+
+#: Methods that shrink (or bound) a container in place.
+_SHRINK_METHODS = frozenset(
+    {"pop", "popitem", "popleft", "remove", "discard", "clear", "clear_locked", "truncate"}
+)
+
+#: Constructor calls that produce a (potentially unbounded) container.
+_CONTAINER_CALLS = frozenset({"dict", "list", "set", "OrderedDict", "defaultdict", "deque", "Counter"})
+
+
+def _self_attr(node: ast.expr) -> str | None:
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _is_container_init(value: ast.expr) -> bool:
+    """True when ``value`` constructs a growable, unbounded container."""
+    if isinstance(value, (ast.Dict, ast.List, ast.Set)):
+        return True
+    if isinstance(value, ast.Call):
+        func = value.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None
+        )
+        if name == "deque":
+            return not any(keyword.arg == "maxlen" for keyword in value.keywords)
+        return name in _CONTAINER_CALLS
+    return False
+
+
+def _collect_container_attrs(class_node: ast.ClassDef) -> dict[str, int]:
+    """attr name -> init line, for container attributes created in __init__
+    (or as class-level / dataclass field defaults)."""
+    attrs: dict[str, int] = {}
+    for statement in class_node.body:
+        if isinstance(statement, ast.AnnAssign) and isinstance(statement.target, ast.Name):
+            if statement.value is not None and _is_container_init(statement.value):
+                attrs[statement.target.id] = statement.lineno
+            elif isinstance(statement.value, ast.Call):
+                # dataclass field(default_factory=dict/list/set)
+                call = statement.value
+                if (
+                    isinstance(call.func, ast.Name)
+                    and call.func.id == "field"
+                    and any(
+                        keyword.arg == "default_factory"
+                        and isinstance(keyword.value, ast.Name)
+                        and keyword.value.id in _CONTAINER_CALLS
+                        for keyword in call.keywords
+                    )
+                ):
+                    attrs[statement.target.id] = statement.lineno
+        if isinstance(statement, ast.FunctionDef) and statement.name in ("__init__", "__post_init__"):
+            for node in ast.walk(statement):
+                value: ast.expr | None = None
+                targets: list[ast.expr] = []
+                if isinstance(node, ast.Assign):
+                    value, targets = node.value, node.targets
+                elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                    value, targets = node.value, [node.target]
+                if value is None or not _is_container_init(value):
+                    continue
+                for target in targets:
+                    attr = _self_attr(target)
+                    if attr is not None:
+                        attrs[attr] = node.lineno
+    return attrs
+
+
+def _classify_accesses(class_node: ast.ClassDef, attrs: dict[str, int]) -> tuple[set[str], set[str]]:
+    """Return ``(grown, shrunk)`` attr-name sets over the whole class body."""
+    grown: set[str] = set()
+    shrunk: set[str] = set()
+    for statement in class_node.body:
+        if not isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        is_init = statement.name in ("__init__", "__post_init__")
+        for node in ast.walk(statement):
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                attr = _self_attr(node.func.value)
+                if attr in attrs:
+                    if node.func.attr in _GROW_METHODS:
+                        grown.add(attr)
+                    elif node.func.attr in _SHRINK_METHODS:
+                        shrunk.add(attr)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    # self.x[k] = v grows; self.x = ... (outside __init__)
+                    # resets — including tuple targets in a swap.
+                    if isinstance(target, ast.Subscript):
+                        attr = _self_attr(target.value)
+                        if attr in attrs:
+                            grown.add(attr)
+                    elif not is_init:
+                        elements = (
+                            target.elts if isinstance(target, (ast.Tuple, ast.List)) else [target]
+                        )
+                        for element in elements:
+                            attr = _self_attr(element)
+                            if attr in attrs:
+                                shrunk.add(attr)
+            elif isinstance(node, ast.AugAssign):
+                attr = _self_attr(node.target)
+                if attr in attrs and isinstance(node.op, ast.Add):
+                    grown.add(attr)
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    if isinstance(target, ast.Subscript):
+                        attr = _self_attr(target.value)
+                        if attr in attrs:
+                            shrunk.add(attr)
+    return grown, shrunk
+
+
+@register
+class UnboundedGrowthRule(Rule):
+    id = "unbounded-growth"
+    scope = ("service/", "observability/", "cache/", "carl/engine")
+    description = (
+        "container attributes of long-lived classes must shrink somewhere, "
+        "be bounded at construction, or carry `# unbounded-ok:`"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for class_node in ast.walk(ctx.tree):
+            if not isinstance(class_node, ast.ClassDef):
+                continue
+            if not _LONG_LIVED.search(class_node.name):
+                continue
+            attrs = _collect_container_attrs(class_node)
+            if not attrs:
+                continue
+            grown, shrunk = _classify_accesses(class_node, attrs)
+            for attr in sorted(grown - shrunk):
+                init_line = attrs[attr]
+                if init_line in ctx.unbounded_ok:
+                    continue
+                yield ctx.finding(
+                    init_line,
+                    self.id,
+                    f"container attribute self.{attr} of long-lived class "
+                    f"{class_node.name} grows but never shrinks — add a "
+                    "reap/LRU/maxlen bound, or justify with "
+                    "`# unbounded-ok: <reason>` (the PR 7 daemon-bookkeeping bug)",
+                )

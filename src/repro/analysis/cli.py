@@ -1,0 +1,173 @@
+"""The ``repro lint`` subcommand (``python -m repro.cli lint ...``).
+
+Runs the registered rules (``docs/static_analysis.md``) over the given
+paths and reports findings in human or JSON form::
+
+    python -m repro.cli lint src/
+    python -m repro.cli lint src/ --json
+    python -m repro.cli lint src/ --select det-set-iter,det-wall-clock
+    python -m repro.cli lint tests/lint_fixtures/ --everywhere
+    python -m repro.cli lint src/ --baseline lint-baseline.json
+    python -m repro.cli lint src/ --baseline lint-baseline.json --write-baseline
+
+Exit codes: 0 — no enforced findings; 1 — enforced findings reported;
+2 — usage or input error (unknown rule id, unreadable baseline).
+Suppressed findings never affect the exit code; ``--show-suppressed``
+lists them for auditing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Iterable
+
+from repro.analysis.baseline import apply_baseline, load_baseline, save_baseline
+from repro.analysis.core import Finding, all_rules, run_lint
+
+
+def build_lint_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli lint",
+        description="AST-based invariant checks: determinism, lock discipline, "
+        "telemetry schema, boundedness (docs/static_analysis.md).",
+    )
+    parser.add_argument("paths", nargs="*", help="files or directories to lint")
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all); "
+        "see --list-rules for the catalogue",
+    )
+    parser.add_argument(
+        "--everywhere",
+        action="store_true",
+        help="ignore per-rule path scopes and run every selected rule on "
+        "every file (repo-wide audits, fixture trees)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="baseline JSON of grandfathered findings; findings covered by "
+        "it are not enforced (a missing file is an empty baseline)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite --baseline FILE from the current findings and exit 0",
+    )
+    parser.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="also list findings silenced by inline disable comments",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue and exit"
+    )
+    return parser
+
+
+def _render_text(findings: Iterable[Finding], stream) -> None:
+    for finding in findings:
+        marker = " (suppressed)" if finding.suppressed else ""
+        print(
+            f"{finding.path}:{finding.line}: [{finding.rule}]{marker} {finding.message}",
+            file=stream,
+        )
+
+
+def lint_main(argv: list[str]) -> int:
+    parser = build_lint_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        rules = all_rules()
+        if args.json:
+            print(
+                json.dumps(
+                    [
+                        {
+                            "id": rule.id,
+                            "scope": list(rule.scope),
+                            "description": rule.description,
+                        }
+                        for rule in rules.values()
+                    ],
+                    indent=2,
+                )
+            )
+        else:
+            for rule in rules.values():
+                scope = ", ".join(rule.scope) if rule.scope else "everywhere"
+                print(f"{rule.id:<20} [{scope}]")
+                print(f"    {rule.description}")
+        return 0
+
+    select = None
+    if args.select:
+        select = [part.strip() for part in args.select.split(",") if part.strip()]
+    if args.write_baseline and not args.baseline:
+        print("--write-baseline requires --baseline FILE", file=sys.stderr)
+        return 2
+
+    errors: list[str] = []
+
+    def on_error(path: str, error: Exception) -> None:
+        errors.append(f"{path}: {error}")
+
+    try:
+        findings = run_lint(
+            args.paths, select=select, everywhere=args.everywhere, on_error=on_error
+        )
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+
+    for line in errors:
+        print(f"error: {line}", file=sys.stderr)
+
+    if args.write_baseline:
+        written = save_baseline(args.baseline, findings)
+        print(
+            f"wrote {sum(written.values())} finding(s) "
+            f"({len(written)} fingerprint(s)) to {args.baseline}"
+        )
+        return 0
+
+    enforced = [f for f in findings if not f.suppressed]
+    if args.baseline:
+        try:
+            baseline = load_baseline(args.baseline)
+        except (ValueError, OSError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        enforced = [f for f in apply_baseline(findings, baseline) if not f.suppressed]
+
+    suppressed = [f for f in findings if f.suppressed]
+    reported = enforced + (suppressed if args.show_suppressed else [])
+    reported.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
+
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "findings": [f.as_dict() for f in reported],
+                    "enforced": len(enforced),
+                    "suppressed": len(suppressed),
+                    "errors": errors,
+                },
+                indent=2,
+            )
+        )
+    else:
+        _render_text(reported, sys.stdout)
+        summary = f"{len(enforced)} finding(s)"
+        if suppressed:
+            summary += f", {len(suppressed)} suppressed"
+        print(summary)
+
+    if errors:
+        return 2
+    return 1 if enforced else 0

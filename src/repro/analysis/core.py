@@ -1,0 +1,235 @@
+"""The lint framework: findings, rule registry, directive comments, driver.
+
+One pass per file: the source is read once, parsed once (``ast`` +
+``tokenize`` for comments), and every registered rule visits the same tree.
+Findings carry ``(path, line, rule id, message)`` plus the stripped source
+line, whose hash makes baseline entries stable under unrelated line drift.
+
+Directive comments (machine-readable, all scanned here so individual rules
+never re-tokenize):
+
+* ``# repro-lint: disable=<rule>[,<rule>...]`` — suppress findings of the
+  named rules on this line (``disable=all`` suppresses everything);
+* ``# repro-lint: disable-next-line=<rule>[,...]`` — same, next line;
+* ``# guarded-by: <lock>`` — on an attribute assignment: the attribute may
+  only be accessed under ``with self.<lock>``; on a ``def`` line: the
+  function body runs with ``<lock>`` already held (the caller's contract) —
+  equivalent to the ``*_locked`` method-name convention;
+* ``# unbounded-ok: <reason>`` — on a container-attribute initialization:
+  the boundedness rule accepts the growth as justified.
+
+Suppressions are applied by the driver (rules report everything; the
+``suppressed`` flag is set centrally), so ``--show-suppressed`` and the
+baseline machinery see one consistent stream.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Callable, Iterable, Iterator
+
+#: Directive comment grammar.  ``guarded-by`` and ``unbounded-ok`` are plain
+#: prefixes; ``repro-lint`` takes a verb=rules payload.
+_DIRECTIVE = re.compile(r"#\s*repro-lint:\s*(?P<verb>[a-z-]+)\s*=\s*(?P<rules>[\w,\- ]+)")
+_GUARDED_BY = re.compile(r"#\s*guarded-by:\s*(?P<lock>[A-Za-z_][\w]*)")
+_UNBOUNDED_OK = re.compile(r"#\s*unbounded-ok:")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str  #: posix-style path as given to the driver
+    line: int  #: 1-indexed
+    rule: str  #: rule id, e.g. ``det-set-iter``
+    message: str
+    snippet: str = ""  #: stripped source line (baseline fingerprint input)
+    suppressed: bool = False  #: an inline ``disable`` comment covers it
+
+    def fingerprint(self) -> str:
+        """Line-number-independent identity used by the baseline file."""
+        body = "\x00".join((self.path, self.rule, self.snippet))
+        return hashlib.sha256(body.encode("utf-8", "backslashreplace")).hexdigest()[:24]
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "rule": self.rule,
+            "message": self.message,
+            "suppressed": self.suppressed,
+            "fingerprint": self.fingerprint(),
+        }
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may inspect about one file (parsed exactly once)."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+    #: line -> suppressed rule ids (``{"all"}`` suppresses every rule there).
+    suppressions: dict[int, set[str]] = field(default_factory=dict)
+    #: line -> lock name from a ``# guarded-by:`` comment on that line.
+    guarded_lines: dict[int, str] = field(default_factory=dict)
+    #: lines carrying an ``# unbounded-ok:`` justification.
+    unbounded_ok: set[int] = field(default_factory=set)
+
+    def line_text(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def finding(self, node: ast.AST | int, rule: str, message: str) -> Finding:
+        line = node if isinstance(node, int) else getattr(node, "lineno", 1)
+        return Finding(
+            path=self.path,
+            line=line,
+            rule=rule,
+            message=message,
+            snippet=self.line_text(line),
+        )
+
+
+class Rule:
+    """Base class for one lint rule; subclasses are registered by id.
+
+    ``scope`` is a tuple of path substrings (posix): the rule runs on files
+    whose path contains any of them — an empty tuple means every file.  The
+    driver's ``everywhere=True`` ignores scopes (used by the repo-wide audit
+    and by fixture tests that place files outside the production tree).
+    """
+
+    id: str = ""
+    scope: tuple[str, ...] = ()
+    description: str = ""
+
+    def applies_to(self, path: str) -> bool:
+        return not self.scope or any(part in path for part in self.scope)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:  # pragma: no cover - abstract
+        raise NotImplementedError
+        yield
+
+
+_RULES: dict[str, Rule] = {}
+
+
+def register(rule_class: type[Rule]) -> type[Rule]:
+    """Class decorator: instantiate and register a rule by its id."""
+    rule = rule_class()
+    if not rule.id:
+        raise ValueError(f"rule {rule_class.__name__} has no id")
+    if rule.id in _RULES:
+        raise ValueError(f"duplicate rule id {rule.id!r}")
+    _RULES[rule.id] = rule
+    return rule_class
+
+
+def all_rules() -> dict[str, Rule]:
+    """The registered rules, keyed by id (import-order independent: sorted)."""
+    return {rule_id: _RULES[rule_id] for rule_id in sorted(_RULES)}
+
+
+# ----------------------------------------------------------------------
+# directive comments
+# ----------------------------------------------------------------------
+def _scan_comments(source: str) -> Iterator[tuple[int, str]]:
+    """Yield ``(line, comment text)`` for every comment token in ``source``."""
+    reader = io.StringIO(source).readline
+    try:
+        for token in tokenize.generate_tokens(reader):
+            if token.type == tokenize.COMMENT:
+                yield token.start[0], token.string
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return
+
+
+def parse_context(path: str, source: str) -> FileContext:
+    """Parse one file into a :class:`FileContext` (raises ``SyntaxError``)."""
+    tree = ast.parse(source, filename=path)
+    ctx = FileContext(path=path, source=source, tree=tree, lines=source.splitlines())
+    for line, comment in _scan_comments(source):
+        directive = _DIRECTIVE.search(comment)
+        if directive is not None:
+            rules = {part.strip() for part in directive.group("rules").split(",") if part.strip()}
+            target = line + 1 if directive.group("verb") == "disable-next-line" else line
+            ctx.suppressions.setdefault(target, set()).update(rules)
+        guarded = _GUARDED_BY.search(comment)
+        if guarded is not None:
+            ctx.guarded_lines[line] = guarded.group("lock")
+        if _UNBOUNDED_OK.search(comment):
+            ctx.unbounded_ok.add(line)
+    return ctx
+
+
+def _is_suppressed(finding: Finding, ctx: FileContext) -> bool:
+    rules = ctx.suppressions.get(finding.line)
+    return rules is not None and ("all" in rules or finding.rule in rules)
+
+
+# ----------------------------------------------------------------------
+# driver
+# ----------------------------------------------------------------------
+def iter_python_files(paths: Iterable[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted, deduplicated ``.py`` list."""
+    found: dict[Path, None] = {}
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if "__pycache__" not in candidate.parts:
+                    found[candidate] = None
+        elif path.suffix == ".py":
+            found[path] = None
+    return list(found)
+
+
+def run_lint(
+    paths: Iterable[str | Path],
+    select: Iterable[str] | None = None,
+    everywhere: bool = False,
+    on_error: Callable[[str, Exception], None] | None = None,
+) -> list[Finding]:
+    """Run the registered rules over ``paths``; returns every finding.
+
+    Suppressed findings are included with ``suppressed=True`` so callers can
+    audit them; filter on the flag for the enforcement view.  ``select``
+    restricts to the named rule ids; ``everywhere`` ignores rule scopes.
+    Unparseable files are reported through ``on_error`` (or ignored) rather
+    than aborting the run.
+    """
+    selected = set(select) if select is not None else None
+    if selected is not None:
+        unknown = selected - set(_RULES)
+        if unknown:
+            raise ValueError(f"unknown rule id(s): {sorted(unknown)}")
+    findings: list[Finding] = []
+    for path in iter_python_files(paths):
+        posix = path.as_posix()
+        try:
+            source = path.read_text(encoding="utf-8")
+            ctx = parse_context(posix, source)
+        except (OSError, SyntaxError, ValueError) as error:
+            if on_error is not None:
+                on_error(posix, error)
+            continue
+        for rule in all_rules().values():
+            if selected is not None and rule.id not in selected:
+                continue
+            if not everywhere and not rule.applies_to(posix):
+                continue
+            for finding in rule.check(ctx):
+                if _is_suppressed(finding, ctx):
+                    finding = replace(finding, suppressed=True)
+                findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
+    return findings

@@ -1,0 +1,346 @@
+"""Determinism rules: no hash-order, string-order or wall-clock leakage.
+
+The motivating bug (PR 6): grounded-graph walks iterated bare ``set``
+values, so node order — and with it cached artifacts and covariate
+ordering — depended on ``PYTHONHASHSEED``.  The fix (interned node ids,
+CSR adjacency, insertion-ordered dicts) holds only as long as nobody
+reintroduces an unordered iteration on the determinism-critical paths;
+these rules keep that invariant mechanical.
+
+* ``det-set-iter`` — iterating a ``set``/``frozenset`` value in an
+  order-sensitive position (``for``, list/generator/dict comprehension,
+  ``list()``/``tuple()``/``enumerate()``).  Order-insensitive consumers —
+  ``sorted``, ``len``, ``sum``, ``min``/``max``, ``any``/``all``,
+  membership, set algebra, building another set — are fine.
+* ``det-sorted-str`` — ``sorted(..., key=str)`` (or ``key=repr``): over
+  heterogeneous key tuples this is lexicographic, so ``(10,)`` sorts
+  before ``(2,)`` — the exact ordering bug PR 6 fixed in the graph's
+  attribute queries.  Sort on a structural key instead
+  (:func:`repro.carl.causal_graph.node_sort_key`).
+* ``det-builtin-hash`` — builtin ``hash()`` is salted per process by
+  ``PYTHONHASHSEED``; anything feeding a persisted fingerprint must use
+  :mod:`hashlib` (``repro.cache.fingerprint``).
+* ``det-wall-clock`` — ``time.time()`` in the service/observability
+  layers: span timing and deadlines must use the monotonic clock
+  (``time.monotonic()`` / ``time.perf_counter()``); a wall-clock *log
+  timestamp* is the one legitimate use and carries an inline suppression.
+
+Set-typed values are inferred structurally (literals, comprehensions,
+``set()``/``frozenset()`` calls, set-algebra operators, set-returning
+methods) and propagated through local names, ``self.`` attributes
+initialized in ``__init__`` / class-level annotations, and parameter
+annotations.  The inference is deliberately conservative: a value the
+rule cannot prove set-typed is not flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import FileContext, Finding, Rule, register
+
+#: Builtins whose consumption of an iterable is order-insensitive.
+_ORDER_FREE_CALLS = frozenset(
+    {"sorted", "set", "frozenset", "len", "sum", "min", "max", "any", "all", "iter", "next"}
+)
+
+#: Set methods that return another set (propagate set-typedness).
+_SET_RETURNING_METHODS = frozenset(
+    {"union", "intersection", "difference", "symmetric_difference", "copy"}
+)
+
+_SET_ALGEBRA_OPS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+
+
+def _annotation_is_set(annotation: ast.expr | None) -> bool:
+    """True when a type annotation names ``set``/``frozenset`` (plain or subscripted)."""
+    if annotation is None:
+        return False
+    target = annotation
+    if isinstance(target, ast.Subscript):
+        target = target.value
+    if isinstance(target, ast.Name):
+        return target.id in ("set", "frozenset", "Set", "FrozenSet", "AbstractSet", "MutableSet")
+    if isinstance(target, ast.Attribute):  # typing.Set / typing.AbstractSet
+        return target.attr in ("Set", "FrozenSet", "AbstractSet", "MutableSet")
+    if isinstance(target, ast.Constant) and isinstance(target.value, str):
+        text = target.value
+        return text.startswith(("set[", "frozenset[", "set", "frozenset")) and "[" in text
+    return False
+
+
+class _SetTypes:
+    """Names/attributes proven set-typed within one lexical scope."""
+
+    def __init__(self, names: set[str] | None = None, self_attrs: set[str] | None = None) -> None:
+        self.names = set(names or ())
+        self.self_attrs = set(self_attrs or ())
+
+    def is_set_expr(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+                return True
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _SET_RETURNING_METHODS
+                and self.is_set_expr(func.value)
+            ):
+                return True
+            return False
+        if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_ALGEBRA_OPS):
+            return self.is_set_expr(node.left) or self.is_set_expr(node.right)
+        if isinstance(node, ast.Name):
+            return node.id in self.names
+        if isinstance(node, ast.Attribute):
+            return (
+                isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+                and node.attr in self.self_attrs
+            )
+        if isinstance(node, ast.IfExp):
+            return self.is_set_expr(node.body) and self.is_set_expr(node.orelse)
+        return False
+
+
+def _collect_class_set_attrs(class_node: ast.ClassDef) -> set[str]:
+    """``self.<attr>`` names proven set-typed by ``__init__`` or class-level
+    annotations (dataclass fields)."""
+    attrs: set[str] = set()
+    seed = _SetTypes()
+    for statement in class_node.body:
+        if isinstance(statement, ast.AnnAssign) and isinstance(statement.target, ast.Name):
+            if _annotation_is_set(statement.annotation):
+                attrs.add(statement.target.id)
+        if isinstance(statement, ast.FunctionDef) and statement.name in ("__init__", "__post_init__"):
+            for node in ast.walk(statement):
+                if isinstance(node, ast.Assign):
+                    for target in node.targets:
+                        if (
+                            isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"
+                            and seed.is_set_expr(node.value)
+                        ):
+                            attrs.add(target.attr)
+                elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Attribute):
+                    target = node.target
+                    if (
+                        isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                        and _annotation_is_set(node.annotation)
+                    ):
+                        attrs.add(target.attr)
+    return attrs
+
+
+#: Nodes that open a new lexical scope: pruned walks stop at them so one
+#: scope's name bindings never leak into a sibling's analysis.
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+
+
+def _pruned_walk(scope: ast.AST) -> Iterator[ast.AST]:
+    """Descendants of ``scope`` without entering nested scopes.
+
+    Nested scope nodes are yielded (so callers can recurse into them
+    explicitly) but their bodies are not — unlike ``ast.walk``, which would
+    let a ``set``-typed local in one method taint a same-named list in
+    another.
+    """
+    stack = list(ast.iter_child_nodes(scope))
+    while stack:
+        node = stack.pop()
+        yield node
+        if not isinstance(node, _SCOPE_NODES):
+            stack.extend(ast.iter_child_nodes(node))
+
+
+def _collect_local_sets(scope: ast.AST, types: _SetTypes) -> None:
+    """Record local names bound to set-typed values directly in ``scope``.
+
+    One fixed-point pass over assignments (repeated until no growth) so
+    chains like ``a = set(); b = a | other`` resolve regardless of order.
+    Names also assigned non-set values stay tracked — conservative for a
+    linter: a rebound name is rare and an inline suppression documents it.
+    """
+    if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        for argument in [
+            *scope.args.posonlyargs,
+            *scope.args.args,
+            *scope.args.kwonlyargs,
+        ]:
+            if _annotation_is_set(argument.annotation):
+                types.names.add(argument.arg)
+    while True:
+        before = len(types.names)
+        for node in _pruned_walk(scope):
+            if isinstance(node, ast.Assign) and types.is_set_expr(node.value):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        types.names.add(target.id)
+            elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                if _annotation_is_set(node.annotation) or (
+                    node.value is not None and types.is_set_expr(node.value)
+                ):
+                    types.names.add(node.target.id)
+            elif isinstance(node, ast.AugAssign) and isinstance(node.target, ast.Name):
+                if isinstance(node.op, _SET_ALGEBRA_OPS) and types.is_set_expr(node.value):
+                    types.names.add(node.target.id)
+        if len(types.names) == before:
+            return
+
+
+@register
+class SetIterationRule(Rule):
+    id = "det-set-iter"
+    scope = ("graph/", "carl/grounding", "carl/causal_graph", "cache/fingerprint")
+    description = (
+        "iteration over a bare set/frozenset leaks PYTHONHASHSEED into "
+        "results; sort it (or restructure onto node ids) first"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        yield from self._process_scope(ctx, ctx.tree, _SetTypes())
+
+    def _process_scope(
+        self, ctx: FileContext, scope: ast.AST, inherited: _SetTypes
+    ) -> Iterator[Finding]:
+        """Analyze one lexical scope, then recurse into its nested scopes.
+
+        A nested function inherits the enclosing scope's proven-set names
+        (closures read them); a class introduces its own ``self.`` attribute
+        environment for the methods directly inside it.
+        """
+        types = _SetTypes(inherited.names, inherited.self_attrs)
+        _collect_local_sets(scope, types)
+        yield from self._check_scope(ctx, scope, types)
+        for node in _pruned_walk(scope):
+            if isinstance(node, ast.ClassDef):
+                class_env = _SetTypes(types.names, _collect_class_set_attrs(node))
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        yield from self._process_scope(ctx, item, class_env)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._process_scope(ctx, node, types)
+
+    def _check_scope(self, ctx: FileContext, scope: ast.AST, types: _SetTypes) -> Iterator[Finding]:
+        for node in _pruned_walk(scope):
+            if isinstance(node, (ast.For, ast.AsyncFor)) and types.is_set_expr(node.iter):
+                yield self._finding(ctx, node.iter, "a for-loop")
+            elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
+                for generator in node.generators:
+                    if types.is_set_expr(generator.iter):
+                        yield self._finding(ctx, generator.iter, "a comprehension")
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Name)
+                    and func.id in ("list", "tuple", "enumerate")
+                    and node.args
+                    and types.is_set_expr(node.args[0])
+                ):
+                    yield self._finding(ctx, node.args[0], f"{func.id}()")
+                elif (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == "join"
+                    and node.args
+                    and types.is_set_expr(node.args[0])
+                ):
+                    yield self._finding(ctx, node.args[0], "str.join")
+
+    def _finding(self, ctx: FileContext, node: ast.expr, where: str) -> Finding:
+        return ctx.finding(
+            node,
+            self.id,
+            f"set/frozenset iterated by {where}: iteration order depends on "
+            "PYTHONHASHSEED — sort on a structural key (node ids, "
+            "node_sort_key) before iterating",
+        )
+
+
+@register
+class SortedKeyStrRule(Rule):
+    id = "det-sorted-str"
+    scope = ("graph/", "carl/", "cache/", "db/")
+    description = (
+        "sorted(..., key=str) is lexicographic over heterogeneous keys "
+        "((10,) before (2,)); sort on a structural key instead"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            is_sorted = isinstance(func, ast.Name) and func.id == "sorted"
+            is_sort = isinstance(func, ast.Attribute) and func.attr == "sort"
+            if not (is_sorted or is_sort):
+                continue
+            for keyword in node.keywords:
+                if (
+                    keyword.arg == "key"
+                    and isinstance(keyword.value, ast.Name)
+                    and keyword.value.id in ("str", "repr")
+                ):
+                    yield ctx.finding(
+                        node,
+                        self.id,
+                        f"sorted with key={keyword.value.id} orders heterogeneous "
+                        "keys lexicographically ('(10,)' < '(2,)'); use a "
+                        "structural sort key (repro.carl.causal_graph.node_sort_key)",
+                    )
+
+
+@register
+class BuiltinHashRule(Rule):
+    id = "det-builtin-hash"
+    scope = ("cache/", "carl/", "db/", "graph/")
+    description = (
+        "builtin hash() is salted by PYTHONHASHSEED and must never feed a "
+        "persisted fingerprint; use hashlib digests"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "hash"
+            ):
+                yield ctx.finding(
+                    node,
+                    self.id,
+                    "builtin hash() is per-process salted (PYTHONHASHSEED); "
+                    "persisted fingerprints must use hashlib "
+                    "(repro.cache.fingerprint._digest)",
+                )
+
+
+@register
+class WallClockRule(Rule):
+    id = "det-wall-clock"
+    scope = ("service/", "observability/", "carl/shard", "carl/batch")
+    description = (
+        "time.time() is wall-clock (jumps on NTP/DST); span timing and "
+        "deadlines must use time.monotonic()/perf_counter()"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "time"
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == "time"
+            ):
+                yield ctx.finding(
+                    node,
+                    self.id,
+                    "time.time() is not monotonic; spans and deadlines must "
+                    "use time.monotonic() (suppress only for intentional "
+                    "wall-clock log timestamps)",
+                )

@@ -1,0 +1,225 @@
+"""Lock-discipline rules: guarded attributes and numpy-under-lock.
+
+The concurrency modules follow two conventions this rule family makes
+machine-checkable:
+
+* an attribute assignment annotated ``# guarded-by: <lock>`` (on the
+  ``__init__`` line that creates it, or on a class-level field annotation)
+  may only be read or written inside ``with self.<lock>:`` — or inside a
+  method that declares the caller-holds-lock contract, either by the
+  ``*_locked`` name suffix or a ``# guarded-by: <lock>`` comment on its
+  ``def`` line;
+* bulk numpy work stays **out** of lock scope (the PR 3 scheduler rule:
+  "numpy phases outside the lock") — a ``np.*`` call under a held lock
+  serializes every other thread behind an array operation.
+
+Analysis is per-class and purely lexical: ``with self.<lock>:`` blocks add
+the lock to the held set for their body; nested function bodies reset the
+held set (a closure defined under a lock runs later, when the lock may not
+be held — it must take the lock itself).  ``__init__`` / ``__post_init__``
+are exempt (the object is not yet shared).  Only ``self.<attr>`` receivers
+are tracked; the conventions only cover instance state.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import FileContext, Finding, Rule, register
+
+#: Methods exempt from the guarded-attribute rule: the instance is not yet
+#: (or no longer) visible to other threads.
+_EXEMPT_METHODS = frozenset({"__init__", "__post_init__", "__del__"})
+
+#: Sentinel: every lock of the class is held (``*_locked`` naming, which
+#: does not name a specific lock).
+_ALL_LOCKS = "*"
+
+
+def _self_attr(node: ast.expr) -> str | None:
+    """``self.<attr>`` -> attr name, else None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _collect_guarded_attrs(class_node: ast.ClassDef, ctx: FileContext) -> dict[str, str]:
+    """attr name -> lock name, from ``# guarded-by:`` annotated definitions.
+
+    Covers ``self.<attr> = ...`` assignments (plain or annotated) anywhere
+    in the class body — normally ``__init__`` — and class-level field
+    annotations (dataclasses).
+    """
+    guarded: dict[str, str] = {}
+    for node in ast.walk(class_node):
+        lock = ctx.guarded_lines.get(getattr(node, "lineno", -1))
+        if lock is None:
+            continue
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign):
+            targets = [node.target]
+        for target in targets:
+            attr = _self_attr(target)
+            if attr is not None:
+                guarded[attr] = lock
+            elif isinstance(target, ast.Name) and node in class_node.body:
+                guarded[target.id] = lock  # class-level (dataclass) field
+    return guarded
+
+
+def _held_at_entry(method: ast.FunctionDef | ast.AsyncFunctionDef, ctx: FileContext) -> set[str]:
+    """Locks the caller-holds-lock contract says are held on entry."""
+    held: set[str] = set()
+    if method.name.endswith("_locked"):
+        held.add(_ALL_LOCKS)
+    lock = ctx.guarded_lines.get(method.lineno)
+    if lock is not None:
+        held.add(lock)
+    return held
+
+
+def _with_locks(node: ast.With | ast.AsyncWith) -> set[str]:
+    """Lock names acquired by ``with self.<lock>:`` items of this statement."""
+    locks: set[str] = set()
+    for item in node.items:
+        attr = _self_attr(item.context_expr)
+        if attr is not None and "lock" in attr.lower():
+            locks.add(attr)
+    return locks
+
+
+class _MethodScanner:
+    """Walks one method body tracking the lexically held lock set."""
+
+    def __init__(self, rule: Rule, ctx: FileContext, guarded: dict[str, str]) -> None:
+        self.rule = rule
+        self.ctx = ctx
+        self.guarded = guarded
+        self.findings: list[Finding] = []
+
+    def scan(self, method: ast.FunctionDef | ast.AsyncFunctionDef) -> list[Finding]:
+        held = _held_at_entry(method, self.ctx)
+        for statement in method.body:
+            self._visit(statement, held)
+        return self.findings
+
+    def _visit(self, node: ast.AST, held: set[str]) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # A nested function runs later: its body starts with no locks
+            # held (plus its own caller-holds-lock contract, if declared).
+            inner = _held_at_entry(node, self.ctx)
+            for statement in node.body:
+                self._visit(statement, inner)
+            return
+        if isinstance(node, ast.Lambda):
+            self._visit(node.body, set())
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            inner = held | _with_locks(node)
+            for item in node.items:
+                self._check_expr(item.context_expr, held, lvalue=False)
+            for statement in node.body:
+                self._visit(statement, inner)
+            return
+        self._check_node(node, held)
+        for child in ast.iter_child_nodes(node):
+            self._visit(child, held)
+
+    def _check_node(self, node: ast.AST, held: set[str]) -> None:
+        if isinstance(node, ast.Attribute):
+            self._check_expr(node, held, lvalue=isinstance(node.ctx, (ast.Store, ast.Del)))
+        elif isinstance(node, ast.Call):
+            self._check_numpy_call(node, held)
+
+    def _check_expr(self, node: ast.expr, held: set[str], lvalue: bool) -> None:
+        attr = _self_attr(node)
+        if attr is None:
+            return
+        lock = self.guarded.get(attr)
+        if lock is None:
+            return
+        if _ALL_LOCKS in held or lock in held:
+            return
+        action = "written" if lvalue else "read"
+        self.findings.append(
+            self.ctx.finding(
+                node,
+                "lock-guarded-attr",
+                f"attribute self.{attr} is guarded by self.{lock} but is "
+                f"{action} outside `with self.{lock}:` (hold the lock, or "
+                "declare the caller-holds-lock contract with a *_locked "
+                "name / def-line guarded-by comment)",
+            )
+        )
+
+    def _check_numpy_call(self, node: ast.Call, held: set[str]) -> None:
+        if not held:
+            return
+        func = node.func
+        root = func
+        while isinstance(root, ast.Attribute):
+            root = root.value
+        if isinstance(root, ast.Name) and root.id in ("np", "numpy"):
+            self.findings.append(
+                self.ctx.finding(
+                    node,
+                    "lock-numpy-call",
+                    "numpy call inside lock scope serializes every other "
+                    "thread behind bulk array work; stage inputs under the "
+                    "lock, compute outside it (the PR 3 scheduler rule)",
+                )
+            )
+
+
+@register
+class GuardedAttrRule(Rule):
+    id = "lock-guarded-attr"
+    scope = ("service/", "cache/store", "observability/telemetry", "carl/engine")
+    description = (
+        "attributes annotated `# guarded-by: <lock>` may only be accessed "
+        "under `with self.<lock>` or in a caller-holds-lock method"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for class_node in ast.walk(ctx.tree):
+            if not isinstance(class_node, ast.ClassDef):
+                continue
+            guarded = _collect_guarded_attrs(class_node, ctx)
+            if not guarded:
+                continue
+            for item in class_node.body:
+                if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if item.name in _EXEMPT_METHODS:
+                    continue
+                scanner = _MethodScanner(self, ctx, guarded)
+                for finding in scanner.scan(item):
+                    if finding.rule == self.id:
+                        yield finding
+
+
+@register
+class NumpyUnderLockRule(Rule):
+    id = "lock-numpy-call"
+    scope = ("service/", "cache/store", "observability/telemetry", "carl/engine")
+    description = "bulk numpy calls must not run inside lock scope"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for class_node in ast.walk(ctx.tree):
+            if not isinstance(class_node, ast.ClassDef):
+                continue
+            guarded = _collect_guarded_attrs(class_node, ctx)
+            for item in class_node.body:
+                if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                scanner = _MethodScanner(self, ctx, guarded)
+                for finding in scanner.scan(item):
+                    if finding.rule == self.id:
+                        yield finding

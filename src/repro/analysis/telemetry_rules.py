@@ -1,0 +1,127 @@
+"""Telemetry-schema rule: emit call sites must match the frozen registry.
+
+The runtime already validates every emission against
+:data:`repro.observability.schema.EVENTS` — but only when the emitting code
+path runs.  A span added behind a rarely-taken branch (cold-path retry, a
+drain mode) can carry an unregistered name or a misspelled metadata field
+for a whole release before a test happens to cross it.  This rule resolves
+the same contract statically: every ``.start_span(...)`` / ``.span(...)`` /
+``.count(...)`` / ``.gauge(...)`` call with a literal event name is checked
+for (a) the name being registered, (b) the method matching the declared
+kind, (c) explicit metadata keywords being allowed, and (d) required
+metadata being present.
+
+Resolution is receiver-heuristic: the call's receiver must look like a
+telemetry registry — ``get_registry()`` directly, or a name/attribute whose
+identifier mentions ``registry`` or ``telemetry`` (the codebase's two
+binding conventions).  That keeps ``names.count("a")`` (``list.count``,
+``str.count``) out of scope.  A non-literal event name (``.count(n)``,
+forwarding wrappers) is skipped, as runtime validation still covers it.  A
+``**splat`` in the call suppresses the required-keys check (the splat may
+supply them) but explicit keywords are still validated.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import FileContext, Finding, Rule, register
+from repro.observability.schema import EVENTS
+
+#: Emit method name -> the event kind it must carry.
+_EMIT_KINDS = {
+    "start_span": "span",
+    "span": "span",
+    "count": "counter",
+    "gauge": "gauge",
+}
+
+#: Keyword arguments consumed by the emit methods themselves (not metadata).
+_RESERVED_KWARGS = {
+    "span": frozenset({"trace", "parent"}),
+    "counter": frozenset({"value"}),
+    "gauge": frozenset({"value"}),
+}
+
+
+def _is_registry_receiver(node: ast.expr) -> bool:
+    """True when ``node`` plausibly evaluates to a TelemetryRegistry."""
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id == "get_registry"
+    if isinstance(node, ast.Name):
+        identifier = node.id
+    elif isinstance(node, ast.Attribute):
+        identifier = node.attr
+    else:
+        return False
+    lowered = identifier.lower()
+    return "registry" in lowered or "telemetry" in lowered
+
+
+@register
+class TelemetrySchemaRule(Rule):
+    id = "telemetry-schema"
+    scope = ()  # emit sites may appear anywhere the registry is imported
+    description = (
+        "span/counter/gauge emit call sites must name a registered event, "
+        "match its kind, and satisfy its metadata contract"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call) or not isinstance(node.func, ast.Attribute):
+                continue
+            kind = _EMIT_KINDS.get(node.func.attr)
+            if kind is None:
+                continue
+            if not _is_registry_receiver(node.func.value):
+                continue
+            if not node.args:
+                continue
+            name_arg = node.args[0]
+            if not (isinstance(name_arg, ast.Constant) and isinstance(name_arg.value, str)):
+                continue  # dynamic name: runtime validation covers it
+            name = name_arg.value
+            spec = EVENTS.get(name)
+            if spec is None:
+                yield ctx.finding(
+                    node,
+                    self.id,
+                    f"telemetry event {name!r} is not in the frozen EVENTS "
+                    "registry (repro/observability/schema.py); register it "
+                    "and update the pinned schema test",
+                )
+                continue
+            if spec.kind != kind:
+                yield ctx.finding(
+                    node,
+                    self.id,
+                    f"telemetry event {name!r} is declared a {spec.kind} but "
+                    f"emitted via .{node.func.attr}() (a {kind} emit)",
+                )
+                continue
+            reserved = _RESERVED_KWARGS[kind]
+            has_splat = any(keyword.arg is None for keyword in node.keywords)
+            meta_keys = {
+                keyword.arg
+                for keyword in node.keywords
+                if keyword.arg is not None and keyword.arg not in reserved
+            }
+            unknown = meta_keys - spec.allowed
+            if unknown:
+                yield ctx.finding(
+                    node,
+                    self.id,
+                    f"telemetry event {name!r} does not allow metadata "
+                    f"fields {sorted(unknown)!r} (allowed: "
+                    f"{sorted(spec.allowed)!r})",
+                )
+            missing = set(spec.required) - meta_keys
+            if missing and not has_splat:
+                yield ctx.finding(
+                    node,
+                    self.id,
+                    f"telemetry event {name!r} requires metadata fields "
+                    f"{sorted(missing)!r} at emit time",
+                )

@@ -107,9 +107,9 @@ class CacheStats:
     exact, not approximately right.  Readers snapshot under the same lock.
     """
 
-    hits: dict[str, int] = field(default_factory=dict)
-    misses: dict[str, int] = field(default_factory=dict)
-    stores: dict[str, int] = field(default_factory=dict)
+    hits: dict[str, int] = field(default_factory=dict)  # guarded-by: _lock
+    misses: dict[str, int] = field(default_factory=dict)  # guarded-by: _lock
+    stores: dict[str, int] = field(default_factory=dict)  # guarded-by: _lock
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False, compare=False)
 
     def record(self, counter: dict[str, int], kind: str) -> None:
@@ -180,7 +180,7 @@ class ArtifactCache:
         #: ``.pin`` sidecar file naming this process, so an eviction issued
         #: from *another* process (``repro cache evict``) can see — and
         #: respect — the pins of every in-flight session on the machine.
-        self._pinned: dict[Path, int] = {}
+        self._pinned: dict[Path, int] = {}  # guarded-by: _pin_lock
         self._pin_lock = threading.Lock()
 
     # ------------------------------------------------------------------

@@ -43,6 +43,34 @@ class GroundedAttribute(NamedTuple):
         return f"{self.attribute}[{rendered}]"
 
 
+def _key_part_sort_key(part: Any) -> tuple[int, float, str]:
+    """Total order over heterogeneous key constants: numbers by value, then
+    booleans, then strings, then everything else by repr."""
+    if isinstance(part, bool):
+        return (1, float(part), "")
+    if isinstance(part, (int, float)):
+        return (0, float(part), "")
+    if isinstance(part, str):
+        return (2, 0.0, part)
+    return (3, 0.0, repr(part))
+
+
+def node_sort_key(node: GroundedAttribute) -> tuple[Any, ...]:
+    """Structural sort key for grounded attribute nodes.
+
+    ``sorted(nodes, key=str)`` is lexicographic — ``A[10]`` sorts before
+    ``A[2]`` — so stringly-sorted node lists change order when key spaces
+    cross a digit boundary.  This key sorts by attribute name, then by key
+    arity, then part-wise with numeric parts in numeric order, giving one
+    canonical order that is stable across runs and dataset sizes.
+    """
+    return (
+        node.attribute,
+        len(node.key),
+        tuple(_key_part_sort_key(part) for part in node.key),
+    )
+
+
 class GroundedRule(NamedTuple):
     """A grounded rule: head node, body nodes, and the originating rule index."""
 

@@ -112,13 +112,13 @@ class CaRLEngine:
         #: hits do not count; staleness re-grounds do).
         self.grounding_runs = 0
 
-        self._graph: GroundedCausalGraph | None = None
-        self._values: dict[GroundedAttribute, Any] | None = None
-        self._db_token: tuple[Any, ...] | None = None
+        self._graph: GroundedCausalGraph | None = None  # guarded-by: _state_lock
+        self._values: dict[GroundedAttribute, Any] | None = None  # guarded-by: _state_lock
+        self._db_token: tuple[Any, ...] | None = None  # guarded-by: _state_lock
         #: Unifying aggregate rules registered by response resolution whose
         #: groundings have not been spliced into the graph yet (deferred so a
         #: unit-table cache hit never has to touch the graph).
-        self._pending_aggregates: list[Any] = []
+        self._pending_aggregates: list[Any] = []  # guarded-by: _state_lock
         #: Wall-clock seconds of the engine's most recent grounding (or cache
         #: load of one).  Per-answer attribution lives on
         #: :attr:`QueryAnswer.grounding_seconds` instead: an answer is only
@@ -187,8 +187,9 @@ class CaRLEngine:
     def values(self) -> dict[GroundedAttribute, Any]:
         """Observed + aggregated values of every grounded attribute node."""
         self.graph  # noqa: B018 - force grounding
-        assert self._values is not None
-        return self._values
+        with self._state_lock:
+            assert self._values is not None
+            return self._values
 
     def invalidate(self) -> None:
         """Drop the cached grounded graph and rebind to the database.
@@ -890,7 +891,7 @@ class CaRLEngine:
 
         raise QueryError(f"unknown response attribute {requested!r}")
 
-    def _ensure_unifying_aggregate(
+    def _ensure_unifying_aggregate(  # guarded-by: _state_lock
         self, base_attribute: str, treatment_subject: str, aggregate: str
     ) -> str:
         """Register (once) the aggregate rule that unifies response and treated units."""
@@ -923,7 +924,7 @@ class CaRLEngine:
         self._pending_aggregates.append(registered)
         return desired
 
-    def _apply_pending_aggregates(self) -> None:
+    def _apply_pending_aggregates(self) -> None:  # guarded-by: _state_lock
         """Ground rules registered by response unification and splice them in.
 
         Deferred from :meth:`_ensure_unifying_aggregate` so a unit-table

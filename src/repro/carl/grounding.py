@@ -20,7 +20,12 @@ from repro.carl.ast import (
     Condition,
     Variable,
 )
-from repro.carl.causal_graph import GroundedAttribute, GroundedCausalGraph, GroundedRule
+from repro.carl.causal_graph import (
+    GroundedAttribute,
+    GroundedCausalGraph,
+    GroundedRule,
+    node_sort_key,
+)
 from repro.carl.errors import GroundingError
 from repro.carl.model import RelationalCausalModel
 from repro.carl.schema import BoundInstance
@@ -130,7 +135,7 @@ class Grounder:
             )
             grounded.setdefault(head, set()).update(body)
         return [
-            GroundedRule(head=head, body=tuple(sorted(body, key=str)))
+            GroundedRule(head=head, body=tuple(sorted(body, key=node_sort_key)))
             for head, body in grounded.items()
         ]
 
@@ -142,7 +147,7 @@ class Grounder:
             parent = GroundedAttribute(rule.body.name, self._ground_key(rule.body, binding))
             grounded.setdefault(head, set()).add(parent)
         return [
-            GroundedRule(head=head, body=tuple(sorted(body, key=str)))
+            GroundedRule(head=head, body=tuple(sorted(body, key=node_sort_key)))
             for head, body in grounded.items()
         ]
 

@@ -461,6 +461,10 @@ def main(argv: list[str] | None = None) -> int:
         return cache_main(argv[1:])
     if argv and argv[0] == "telemetry":
         return telemetry_main(argv[1:])
+    if argv and argv[0] == "lint":
+        from repro.analysis.cli import lint_main
+
+        return lint_main(argv[1:])
     if argv and argv[0] == "answer":
         argv = argv[1:]
     args = build_parser().parse_args(argv)

@@ -30,7 +30,9 @@ def _reachable(graph: DAG, sources: set[Hashable], given: set[Hashable]) -> set[
     # States are (node, direction) where direction 'up' means we arrived at
     # the node travelling against an edge (from a child), and 'down' means we
     # arrived travelling along an edge (from a parent).
-    frontier: deque[tuple[Hashable, str]] = deque((s, "up") for s in sources)
+    # Order-insensitive: the BFS returns a membership set, so the frontier's
+    # seeding order cannot leak into any caller-visible ordering.
+    frontier: deque[tuple[Hashable, str]] = deque((s, "up") for s in sources)  # repro-lint: disable=det-set-iter
     visited: set[tuple[Hashable, str]] = set()
     reachable: set[Hashable] = set()
 

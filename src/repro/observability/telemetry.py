@@ -70,14 +70,14 @@ class TelemetryRegistry:
     def __init__(self, capacity: int = DEFAULT_CAPACITY, sink: str | Path | None = None) -> None:
         self._lock = threading.Lock()
         self._capacity = capacity
-        self._events: deque[dict[str, Any]] = deque(maxlen=capacity)
-        self._counter_totals: dict[str, int] = {}
-        self._gauge_values: dict[str, float] = {}
-        self._next_trace = 0
-        self._next_span = 0
-        self._pid = os.getpid()
-        self._sink_path: Path | None = None
-        self._sink_handle: Any = None
+        self._events: deque[dict[str, Any]] = deque(maxlen=capacity)  # guarded-by: _lock
+        self._counter_totals: dict[str, int] = {}  # guarded-by: _lock
+        self._gauge_values: dict[str, float] = {}  # guarded-by: _lock
+        self._next_trace = 0  # guarded-by: _lock
+        self._next_span = 0  # guarded-by: _lock
+        self._pid = os.getpid()  # guarded-by: _lock
+        self._sink_path: Path | None = None  # guarded-by: _lock
+        self._sink_handle: Any = None  # guarded-by: _lock
         if sink is not None:
             self.set_sink(sink)
 
@@ -198,7 +198,9 @@ class TelemetryRegistry:
         self._emit({"event": name, "kind": "gauge", "value": value, "meta": dict(meta)})
 
     def _emit(self, record: dict[str, Any]) -> None:
-        record["ts"] = time.time()
+        # Intentional wall-clock: "ts" is the log-line timestamp readers
+        # correlate with external logs; span durations use t0/t1 (monotonic).
+        record["ts"] = time.time()  # repro-lint: disable=det-wall-clock
         with self._lock:
             self._ensure_pid_locked()
             record["pid"] = self._pid

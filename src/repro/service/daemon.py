@@ -80,8 +80,8 @@ class TokenBucket:
             raise QueryError(f"burst must be a positive integer, got {burst!r}")
         self._rate = rate
         self._burst = float(burst)
-        self._tokens = float(burst)
-        self._stamp = time.monotonic()
+        self._tokens = float(burst)  # guarded-by: _lock
+        self._stamp = time.monotonic()  # guarded-by: _lock
         self._lock = threading.Lock()
 
     def try_acquire(self) -> bool:
@@ -116,10 +116,10 @@ class _TenantBackend:
         self._max_inflight = max_inflight
         self.events: "queue.Queue[tuple[int, Any]]" = queue.Queue()
         self._lock = threading.Lock()
-        self._to_global: dict[int, int] = {}  #: local → global, in-flight only
-        self.admitted = 0
-        self.rejected = 0
-        self._closed = False
+        self._to_global: dict[int, int] = {}  # guarded-by: _lock  #: local → global, in-flight only
+        self.admitted = 0  # guarded-by: _lock
+        self.rejected = 0  # guarded-by: _lock
+        self._closed = False  # guarded-by: _lock
 
     # -- the QuerySession-facing surface --------------------------------
     def submit(
@@ -262,14 +262,17 @@ class QueryDaemon:
         )
         self._scheduler.start()
         self._lock = threading.Lock()
-        self._next_global = 0
+        self._next_global = 0  # guarded-by: _lock
         #: Global index → (facade, local index); one entry per in-flight
         #: query, deleted when its event is routed (or it is cancelled).
-        self._routes: dict[int, tuple[_TenantBackend, int]] = {}
-        self._sessions: set[_TenantBackend] = set()
-        self._next_anonymous = 0
-        self._draining = False
-        self._closed = False
+        self._routes: dict[int, tuple[_TenantBackend, int]] = {}  # guarded-by: _lock
+        #: Live session backends, insertion-ordered (a dict-as-ordered-set:
+        #: iterating a bare set here would put stats()/close() session order
+        #: under PYTHONHASHSEED).
+        self._sessions: dict[_TenantBackend, None] = {}  # guarded-by: _lock
+        self._next_anonymous = 0  # guarded-by: _lock
+        self._draining = False  # guarded-by: _lock
+        self._closed = False  # guarded-by: _lock
         self._stop = threading.Event()
         self._router = threading.Thread(
             target=self._run_router, name="carl-daemon-router", daemon=True
@@ -318,7 +321,7 @@ class QueryDaemon:
             self, tenant, TokenBucket(rate, burst), max_inflight
         )
         with self._lock:
-            self._sessions.add(backend)
+            self._sessions[backend] = None
             live = len(self._sessions)
         get_registry().gauge("daemon.sessions", live)
         return QuerySession(
@@ -336,7 +339,7 @@ class QueryDaemon:
 
     def _session_closed(self, backend: _TenantBackend) -> None:
         with self._lock:
-            self._sessions.discard(backend)
+            self._sessions.pop(backend, None)
             live = len(self._sessions)
         get_registry().gauge("daemon.sessions", live)
 

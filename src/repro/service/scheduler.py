@@ -298,34 +298,34 @@ class ShardScheduler:
 
         self.events: "queue.Queue[tuple[int, QueryAnswer | QueryError]]" = queue.Queue()
         self._lock = threading.RLock()
-        self._stats = ServiceStats()
-        self._records: dict[int, _QueryRecord] = {}
-        self._tasks: dict[int, _Task] = {}
+        self._stats = ServiceStats()  # guarded-by: _lock
+        self._records: dict[int, _QueryRecord] = {}  # guarded-by: _lock
+        self._tasks: dict[int, _Task] = {}  # guarded-by: _lock
         #: In-flight (PENDING/RUNNING) collect tasks by partial key — the
         #: within-session dedup that lets a threshold sweep share ranges.
-        self._task_by_key: dict[CacheKey, int] = {}
+        self._task_by_key: dict[CacheKey, int] = {}  # guarded-by: _lock
         #: Completed collect work: partial key → collection seconds, LRU up
         #: to ``_WARM_KEYS_CAP``.  Each entry holds one cache pin, released
         #: on LRU eviction or at close.  Replaces the DONE task rows the
         #: scheduler used to keep forever.
-        self._warm_keys: "OrderedDict[CacheKey, float]" = OrderedDict()
+        self._warm_keys: "OrderedDict[CacheKey, float]" = OrderedDict()  # guarded-by: _lock
         #: Ready collect tasks, one deque per fairness group, drained
         #: round-robin (``_group_order`` is the rotation); finish tasks go
         #: to ``_priority`` and always run first.
-        self._ready_groups: dict[str | None, deque[int]] = {}
-        self._group_order: deque[str | None] = deque()
-        self._priority: deque[int] = deque()
-        self._ready_count = 0
-        self._last_queue_depth = -1
-        self._control: deque[tuple[str, int]] = deque()
-        self._next_task_id = 0
+        self._ready_groups: dict[str | None, deque[int]] = {}  # guarded-by: _lock
+        self._group_order: deque[str | None] = deque()  # guarded-by: _lock
+        self._priority: deque[int] = deque()  # guarded-by: _lock
+        self._ready_count = 0  # guarded-by: _lock
+        self._last_queue_depth = -1  # guarded-by: _lock
+        self._control: deque[tuple[str, int]] = deque()  # guarded-by: _lock
+        self._next_task_id = 0  # guarded-by: _lock
         self._next_worker_id = 0
         self._workers: dict[int, _Worker] = {}
         self._results: Any = None
         #: Session-lifetime pins: the published engine-state artifacts
         #: (grounding + tables).  Partial-key pins live on their records and
         #: on ``_warm_keys`` entries instead.
-        self._pinned: list[CacheKey] = []
+        self._pinned: list[CacheKey] = []  # guarded-by: _lock
         self._cleanup_root: str | None = None
         self._cache: ArtifactCache | None = None
         self._spec: WorkerSpec | None = None
@@ -343,7 +343,7 @@ class ShardScheduler:
         #: Per-scheduler: concurrent sessions fork independently (the
         #: engine hand-off is token-keyed, see repro.carl.shard).
         self._fork_lock = threading.Lock()
-        self._closed = False
+        self._closed = False  # guarded-by: _lock
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -371,7 +371,9 @@ class ShardScheduler:
             self._engine,
             cache,
             inherit=inherit,
-            pinned=self._pinned,
+            # Lock-free by happens-before: start() runs once, before the
+            # dispatcher thread and workers that contend on the lock exist.
+            pinned=self._pinned,  # repro-lint: disable=lock-guarded-attr
             inherit_token=self._inherit_token,
         )
         self._results = multiprocessing.Queue()
@@ -424,9 +426,9 @@ class ShardScheduler:
                 for key in self._warm_keys:
                     self._cache.unpin(key)
                 self._warm_keys.clear()
-            for key in self._pinned:
-                self._cache.unpin(key)
-            self._pinned.clear()
+                for key in self._pinned:
+                    self._cache.unpin(key)
+                self._pinned.clear()
         if self._cleanup_root is not None:
             shutil.rmtree(self._cleanup_root, ignore_errors=True)
 
@@ -724,10 +726,10 @@ class ShardScheduler:
                 self._enqueue_ready_locked(task)
                 record.waiting_on.add(task.id)
             if not record.waiting_on:
-                self._enqueue_finish(record)
+                self._enqueue_finish_locked(record)
             self._emit_queue_depth_locked()
 
-    def _enqueue_finish(self, record: _QueryRecord) -> None:
+    def _enqueue_finish_locked(self, record: _QueryRecord) -> None:
         """All collects of a query are resolved: schedule its finish task.
 
         Caller must hold the lock."""
@@ -900,7 +902,7 @@ class ShardScheduler:
                     record.waiting_on.discard(task.id)
                     record.collect_seconds += task.seconds
                     if not record.waiting_on and record.finish_task is None:
-                        self._enqueue_finish(record)
+                        self._enqueue_finish_locked(record)
                 # Reap the task row: the partial is on disk, so all later
                 # queries need is the warm key (bounded LRU, pinned).
                 self._remember_warm_locked(task.spec.result_key, task.seconds)

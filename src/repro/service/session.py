@@ -167,20 +167,20 @@ class QuerySession:
         self._max_pending = max_pending
         self._submit_timeout = submit_timeout
         self._lock = threading.RLock()
-        self._next_index = 0
-        self._live: set[int] = set()  #: submitted, no outcome delivered yet
-        self._resolved: dict[int, Any] = {}  #: outcomes ready for delivery
+        self._next_index = 0  # guarded-by: _lock
+        self._live: set[int] = set()  # guarded-by: _lock  #: submitted, no outcome delivered yet
+        self._resolved: dict[int, Any] = {}  # guarded-by: _lock  #: outcomes ready for delivery
         #: Most recent delivered outcomes (index → outcome), LRU-bounded:
         #: keeps :meth:`result` idempotent for recent queries while the
         #: session's memory stays O(in-flight), not O(history).
-        self._delivered: "OrderedDict[int, Any]" = OrderedDict()
-        self._delivered_count = 0
+        self._delivered: "OrderedDict[int, Any]" = OrderedDict()  # guarded-by: _lock
+        self._delivered_count = 0  # guarded-by: _lock
         #: Indexes whose late backend events must be dropped (cancelled
         #: queries, and thread-mode timeouts whose result is already in);
         #: LRU-bounded like the delivered history.
-        self._suppressed: "OrderedDict[int, None]" = OrderedDict()
-        self._cancelled_count = 0
-        self._closed = False
+        self._suppressed: "OrderedDict[int, None]" = OrderedDict()  # guarded-by: _lock
+        self._cancelled_count = 0  # guarded-by: _lock
+        self._closed = False  # guarded-by: _lock
 
         self._scheduler: Any = None
         self._pool: ThreadPoolExecutor | None = None
@@ -204,10 +204,10 @@ class QuerySession:
                 max_workers=jobs, thread_name_prefix="carl-session"
             )
             self._scratch = BatchScratch()
-            self._scratch_epoch = engine._grounding_epoch  # noqa: SLF001
+            self._scratch_epoch = engine._grounding_epoch  # noqa: SLF001  # guarded-by: _lock
             self._events: "queue.Queue[tuple[int, Any]]" = queue.Queue()
-            self._futures: dict[int, Future] = {}
-            self._deadlines: dict[int, float] = {}
+            self._futures: dict[int, Future] = {}  # guarded-by: _lock
+            self._deadlines: dict[int, float] = {}  # guarded-by: _lock
 
     # ------------------------------------------------------------------
     # submission
@@ -258,7 +258,7 @@ class QuerySession:
                 # caller's, not a query event.
                 with self._lock:
                     self._live.discard(index)
-                    self._remember_suppressed(index)
+                    self._remember_suppressed_locked(index)
                 raise
         else:
             with self._lock:
@@ -346,7 +346,7 @@ class QuerySession:
                         if index not in self._resolved:
                             continue  # another consumer raced us to it
                         outcome = self._resolved.pop(index)
-                        self._mark_delivered(index, outcome)
+                        self._mark_delivered_locked(index, outcome)
                     yield index, outcome
                     deadline = (
                         None if timeout is None else time.monotonic() + timeout
@@ -373,7 +373,7 @@ class QuerySession:
             with self._lock:
                 if index in self._resolved:
                     outcome = self._resolved.pop(index)
-                    self._mark_delivered(index, outcome)
+                    self._mark_delivered_locked(index, outcome)
                     return outcome
                 if index in self._delivered:
                     self._delivered.move_to_end(index)
@@ -392,7 +392,7 @@ class QuerySession:
                 raise TimeoutError(f"query {index} did not complete in time")
             self._pump(remaining)
 
-    def _mark_delivered(self, index: int, outcome: Any) -> None:
+    def _mark_delivered_locked(self, index: int, outcome: Any) -> None:
         """Move one outcome into the bounded delivered history (lock held)."""
         self._delivered[index] = outcome
         self._delivered.move_to_end(index)
@@ -400,7 +400,7 @@ class QuerySession:
         while len(self._delivered) > DELIVERED_KEEP:
             self._delivered.popitem(last=False)
 
-    def _remember_suppressed(self, index: int) -> None:
+    def _remember_suppressed_locked(self, index: int) -> None:
         """Track a suppressed index in the bounded LRU (lock held)."""
         self._suppressed[index] = None
         self._suppressed.move_to_end(index)
@@ -447,7 +447,7 @@ class QuerySession:
                 if future is not None:
                     future.cancel()
                 self._live.discard(index)
-                self._remember_suppressed(index)  # reap a late in-flight result
+                self._remember_suppressed_locked(index)  # reap a late in-flight result
                 self._resolved[index] = QueryError(
                     f"query {index} timed out before completing"
                 )
@@ -476,7 +476,7 @@ class QuerySession:
             if not was_live and not resolved_undelivered:
                 return False
             self._cancelled_count += 1
-            self._remember_suppressed(index)
+            self._remember_suppressed_locked(index)
             self._live.discard(index)
             self._resolved.pop(index, None)
             if self._pool is not None:
@@ -521,7 +521,9 @@ class QuerySession:
         if self._scheduler is not None:
             self._scheduler.close()
         if self._pool is not None:
-            for future in self._futures.values():
+            with self._lock:
+                pending = list(self._futures.values())
+            for future in pending:
                 future.cancel()
             self._pool.shutdown(wait=False)
 

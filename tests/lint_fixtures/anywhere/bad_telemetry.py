@@ -1,0 +1,15 @@
+"""Known-bad telemetry-schema fixture (the rule is unscoped).
+
+Violations, in order: unregistered event, kind mismatch, disallowed
+metadata field, missing required metadata.
+"""
+
+from repro.observability.telemetry import get_registry
+
+
+def emits() -> None:
+    registry = get_registry()
+    registry.count("no.such.event")  # BAD: not in EVENTS
+    registry.count("query", index=1)  # BAD: 'query' is a span, not a counter
+    registry.gauge("daemon.sessions", 1, bogus=2)  # BAD: field not allowed
+    registry.count("daemon.admit")  # BAD: required field 'tenant' missing

@@ -1,0 +1,17 @@
+"""Known-good telemetry-schema fixture: conforming emits (and dynamic ones
+the rule must skip) produce no findings."""
+
+from repro.observability.telemetry import get_registry
+
+
+def emits(name: str, meta: dict) -> None:
+    registry = get_registry()
+    registry.count("cache.hit", kind="grounding")  # OK: optional field
+    registry.count("daemon.admit", tenant="alice")  # OK: required present
+    registry.gauge("scheduler.queue_depth", 3)  # OK
+    span = registry.start_span("query", index=1, mode="warm")  # OK
+    registry.finish_span(span)
+    registry.count(name)  # OK: dynamic name, runtime validation covers it
+    registry.count("daemon.reject", **meta)  # OK: splat may supply 'tenant'
+    names = ["a", "b"]
+    names.count("a")  # OK: list.count, not a telemetry registry receiver

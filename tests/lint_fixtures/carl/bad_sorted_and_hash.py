@@ -1,0 +1,13 @@
+"""Known-bad fixture for det-sorted-str and det-builtin-hash (scope carl/)."""
+
+
+def lexicographic_sort(body: list[tuple[str, tuple[int, ...]]]) -> list:
+    return sorted(body, key=str)  # BAD: '(10,)' sorts before '(2,)'
+
+
+def lexicographic_sort_repr(rows: list) -> None:
+    rows.sort(key=repr)  # BAD: same bug via .sort
+
+
+def salted_fingerprint(payload: tuple) -> int:
+    return hash(payload)  # BAD: PYTHONHASHSEED-salted, never persist this

@@ -1,0 +1,33 @@
+"""Known-bad determinism fixture: every statement here must flag det-set-iter.
+
+Lives under a ``graph/`` path segment so the rule's default scope applies
+without ``--everywhere``.  Not imported by anything; the lint tests parse it.
+"""
+
+
+def iterate_literal() -> list[int]:
+    out = []
+    for item in {3, 1, 2}:  # BAD: for-loop over a set literal
+        out.append(item)
+    return out
+
+
+def iterate_via_name(edges: set[tuple[int, int]]) -> list[tuple[int, int]]:
+    return [edge for edge in edges]  # BAD: comprehension over set-typed param
+
+
+def iterate_constructed() -> tuple[int, ...]:
+    nodes = set([4, 5, 6])
+    return tuple(nodes)  # BAD: tuple() over a set-typed local
+
+
+def iterate_algebra(a: set[int], b: set[int]) -> list[int]:
+    return list(a | b)  # BAD: list() over a set-union expression
+
+
+class GraphIndex:
+    def __init__(self) -> None:
+        self.nodes: set[str] = set()
+
+    def names(self) -> str:
+        return ",".join(self.nodes)  # BAD: str.join over a set attribute

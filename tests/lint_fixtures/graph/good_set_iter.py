@@ -1,0 +1,34 @@
+"""Known-good determinism fixture: nothing here may flag det-set-iter."""
+
+
+def order_insensitive(edges: set[tuple[int, int]]) -> int:
+    total = len(edges)  # OK: len does not consume order
+    if (1, 2) in edges:  # OK: membership
+        total += 1
+    return total
+
+
+def sorted_first(nodes: set[str]) -> list[str]:
+    return sorted(nodes)  # OK: sorted() imposes the order itself
+
+
+def set_building(a: set[int], b: set[int]) -> set[int]:
+    return set(a | b)  # OK: the result is itself unordered
+
+
+def list_is_not_a_set(rows: list[int]) -> list[int]:
+    ordered = [row for row in rows]  # OK: lists are ordered
+    for row in ordered:
+        pass
+    return ordered
+
+
+def scoped_names() -> list[int]:
+    # A set-typed `items` in another function must not taint this list.
+    items = [1, 2, 3]
+    return [item for item in items]  # OK
+
+
+def other_scope() -> set[int]:
+    items = {1, 2, 3}
+    return items

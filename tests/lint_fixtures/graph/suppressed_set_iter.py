@@ -1,0 +1,12 @@
+"""Suppression fixture: the violation is disabled inline (and one via
+disable-next-line); findings must carry ``suppressed=True``."""
+
+
+def justified(frontier: set[int]) -> list[int]:
+    # Feeds an order-insensitive reducer immediately downstream.
+    return [x + 1 for x in frontier]  # repro-lint: disable=det-set-iter
+
+
+def justified_next_line(frontier: set[int]) -> list[int]:
+    # repro-lint: disable-next-line=det-set-iter
+    return [x for x in frontier]

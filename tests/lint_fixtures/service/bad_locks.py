@@ -1,0 +1,33 @@
+"""Known-bad lock-discipline fixture (scope service/).
+
+Violations, in order: unlocked read, unlocked write, guarded access in a
+nested function defined under the lock (runs later!), and a numpy call
+inside lock scope.
+"""
+
+import threading
+
+import numpy as np
+
+
+class Widget:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._items: dict[int, str] = {}  # guarded-by: _lock
+        self._closed = False  # guarded-by: _lock
+
+    def unlocked_read(self) -> int:
+        return len(self._items)  # BAD: guarded attr read without the lock
+
+    def unlocked_write(self) -> None:
+        self._closed = True  # BAD: guarded attr written without the lock
+
+    def closure_escapes_lock(self):
+        with self._lock:
+            def later() -> int:
+                return len(self._items)  # BAD: closure runs after release
+            return later
+
+    def numpy_under_lock(self, values) -> float:
+        with self._lock:
+            return float(np.sum(values))  # BAD: bulk work inside the lock

@@ -1,0 +1,12 @@
+"""Known-bad boundedness fixture (scope service/): a long-lived class grows
+containers that nothing ever shrinks."""
+
+
+class BookkeepingDaemon:
+    def __init__(self) -> None:
+        self._history: dict[int, str] = {}  # BAD: grows per query, no reap
+        self._log: list[str] = []  # BAD: append-only
+
+    def handle(self, index: int, outcome: str) -> None:
+        self._history[index] = outcome
+        self._log.append(outcome)

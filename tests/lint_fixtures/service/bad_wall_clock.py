@@ -1,0 +1,12 @@
+"""Known-bad fixture for det-wall-clock (scope service/)."""
+
+import time
+
+
+def span_timing() -> float:
+    start = time.time()  # BAD: wall clock jumps under NTP/DST
+    return time.time() - start  # BAD
+
+
+def deadline(timeout: float) -> float:
+    return time.time() + timeout  # BAD: deadlines must be monotonic

@@ -1,0 +1,46 @@
+"""Known-good lock-discipline fixture: every guarded access holds the lock
+(directly, via a ``*_locked`` helper, or via a def-line guarded-by marker),
+and numpy work is staged outside lock scope."""
+
+import threading
+
+import numpy as np
+
+
+class Widget:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._items: dict[int, str] = {}  # guarded-by: _lock
+        self._closed = False  # guarded-by: _lock
+        self._unguarded = 0  # no annotation: the rule must ignore it
+
+    def locked_access(self, key: int, value: str) -> None:
+        with self._lock:
+            if not self._closed:  # OK: lock held
+                self._items[key] = value
+
+    def _reap_locked(self) -> None:
+        self._items.clear()  # OK: *_locked declares caller holds the lock
+
+    def _reap(self) -> None:  # guarded-by: _lock
+        self._items.clear()  # OK: def-line marker declares the contract
+
+    def drive(self) -> None:
+        with self._lock:
+            self._reap_locked()
+            self._reap()
+
+    def closure_takes_lock(self):
+        def later() -> int:
+            with self._lock:
+                return len(self._items)  # OK: closure acquires it itself
+        return later
+
+    def unguarded(self) -> int:
+        self._unguarded += 1  # OK: not annotated
+        return self._unguarded
+
+    def numpy_outside_lock(self, values) -> float:
+        with self._lock:
+            staged = list(self._items.values())
+        return float(np.sum(np.asarray(len(staged))))  # OK: lock released

@@ -1,0 +1,35 @@
+"""Known-good boundedness fixture: bounded, reaped, swapped, justified, or
+not long-lived — none of these may flag."""
+
+from collections import deque
+
+
+class ReapingScheduler:
+    def __init__(self) -> None:
+        self._inflight: dict[int, str] = {}  # OK: deleted at delivery
+        self._recent: deque = deque(maxlen=64)  # OK: bounded
+        self._buffer: list[str] = []  # OK: swap-reset below
+        self._audit: list[str] = []  # unbounded-ok: test evidence, process-lifetime by design
+
+    def handle(self, index: int, outcome: str) -> None:
+        self._inflight[index] = outcome
+        self._recent.append(outcome)
+        self._buffer.append(outcome)
+        self._audit.append(outcome)
+
+    def deliver(self, index: int) -> str:
+        return self._inflight.pop(index)
+
+    def flush(self) -> list[str]:
+        pending, self._buffer = self._buffer, []
+        return pending
+
+
+class ShortLivedHelper:
+    """Not matched by the long-lived-class name pattern: never checked."""
+
+    def __init__(self) -> None:
+        self._rows: list[int] = []
+
+    def push(self, row: int) -> None:
+        self._rows.append(row)

@@ -1,0 +1,13 @@
+"""Known-good fixture: monotonic clocks and a justified wall-clock use."""
+
+import time
+
+
+def span_timing() -> float:
+    start = time.monotonic()  # OK
+    return time.perf_counter() - start  # OK
+
+
+def log_timestamp() -> float:
+    # Correlated with external logs, never subtracted.
+    return time.time()  # repro-lint: disable=det-wall-clock

@@ -170,6 +170,21 @@ def test_daemon_multi_tenant_answers_are_bit_identical(serial_answers):
         assert daemon.stats()["sessions"] == 0
 
 
+def test_daemon_stats_tenants_preserve_session_open_order():
+    """Pinned regression: the session registry is insertion-ordered.
+
+    ``_sessions`` used to be a bare set, so ``stats()['tenants']`` (and the
+    ``close()`` teardown sweep) enumerated sessions in PYTHONHASHSEED order.
+    """
+    engine = fresh_engine()
+    order = ["banana", "apple", "cherry"]  # deliberately not sorted
+    with QueryDaemon(engine, jobs=1, shards=1) as daemon:
+        sessions = [daemon.open_session(tenant=tenant) for tenant in order]
+        assert list(daemon.stats()["tenants"]) == order
+        for session in sessions:
+            session.close()
+
+
 def test_daemon_sessions_run_concurrently(serial_answers):
     """Two tenants submitting from separate threads both complete."""
     engine = fresh_engine()
