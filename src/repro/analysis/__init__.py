@@ -17,6 +17,9 @@ contracts once as lint rules so CI proves them on every PR
   the lock held), and bulk numpy calls stay out of lock scope;
 * **telemetry schema** — every span/counter/gauge emit call site is
   cross-checked against the frozen ``EVENTS`` registry;
+* **fault sites** — every ``fault_point(...)`` call and ``FaultRule`` site
+  is cross-checked against the frozen ``FAULT_SITES`` catalogue (a typo
+  would make the fault silently uninjectable);
 * **boundedness** — long-lived classes may not grow container attributes
   without a matching reap (or an explicit ``# unbounded-ok:`` justification).
 
@@ -28,6 +31,6 @@ Entry points: the ``repro lint`` CLI subcommand
 from repro.analysis.core import Finding, Rule, all_rules, run_lint
 
 # Importing the rule modules registers their rules.
-from repro.analysis import boundedness, determinism, locks, telemetry_rules  # noqa: F401  isort: skip
+from repro.analysis import boundedness, determinism, fault_rules, locks, telemetry_rules  # noqa: F401  isort: skip
 
 __all__ = ["Finding", "Rule", "all_rules", "run_lint"]

@@ -1,0 +1,83 @@
+"""Fault-site rule: injection call sites must name a registered site.
+
+Mirrors the telemetry-schema rule for the fault-injection layer: the runtime
+raises :class:`~repro.faults.plan.PlanError` for an unregistered site, but
+only when the call site actually executes — and fault points live on
+purpose behind rarely-taken branches (crash windows, ENOSPC handling).  A
+misspelled site name there would make the fault silently uninjectable: the
+plan rule never matches, the chaos test quietly tests nothing.  This rule
+resolves the contract statically: every ``fault_point("<literal>")`` call
+and every ``FaultRule(site="<literal>")`` construction is cross-checked
+against the frozen :data:`repro.faults.sites.FAULT_SITES` catalogue.
+
+Non-literal site names (forwarding wrappers, parametrized tests) are
+skipped — runtime validation still covers them.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import FileContext, Finding, Rule, register
+from repro.faults.sites import FAULT_SITES
+
+
+def _callee_name(node: ast.expr) -> str | None:
+    """The trailing identifier of a call target (``pkg.mod.f`` -> ``f``)."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _literal_site(node: ast.Call, callee: str) -> ast.Constant | None:
+    """The literal site-name argument of one call, if present.
+
+    ``fault_point`` takes the site as its first positional argument;
+    ``FaultRule`` takes it as the ``site`` keyword or first positional.
+    """
+    candidate: ast.expr | None = None
+    if callee == "fault_point":
+        candidate = node.args[0] if node.args else None
+    else:
+        candidate = node.args[0] if node.args else None
+        for keyword in node.keywords:
+            if keyword.arg == "site":
+                candidate = keyword.value
+    if isinstance(candidate, ast.Constant) and isinstance(candidate.value, str):
+        return candidate
+    return None
+
+
+@register
+class FaultSiteRule(Rule):
+    id = "fault-site"
+    scope = ()  # injection sites appear across scheduler/daemon/store/tests
+    description = (
+        "fault_point(...) calls and FaultRule(site=...) constructions must "
+        "name a site registered in the frozen FAULT_SITES catalogue"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = _callee_name(node.func)
+            if callee not in ("fault_point", "FaultRule"):
+                continue
+            literal = _literal_site(node, callee)
+            if literal is None:
+                continue  # dynamic site name: runtime validation covers it
+            name = literal.value
+            if name in FAULT_SITES:
+                continue
+            yield ctx.finding(
+                node,
+                self.id,
+                f"fault site {name!r} is not in the frozen FAULT_SITES "
+                "catalogue (repro/faults/sites.py); a typo here makes the "
+                "fault silently uninjectable — register the site or fix "
+                "the name",
+            )

@@ -20,10 +20,12 @@ through numpy's pickle path.
 
 from __future__ import annotations
 
+import errno
 import json
 import os
 import tempfile
 import threading
+import time
 import zipfile
 from collections.abc import Iterable
 from dataclasses import dataclass, field
@@ -33,6 +35,7 @@ from typing import Any
 import numpy as np
 from numpy.lib import format as npy_format
 
+from repro.faults.injection import fault_point
 from repro.observability.telemetry import get_registry
 
 #: Length of the fingerprint prefixes used in file names (full fingerprints
@@ -51,9 +54,37 @@ FORMAT_VERSION = 2
 #: Artifact kinds the engine stores (other kinds are allowed; these are known).
 KNOWN_KINDS = ("grounding", "unit_table", "table", "unit_inputs")
 
+#: Directory (under the cache root) artifacts that fail to decode are moved
+#: to.  Quarantined files carry a ``.quarantined`` suffix so no cache glob
+#: (``*/*.npz``) can ever pick one up again.
+QUARANTINE_DIR = "quarantine"
+
+#: Age (seconds) below which :meth:`ArtifactCache.reap_temp_files` leaves a
+#: ``.tmp`` file alone: it may belong to a live concurrent writer.
+TEMP_MAX_AGE_SECONDS = 600.0
+
+#: errno values treated as "the disk is full": the store degrades to
+#: uncached operation instead of failing the query that triggered the write.
+_NO_SPACE_ERRNOS = frozenset(
+    code
+    for code in (
+        errno.ENOSPC,
+        errno.EDQUOT if hasattr(errno, "EDQUOT") else None,
+        errno.EFBIG,
+    )
+    if code is not None
+)
+
 
 class CacheError(ValueError):
     """Raised on malformed cache keys or unusable cache roots."""
+
+
+class CacheDegradedError(RuntimeError):
+    """A worker could not persist or read back a required artifact because
+    the store is degraded (out of space).  The scheduler recognizes this
+    error by name on the result wire and answers the affected queries
+    serially in-process instead of retrying a write that cannot succeed."""
 
 
 @dataclass(frozen=True)
@@ -110,6 +141,10 @@ class CacheStats:
     hits: dict[str, int] = field(default_factory=dict)  # guarded-by: _lock
     misses: dict[str, int] = field(default_factory=dict)  # guarded-by: _lock
     stores: dict[str, int] = field(default_factory=dict)  # guarded-by: _lock
+    #: Artifacts moved to quarantine because they failed to decode.
+    quarantined: dict[str, int] = field(default_factory=dict)  # guarded-by: _lock
+    #: Writes dropped because the disk was full (degraded mode).
+    store_errors: dict[str, int] = field(default_factory=dict)  # guarded-by: _lock
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False, compare=False)
 
     def record(self, counter: dict[str, int], kind: str) -> None:
@@ -128,10 +163,20 @@ class CacheStats:
         with self._lock:
             return self.stores.get(kind, 0) if kind else sum(self.stores.values())
 
+    def quarantined_count(self, kind: str | None = None) -> int:
+        with self._lock:
+            return self.quarantined.get(kind, 0) if kind else sum(self.quarantined.values())
+
+    def store_error_count(self, kind: str | None = None) -> int:
+        with self._lock:
+            return self.store_errors.get(kind, 0) if kind else sum(self.store_errors.values())
+
     def summary(self) -> dict[str, dict[str, int]]:
         with self._lock:
-            kinds = sorted({*self.hits, *self.misses, *self.stores})
-            return {
+            kinds = sorted(
+                {*self.hits, *self.misses, *self.stores, *self.quarantined, *self.store_errors}
+            )
+            summary = {
                 kind: {
                     "hits": self.hits.get(kind, 0),
                     "misses": self.misses.get(kind, 0),
@@ -139,6 +184,15 @@ class CacheStats:
                 }
                 for kind in kinds
             }
+            # Failure counters appear only when nonzero: healthy summaries
+            # keep their exact three-key shape (pinned by existing tests and
+            # dashboards), and a "quarantined" key showing up *is* the signal.
+            for kind in kinds:
+                if self.quarantined.get(kind):
+                    summary[kind]["quarantined"] = self.quarantined[kind]
+                if self.store_errors.get(kind):
+                    summary[kind]["store_errors"] = self.store_errors[kind]
+            return summary
 
 
 @dataclass(frozen=True)
@@ -182,6 +236,15 @@ class ArtifactCache:
         #: respect — the pins of every in-flight session on the machine.
         self._pinned: dict[Path, int] = {}  # guarded-by: _pin_lock
         self._pin_lock = threading.Lock()
+        #: True after a write failed for lack of disk space; stores become
+        #: no-ops (returning None) until one succeeds again.  A plain bool —
+        #: reads/writes are atomic under the GIL and the flag is advisory.
+        self._degraded = False
+
+    @property
+    def degraded(self) -> bool:
+        """True while the store is in degraded (out-of-space) mode."""
+        return self._degraded
 
     # ------------------------------------------------------------------
     # store / load
@@ -189,28 +252,64 @@ class ArtifactCache:
     def path_for(self, key: CacheKey) -> Path:
         return self.root / key.entry_name / key.file_name
 
-    def store(self, key: CacheKey, payload: dict[str, np.ndarray]) -> Path:
-        """Atomically write ``payload`` (plus the full key) as an npz artifact."""
+    def store(self, key: CacheKey, payload: dict[str, np.ndarray]) -> Path | None:
+        """Atomically write ``payload`` (plus the full key) as an npz artifact.
+
+        Returns the artifact path, or **None when the write was dropped**
+        because the disk is full: the store flips to degraded mode (counted
+        in :attr:`CacheStats.store_errors`, ``cache.store_error`` /
+        ``cache.degraded`` telemetry) and every caller simply operates
+        uncached — an ENOSPC must cost a cache entry, never a query.  Each
+        later store retries the disk, and the first success clears the
+        degraded flag, so the store heals itself when space returns.  Any
+        other ``OSError`` still raises.
+        """
         if "cache_key" in payload:
             raise CacheError("payload entry name 'cache_key' is reserved")
         path = self.path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        descriptor, temp_name = tempfile.mkstemp(
-            dir=path.parent, prefix=f".{key.file_name}.", suffix=".tmp"
-        )
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            if fault_point("store.enospc", key=key.kind) is not None:
+                raise OSError(errno.ENOSPC, "injected: no space left on device")
+            descriptor, temp_name = tempfile.mkstemp(
+                dir=path.parent, prefix=f".{key.file_name}.", suffix=".tmp"
+            )
+        except OSError as error:
+            if error.errno in _NO_SPACE_ERRNOS:
+                self._enter_degraded(key.kind)
+                return None
+            raise
         try:
             with os.fdopen(descriptor, "wb") as handle:
                 np.savez(handle, cache_key=np.asarray(key.as_json()), **payload)
+            if fault_point("store.torn_write", key=key.kind) is not None:
+                # Simulated writer death between temp write and rename: the
+                # half-written artifact must never become visible (readers
+                # see the old version or a miss; the .tmp is reaped later).
+                os._exit(25)
             os.replace(temp_name, path)
-        except BaseException:
+        except BaseException as error:
             try:
                 os.unlink(temp_name)
             except OSError:
                 pass
+            if isinstance(error, OSError) and error.errno in _NO_SPACE_ERRNOS:
+                self._enter_degraded(key.kind)
+                return None
             raise
+        if self._degraded:
+            self._degraded = False
+            get_registry().gauge("cache.degraded", 0)
         self.stats.record(self.stats.stores, key.kind)
         get_registry().count("cache.store", kind=key.kind)
         return path
+
+    def _enter_degraded(self, kind: str) -> None:
+        self.stats.record(self.stats.store_errors, kind)
+        get_registry().count("cache.store_error", kind=kind)
+        if not self._degraded:
+            self._degraded = True
+            get_registry().gauge("cache.degraded", 1)
 
     def load(self, key: CacheKey) -> dict[str, np.ndarray] | None:
         """Load the artifact for ``key``, or None (and count a miss).
@@ -219,12 +318,24 @@ class ArtifactCache:
         the payload's recorded format version must be current; unreadable,
         mismatching or outdated artifacts all count as misses — a hit is
         only ever reported for a payload the caller will actually use.
+
+        A file that *exists but fails to decode* is additionally moved to
+        the ``quarantine/`` sidecar directory (counted in
+        :attr:`CacheStats.quarantined`): leaving it in place would make
+        ``contains()`` keep answering True and every future load re-pay the
+        failed parse — quarantined, the key reads as a clean miss and the
+        next store simply rebuilds the artifact.  Key-mismatch and
+        format-version misses are *not* quarantined: those files are valid
+        artifacts for some other key or an older layout.
         """
         path = self.path_for(key)
+        if fault_point("store.corrupt_read", key=key.kind) is not None:
+            _truncate_file(path)
         try:
             payload = _read_npz(path, mmap=self.mmap)
             stored = json.loads(str(payload.pop("cache_key")[()]))
         except (OSError, ValueError, KeyError, zipfile.BadZipFile):
+            self._quarantine(path, key.kind)
             self.stats.record(self.stats.misses, key.kind)
             get_registry().count("cache.miss", kind=key.kind)
             return None
@@ -239,6 +350,65 @@ class ArtifactCache:
     def contains(self, key: CacheKey) -> bool:
         """True when an artifact file exists for ``key`` (no verification)."""
         return self.path_for(key).exists()
+
+    def _quarantine(self, path: Path, kind: str) -> None:
+        """Move a file that failed to decode out of the cache's namespace.
+
+        Best-effort and atomic (same-filesystem rename into
+        ``<root>/quarantine/``): after it, ``contains()`` is False and the
+        next store rebuilds the artifact.  The quarantined copy keeps a
+        ``.quarantined`` suffix — invisible to every ``*.npz`` glob — and is
+        preserved for post-mortem inspection; a repeat offender overwrites
+        its previous copy, so quarantine stays bounded by the number of
+        distinct artifact paths.
+        """
+        if not path.exists():
+            return  # plain miss: there is nothing to quarantine
+        destination = (
+            self.root / QUARANTINE_DIR / f"{path.parent.name}-{path.name}.quarantined"
+        )
+        try:
+            destination.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, destination)
+        except OSError:
+            try:
+                path.unlink(missing_ok=True)  # fall back to plain removal
+            except OSError:
+                return  # cannot even unlink: give up, stay a plain miss
+        self.stats.record(self.stats.quarantined, kind)
+        get_registry().count("cache.quarantined", kind=kind)
+
+    def quarantined_files(self) -> list[Path]:
+        """The quarantined artifacts currently on disk, sorted by name."""
+        quarantine = self.root / QUARANTINE_DIR
+        if not quarantine.is_dir():
+            return []
+        return sorted(quarantine.glob("*.quarantined"))
+
+    def reap_temp_files(self, max_age_seconds: float = TEMP_MAX_AGE_SECONDS) -> int:
+        """Delete stale ``.tmp`` files torn writers left behind; returns count.
+
+        A writer that dies between its temp write and the atomic rename
+        (crash, ``store.torn_write``) leaks an invisible-but-real ``.tmp``
+        file.  Anything older than ``max_age_seconds`` cannot belong to a
+        live write (stores take milliseconds, not minutes) and is removed.
+        Called on session start (:meth:`ShardScheduler.start`) and by
+        :meth:`evict` / :meth:`clear` sweeps.
+        """
+        if not self.root.is_dir():
+            return 0
+        # Wall clock, deliberately: .tmp mtimes are wall-clock timestamps.
+        now = time.time()  # repro-lint: disable=det-wall-clock
+        removed = 0
+        for temp in sorted(self.root.glob("*/.*.tmp")):
+            try:
+                if now - temp.stat().st_mtime < max_age_seconds:
+                    continue
+                temp.unlink()
+            except OSError:
+                continue  # a concurrent writer renamed/removed it: fine
+            removed += 1
+        return removed
 
     # ------------------------------------------------------------------
     # inspection / maintenance
@@ -410,6 +580,7 @@ class ArtifactCache:
         """
         if max_bytes < 0:
             raise CacheError(f"max_bytes must be >= 0, got {max_bytes!r}")
+        self.reap_temp_files()
         entries = sorted(self.entries(), key=lambda entry: (entry.modified, entry.path))
         if kind is not None:
             entries = [entry for entry in entries if entry.kind == kind]
@@ -437,6 +608,7 @@ class ArtifactCache:
 
         Empty per-fingerprint directories are removed afterwards.
         """
+        self.reap_temp_files()
         removed = 0
         freed = 0
         for entry in self.entries():
@@ -460,6 +632,18 @@ class ArtifactCache:
                     directory.rmdir()  # only succeeds when empty
                 except OSError:
                     pass
+
+
+def _truncate_file(path: Path) -> None:
+    """Corrupt an artifact in place (the ``store.corrupt_read`` fault): keep
+    the first half of the file so the zip central directory is torn off —
+    the canonical torn-read shape.  Missing files are left missing."""
+    try:
+        size = path.stat().st_size
+        with open(path, "r+b") as handle:
+            handle.truncate(max(1, size // 2))
+    except OSError:
+        pass
 
 
 def _pid_alive(pid: int) -> bool:

@@ -47,6 +47,7 @@ from repro.carl.parser import parse_program, parse_query
 from repro.carl.peers import build_unifying_aggregate_rule, compute_peers
 from repro.carl.queries import ATEResult, EffectsResult, QueryAnswer
 from repro.carl.schema import RelationalCausalSchema
+from repro.carl.shard import DEFAULT_HANG_TIMEOUT
 from repro.carl.unit_table import (
     UNIT_TABLE_BACKENDS,
     UnitTable,
@@ -473,6 +474,7 @@ class CaRLEngine:
         shards: int | None = None,
         retries: int = 2,
         timeout: float | None = None,
+        hang_timeout: float | None = DEFAULT_HANG_TIMEOUT,
     ):
         """Answer queries incrementally: yield each answer as it completes.
 
@@ -490,9 +492,12 @@ class CaRLEngine:
         retried on other workers up to ``retries`` times per task, and
         shard partials are reused from the artifact cache (a warm re-sweep
         performs zero collection work).  ``timeout`` bounds each query's
-        wall time; an expired query yields a timeout ``QueryError``.  For
-        full control (incremental submission, cancellation, per-query
-        options) use :meth:`open_session` directly.
+        wall time; an expired query yields a timeout ``QueryError``.
+        ``hang_timeout`` bounds one task's time on one worker: a worker
+        over it is killed and replaced, and the task requeues against the
+        retry budget (``None`` disables hang detection).  For full control
+        (incremental submission, cancellation, per-query options) use
+        :meth:`open_session` directly.
         """
         from repro.service.session import answer_iter as _answer_iter
 
@@ -509,6 +514,7 @@ class CaRLEngine:
             shards=shards,
             retries=retries,
             timeout=timeout,
+            hang_timeout=hang_timeout,
         )
 
     def open_session(
@@ -524,6 +530,7 @@ class CaRLEngine:
         backend: str | None = None,
         max_pending: int | None = None,
         submit_timeout: float | None = None,
+        hang_timeout: float | None = DEFAULT_HANG_TIMEOUT,
     ):
         """Open a streaming :class:`~repro.service.session.QuerySession`.
 
@@ -550,6 +557,7 @@ class CaRLEngine:
             backend=backend,
             max_pending=max_pending,
             submit_timeout=submit_timeout,
+            hang_timeout=hang_timeout,
         )
 
     def diagnostics(

@@ -57,7 +57,7 @@ from repro.cache.serialization import (
     unit_inputs_payload,
     unit_table_payload,
 )
-from repro.cache.store import ArtifactCache, CacheKey
+from repro.cache.store import ArtifactCache, CacheDegradedError, CacheKey
 from repro.carl.ast import CausalQuery, Program
 from repro.carl.errors import CaRLError, QueryError
 from repro.carl.queries import QueryAnswer
@@ -113,6 +113,15 @@ def _fault_action() -> str | None:
 #: workers to rebuild their engine from the published artifacts even on
 #: platforms that fork.  Used by tests to exercise the portable transport.
 NO_INHERIT_ENV = "REPRO_SHARD_NO_INHERIT"
+
+#: Default bound on how long one task may run on a worker before the worker
+#: is declared hung, killed and replaced (the task is requeued against the
+#: retry budget).  Generous: a single shard collect takes milliseconds to
+#: seconds; anything this long is wedged.  ``None`` disables hang detection.
+#: Lives here (the worker-protocol module) so the engine's ``answer_iter`` /
+#: ``open_session`` surfaces can share the default without importing the
+#: service layer.
+DEFAULT_HANG_TIMEOUT = 30.0
 
 
 @dataclass(frozen=True)
@@ -324,10 +333,19 @@ def _run_shard_task(task: ShardTask) -> tuple[CacheKey, float]:
     inputs = engine.collect_shard_inputs(
         task.query, task.start, task.stop, expected_units=task.n_units
     )
-    _worker_cache().store(
+    stored = _worker_cache().store(
         task.result_key,
         unit_inputs_payload(inputs, span=(task.start, task.stop, task.n_units)),
     )
+    if stored is None:
+        # Degraded store (ENOSPC): the partial cannot reach the finish task
+        # through the artifact transport.  Raise the dedicated error so the
+        # scheduler answers this shard's queries serially in-process instead
+        # of burning retries on writes that cannot succeed.
+        raise CacheDegradedError(
+            f"artifact store is degraded (out of space); shard partial "
+            f"[{task.start}, {task.stop}) was not persisted"
+        )
     return task.result_key, time.perf_counter() - started
 
 
@@ -340,6 +358,11 @@ def _run_finish_task(task: FinishTask) -> QueryAnswer:
     for part_key in task.part_keys:
         payload = cache.load(part_key)
         if payload is None:
+            if cache.degraded:
+                raise CacheDegradedError(
+                    f"artifact store is degraded (out of space); shard "
+                    f"partials for {task.query!s} are unavailable"
+                )
             raise QueryError(
                 f"shard partial for {task.query!s} is missing or unreadable in the "
                 "shared cache"

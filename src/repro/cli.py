@@ -36,6 +36,13 @@ JSON-lines log; the ``telemetry`` command group reads such logs back::
 
     python -m repro.cli telemetry dump    --log FILE [--event NAME] [--json]
     python -m repro.cli telemetry summary --log FILE [--json]
+
+The ``chaos`` command runs a demo workload under a seeded fault plan and
+verifies the robustness contract — every query bit-identical to its no-fault
+serial answer or a structured error, never a hang
+(``docs/fault_injection.md``)::
+
+    python -m repro.cli chaos --demo toy --seed 7 [--plan FILE] [--json]
 """
 
 from __future__ import annotations
@@ -465,6 +472,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.analysis.cli import lint_main
 
         return lint_main(argv[1:])
+    if argv and argv[0] == "chaos":
+        from repro.faults.chaos import chaos_main
+
+        return chaos_main(argv[1:])
     if argv and argv[0] == "answer":
         argv = argv[1:]
     args = build_parser().parse_args(argv)

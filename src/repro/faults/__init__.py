@@ -1,0 +1,47 @@
+"""Seeded, deterministic fault injection (``docs/fault_injection.md``).
+
+The package has three layers:
+
+* :mod:`repro.faults.sites` — the frozen registry of named injection
+  sites (``FAULT_SITES``), statically cross-checked by the ``fault-site``
+  lint rule exactly like telemetry event names;
+* :mod:`repro.faults.plan` — :class:`FaultPlan` / :class:`FaultRule`, the
+  JSON-serializable description of *which* sites fire *when*, with every
+  decision derived from sha256 of ``(seed, site, scope, occurrence)`` so a
+  chaos run replays exactly (no wall clock, no ``random``, no builtin
+  ``hash``);
+* :mod:`repro.faults.injection` — the runtime: :func:`fault_point` is the
+  single hook production code calls at each site; with no plan installed it
+  is a few dict lookups and never fires.
+
+``repro chaos`` (:mod:`repro.faults.chaos`) runs a workload under a plan
+and reports the contract verdict: every query bit-identical to its
+no-fault serial answer or a structured ``QueryError``, and no hangs.
+"""
+
+from repro.faults.injection import (
+    PLAN_ENV,
+    FaultDecision,
+    active_plan,
+    clear_plan,
+    fault_point,
+    install_plan,
+    set_role,
+)
+from repro.faults.plan import FaultPlan, FaultRule, PlanError
+from repro.faults.sites import FAULT_SITES, FaultSite
+
+__all__ = [
+    "FAULT_SITES",
+    "PLAN_ENV",
+    "FaultDecision",
+    "FaultPlan",
+    "FaultRule",
+    "FaultSite",
+    "PlanError",
+    "active_plan",
+    "clear_plan",
+    "fault_point",
+    "install_plan",
+    "set_role",
+]

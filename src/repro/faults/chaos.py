@@ -1,0 +1,316 @@
+"""``repro chaos``: run a demo workload under a seeded fault plan.
+
+The chaos harness is the executable form of the robustness contract
+(``docs/fault_injection.md``): under any seeded :class:`FaultPlan`, every
+query of the workload must resolve — no hangs — and each resolution must be
+either **bit-identical** to the no-fault serial answer of the same query or
+a structured :class:`~repro.carl.errors.QueryError`.  The harness:
+
+1. answers the workload serially on a fresh engine (no plan, no cache) and
+   fingerprints every answer (``float.hex`` — bit-level, not approximate);
+2. installs the plan, re-runs the workload through a process-mode
+   :class:`~repro.service.session.QuerySession` (workers inherit the plan
+   through ``REPRO_FAULT_PLAN``), twice by default so the warm/cached paths
+   face the same faults as the cold ones;
+3. compares: any answer that differs from its serial fingerprint is a
+   **mismatch** (exit 1 — the contract is broken), a query that neither
+   answers nor errors before the global deadline is a **hang** (exit 2);
+   otherwise the verdict is **ok** (exit 0) even if some queries failed —
+   structured failure under injected faults is within contract.
+
+The printed ``digest`` hashes the plan plus every per-query resolution, so
+two runs of the same plan and seed can be compared with string equality —
+that is the replay check CI's chaos shard performs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import shutil
+import sys
+import tempfile
+from typing import Any
+
+from repro.carl.errors import QueryError
+from repro.carl.queries import ATEResult, EffectsResult, QueryAnswer
+from repro.faults.injection import clear_plan, install_plan
+from repro.faults.plan import FaultPlan, FaultRule, PlanError
+
+#: Demo workload names; resolved by :func:`_workload`.  The toy sweep is a
+#: fixed query list (fast, more queries than shards so the scheduler's
+#: sharing/retry paths are exercised); "review" uses the review dataset's
+#: own canonical queries.
+_WORKLOADS = ("toy", "review")
+
+_TOY_SWEEP = [
+    "Score[S] <= Prestige[A] ?",
+    "AVG_Score[A] <= Prestige[A] ?",
+    "AVG_Score[A] <= Prestige[A] >= 1 ?",
+    "Score[S] <= Prestige[A] ? WHEN ALL PEERS TREATED",
+]
+
+
+def _workload(demo: str) -> tuple[Any, str, list[str]]:
+    """Resolve a demo name to ``(database, program, queries)``."""
+    from repro import datasets
+
+    if demo == "toy":
+        return datasets.toy_review_database(), datasets.TOY_REVIEW_PROGRAM, _TOY_SWEEP
+    data = datasets.generate_review_data()
+    return data.database, data.program, list(data.queries.values())
+
+
+def default_plan(seed: int) -> FaultPlan:
+    """The stock chaos storm: a bit of everything destructive-but-recoverable.
+
+    Crash/torn-write/corrupt/ENOSPC rules are ``limit``-bounded so a storm
+    stays a storm, not a denial of service: the scheduler must absorb each
+    burst and finish the workload.  Hangs are left out (they cost a
+    ``hang_timeout`` of wall time each); pass an explicit plan to test them.
+    """
+    return FaultPlan(
+        seed=seed,
+        rules=(
+            FaultRule(site="worker.crash", p=0.10, limit=3),
+            FaultRule(site="worker.slow", p=0.25, delay=0.05),
+            FaultRule(site="worker.result_stall", p=0.20, delay=0.02),
+            FaultRule(site="store.torn_write", p=0.05, limit=1),
+            FaultRule(site="store.corrupt_read", p=0.05, limit=2),
+            FaultRule(site="store.enospc", p=0.05, limit=1),
+        ),
+    )
+
+
+def _fingerprint(answer: QueryAnswer) -> dict[str, Any]:
+    """A bit-exact, timing-free fingerprint of one answer."""
+    result = answer.result
+    payload: dict[str, Any] = {
+        "n_units": result.n_units,
+        "estimator": result.estimator,
+        "naive_difference": float(result.naive_difference).hex(),
+        "correlation": float(result.correlation).hex(),
+    }
+    if isinstance(result, ATEResult):
+        payload["kind"] = "ate"
+        payload["ate"] = float(result.ate).hex()
+        payload["n_treated"] = result.n_treated
+        payload["n_control"] = result.n_control
+        if result.confidence_interval is not None:
+            payload["ci"] = [float(v).hex() for v in result.confidence_interval]
+    elif isinstance(result, EffectsResult):
+        payload["kind"] = "effects"
+        payload["aie"] = float(result.aie).hex()
+        payload["are"] = float(result.are).hex()
+        payload["aoe"] = float(result.aoe).hex()
+    return payload
+
+
+def _load_plan(text: str | None, seed: int) -> FaultPlan:
+    """Resolve ``--plan`` (a file path or inline JSON) with ``--seed`` applied."""
+    if text is None:
+        return default_plan(seed)
+    candidate = text.strip()
+    if not candidate.startswith("{"):
+        with open(candidate, encoding="utf-8") as handle:
+            candidate = handle.read()
+    plan = FaultPlan.from_json(candidate)
+    return FaultPlan(seed=seed, rules=plan.rules)
+
+
+def build_chaos_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli chaos",
+        description="Run a demo workload under a seeded fault plan and "
+        "verify the robustness contract (docs/fault_injection.md).",
+    )
+    parser.add_argument(
+        "--demo", choices=sorted(_WORKLOADS), default="toy", help="demo workload"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="fault-plan seed (replays exactly)"
+    )
+    parser.add_argument(
+        "--plan",
+        metavar="FILE|JSON",
+        help="fault plan as a JSON file or inline JSON object "
+        "(default: the stock storm; --seed overrides the plan's seed)",
+    )
+    parser.add_argument("--jobs", type=int, default=2, help="worker processes")
+    parser.add_argument(
+        "--shards", type=int, default=None, help="shards per query (default: jobs)"
+    )
+    parser.add_argument(
+        "--retries", type=int, default=3, help="scheduler per-task retry budget"
+    )
+    parser.add_argument(
+        "--repeat",
+        type=int,
+        default=2,
+        metavar="N",
+        help="run the workload N times through one session (the second pass "
+        "hits the warm/cached paths under the same plan; default 2)",
+    )
+    parser.add_argument(
+        "--query-timeout",
+        type=float,
+        default=60.0,
+        help="per-query wall-clock budget (an expired query is a structured "
+        "timeout error, within contract)",
+    )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=300.0,
+        help="global budget: a workload not fully resolved by then is a HANG "
+        "(exit 2, the one outcome the contract forbids)",
+    )
+    parser.add_argument(
+        "--hang-timeout",
+        type=float,
+        default=5.0,
+        help="scheduler hang detector bound (seconds on one task)",
+    )
+    parser.add_argument("--json", action="store_true", help="emit the report as JSON")
+    return parser
+
+
+def _run_chaos(args: argparse.Namespace) -> dict[str, Any]:
+    from repro.carl.engine import CaRLEngine
+
+    database, program, queries = _workload(args.demo)
+    plan = _load_plan(args.plan, args.seed)
+
+    # Phase 1: the no-fault serial truth.  Must run before the plan is
+    # installed — store.* sites fire in whatever process touches the store.
+    clear_plan()
+    baseline_engine = CaRLEngine(database, program)
+    baseline = {
+        name: _fingerprint(baseline_engine.answer(text))
+        for name, text in enumerate_queries(queries)
+    }
+
+    # Phase 2: the same workload through the process scheduler, under faults.
+    outcomes: dict[str, dict[str, Any]] = {}
+    hang = False
+    cache_root = tempfile.mkdtemp(prefix="repro-chaos-")
+    install_plan(plan)
+    try:
+        chaos_engine = CaRLEngine(database, program, cache=cache_root)
+        with chaos_engine.open_session(
+            jobs=args.jobs,
+            executor="process",
+            shards=args.shards,
+            retries=args.retries,
+            hang_timeout=args.hang_timeout,
+        ) as session:
+            submitted: dict[int, str] = {}
+            for round_index in range(max(1, args.repeat)):
+                for name, text in enumerate_queries(queries):
+                    index = session.submit(text, timeout=args.query_timeout)
+                    submitted[index] = f"{name}#{round_index}"
+            try:
+                for index, outcome in session.as_completed(timeout=args.deadline):
+                    name = submitted[index]
+                    if isinstance(outcome, QueryAnswer):
+                        fingerprint = _fingerprint(outcome)
+                        serial = baseline[name.split("#", 1)[0]]
+                        outcomes[name] = {
+                            "status": "ok",
+                            "matches_serial": fingerprint == serial,
+                            "fingerprint": fingerprint,
+                        }
+                    else:
+                        outcomes[name] = {"status": "error", "error": str(outcome)}
+            except TimeoutError:
+                hang = True
+            scheduler_stats = session.stats().get("scheduler", {})
+    finally:
+        clear_plan()
+        shutil.rmtree(cache_root, ignore_errors=True)
+
+    unresolved = sorted(set(submitted.values()) - set(outcomes))
+    mismatches = sorted(
+        name
+        for name, entry in outcomes.items()
+        if entry["status"] == "ok" and not entry["matches_serial"]
+    )
+    if hang or unresolved:
+        verdict = "hang"
+    elif mismatches:
+        verdict = "mismatch"
+    else:
+        verdict = "ok"
+    digest_payload = {
+        "plan": plan.to_json(),
+        "outcomes": {
+            name: entry.get("fingerprint", "error")
+            for name, entry in sorted(outcomes.items())
+        },
+    }
+    digest = hashlib.sha256(
+        json.dumps(digest_payload, sort_keys=True).encode()
+    ).hexdigest()
+    errors = sorted(name for name, entry in outcomes.items() if entry["status"] == "error")
+    return {
+        "verdict": verdict,
+        "digest": digest,
+        "demo": args.demo,
+        "seed": plan.seed,
+        "plan": json.loads(plan.to_json()),
+        "queries": len(submitted),
+        "answered": len(outcomes) - len(errors),
+        "errors": errors,
+        "mismatches": mismatches,
+        "unresolved": unresolved,
+        "scheduler": scheduler_stats,
+        "outcomes": outcomes,
+    }
+
+
+def enumerate_queries(queries: list[str]) -> list[tuple[str, str]]:
+    """Stable ``(name, text)`` labels for a workload's queries."""
+    return [(f"q{position}", text) for position, text in enumerate(queries)]
+
+
+def chaos_main(argv: list[str]) -> int:
+    args = build_chaos_parser().parse_args(argv)
+    if args.jobs < 1 or (args.shards is not None and args.shards < 1):
+        print("--jobs/--shards must be >= 1", file=sys.stderr)
+        return 2
+    if args.retries < 0:
+        print("--retries must be >= 0", file=sys.stderr)
+        return 2
+    try:
+        report = _run_chaos(args)
+    except PlanError as error:
+        print(f"invalid fault plan: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(f"verdict  : {report['verdict']}")
+        print(f"digest   : {report['digest']}")
+        print(
+            f"workload : {report['demo']} x{max(1, args.repeat)} "
+            f"({report['queries']} queries, seed {report['seed']})"
+        )
+        print(f"answered : {report['answered']} ok, {len(report['errors'])} error(s)")
+        for name in report["errors"]:
+            print(f"  error    {name}: {report['outcomes'][name]['error']}")
+        for name in report["mismatches"]:
+            print(f"  MISMATCH {name}")
+        for name in report["unresolved"]:
+            print(f"  HANG     {name}")
+        stats = report["scheduler"]
+        if stats:
+            print(
+                "scheduler: "
+                f"retries {stats.get('retries', 0)}, "
+                f"worker deaths {stats.get('worker_deaths', 0)}, "
+                f"hangs {stats.get('worker_hangs', 0)}, "
+                f"serial fallbacks {stats.get('serial_fallbacks', 0)}, "
+                f"circuit open {bool(stats.get('circuit_open', 0))}"
+            )
+    return {"ok": 0, "mismatch": 1, "hang": 2}[report["verdict"]]

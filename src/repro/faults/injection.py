@@ -1,0 +1,178 @@
+"""The fault-injection runtime: :func:`fault_point`.
+
+Production code calls ``fault_point("<site>")`` at each registered site and
+performs the site's behavior itself when a decision comes back (sleep,
+``os._exit``, raise) — the behaviors stay visible at the call site, and the
+literal site names are what the ``fault-site`` lint rule cross-checks
+against :data:`repro.faults.sites.FAULT_SITES`.
+
+With no plan installed the call is two attribute reads and returns None —
+cheap enough to leave in hot paths permanently.  Plans are installed
+programmatically (:func:`install_plan`) *and* mirrored into the
+``REPRO_FAULT_PLAN`` environment variable, so worker processes — forked or
+spawned — inherit the plan without any extra plumbing.
+
+Per-process state (occurrence counters, per-rule fire counts, the process
+role) resets automatically when a fork is detected, exactly like the
+telemetry registry's fork guard: a worker's occurrence stream starts at 0
+regardless of what its parent had already counted.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass
+
+from repro.faults.plan import FaultPlan, FaultRule, PlanError, rule_fires
+from repro.faults.sites import FAULT_SITES, FaultSite
+from repro.observability.telemetry import get_registry
+
+#: Environment mirror of the installed plan (JSON), read lazily by child
+#: processes.  An unparseable value is ignored (fault injection must never
+#: take the system down by itself).
+PLAN_ENV = "REPRO_FAULT_PLAN"
+
+
+@dataclass(frozen=True)
+class FaultDecision:
+    """A site fired: what the call site should do."""
+
+    site: FaultSite
+    rule: FaultRule
+
+    @property
+    def delay(self) -> float:
+        """The sleep for sleep-type sites (rule override, else site default)."""
+        return self.rule.delay if self.rule.delay is not None else self.site.default_delay
+
+
+class _State:
+    """Per-process injection state (plan + counters + role), fork-guarded."""
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.pid = os.getpid()  # guarded-by: lock
+        self.plan: FaultPlan | None = None  # guarded-by: lock
+        self.plan_from_env = False  # guarded-by: lock
+        self.role = "main"  # guarded-by: lock
+        self.worker_id: int | None = None  # guarded-by: lock
+        #: Occurrences seen per site.  Bounded by len(FAULT_SITES).
+        self.counts: dict[str, int] = {}  # guarded-by: lock
+        #: Fires per rule index (for ``limit``).  Bounded by the plan size.
+        self.fired: dict[int, int] = {}  # guarded-by: lock
+
+    def ensure_pid_locked(self) -> None:
+        """Reset child-side state after a fork (caller holds the lock)."""
+        pid = os.getpid()
+        if pid == self.pid:
+            return
+        self.pid = pid
+        self.counts = {}
+        self.fired = {}
+        self.role = "main"
+        self.worker_id = None
+        if self.plan_from_env:
+            self.plan = None  # re-read: the parent may have changed the env
+
+
+_STATE = _State()
+
+
+def set_role(role: str, worker_id: int | None = None) -> None:
+    """Declare this process's role (``"worker"`` arms worker-only sites).
+
+    Service workers call ``set_role("worker", worker_id)`` first thing in
+    their main loop; everything else defaults to ``"main"``.
+    """
+    with _STATE.lock:
+        _STATE.ensure_pid_locked()
+        _STATE.role = role
+        _STATE.worker_id = worker_id
+
+
+def install_plan(plan: FaultPlan | None) -> None:
+    """Install ``plan`` process-wide and mirror it into ``REPRO_FAULT_PLAN``
+    so child processes inherit it.  ``None`` clears both."""
+    with _STATE.lock:
+        _STATE.ensure_pid_locked()
+        _STATE.plan = plan
+        _STATE.plan_from_env = False
+        _STATE.counts = {}
+        _STATE.fired = {}
+    if plan is None:
+        os.environ.pop(PLAN_ENV, None)
+    else:
+        os.environ[PLAN_ENV] = plan.to_json()
+
+
+def clear_plan() -> None:
+    """Remove any installed plan (programmatic or environment-inherited)."""
+    install_plan(None)
+
+
+def active_plan() -> FaultPlan | None:
+    """The plan in effect for this process (env-inherited plans included)."""
+    with _STATE.lock:
+        _STATE.ensure_pid_locked()
+        return _active_plan_locked()
+
+
+def _active_plan_locked() -> FaultPlan | None:
+    if _STATE.plan is not None:
+        return _STATE.plan
+    text = os.environ.get(PLAN_ENV)
+    if not text:
+        return None
+    try:
+        plan = FaultPlan.from_json(text)
+    except PlanError:
+        return None  # a broken env plan must never break the host process
+    _STATE.plan = plan
+    _STATE.plan_from_env = True
+    return plan
+
+
+def fault_point(site_name: str, key: str | None = None) -> FaultDecision | None:
+    """Consult the active plan at one site; None means "no fault here".
+
+    ``key`` is a free-form label recorded on the ``fault.injected``
+    telemetry event (a task id, an artifact kind) — it does not influence
+    the decision, so call sites can add context without changing replay.
+    """
+    site = FAULT_SITES.get(site_name)
+    if site is None:
+        raise PlanError(f"fault_point called with unregistered site {site_name!r}")
+    with _STATE.lock:
+        _STATE.ensure_pid_locked()
+        plan = _active_plan_locked()
+        if plan is None:
+            return None
+        if site.worker_only and _STATE.role != "worker":
+            # Destructive sites never fire in the dispatcher/user process;
+            # the occurrence is not counted so worker streams are unaffected
+            # by dispatcher-side traffic through shared code paths.
+            return None
+        scope = (
+            f"worker:{_STATE.worker_id}"
+            if _STATE.role == "worker" and _STATE.worker_id is not None
+            else _STATE.role
+        )
+        occurrence = _STATE.counts.get(site_name, 0)
+        _STATE.counts[site_name] = occurrence + 1
+        decision: FaultDecision | None = None
+        for index, rule in enumerate(plan.rules):
+            if rule.site != site_name:
+                continue
+            if rule.limit is not None and _STATE.fired.get(index, 0) >= rule.limit:
+                continue
+            if rule_fires(rule, plan.seed, scope, occurrence):
+                _STATE.fired[index] = _STATE.fired.get(index, 0) + 1
+                decision = FaultDecision(site=site, rule=rule)
+                break
+    if decision is not None:
+        meta = {"site": site_name}
+        if key is not None:
+            meta["key"] = key
+        get_registry().count("fault.injected", **meta)
+    return decision

@@ -75,12 +75,20 @@ EVENTS: dict[str, EventSpec] = {
         _spec("cache.hit", "counter", optional=("kind",)),
         _spec("cache.miss", "counter", optional=("kind",)),
         _spec("cache.store", "counter", optional=("kind",)),
+        _spec("cache.quarantined", "counter", optional=("kind",)),
+        _spec("cache.store_error", "counter", optional=("kind",)),
+        _spec("cache.degraded", "gauge"),
         # -- scheduler ----------------------------------------------------
-        _spec("scheduler.retry", "counter", optional=("kind",)),
+        _spec("scheduler.retry", "counter", optional=("kind", "backoff_ms")),
         _spec("scheduler.timeout", "counter"),
         _spec("scheduler.cancelled", "counter"),
         _spec("scheduler.worker_death", "counter"),
+        _spec("scheduler.worker_killed", "counter", optional=("reason",)),
+        _spec("scheduler.circuit_open", "counter"),
+        _spec("scheduler.serial_fallback", "counter", optional=("reason",)),
         _spec("scheduler.queue_depth", "gauge"),
+        # -- fault injection ----------------------------------------------
+        _spec("fault.injected", "counter", required=("site",), optional=("key",)),
         # -- daemon -------------------------------------------------------
         _spec("daemon.admit", "counter", required=("tenant",)),
         _spec("daemon.reject", "counter", required=("tenant",), optional=("reason",)),

@@ -39,8 +39,9 @@ from typing import TYPE_CHECKING, Any
 
 from repro.carl.ast import CausalQuery
 from repro.carl.errors import QueryError
+from repro.faults.injection import fault_point
 from repro.observability.telemetry import get_registry
-from repro.service.scheduler import ShardScheduler
+from repro.service.scheduler import DEFAULT_HANG_TIMEOUT, ShardScheduler
 from repro.service.session import QuerySession
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -242,6 +243,7 @@ class QueryDaemon:
         shards: int | None = None,
         retries: int = 2,
         backend: str | None = None,
+        hang_timeout: float | None = DEFAULT_HANG_TIMEOUT,
     ) -> None:
         backend = backend or engine.backend
         if backend != "columnar":
@@ -258,7 +260,12 @@ class QueryDaemon:
         self._engine = engine
         self._backend = backend
         self._scheduler = ShardScheduler(
-            engine, jobs=jobs, shards=shards or jobs, retries=retries, backend=backend
+            engine,
+            jobs=jobs,
+            shards=shards or jobs,
+            retries=retries,
+            backend=backend,
+            hang_timeout=hang_timeout,
         )
         self._scheduler.start()
         self._lock = threading.Lock()
@@ -376,6 +383,9 @@ class QueryDaemon:
             if route is None:
                 continue  # session closed (or query cancelled) before delivery
             backend, local_index = route
+            stall = fault_point("daemon.route_stall", key=f"query-{global_index}")
+            if stall is not None:
+                time.sleep(stall.delay)
             backend._deliver(local_index, outcome)  # noqa: SLF001 - daemon pair
 
     # ------------------------------------------------------------------
@@ -414,6 +424,10 @@ class QueryDaemon:
                 "draining": self._draining,
                 "tenants": {},
             }
+        scheduler_stats = self._scheduler.stats()
+        # The pool circuit breaker tripped: queries still answer (serially,
+        # bit-identical), but operators should know the daemon is limping.
+        snapshot["degraded"] = bool(scheduler_stats.get("circuit_open"))
         admitted = rejected = 0
         for backend in sessions:
             with backend._lock:  # noqa: SLF001 - daemon pair
@@ -426,7 +440,7 @@ class QueryDaemon:
                 rejected += backend.rejected
         snapshot["admitted"] = admitted
         snapshot["rejected"] = rejected
-        snapshot["scheduler"] = self._scheduler.stats()
+        snapshot["scheduler"] = scheduler_stats
         return snapshot
 
     def close(self, drain_timeout: float = 0.0) -> None:

@@ -52,6 +52,8 @@ local pipes.
 from __future__ import annotations
 
 import enum
+import hashlib
+import heapq
 import multiprocessing
 import os
 import queue
@@ -67,6 +69,7 @@ from typing import TYPE_CHECKING, Any
 from repro.carl import shard as shard_module
 from repro.carl.errors import CaRLError, QueryError
 from repro.carl.shard import (
+    DEFAULT_HANG_TIMEOUT,
     FinishTask,
     NO_INHERIT_ENV,
     ShardTask,
@@ -84,6 +87,7 @@ from repro.cache.store import ArtifactCache, CacheKey
 from repro.carl.ast import CausalQuery
 from repro.carl.queries import QueryAnswer
 from repro.db.aggregates import shard_ranges
+from repro.faults.injection import fault_point, set_role
 from repro.observability.telemetry import Span, get_registry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -108,6 +112,22 @@ _DISPATCHER_JOIN = 5.0
 #: sweep re-submitted to a long-lived session skips the cache probe without
 #: the scheduler accumulating a row per task it ever ran.
 _WARM_KEYS_CAP = 4096
+
+#: Seconds between worker heartbeats on the result queue.  Each beat carries
+#: the worker's own measurement of how long it has been on its current task,
+#: so the dispatcher can tell a *hung* worker (alive but stuck — invisible
+#: to ``Process.is_alive()``) from a merely busy one.
+_HEARTBEAT_SECONDS = 0.25
+
+#: Exponential-backoff schedule between retry requeues: attempt ``k`` waits
+#: ``base * 2**(k-1)`` seconds (capped), scaled by a deterministic seeded
+#: jitter factor in [0.5, 1.0) — sha256 of (seed, task, attempt), never
+#: ``random`` — so retries of simultaneously-faulted tasks spread out
+#: instead of stampeding the replacement worker, and a replayed chaos run
+#: waits the exact same delays.  ``base=0`` disables backoff (immediate
+#: requeue, the pre-PR-9 behavior).
+DEFAULT_BACKOFF_BASE = 0.05
+DEFAULT_BACKOFF_CAP = 2.0
 
 
 class TaskState(enum.Enum):
@@ -145,6 +165,14 @@ class ServiceStats:
     retries: int = 0
     worker_deaths: int = 0
     workers_spawned: int = 0
+    #: Workers the scheduler killed on purpose (hung, or running a task for
+    #: a timed-out/cancelled query) — distinct from ``worker_deaths``, which
+    #: counts *unexpected* deaths only.
+    workers_killed: int = 0
+    worker_hangs: int = 0
+    #: Queries answered serially in-process after the pool became unusable
+    #: (circuit breaker) or the artifact store degraded.
+    serial_fallbacks: int = 0
     reaped_results: int = 0
     timeouts: int = 0
     cancelled: int = 0
@@ -159,6 +187,9 @@ class ServiceStats:
             "retries": self.retries,
             "worker_deaths": self.worker_deaths,
             "workers_spawned": self.workers_spawned,
+            "workers_killed": self.workers_killed,
+            "worker_hangs": self.worker_hangs,
+            "serial_fallbacks": self.serial_fallbacks,
             "reaped_results": self.reaped_results,
             "timeouts": self.timeouts,
             "cancelled": self.cancelled,
@@ -228,6 +259,33 @@ class _Worker:
         self.process = process
         self.tasks = tasks  #: multiprocessing.SimpleQueue of (task id, spec)
         self.task_id: int | None = None  #: task currently assigned, if any
+        #: Dispatcher-side view of the worker's last heartbeat (monotonic)
+        #: and its self-reported seconds on its current task.
+        self.last_beat: float = time.monotonic()
+        self.busy_seconds: float = 0.0
+        #: True when the dispatcher terminated this worker on purpose (hung,
+        #: or its query timed out): its death is expected — replaced, but
+        #: not counted as a fault and not held against the circuit breaker.
+        self.expected_death: bool = False
+
+
+def _heartbeat_loop(worker_id: int, state: dict[str, Any], results: Any) -> None:
+    """Worker-side daemon thread: report liveness + time-on-task forever.
+
+    The beat carries the *worker's own* measurement of how long the main
+    thread has been on its current task: a hang (sleep, deadlock, infinite
+    loop) keeps this thread beating while the reported time-on-task grows
+    without bound — exactly the signal the dispatcher's hang detector needs,
+    and one ``Process.is_alive()`` can never provide.
+    """
+    while True:
+        started = state.get("started")
+        busy = 0.0 if started is None else time.monotonic() - started
+        try:
+            results.put((worker_id, None, "beat", busy))
+        except BaseException:  # noqa: BLE001 - queue closed: session over
+            return
+        time.sleep(_HEARTBEAT_SECONDS)
 
 
 def _service_worker_main(worker_id: int, spec: WorkerSpec, tasks: Any, results: Any) -> None:
@@ -235,23 +293,45 @@ def _service_worker_main(worker_id: int, spec: WorkerSpec, tasks: Any, results: 
 
     Every outcome — success or failure — is reported on the shared result
     queue; a worker that dies without reporting is detected by the
-    dispatcher through its process handle.  Errors cross the boundary as
-    ``(type name, message, is-CaRL-error)`` triples: CaRL errors are
-    deterministic semantic failures the scheduler must not retry, anything
-    else is treated as a (possibly transient) fault and requeued.
+    dispatcher through its process handle, and a worker that *hangs* is
+    detected through its heartbeats (see :func:`_heartbeat_loop`).  Errors
+    cross the boundary as ``(type name, message, is-CaRL-error)`` triples:
+    CaRL errors are deterministic semantic failures the scheduler must not
+    retry, anything else is treated as a (possibly transient) fault and
+    requeued.
     """
     _worker_init(spec)
     shard_module._WORKER_ID = worker_id  # noqa: SLF001 - fault-injection target id
+    set_role("worker", worker_id)  # arms worker-only fault sites
+    beat_state: dict[str, Any] = {"started": None}
+    threading.Thread(
+        target=_heartbeat_loop,
+        args=(worker_id, beat_state, results),
+        name=f"carl-worker-{worker_id}-heartbeat",
+        daemon=True,
+    ).start()
     while True:
         item = tasks.get()
         if item is None:
             return
         task_id, task_spec = item
+        if fault_point("worker.crash", key=f"task-{task_id}") is not None:
+            os._exit(23)
+        hang = fault_point("worker.hang", key=f"task-{task_id}")
+        slow = fault_point("worker.slow", key=f"task-{task_id}")
+        beat_state["started"] = time.monotonic()
         try:
+            if hang is not None:
+                time.sleep(hang.delay)
+            if slow is not None:
+                time.sleep(slow.delay)
             if isinstance(task_spec, ShardTask):
                 outcome: Any = _run_shard_task(task_spec)
             else:
                 outcome = _run_finish_task(task_spec)
+            stall = fault_point("worker.result_stall", key=f"task-{task_id}")
+            if stall is not None:
+                time.sleep(stall.delay)
             results.put((worker_id, task_id, "ok", outcome))
         except BaseException as error:  # noqa: BLE001 - must cross the pipe
             results.put(
@@ -262,6 +342,8 @@ def _service_worker_main(worker_id: int, spec: WorkerSpec, tasks: Any, results: 
                     (type(error).__name__, str(error), isinstance(error, CaRLError)),
                 )
             )
+        finally:
+            beat_state["started"] = None
 
 
 class ShardScheduler:
@@ -287,14 +369,38 @@ class ShardScheduler:
         shards: int,
         retries: int,
         backend: str,
+        *,
+        hang_timeout: float | None = DEFAULT_HANG_TIMEOUT,
+        backoff_base: float = DEFAULT_BACKOFF_BASE,
+        backoff_cap: float = DEFAULT_BACKOFF_CAP,
+        backoff_seed: int = 0,
+        circuit_threshold: int | None = None,
     ) -> None:
         if retries < 0:
             raise QueryError(f"retries must be >= 0, got {retries!r}")
+        if hang_timeout is not None and hang_timeout <= 0:
+            raise QueryError(f"hang_timeout must be positive or None, got {hang_timeout!r}")
+        if backoff_base < 0 or backoff_cap < 0:
+            raise QueryError("backoff_base and backoff_cap must be >= 0")
+        if circuit_threshold is not None and circuit_threshold < 1:
+            raise QueryError(
+                f"circuit_threshold must be a positive integer, got {circuit_threshold!r}"
+            )
         self._engine = engine
         self._jobs = jobs
         self._shards = shards
         self._retries = retries
         self._backend = backend
+        self._hang_timeout = hang_timeout
+        self._backoff_base = backoff_base
+        self._backoff_cap = backoff_cap
+        self._backoff_seed = backoff_seed
+        #: Consecutive unexpected worker failures (deaths or hangs, without
+        #: an intervening task success) that open the circuit: the pool is
+        #: abandoned and every query answers serially in-process.
+        self._circuit_threshold = (
+            circuit_threshold if circuit_threshold is not None else max(3, jobs + 2)
+        )
 
         self.events: "queue.Queue[tuple[int, QueryAnswer | QueryError]]" = queue.Queue()
         self._lock = threading.RLock()
@@ -315,6 +421,12 @@ class ShardScheduler:
         self._ready_groups: dict[str | None, deque[int]] = {}  # guarded-by: _lock
         self._group_order: deque[str | None] = deque()  # guarded-by: _lock
         self._priority: deque[int] = deque()  # guarded-by: _lock
+        #: Backoff queue: ``(monotonic ready-at, task id)`` min-heap; tasks
+        #: move to the ready deques when due (drained every dispatcher
+        #: loop), so the heap is bounded by in-flight retried tasks.
+        self._delayed: list[tuple[float, int]] = []  # guarded-by: _lock
+        self._consecutive_failures = 0  # guarded-by: _lock
+        self._circuit_open = False  # guarded-by: _lock
         self._ready_count = 0  # guarded-by: _lock
         self._last_queue_depth = -1  # guarded-by: _lock
         self._control: deque[tuple[str, int]] = deque()  # guarded-by: _lock
@@ -358,6 +470,9 @@ class ShardScheduler:
             self._cleanup_root = tempfile.mkdtemp(prefix="repro-service-")
             cache = ArtifactCache(self._cleanup_root)
         self._cache = cache
+        # Sweep temp files a torn writer (crash between temp write and
+        # rename) may have leaked in an earlier session.
+        cache.reap_temp_files()
         inherit = (
             multiprocessing.get_start_method() == "fork"
             and not os.environ.get(NO_INHERIT_ENV)
@@ -483,6 +598,8 @@ class ShardScheduler:
             snapshot["live_tasks"] = len(self._tasks)
             snapshot["warm_keys"] = len(self._warm_keys)
             snapshot["ready_tasks"] = self._ready_count
+            snapshot["delayed_tasks"] = len(self._delayed)
+            snapshot["circuit_open"] = int(self._circuit_open)
             snapshot["pinned_keys"] = (
                 len(self._pinned)
                 + len(self._warm_keys)
@@ -555,7 +672,9 @@ class ShardScheduler:
             while not self._stop.is_set():
                 self._drain_control()
                 self._reap_dead_workers()
+                self._check_hung_workers()
                 self._expire_deadlines()
+                self._release_delayed()
                 self._assign_ready_tasks()
                 try:
                     message = self._results.get(timeout=_POLL_SECONDS)
@@ -593,6 +712,13 @@ class ShardScheduler:
             span_meta["tenant"] = record.group
         record.span = telemetry.start_span("query", index=index, **span_meta)
         record.trace = record.span.trace
+        with self._lock:
+            circuit_open = self._circuit_open
+        if circuit_open:
+            # The pool is gone (circuit breaker): answer serially without
+            # planning any tasks.
+            self._fallback_serial(record, reason="circuit_open")
+            return
         ground_span = telemetry.start_span(
             "query.ground", trace=record.trace, parent=record.span
         )
@@ -621,33 +747,7 @@ class ShardScheduler:
                     return  # cancelled while planning
                 record.state = QueryState.RUNNING
                 record.mode = "warm"
-                if self._warm_pool is None:
-                    self._warm_pool = ThreadPoolExecutor(
-                        max_workers=1, thread_name_prefix="carl-service-warm"
-                    )
-
-            def _answer_warm() -> None:
-                finish_span = get_registry().start_span(
-                    "query.finish", trace=record.trace, parent=record.span, mode="warm"
-                )
-                try:
-                    with self._fork_lock:
-                        answer = self._engine.answer(
-                            record.query,
-                            estimator=options["estimator"],
-                            embedding=options["embedding"],
-                            bootstrap=options["bootstrap"],
-                            seed=options["seed"],
-                            backend=self._backend,
-                        )
-                except Exception as error:  # noqa: BLE001 - per-query failure
-                    get_registry().finish_span(finish_span, outcome="error")
-                    self._finish_query(index, self._as_query_error(error))
-                else:
-                    get_registry().finish_span(finish_span, outcome="ok")
-                    self._finish_query(index, answer)
-
-            self._warm_pool.submit(_answer_warm)
+            self._submit_serial_answer(record, "warm")
             return
 
         with self._lock:
@@ -761,6 +861,128 @@ class ShardScheduler:
         self._ready_count += 1
         record.finish_task = task.id
 
+    # -- serial in-process answering (warm path + fallback) -------------
+    def _submit_serial_answer(self, record: _QueryRecord, mode: str) -> None:
+        """Answer one query with serial ``engine.answer`` on the helper thread.
+
+        Shared by the warm path (``mode="warm"``: the unit table is cached)
+        and the degraded paths (``mode="serial"``: pool circuit open, or the
+        artifact store out of space).  Either way the answer is the serial
+        engine's own — bit-identity is by construction, so every fallback
+        trades throughput, never correctness.
+        """
+        options = record.options
+        index = record.index
+        with self._lock:
+            if self._warm_pool is None:
+                self._warm_pool = ThreadPoolExecutor(
+                    max_workers=1, thread_name_prefix="carl-service-warm"
+                )
+
+        def _answer() -> None:
+            finish_span = get_registry().start_span(
+                "query.finish", trace=record.trace, parent=record.span, mode=mode
+            )
+            try:
+                with self._fork_lock:
+                    answer = self._engine.answer(
+                        record.query,
+                        estimator=options["estimator"],
+                        embedding=options["embedding"],
+                        bootstrap=options["bootstrap"],
+                        seed=options["seed"],
+                        backend=self._backend,
+                    )
+            except Exception as error:  # noqa: BLE001 - per-query failure
+                get_registry().finish_span(finish_span, outcome="error")
+                self._finish_query(index, self._as_query_error(error))
+            else:
+                get_registry().finish_span(finish_span, outcome="ok")
+                self._finish_query(index, answer)
+
+        self._warm_pool.submit(_answer)
+
+    def _fallback_serial(self, record: _QueryRecord, reason: str) -> None:
+        """Detach one query from the pool and answer it serially instead."""
+        with self._lock:
+            if record.state not in (QueryState.PENDING, QueryState.RUNNING):
+                return  # cancelled or already resolved
+            record.state = QueryState.RUNNING
+            record.mode = "serial"
+            record.waiting_on.clear()
+            record.finish_task = None
+            for task in list(self._tasks.values()):
+                if record.index not in task.queries:
+                    continue
+                task.queries.discard(record.index)
+                if not task.queries and task.state is TaskState.PENDING:
+                    # Nobody else needs it: cancel (running tasks are left
+                    # to finish — their partials become warm cache entries).
+                    task.state = TaskState.CANCELLED
+                    self._reap_task_locked(task)
+            self._stats.serial_fallbacks += 1
+        get_registry().count("scheduler.serial_fallback", reason=reason)
+        self._submit_serial_answer(record, "serial")
+
+    def _task_degraded(self, task_id: int, text: str) -> None:
+        """A worker reported ``CacheDegradedError``: go serial, don't retry."""
+        fallback: list[_QueryRecord] = []
+        with self._lock:
+            task = self._tasks.get(task_id)
+            if task is None or task.state is not TaskState.RUNNING:
+                self._stats.reaped_results += 1
+                return
+            task.state = TaskState.CANCELLED
+            task.worker = None
+            if task.span is not None:
+                get_registry().finish_span(task.span, outcome="fault")
+                task.span = None
+            affected = sorted(task.queries)
+            self._reap_task_locked(task)
+            for index in affected:
+                record = self._records.get(index)
+                if (
+                    record is not None
+                    and record.state is QueryState.RUNNING
+                    and record.mode != "serial"
+                ):
+                    fallback.append(record)
+        for record in fallback:
+            self._fallback_serial(record, reason="store_degraded")
+
+    def _open_circuit(self) -> None:
+        """Repeated worker replacement failed: abandon the pool for good.
+
+        Remaining workers are killed and never replaced, every live task is
+        cancelled, and every cold query — in flight and future — answers
+        serially in-process (``scheduler.serial_fallback`` telemetry,
+        ``circuit_open`` stats flag, surfaced as ``degraded`` in the
+        daemon's stats).  Serial answers are bit-identical by construction:
+        the breaker trades throughput for availability, never correctness.
+        """
+        with self._lock:
+            if self._circuit_open:
+                return
+            self._circuit_open = True
+        get_registry().count("scheduler.circuit_open")
+        for worker in list(self._workers.values()):
+            worker.task_id = None
+            self._kill_worker(worker)
+        fallback: list[_QueryRecord] = []
+        with self._lock:
+            for task in list(self._tasks.values()):
+                if task.state in (TaskState.PENDING, TaskState.RUNNING):
+                    task.state = TaskState.CANCELLED
+                    if task.span is not None:
+                        get_registry().finish_span(task.span, outcome="cancelled")
+                        task.span = None
+                    self._reap_task_locked(task)
+            for record in self._records.values():
+                if record.state is QueryState.RUNNING and record.mode == "cold":
+                    fallback.append(record)
+        for record in fallback:
+            self._fallback_serial(record, reason="circuit_open")
+
     # -- workers --------------------------------------------------------
     def _spawn_worker(self) -> _Worker:
         tasks: Any = multiprocessing.SimpleQueue()
@@ -789,9 +1011,11 @@ class ShardScheduler:
     def _reap_dead_workers(self) -> None:
         for worker in [w for w in self._workers.values() if not w.process.is_alive()]:
             del self._workers[worker.id]
-            with self._lock:
-                self._stats.worker_deaths += 1
-            get_registry().count("scheduler.worker_death")
+            if not worker.expected_death:
+                with self._lock:
+                    self._stats.worker_deaths += 1
+                    self._consecutive_failures += 1
+                get_registry().count("scheduler.worker_death")
             task_id = worker.task_id
             if task_id is not None:
                 self._task_faulted(
@@ -803,10 +1027,99 @@ class ShardScheduler:
                     ),
                     retryable=True,
                 )
-            # Keep the pool at strength: a replacement inherits (or
-            # rebuilds) the engine exactly like the workers before it.
-            if not self._stop.is_set():
+            if self._stop.is_set():
+                continue
+            with self._lock:
+                trip_circuit = (
+                    not self._circuit_open
+                    and self._consecutive_failures >= self._circuit_threshold
+                )
+                circuit_open = self._circuit_open or trip_circuit
+            if trip_circuit:
+                self._open_circuit()
+            if not circuit_open:
+                # Keep the pool at strength: a replacement inherits (or
+                # rebuilds) the engine exactly like the workers before it.
                 self._spawn_worker()
+
+    def _check_hung_workers(self) -> None:
+        """Kill and replace workers whose heartbeats say they are stuck.
+
+        Two signals, both bounded by ``hang_timeout``: the worker reports a
+        time-on-task over the bound (main thread wedged while the heartbeat
+        thread still beats), or the beats themselves stopped while a task is
+        assigned (the whole process is wedged below Python).  The kill shows
+        up to :meth:`_reap_dead_workers` as an *expected* death — replaced,
+        and the task requeued against the retry budget with this worker
+        excluded — but a hang still counts toward the circuit breaker: a
+        pool that hangs every replacement is as unusable as one that
+        crashes them.
+        """
+        if self._hang_timeout is None:
+            return
+        now = time.monotonic()
+        for worker in list(self._workers.values()):
+            if worker.task_id is None or worker.expected_death:
+                continue
+            stuck = worker.busy_seconds > self._hang_timeout
+            silent = now - worker.last_beat > self._hang_timeout
+            if not (stuck or silent):
+                continue
+            with self._lock:
+                self._stats.worker_hangs += 1
+                self._consecutive_failures += 1
+            get_registry().count("scheduler.worker_killed", reason="hung")
+            self._kill_worker(worker)
+            self._task_faulted(
+                worker.task_id,
+                worker.id,
+                QueryError(
+                    f"shard worker {worker.id} hung (over {self._hang_timeout:g}s "
+                    "on one task) and was killed"
+                ),
+                retryable=True,
+            )
+            worker.task_id = None
+
+    def _kill_worker(self, worker: _Worker) -> None:
+        """Terminate a worker on purpose; the reap loop replaces it."""
+        worker.expected_death = True
+        with self._lock:
+            self._stats.workers_killed += 1
+        try:
+            worker.process.terminate()
+        except (OSError, ValueError):  # pragma: no cover - already gone
+            pass
+
+    def _release_delayed(self) -> None:
+        """Move backed-off tasks whose delay elapsed into the ready queues."""
+        with self._lock:
+            if not self._delayed:
+                return
+            now = time.monotonic()
+            released = False
+            while self._delayed and self._delayed[0][0] <= now:
+                _, task_id = heapq.heappop(self._delayed)
+                task = self._tasks.get(task_id)
+                if task is None or task.state is not TaskState.PENDING:
+                    continue  # resolved or cancelled while waiting
+                self._enqueue_ready_locked(task)
+                released = True
+            if released:
+                self._emit_queue_depth_locked()
+
+    def _backoff_seconds(self, task: _Task) -> float:
+        """The seeded-jitter exponential backoff before retry ``task.attempts``."""
+        if self._backoff_base <= 0.0:
+            return 0.0
+        exponential = min(
+            self._backoff_cap, self._backoff_base * 2 ** max(0, task.attempts - 1)
+        )
+        digest = hashlib.sha256(
+            f"{self._backoff_seed}:{task.kind}:{task.id}:{task.attempts}".encode()
+        ).digest()
+        jitter = 0.5 + int.from_bytes(digest[:8], "big") / 2**65
+        return exponential * jitter
 
     def _assign_ready_tasks(self) -> None:
         with self._lock:
@@ -868,8 +1181,14 @@ class ShardScheduler:
             self._emit_queue_depth_locked()
 
     # -- results --------------------------------------------------------
-    def _handle_result(self, message: tuple[int, int, str, Any]) -> None:
+    def _handle_result(self, message: tuple[int, int | None, str, Any]) -> None:
         worker_id, task_id, status, payload = message
+        if status == "beat":
+            worker = self._workers.get(worker_id)
+            if worker is not None:
+                worker.last_beat = time.monotonic()
+                worker.busy_seconds = float(payload)
+            return
         worker = self._workers.get(worker_id)
         if worker is not None and worker.task_id == task_id:
             worker.task_id = None
@@ -882,6 +1201,12 @@ class ShardScheduler:
             self._task_succeeded(task, payload)
             return
         type_name, text, is_carl = payload
+        if type_name == "CacheDegradedError":
+            # The store is out of space: retrying the write cannot help, and
+            # failing the query would break the degrade-to-uncached promise.
+            # Answer the affected queries serially in-process instead.
+            self._task_degraded(task_id, text)
+            return
         error = QueryError(
             f"shard worker {worker_id} failed while running a "
             f"{task.kind} task: {type_name}: {text}"
@@ -893,6 +1218,7 @@ class ShardScheduler:
         with self._lock:
             task.state = TaskState.DONE
             task.worker = None
+            self._consecutive_failures = 0  # the pool is productive again
             if task.kind == "collect":
                 _, task.seconds = payload
                 for index in sorted(task.queries):
@@ -908,8 +1234,10 @@ class ShardScheduler:
                 self._remember_warm_locked(task.spec.result_key, task.seconds)
                 self._reap_task_locked(task)
             else:
-                (index,) = task.queries
-                emit.append((index, payload))
+                # A finish task can lose its (single) query to a serial
+                # failover before its result lands; nothing to emit then.
+                for index in sorted(task.queries):
+                    emit.append((index, payload))
                 self._reap_task_locked(task)
         if task.span is not None:
             get_registry().finish_span(task.span, outcome="ok")
@@ -944,12 +1272,25 @@ class ShardScheduler:
                 # Requeue: the next assignment avoids the faulting worker
                 # (a replacement for a dead one has a fresh id and is
                 # eligible).  attempts counts executions, so a task is run
-                # at most 1 + retries times.
+                # at most 1 + retries times.  The requeue waits out an
+                # exponential backoff with deterministic seeded jitter —
+                # simultaneous faults fan out instead of stampeding the
+                # replacement worker, and a replay waits identical delays.
                 task.state = TaskState.PENDING
                 self._stats.retries += 1
-                self._enqueue_ready_locked(task)
-                self._emit_queue_depth_locked()
-                get_registry().count("scheduler.retry", kind=task.kind)
+                backoff = self._backoff_seconds(task)
+                if backoff > 0.0:
+                    heapq.heappush(
+                        self._delayed, (time.monotonic() + backoff, task.id)
+                    )
+                else:
+                    self._enqueue_ready_locked(task)
+                    self._emit_queue_depth_locked()
+                get_registry().count(
+                    "scheduler.retry",
+                    kind=task.kind,
+                    backoff_ms=int(backoff * 1000),
+                )
                 return
             task.state = TaskState.FAILED
             affected = sorted(task.queries)
@@ -973,6 +1314,7 @@ class ShardScheduler:
         index: int,
         outcome: QueryAnswer | QueryError,
         failed_task: int | None = None,
+        kill_reason: str = "orphaned",
     ) -> None:
         """Resolve one query, emit its event (unless cancelled), reap it."""
         with self._lock:
@@ -985,13 +1327,13 @@ class ShardScheduler:
             )
             if cancelled:
                 record.state = QueryState.CANCELLED
-        self._release_query_tasks(index, keep=failed_task)
+        self._release_query_tasks(index, keep=failed_task, kill_reason=kill_reason)
         if not cancelled:
             self.events.put((index, outcome))
         self._reap_record(index)
 
     def _detach_query(self, index: int) -> None:
-        self._release_query_tasks(index, keep=None)
+        self._release_query_tasks(index, keep=None, kill_reason="cancelled")
         self._reap_record(index)
 
     def _reap_record(self, index: int) -> None:
@@ -1024,14 +1366,20 @@ class ShardScheduler:
                 meta["mode"] = record.mode
             get_registry().finish_span(span, **meta)
 
-    def _release_query_tasks(self, index: int, keep: int | None) -> None:
+    def _release_query_tasks(
+        self, index: int, keep: int | None, kill_reason: str = "orphaned"
+    ) -> None:
         """Detach a resolved/cancelled query from its tasks; drop orphans.
 
-        A pending task no other live query needs is cancelled outright; a
-        running one is left to its worker and its (stored) partial simply
-        becomes a warm cache entry — "reaping" an in-flight shard never
-        wastes the work it already did.
+        A pending task no other live query needs is cancelled outright.  A
+        *running* orphan gets its worker killed and replaced: letting it run
+        to completion would leave a timed-out query's worker occupying a pool
+        slot for arbitrarily long — exactly the slot exhaustion deadline
+        expiry exists to prevent.  The kill is an expected death (replaced by
+        the reap loop, not counted as a fault), emitted as
+        ``scheduler.worker_killed`` with the triggering reason.
         """
+        kills: list[_Worker] = []
         with self._lock:
             orphans: list[_Task] = []
             for task in self._tasks.values():
@@ -1044,13 +1392,33 @@ class ShardScheduler:
                     and (record := self._records.get(q)) is not None
                     and record.state in (QueryState.PENDING, QueryState.RUNNING)
                 }
-                if not live and task.state is TaskState.PENDING:
+                if live:
+                    continue
+                if task.state is TaskState.PENDING:
                     task.state = TaskState.CANCELLED
                     orphans.append(task)
+                elif task.state is TaskState.RUNNING:
+                    worker = (
+                        self._workers.get(task.worker)
+                        if task.worker is not None
+                        else None
+                    )
+                    task.state = TaskState.CANCELLED
+                    task.worker = None
+                    if task.span is not None:
+                        get_registry().finish_span(task.span, outcome="cancelled")
+                        task.span = None
+                    orphans.append(task)
+                    if worker is not None and not worker.expected_death:
+                        worker.task_id = None
+                        kills.append(worker)
             for task in orphans:
                 # The id may still sit in a ready deque; the assignment loop
                 # skips ids whose task row is gone.
                 self._reap_task_locked(task)
+        for worker in kills:
+            get_registry().count("scheduler.worker_killed", reason=kill_reason)
+            self._kill_worker(worker)
 
     def _expire_deadlines(self) -> None:
         now = time.monotonic()
@@ -1067,7 +1435,9 @@ class ShardScheduler:
         for index in expired:
             get_registry().count("scheduler.timeout")
             self._finish_query(
-                index, QueryError(f"query {index} timed out before completing")
+                index,
+                QueryError(f"query {index} timed out before completing"),
+                kill_reason="deadline",
             )
 
     def _fail_all_live(self, error: QueryError) -> None:

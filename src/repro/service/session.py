@@ -40,8 +40,9 @@ Guarantees (see ``docs/service.md`` for the fine print):
 * *cancellation*: a query cancelled before its event was delivered never
   yields one;
 * *timeouts*: a query past its deadline yields a ``QueryError``; its
-  in-flight shard tasks are reaped (left to finish and their results
-  discarded — stored partials simply become warm cache entries);
+  in-flight shard tasks are reaped — a worker still running one is killed
+  and replaced (it must not occupy a pool slot for the rest of its task),
+  and late results are discarded;
 * *isolation*: one query's failure, timeout or cancellation never affects
   another query's answer.
 """
@@ -60,8 +61,9 @@ from repro.carl.ast import CausalQuery
 from repro.carl.batch import BatchScratch
 from repro.carl.errors import CaRLError, QueryError
 from repro.carl.parser import parse_query
+from repro.faults.injection import fault_point
 from repro.observability.telemetry import get_registry
-from repro.service.scheduler import ShardScheduler
+from repro.service.scheduler import DEFAULT_HANG_TIMEOUT, ShardScheduler
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.carl.engine import CaRLEngine
@@ -130,6 +132,7 @@ class QuerySession:
         backend: str | None = None,
         max_pending: int | None = None,
         submit_timeout: float | None = None,
+        hang_timeout: float | None = DEFAULT_HANG_TIMEOUT,
         _backend: Any = None,
     ) -> None:
         if executor not in ("thread", "process"):
@@ -196,6 +199,7 @@ class QuerySession:
                 shards=shards or jobs,
                 retries=retries,
                 backend=backend,
+                hang_timeout=hang_timeout,
             )
             self._scheduler.start()
             self._events = self._scheduler.events
@@ -420,6 +424,9 @@ class QuerySession:
             index, outcome = self._events.get(timeout=wait)
         except queue.Empty:
             return
+        stall = fault_point("session.deliver_stall", key=f"query-{index}")
+        if stall is not None:
+            time.sleep(stall.delay)
         with self._lock:
             if self._pool is not None:
                 # Thread-mode bookkeeping for this index is settled either
@@ -547,6 +554,7 @@ def answer_iter(
     shards: int | None = None,
     retries: int = 2,
     timeout: float | None = None,
+    hang_timeout: float | None = DEFAULT_HANG_TIMEOUT,
 ) -> Iterator[tuple[Any, Any]]:
     """Implementation of :meth:`repro.carl.engine.CaRLEngine.answer_iter`.
 
@@ -576,6 +584,7 @@ def answer_iter(
         bootstrap=bootstrap,
         seed=seed,
         backend=backend,
+        hang_timeout=hang_timeout,
     ) as session:
         keys = {
             session.submit(query, timeout=timeout): key for key, query in parsed

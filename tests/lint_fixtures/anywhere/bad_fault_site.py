@@ -1,0 +1,14 @@
+"""Known-bad fault-site fixture (the rule is unscoped).
+
+Violations, in order: a misspelled fault_point site, an unregistered
+FaultRule site (keyword form), and an unregistered positional site.
+"""
+
+from repro.faults.injection import fault_point
+from repro.faults.plan import FaultRule
+
+
+def injects() -> None:
+    fault_point("worker.crsh")  # BAD: typo, not in FAULT_SITES
+    FaultRule(site="store.no_such_site", p=0.5)  # BAD: unregistered site
+    FaultRule("worker.explode", at=(0,))  # BAD: unregistered, positional

@@ -1,0 +1,14 @@
+"""Known-good fault-site fixture: registered sites (and dynamic names the
+rule must skip) produce no findings."""
+
+from repro.faults.injection import fault_point
+from repro.faults.plan import FaultRule
+
+
+def injects(site: str) -> None:
+    fault_point("worker.crash", key="task-1")  # OK: registered site
+    fault_point("store.enospc")  # OK
+    FaultRule(site="worker.hang", at=(0,), delay=0.5)  # OK
+    FaultRule("store.corrupt_read", p=0.1)  # OK: positional, registered
+    fault_point(site)  # OK: dynamic name, runtime validation covers it
+    FaultRule(site=site)  # OK: dynamic

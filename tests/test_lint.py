@@ -48,6 +48,7 @@ RULE_IDS = {
     "det-set-iter",
     "det-sorted-str",
     "det-wall-clock",
+    "fault-site",
     "lock-guarded-attr",
     "lock-numpy-call",
     "telemetry-schema",
@@ -152,6 +153,25 @@ def test_telemetry_bad_fixture_flags_each_contract_breach():
 
 def test_telemetry_good_fixture_is_clean():
     assert lint_fixture("anywhere/good_telemetry.py") == []
+
+
+# ----------------------------------------------------------------------
+# fault-site family
+# ----------------------------------------------------------------------
+def test_fault_site_bad_fixture_flags_each_unregistered_site():
+    findings = lint_fixture("anywhere/bad_fault_site.py")
+    assert rule_lines(findings) == [
+        ("fault-site", 12),  # misspelled fault_point site
+        ("fault-site", 13),  # unregistered FaultRule site (keyword)
+        ("fault-site", 14),  # unregistered FaultRule site (positional)
+    ]
+    messages = "\n".join(f.message for f in findings)
+    assert "'worker.crsh' is not in the frozen FAULT_SITES" in messages
+    assert "silently uninjectable" in messages
+
+
+def test_fault_site_good_fixture_is_clean():
+    assert lint_fixture("anywhere/good_fault_site.py") == []
 
 
 # ----------------------------------------------------------------------

@@ -71,11 +71,18 @@ FROZEN_SCHEMA = {
     "cache.hit": ("counter", (), ("kind",)),
     "cache.miss": ("counter", (), ("kind",)),
     "cache.store": ("counter", (), ("kind",)),
-    "scheduler.retry": ("counter", (), ("kind",)),
+    "cache.quarantined": ("counter", (), ("kind",)),
+    "cache.store_error": ("counter", (), ("kind",)),
+    "cache.degraded": ("gauge", (), ()),
+    "scheduler.retry": ("counter", (), ("kind", "backoff_ms")),
     "scheduler.timeout": ("counter", (), ()),
     "scheduler.cancelled": ("counter", (), ()),
     "scheduler.worker_death": ("counter", (), ()),
+    "scheduler.worker_killed": ("counter", (), ("reason",)),
+    "scheduler.circuit_open": ("counter", (), ()),
+    "scheduler.serial_fallback": ("counter", (), ("reason",)),
     "scheduler.queue_depth": ("gauge", (), ()),
+    "fault.injected": ("counter", ("site",), ("key",)),
     "daemon.admit": ("counter", ("tenant",), ()),
     "daemon.reject": ("counter", ("tenant",), ("reason",)),
     "daemon.sessions": ("gauge", (), ()),
