@@ -1,0 +1,142 @@
+"""Merged-telemetry overhead benchmark (regression gate).
+
+PR 10 made telemetry cross-process: workers record spans/counters into their
+own registry and ship batches back on the result channel, the dispatcher
+merges them, and latency percentiles come from deterministic log2 histogram
+buckets.  All of that must stay effectively free — the ring buffer is
+always on in production paths.
+
+This benchmark drives the ``bench_daemon`` workload shape (the 8 mixed
+hot/cold query shapes over the same synthetic database) through a
+process-executor session twice per repetition:
+
+* **dark** — ``REPRO_TELEMETRY_DARK=1``: every emit call returns before
+  validating or recording (the no-telemetry baseline);
+* **merged** — telemetry on, worker batches shipped and merged (the
+  default production configuration).
+
+Gate: with enough cores and a long enough baseline run, the *minimum*
+merged wall time over :data:`REPS` repetitions must be within
+:data:`MAX_OVERHEAD` (5%) of the minimum dark wall time.  On small/slow
+runners the overhead is reported but not enforced — sub-second jitter, not
+telemetry, dominates there.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_telemetry.py
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from bench_cache import PROGRAM  # noqa: E402 - sibling benchmark
+from bench_daemon import QUERY_LIST, build_database  # noqa: E402 - sibling benchmark
+
+from repro.carl.engine import CaRLEngine  # noqa: E402
+from repro.observability import DARK_ENV, get_registry, reset_registry  # noqa: E402
+
+#: Interleaved repetitions per arm; the minimum is the timing estimate.
+REPS = 3
+
+#: Times each query shape is submitted per run (first cold, rest warm).
+ROUNDS = 2
+
+#: Worker processes / shards per query of the session pool.
+JOBS = 2
+
+#: The gate: merged telemetry may cost at most this fraction over dark.
+MAX_OVERHEAD = 0.05
+
+#: Gates are enforced only when the dark baseline is long enough for a 5%
+#: difference to mean something (and report-only on single-core runners).
+MIN_CORES = 2
+MIN_BASELINE_SECONDS = 2.0
+
+
+def run_arm(database, dark: bool) -> tuple[float, int]:
+    """One full session run; returns (wall seconds, merged event count)."""
+    if dark:
+        os.environ[DARK_ENV] = "1"
+    else:
+        os.environ.pop(DARK_ENV, None)
+    registry = reset_registry()
+    cache_root = tempfile.mkdtemp(prefix="bench-telemetry-")
+    try:
+        engine = CaRLEngine(database, PROGRAM, cache=cache_root)
+        t0 = time.perf_counter()
+        with engine.open_session(jobs=JOBS, executor="process", shards=JOBS) as session:
+            expected = 0
+            for _ in range(ROUNDS):
+                for query in QUERY_LIST:
+                    session.submit(query)
+                    expected += 1
+            delivered = dict(session.as_completed())
+            assert len(delivered) == expected, (len(delivered), expected)
+        elapsed = time.perf_counter() - t0
+        return elapsed, len(registry.events())
+    finally:
+        shutil.rmtree(cache_root, ignore_errors=True)
+        os.environ.pop(DARK_ENV, None)
+        reset_registry()
+
+
+def main() -> int:
+    database = build_database()
+    dark_times: list[float] = []
+    merged_times: list[float] = []
+    merged_events = 0
+    for rep in range(REPS):
+        dark_seconds, dark_events = run_arm(database, dark=True)
+        merged_seconds, events = run_arm(database, dark=False)
+        dark_times.append(dark_seconds)
+        merged_times.append(merged_seconds)
+        merged_events = max(merged_events, events)
+        print(
+            f"rep {rep}: dark {dark_seconds:.3f}s (events={dark_events})  "
+            f"merged {merged_seconds:.3f}s (events={events})"
+        )
+        if dark_events != 0:
+            print("FAIL: dark arm recorded events — the baseline is not dark")
+            return 1
+        if events == 0:
+            print("FAIL: merged arm recorded nothing — telemetry was not on")
+            return 1
+
+    dark_best = min(dark_times)
+    merged_best = min(merged_times)
+    overhead = (merged_best - dark_best) / dark_best
+    print(
+        f"best: dark {dark_best:.3f}s  merged {merged_best:.3f}s  "
+        f"overhead {overhead * 100.0:+.2f}% (gate {MAX_OVERHEAD * 100.0:.0f}%, "
+        f"merged events {merged_events})"
+    )
+
+    cores = os.cpu_count() or 1
+    if cores < MIN_CORES:
+        print(f"SKIP: overhead gate requires >= {MIN_CORES} cores (this runner has {cores})")
+        return 0
+    if dark_best < MIN_BASELINE_SECONDS:
+        print(
+            f"SKIP: baseline {dark_best:.3f}s < {MIN_BASELINE_SECONDS}s — too short "
+            "for a 5% gate to beat jitter; overhead reported above"
+        )
+        return 0
+    if overhead > MAX_OVERHEAD:
+        print(f"FAIL: merged telemetry costs {overhead * 100.0:.2f}% > {MAX_OVERHEAD * 100.0:.0f}%")
+        return 1
+    print("OK: merged telemetry within the overhead budget")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

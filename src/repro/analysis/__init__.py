@@ -15,8 +15,11 @@ contracts once as lint rules so CI proves them on every PR
 * **lock discipline** — attributes annotated ``# guarded-by: <lock>`` may
   only be touched under ``with self.<lock>`` (or in a method that declares
   the lock held), and bulk numpy calls stay out of lock scope;
-* **telemetry schema** — every span/counter/gauge emit call site is
-  cross-checked against the frozen ``EVENTS`` registry;
+* **telemetry schema** — every span/counter/gauge/histogram emit call site
+  is cross-checked against the frozen ``EVENTS`` registry;
+* **stats shape** — the documented snapshot dictionaries
+  (``stats()``/``as_dict()``/``summary()`` in the service and cache layers)
+  may only use their documented keys;
 * **fault sites** — every ``fault_point(...)`` call and ``FaultRule`` site
   is cross-checked against the frozen ``FAULT_SITES`` catalogue (a typo
   would make the fault silently uninjectable);
@@ -31,6 +34,6 @@ Entry points: the ``repro lint`` CLI subcommand
 from repro.analysis.core import Finding, Rule, all_rules, run_lint
 
 # Importing the rule modules registers their rules.
-from repro.analysis import boundedness, determinism, fault_rules, locks, telemetry_rules  # noqa: F401  isort: skip
+from repro.analysis import boundedness, determinism, fault_rules, locks, stats_rules, telemetry_rules  # noqa: F401  isort: skip
 
 __all__ = ["Finding", "Rule", "all_rules", "run_lint"]

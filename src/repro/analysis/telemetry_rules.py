@@ -6,7 +6,8 @@ path runs.  A span added behind a rarely-taken branch (cold-path retry, a
 drain mode) can carry an unregistered name or a misspelled metadata field
 for a whole release before a test happens to cross it.  This rule resolves
 the same contract statically: every ``.start_span(...)`` / ``.span(...)`` /
-``.count(...)`` / ``.gauge(...)`` call with a literal event name is checked
+``.count(...)`` / ``.gauge(...)`` / ``.histogram(...)`` call with a literal
+event name is checked
 for (a) the name being registered, (b) the method matching the declared
 kind, (c) explicit metadata keywords being allowed, and (d) required
 metadata being present.
@@ -35,6 +36,7 @@ _EMIT_KINDS = {
     "span": "span",
     "count": "counter",
     "gauge": "gauge",
+    "histogram": "histogram",
 }
 
 #: Keyword arguments consumed by the emit methods themselves (not metadata).
@@ -42,6 +44,7 @@ _RESERVED_KWARGS = {
     "span": frozenset({"trace", "parent"}),
     "counter": frozenset({"value"}),
     "gauge": frozenset({"value"}),
+    "histogram": frozenset({"value"}),
 }
 
 

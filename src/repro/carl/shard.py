@@ -65,6 +65,8 @@ from repro.carl.unit_table import materialize_unit_table, merge_unit_table_input
 from repro.db.aggregates import shard_ranges
 from repro.db.database import Database
 from repro.db.table import as_columnar
+from repro.observability.merge import merge_worker_batch
+from repro.observability.telemetry import get_registry, set_role, trace_context
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports us lazily)
     from repro.carl.engine import CaRLEngine
@@ -155,13 +157,21 @@ class WorkerSpec:
 
 @dataclass(frozen=True)
 class ShardTask:
-    """One unit-range collection task of one query."""
+    """One unit-range collection task of one query.
+
+    ``trace``/``parent`` carry the dispatcher's trace context across the
+    process boundary: everything the worker records while running this task
+    (phase sub-spans, engine grounding) attaches under the originating
+    ``query.collect`` span — see ``docs/observability.md``.
+    """
 
     query: CausalQuery
     start: int
     stop: int
     n_units: int
     result_key: CacheKey  #: key of the output ``unit_inputs`` artifact
+    trace: str | None = None
+    parent: str | None = None
 
 
 @dataclass(frozen=True)
@@ -182,6 +192,8 @@ class FinishTask:
     embedding: str
     bootstrap: int
     seed: int
+    trace: str | None = None  #: originating trace id (cross-process stitch)
+    parent: str | None = None  #: originating ``query.finish`` span id
 
 
 @dataclass
@@ -255,6 +267,11 @@ def _worker_init(spec: WorkerSpec) -> None:
     _WORKER_SPEC = spec
     _WORKER_ENGINE = None
     _WORKER_CACHE = None
+    # Telemetry: this process records as a worker from here on — generated
+    # trace/span ids get a globally-unique prefix so shipped batches merge
+    # into the dispatcher's registry without remapping.  Service workers
+    # re-declare with their worker id right after this initializer runs.
+    set_role("worker")
 
 
 def _worker_cache() -> ArtifactCache:
@@ -329,14 +346,18 @@ def _run_shard_task(task: ShardTask) -> tuple[CacheKey, float]:
     if delay > 0.0:
         time.sleep(delay)
     started = time.perf_counter()
-    engine = _worker_engine()
-    inputs = engine.collect_shard_inputs(
-        task.query, task.start, task.stop, expected_units=task.n_units
-    )
-    stored = _worker_cache().store(
-        task.result_key,
-        unit_inputs_payload(inputs, span=(task.start, task.stop, task.n_units)),
-    )
+    registry = get_registry()
+    with trace_context(task.trace, task.parent):
+        engine = _worker_engine()
+        with registry.span("worker.collect", start=task.start, stop=task.stop):
+            inputs = engine.collect_shard_inputs(
+                task.query, task.start, task.stop, expected_units=task.n_units
+            )
+        with registry.span("worker.store", kind="unit_inputs"):
+            stored = _worker_cache().store(
+                task.result_key,
+                unit_inputs_payload(inputs, span=(task.start, task.stop, task.n_units)),
+            )
     if stored is None:
         # Degraded store (ENOSPC): the partial cannot reach the finish task
         # through the artifact transport.  Raise the dedicated error so the
@@ -351,43 +372,52 @@ def _run_shard_task(task: ShardTask) -> tuple[CacheKey, float]:
 
 def _run_finish_task(task: FinishTask) -> QueryAnswer:
     """Worker entry point: assemble one query's answer from its shard partials."""
+    with trace_context(task.trace, task.parent):
+        return _finish_task_body(task)
+
+
+def _finish_task_body(task: FinishTask) -> QueryAnswer:
     engine = _worker_engine()
     cache = _worker_cache()
+    registry = get_registry()
     started = time.perf_counter()
-    parts = []
-    for part_key in task.part_keys:
-        payload = cache.load(part_key)
-        if payload is None:
-            if cache.degraded:
-                raise CacheDegradedError(
-                    f"artifact store is degraded (out of space); shard "
-                    f"partials for {task.query!s} are unavailable"
+    with registry.span("worker.merge"):
+        parts = []
+        for part_key in task.part_keys:
+            payload = cache.load(part_key)
+            if payload is None:
+                if cache.degraded:
+                    raise CacheDegradedError(
+                        f"artifact store is degraded (out of space); shard "
+                        f"partials for {task.query!s} are unavailable"
+                    )
+                raise QueryError(
+                    f"shard partial for {task.query!s} is missing or unreadable in the "
+                    "shared cache"
                 )
-            raise QueryError(
-                f"shard partial for {task.query!s} is missing or unreadable in the "
-                "shared cache"
-            )
-        parts.append(load_unit_inputs(payload))
-    inputs = merge_unit_table_inputs(parts)
+            parts.append(load_unit_inputs(payload))
+        inputs = merge_unit_table_inputs(parts)
 
     binarize = None
     if task.query.treatment_threshold is not None:
         threshold = task.query.treatment_threshold
         binarize = lambda value: 1.0 if threshold.evaluate(value) else 0.0  # noqa: E731
-    unit_table = materialize_unit_table(
-        inputs, embedding=task.embedding, binarize=binarize
-    )
-    if task.table_key is not None:
-        cache.store(task.table_key, unit_table_payload(unit_table))
+    with registry.span("worker.materialize"):
+        unit_table = materialize_unit_table(
+            inputs, embedding=task.embedding, binarize=binarize
+        )
+        if task.table_key is not None:
+            cache.store(task.table_key, unit_table_payload(unit_table))
     # Per-answer attribution: the unit-table time of a sharded answer is the
     # *summed* collection work of its shards (which ran in parallel, so this
     # can exceed the batch's wall time) plus the merge/materialize tail.
     unit_table_seconds = task.collect_seconds + (time.perf_counter() - started)
 
     started = time.perf_counter()
-    result = engine._estimate_result(  # noqa: SLF001
-        task.query, unit_table, task.estimator, bootstrap=task.bootstrap, seed=task.seed
-    )
+    with registry.span("worker.estimate"):
+        result = engine._estimate_result(  # noqa: SLF001
+            task.query, unit_table, task.estimator, bootstrap=task.bootstrap, seed=task.seed
+        )
     estimation_seconds = time.perf_counter() - started
     return QueryAnswer(
         query=task.query,
@@ -399,6 +429,23 @@ def _run_finish_task(task: FinishTask) -> QueryAnswer:
         # exactly like the thread executor's up-front grounding.
         grounding_seconds=0.0,
     )
+
+
+def _run_shard_task_shipped(task: ShardTask) -> tuple[tuple[CacheKey, float], dict[str, Any] | None]:
+    """Pool wrapper: run the task, then drain this worker's telemetry ring.
+
+    The batch rides the result tuple back to the dispatcher — the pool's
+    only channel.  A failed task ships nothing; its events drain with the
+    worker's next successful task (or are lost at pool shutdown — the
+    service scheduler, unlike the pool, has an explicit exit drain)."""
+    outcome = _run_shard_task(task)
+    return outcome, get_registry().drain_events()
+
+
+def _run_finish_task_shipped(task: FinishTask) -> tuple[QueryAnswer, dict[str, Any] | None]:
+    """Pool wrapper for :func:`_run_finish_task`; see above."""
+    outcome = _run_finish_task(task)
+    return outcome, get_registry().drain_events()
 
 
 # ----------------------------------------------------------------------
@@ -486,6 +533,40 @@ def _answer_all_process_locked(
                 _plan_query(engine, cache, spec, name, query, embedding, backend)
                 for name, query in parsed
             ]
+            # One root span (and trace) per query, stitched across the
+            # process boundary: shard/finish tasks carry (trace, root span)
+            # and workers parent everything they record under it.  Worker
+            # batches ride back on the result tuples; a future shared by
+            # several plans (threshold-sweep dedup) is merged exactly once.
+            registry = get_registry()
+            roots = {
+                plan.name: registry.start_span(
+                    "query",
+                    trace=registry.new_trace(),
+                    index=index,
+                    mode="warm" if plan.cached else "cold",
+                    executor="process",
+                )
+                for index, plan in enumerate(plans)
+            }
+            merged_futures: set[int] = set()
+
+            def _pool_result(future: Future, plan: _QueryPlan) -> Any:
+                outcome, batch = _shard_result(future, plan)
+                if id(future) not in merged_futures:
+                    merged_futures.add(id(future))
+                    merge_worker_batch(registry, batch)
+                return outcome
+
+            def _finish_root(plan: _QueryPlan) -> None:
+                root = roots[plan.name]
+                registry.finish_span(root, outcome="ok")
+                registry.histogram(
+                    "query.duration",
+                    (root.t1 or root.t0) - root.t0,
+                    mode=root.meta.get("mode"),
+                    outcome="ok",
+                )
             # Shard partials are keyed deterministically by (grounding,
             # collection signature, unit range) — see docs/service.md — so
             # a partial produced once is reusable: within this batch (a
@@ -526,8 +607,10 @@ def _answer_all_process_locked(
                         stop=stop,
                         n_units=plan.n_units,
                         result_key=result_key,
+                        trace=roots[plan.name].trace,
+                        parent=roots[plan.name].span_id,
                     )
-                    future = pool.submit(_run_shard_task, task)
+                    future = pool.submit(_run_shard_task_shipped, task)
                     inflight[result_key] = future
                     plan.submitted.append((future, result_key))
 
@@ -538,24 +621,27 @@ def _answer_all_process_locked(
                     if plan.cached:
                         # The unit table is already on disk: the serial path
                         # answers straight from the warm cache, no sharding.
-                        answers[plan.name] = engine.answer(
-                            plan.query,
-                            estimator=estimator,
-                            embedding=embedding,
-                            bootstrap=bootstrap,
-                            seed=seed,
-                            backend=backend,
-                        )
+                        root = roots[plan.name]
+                        with trace_context(root.trace, root.span_id):
+                            answers[plan.name] = engine.answer(
+                                plan.query,
+                                estimator=estimator,
+                                embedding=embedding,
+                                bootstrap=bootstrap,
+                                seed=seed,
+                                backend=backend,
+                            )
+                        _finish_root(plan)
                         continue
                     part_keys = []
                     collect_seconds = 0.0
                     for future, result_key in plan.submitted:
                         if future is not None:
-                            _, seconds = _shard_result(future, plan)
+                            _, seconds = _pool_result(future, plan)
                             collect_seconds += seconds
                         part_keys.append(result_key)
                     finish_futures[plan.name] = pool.submit(
-                        _run_finish_task,
+                        _run_finish_task_shipped,
                         FinishTask(
                             query=plan.query,
                             part_keys=tuple(part_keys),
@@ -565,12 +651,15 @@ def _answer_all_process_locked(
                             embedding=embedding,
                             bootstrap=bootstrap,
                             seed=seed,
+                            trace=roots[plan.name].trace,
+                            parent=roots[plan.name].span_id,
                         ),
                     )
                 for plan in plans:
                     if plan.cached:
                         continue
-                    answers[plan.name] = _shard_result(finish_futures[plan.name], plan)
+                    answers[plan.name] = _pool_result(finish_futures[plan.name], plan)
+                    _finish_root(plan)
             except BaseException:
                 for plan in plans:
                     for future, _ in plan.submitted:
@@ -578,6 +667,8 @@ def _answer_all_process_locked(
                             future.cancel()
                 for future in finish_futures.values():
                     future.cancel()
+                for root in roots.values():
+                    registry.finish_span(root, outcome="error")
                 raise
             return {name: answers[name] for name, _ in parsed if name in answers}
     except BrokenExecutor as error:

@@ -37,6 +37,15 @@ JSON-lines log; the ``telemetry`` command group reads such logs back::
     python -m repro.cli telemetry dump    --log FILE [--event NAME] [--json]
     python -m repro.cli telemetry summary --log FILE [--json]
 
+The ``trace`` command renders one query's stitched span tree — dispatcher
+spans plus the worker-process spans shipped back and merged into the same
+trace — as an ASCII waterfall with per-span worker attribution::
+
+    python -m repro.cli trace QUERY --log FILE [--width N] [--json]
+
+``QUERY`` is either a trace id (``t3``) or a query index (the root ``query``
+span's ``index`` metadata; the most recent matching trace wins).
+
 The ``chaos`` command runs a demo workload under a seeded fault plan and
 verifies the robustness contract — every query bit-identical to its no-fault
 serial answer or a structured error, never a hang
@@ -384,7 +393,7 @@ def build_telemetry_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
     for name, description in (
         ("dump", "print raw telemetry events, one per line"),
-        ("summary", "aggregate span latencies (p50/p99), counters and gauges"),
+        ("summary", "aggregate span latencies (p50/p99), counters, gauges and histograms"),
     ):
         subparser = subparsers.add_parser(name, help=description)
         subparser.add_argument(
@@ -398,7 +407,9 @@ def build_telemetry_parser() -> argparse.ArgumentParser:
         "--event", help="only show events with this name (e.g. query.collect)"
     )
     subparsers.choices["dump"].add_argument(
-        "--kind", choices=["span", "counter", "gauge"], help="only show events of this kind"
+        "--kind",
+        choices=["span", "counter", "gauge", "histogram"],
+        help="only show events of this kind",
     )
     return parser
 
@@ -458,7 +469,191 @@ def telemetry_main(argv: list[str]) -> int:
         print("gauges   :")
         for name, value in summary["gauges"].items():
             print(f"  {name:<24} {value}")
+    if summary["histograms"]:
+        print("histograms:")
+        for name, stats in summary["histograms"].items():
+            print(
+                f"  {name:<24} n={stats['count']:<6} p50={stats['p50']:.6g} "
+                f"p99={stats['p99']:.6g}"
+            )
     return 0
+
+
+# ----------------------------------------------------------------------
+# the `trace` command: stitched span waterfalls
+# ----------------------------------------------------------------------
+def build_trace_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli trace",
+        description=(
+            "Render one query's stitched span tree (dispatcher spans plus "
+            "merged worker spans) as an ASCII waterfall."
+        ),
+    )
+    parser.add_argument(
+        "query",
+        help="trace id (e.g. 't3') or query index (the root span's 'index' metadata)",
+    )
+    parser.add_argument(
+        "--log",
+        required=True,
+        metavar="FILE",
+        help="JSON-lines telemetry log (written via --telemetry or a sink)",
+    )
+    parser.add_argument(
+        "--width",
+        type=int,
+        default=48,
+        metavar="N",
+        help="waterfall gutter width in characters (default 48)",
+    )
+    parser.add_argument("--json", action="store_true", help="emit the stitched tree as JSON")
+    return parser
+
+
+def _span_worker(record: dict[str, Any]) -> str:
+    """Worker attribution for one span: merge stamp, metadata, or id prefix."""
+    worker = record.get("worker")
+    if worker is None:
+        meta = record.get("meta") or {}
+        worker = meta.get("worker")
+    if worker is not None:
+        return f"w{worker}" if isinstance(worker, int) else str(worker)
+    span_id = str(record.get("span", ""))
+    if "." in span_id:  # role-prefixed ids: w3.s7 / p123.s1
+        return span_id.split(".", 1)[0]
+    return ""
+
+
+def _trace_tree(
+    spans: list[dict[str, Any]], root: dict[str, Any]
+) -> list[tuple[dict[str, Any], int, bool]]:
+    """Flatten the trace into render order: (record, depth, orphaned)."""
+    by_id = {record.get("span"): record for record in spans}
+    children: dict[Any, list[dict[str, Any]]] = {}
+    orphans: list[dict[str, Any]] = []
+    for record in spans:
+        if record is root:
+            continue
+        parent = record.get("parent")
+        if parent in by_id:
+            children.setdefault(parent, []).append(record)
+        else:
+            orphans.append(record)
+
+    def sort_key(record: dict[str, Any]) -> tuple[float, str]:
+        t0 = record.get("t0")
+        return (float(t0) if isinstance(t0, (int, float)) else 0.0, str(record.get("span")))
+
+    rows: list[tuple[dict[str, Any], int, bool]] = []
+
+    def walk(record: dict[str, Any], depth: int, orphaned: bool) -> None:
+        rows.append((record, depth, orphaned))
+        for child in sorted(children.get(record.get("span"), ()), key=sort_key):
+            walk(child, depth + 1, orphaned)
+
+    walk(root, 0, False)
+    for orphan in sorted(orphans, key=sort_key):
+        walk(orphan, 1, True)
+    return rows
+
+
+def trace_main(argv: list[str]) -> int:
+    from repro.observability.telemetry import read_log
+
+    args = build_trace_parser().parse_args(argv)
+    if args.width < 8:
+        print("--width must be >= 8", file=sys.stderr)
+        return 2
+    events = read_log(args.log)
+    spans = [event for event in events if event.get("kind") == "span"]
+    roots = [span for span in spans if span.get("event") == "query" and not span.get("parent")]
+    root = None
+    for candidate in roots:  # later records win: most recent run of the query
+        if candidate.get("trace") == args.query:
+            root = candidate
+    if root is None:
+        try:
+            index: int | None = int(args.query)
+        except ValueError:
+            index = None
+        if index is not None:
+            for candidate in roots:
+                if (candidate.get("meta") or {}).get("index") == index:
+                    root = candidate
+    if root is None:
+        known = ", ".join(
+            f"{span.get('trace')} (index={((span.get('meta') or {}).get('index'))})"
+            for span in roots
+        )
+        print(
+            f"no query trace matching {args.query!r} in {args.log}"
+            + (f"; known roots: {known}" if known else ""),
+            file=sys.stderr,
+        )
+        return 1
+
+    trace_id = root.get("trace")
+    trace_spans = [span for span in spans if span.get("trace") == trace_id]
+    rows = _trace_tree(trace_spans, root)
+
+    if args.json:
+        print(
+            json.dumps(
+                [
+                    {"depth": depth, "orphan": orphaned, **record}
+                    for record, depth, orphaned in rows
+                ],
+                indent=2,
+            )
+        )
+        return 0
+
+    base = root.get("t0")
+    end = root.get("t1")
+    finished = [span.get("t1") for span in trace_spans if isinstance(span.get("t1"), (int, float))]
+    if not isinstance(base, (int, float)):
+        base = min(
+            (span.get("t0") for span in trace_spans if isinstance(span.get("t0"), (int, float))),
+            default=0.0,
+        )
+    if not isinstance(end, (int, float)):
+        end = max(finished, default=base)
+    total = max(float(end) - float(base), 0.0)
+    meta = root.get("meta") or {}
+    described = " ".join(f"{key}={value}" for key, value in sorted(meta.items()))
+    print(f"trace {trace_id}: query {described}  total {total * 1000.0:.2f}ms")
+    name_width = max(
+        (len(str(record.get("event"))) + 2 * depth for record, depth, _ in rows), default=20
+    )
+    for record, depth, orphaned in rows:
+        label = "  " * depth + str(record.get("event"))
+        if orphaned:
+            label += " (orphan)"
+        t0, t1 = record.get("t0"), record.get("t1")
+        gutter = [" "] * args.width
+        if isinstance(t0, (int, float)) and isinstance(t1, (int, float)) and total > 0.0:
+            start = int((float(t0) - float(base)) / total * args.width)
+            stop = int((float(t1) - float(base)) / total * args.width)
+            start = min(max(start, 0), args.width - 1)
+            stop = min(max(stop, start + 1), args.width)
+            for position in range(start, stop):
+                gutter[position] = "#"
+        duration = (
+            f"{(float(t1) - float(t0)) * 1000.0:8.2f}ms"
+            if isinstance(t0, (int, float)) and isinstance(t1, (int, float))
+            else "   (open)"
+        )
+        worker = _span_worker(record)
+        print(f"{label:<{name_width + 2}} {duration}  |{''.join(gutter)}|  {worker}")
+    return 0
+
+
+def _flush_telemetry() -> None:
+    """Flush the buffered telemetry sink so the log is complete on exit."""
+    from repro.observability.telemetry import get_registry
+
+    get_registry().flush_sink()
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -468,6 +663,8 @@ def main(argv: list[str] | None = None) -> int:
         return cache_main(argv[1:])
     if argv and argv[0] == "telemetry":
         return telemetry_main(argv[1:])
+    if argv and argv[0] == "trace":
+        return trace_main(argv[1:])
     if argv and argv[0] == "lint":
         from repro.analysis.cli import lint_main
 
@@ -559,6 +756,8 @@ def main(argv: list[str] | None = None) -> int:
                 for kind, bucket in stats.items()
             )
             print(f"\ncache ({args.cache}): {rendered or 'no activity'}")
+        if args.telemetry:
+            _flush_telemetry()
         return 1 if failures else 0
 
     answers = engine.answer_all(
@@ -569,6 +768,8 @@ def main(argv: list[str] | None = None) -> int:
         shards=args.shards,
     )
     outputs = {name: result_to_dict(answer) for name, answer in answers.items()}
+    if args.telemetry:
+        _flush_telemetry()
 
     if args.json:
         if args.cache:

@@ -37,6 +37,7 @@ from repro.carl.errors import QueryError
 from repro.carl.queries import ATEResult, EffectsResult, QueryAnswer
 from repro.faults.injection import clear_plan, install_plan
 from repro.faults.plan import FaultPlan, FaultRule, PlanError
+from repro.observability import dump_flight_recording
 
 #: Demo workload names; resolved by :func:`_workload`.  The toy sweep is a
 #: fixed query list (fast, more queries than shards so the scheduler's
@@ -236,10 +237,13 @@ def _run_chaos(args: argparse.Namespace) -> dict[str, Any]:
         for name, entry in outcomes.items()
         if entry["status"] == "ok" and not entry["matches_serial"]
     )
+    flight_dump: str | None = None
     if hang or unresolved:
         verdict = "hang"
     elif mismatches:
         verdict = "mismatch"
+        dump = dump_flight_recording("chaos_mismatch")
+        flight_dump = str(dump) if dump is not None else None
     else:
         verdict = "ok"
     digest_payload = {
@@ -264,6 +268,7 @@ def _run_chaos(args: argparse.Namespace) -> dict[str, Any]:
         "errors": errors,
         "mismatches": mismatches,
         "unresolved": unresolved,
+        "flight_dump": flight_dump,
         "scheduler": scheduler_stats,
         "outcomes": outcomes,
     }

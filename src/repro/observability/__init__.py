@@ -1,34 +1,60 @@
 """Structured telemetry for the CaRL service stack (``docs/observability.md``).
 
 * :mod:`repro.observability.schema` — the frozen event registry: every span,
-  counter and gauge the system may emit, with its metadata contract, checked
-  on every emission (and pinned by a tier-1 test so the schema cannot drift
-  silently);
+  counter, gauge and histogram the system may emit, with its metadata
+  contract, checked on every emission (and pinned by a tier-1 test so the
+  schema cannot drift silently);
 * :mod:`repro.observability.telemetry` — the process-wide
   :class:`~repro.observability.telemetry.TelemetryRegistry`: monotonic-clock
-  span trees per answered query, counters, gauges, a bounded in-memory ring
-  buffer, and an optional JSON-lines sink (``repro telemetry`` reads it back).
+  span trees per answered query, counters, gauges, deterministic log2
+  histograms, a bounded in-memory ring buffer, and an optional JSON-lines
+  sink (``repro telemetry`` reads it back);
+* :mod:`repro.observability.merge` — the dispatcher end of cross-process
+  trace stitching: worker event batches ingested verbatim into the merged
+  ring/totals;
+* :mod:`repro.observability.flight` — the flight recorder: atomic ring-dump
+  (JSONL + sha256) on circuit-open, worker kills and chaos mismatches.
 """
 
+from repro.observability.flight import FLIGHT_DIR_ENV, dump_flight_recording, flight_dir
+from repro.observability.merge import merge_worker_batch
 from repro.observability.schema import EVENTS, EventSpec, TelemetryError, validate_event
 from repro.observability.telemetry import (
+    DARK_ENV,
     Span,
     TelemetryRegistry,
+    bucket_percentile,
+    bucket_upper_bound,
+    current_trace_context,
     get_registry,
+    histogram_bucket,
     read_log,
     reset_registry,
+    set_role,
     summarize_events,
+    trace_context,
 )
 
 __all__ = [
+    "DARK_ENV",
     "EVENTS",
     "EventSpec",
+    "FLIGHT_DIR_ENV",
     "Span",
     "TelemetryError",
     "TelemetryRegistry",
+    "bucket_percentile",
+    "bucket_upper_bound",
+    "current_trace_context",
+    "dump_flight_recording",
+    "flight_dir",
     "get_registry",
+    "histogram_bucket",
+    "merge_worker_batch",
     "read_log",
     "reset_registry",
+    "set_role",
     "summarize_events",
+    "trace_context",
     "validate_event",
 ]

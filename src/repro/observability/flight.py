@@ -1,0 +1,109 @@
+"""The flight recorder: dump the telemetry ring on catastrophic events.
+
+The registry's bounded ring buffer is always on — it already holds the last
+N events when something goes badly wrong.  This module turns that ring into
+a black box: :func:`dump_flight_recording` atomically writes the current
+ring contents as JSON-lines plus a sha256 digest sidecar, triggered by the
+scheduler on circuit-open and worker kills and by the chaos harness on a
+bit-identity mismatch (``docs/fault_injection.md``).
+
+Design constraints, in order:
+
+* **Never take the service down.**  Every failure mode (unwritable
+  directory, disk full) degrades to returning ``None``; the caller is
+  mid-incident and the dump is evidence, not a dependency.
+* **Atomic and torn-line-free.**  The dump is written to a temp file and
+  ``os.replace``d into place; readers never observe a half-written dump.
+* **Deterministically named.**  ``flight-<pid>-<seq>-<reason>.jsonl`` — a
+  per-process sequence, no wall-clock in the name, so a replayed chaos run
+  produces the same dump names.
+* **Out of the repository.**  The default directory lives under the system
+  temp dir; ``REPRO_FLIGHT_DIR`` overrides it (CI points it at a workspace
+  path and uploads it as a build artifact on failure).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import threading
+from pathlib import Path
+
+from repro.observability.telemetry import TelemetryRegistry, get_registry
+
+#: Environment variable overriding the dump directory.
+FLIGHT_DIR_ENV = "REPRO_FLIGHT_DIR"
+
+_SEQ_LOCK = threading.Lock()
+_SEQ = 0
+
+
+def flight_dir() -> Path:
+    """The directory dumps land in (env override or a system-temp default)."""
+    configured = os.environ.get(FLIGHT_DIR_ENV, "").strip()
+    if configured:
+        return Path(configured)
+    return Path(tempfile.gettempdir()) / "repro-flight"
+
+
+def _next_sequence() -> int:
+    global _SEQ
+    with _SEQ_LOCK:
+        _SEQ += 1
+        return _SEQ
+
+
+def dump_flight_recording(
+    reason: str,
+    directory: str | Path | None = None,
+    registry: TelemetryRegistry | None = None,
+) -> Path | None:
+    """Atomically dump the registry's ring buffer; returns the dump path.
+
+    The dump is one JSON object per line (sorted keys) in ring order, with a
+    ``<name>.sha256`` sidecar holding the content digest.  Best-effort: any
+    OS-level failure returns ``None`` rather than raising into the caller's
+    incident path.  Emits one ``scheduler.flight_dump`` counter and flushes
+    the live sink so the dump and the main log tell one consistent story.
+    """
+    if registry is None:
+        registry = get_registry()
+    events = registry.events()
+    target_dir = Path(directory) if directory is not None else flight_dir()
+    safe_reason = "".join(ch if ch.isalnum() or ch in "-_" else "_" for ch in reason) or "unknown"
+    name = f"flight-{os.getpid()}-{_next_sequence():04d}-{safe_reason}.jsonl"
+    path = target_dir / name
+    payload = "".join(json.dumps(event, sort_keys=True) + "\n" for event in events)
+    digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+    try:
+        target_dir.mkdir(parents=True, exist_ok=True)
+        fd, temp_name = tempfile.mkstemp(dir=str(target_dir), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+        digest_path = Path(str(path) + ".sha256")
+        fd, temp_name = tempfile.mkstemp(dir=str(target_dir), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(digest + "\n")
+            os.replace(temp_name, digest_path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+    except OSError:
+        return None
+    registry.count("scheduler.flight_dump", reason=safe_reason)
+    registry.flush_sink()
+    return path

@@ -1,0 +1,64 @@
+"""Merging worker-shipped telemetry batches into the dispatcher registry.
+
+Workers record into their own process-local registry (role-prefixed ids, see
+:func:`repro.observability.telemetry.set_role`) and ship bounded batches
+back over the result channel — piggybacked on task results plus a final
+drain at exit.  This module is the receiving end: each shipped record is
+ingested verbatim (worker pid and clocks preserved, span parents already
+pointing at the dispatcher's originating ``query.collect``/``query.finish``
+span via trace propagation), and counter/gauge/histogram totals accumulate
+into the dispatcher's merged view — so ``repro telemetry summary`` reports
+true cache behavior under process executors.
+
+Because worker ids are globally unique by construction (``w3.s7`` can never
+collide with a dispatcher ``s7``), merging needs no remapping table; it is a
+plain append.  Each merged batch also emits one ``worker.span_batch``
+counter carrying the batch size and any ring-overflow drop count, so lost
+worker events are observable rather than silent.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.observability.telemetry import TelemetryRegistry
+
+#: Top-level key added to every merged record naming the shipping worker.
+WORKER_KEY = "worker"
+
+
+def merge_worker_batch(
+    registry: TelemetryRegistry,
+    batch: dict[str, Any] | None,
+    worker: int | str | None = None,
+) -> int:
+    """Ingest one worker batch (``{"events": [...], "dropped": n}``).
+
+    Returns the number of records merged.  ``worker`` (when given) is
+    stamped onto each record as a top-level ``"worker"`` key — attribution
+    for the trace waterfall without touching the schema-validated ``meta``.
+    Malformed batches are ignored: telemetry must never fail a task result.
+    """
+    if not isinstance(batch, dict):
+        return 0
+    events = batch.get("events")
+    if not isinstance(events, list):
+        return 0
+    merged = 0
+    for record in events:
+        if not isinstance(record, dict) or "event" not in record:
+            continue
+        record = dict(record)
+        if worker is not None:
+            record[WORKER_KEY] = worker
+        registry.ingest(record)
+        merged += 1
+    dropped = batch.get("dropped", 0)
+    if merged or dropped:
+        meta: dict[str, Any] = {}
+        if worker is not None:
+            meta["worker"] = worker
+        if dropped:
+            meta["dropped"] = dropped
+        registry.count("worker.span_batch", value=merged, **meta)
+    return merged

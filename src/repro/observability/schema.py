@@ -24,8 +24,10 @@ class TelemetryError(ValueError):
 
 #: Event kinds: a ``span`` has monotonic start/end times and nests under a
 #: trace; a ``counter`` accumulates integer deltas; a ``gauge`` records the
-#: latest value of a level (queue depth, live sessions).
-KINDS = ("span", "counter", "gauge")
+#: latest value of a level (queue depth, live sessions); a ``histogram``
+#: records a value into fixed log2 buckets — the bucket index is a pure
+#: function of the value, so merged bucket counts are replay-stable.
+KINDS = ("span", "counter", "gauge", "histogram")
 
 
 @dataclass(frozen=True)
@@ -69,6 +71,16 @@ EVENTS: dict[str, EventSpec] = {
             optional=("worker", "attempt", "outcome"),
         ),
         _spec("query.finish", "span", optional=("mode", "worker", "outcome")),
+        _spec("query.duration", "histogram", optional=("mode", "outcome")),
+        # -- worker-side phase breakdown (recorded in the worker process,
+        # shipped back in batches and re-parented under the dispatcher's
+        # query.collect / query.finish spans) ------------------------------
+        _spec("worker.collect", "span", optional=("start", "stop")),
+        _spec("worker.store", "span", optional=("kind",)),
+        _spec("worker.merge", "span"),
+        _spec("worker.materialize", "span"),
+        _spec("worker.estimate", "span"),
+        _spec("worker.span_batch", "counter", optional=("worker", "dropped")),
         # -- engine -------------------------------------------------------
         _spec("engine.ground", "span", optional=("cached",)),
         # -- artifact cache ----------------------------------------------
@@ -87,6 +99,9 @@ EVENTS: dict[str, EventSpec] = {
         _spec("scheduler.circuit_open", "counter"),
         _spec("scheduler.serial_fallback", "counter", optional=("reason",)),
         _spec("scheduler.queue_depth", "gauge"),
+        _spec("scheduler.queue_wait", "histogram", optional=("kind",)),
+        _spec("scheduler.retry_backoff", "histogram"),
+        _spec("scheduler.flight_dump", "counter", required=("reason",)),
         # -- fault injection ----------------------------------------------
         _spec("fault.injected", "counter", required=("site",), optional=("key",)),
         # -- daemon -------------------------------------------------------

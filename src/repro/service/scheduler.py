@@ -64,6 +64,7 @@ import time
 from collections import OrderedDict, deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
+from dataclasses import replace as dataclass_replace
 from typing import TYPE_CHECKING, Any
 
 from repro.carl import shard as shard_module
@@ -88,7 +89,10 @@ from repro.carl.ast import CausalQuery
 from repro.carl.queries import QueryAnswer
 from repro.db.aggregates import shard_ranges
 from repro.faults.injection import fault_point, set_role
+from repro.observability.flight import dump_flight_recording
+from repro.observability.merge import merge_worker_batch
 from repro.observability.telemetry import Span, get_registry
+from repro.observability.telemetry import set_role as set_telemetry_role
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.carl.engine import CaRLEngine
@@ -220,6 +224,7 @@ class _Task:
     trace: str | None = None  #: telemetry trace of the creating query
     parent: str | None = None  #: telemetry span id of the creating query
     span: Span | None = None  #: open span of the current execution attempt
+    ready_since: float = 0.0  #: monotonic instant it last became ready
 
 
 @dataclass
@@ -282,7 +287,7 @@ def _heartbeat_loop(worker_id: int, state: dict[str, Any], results: Any) -> None
         started = state.get("started")
         busy = 0.0 if started is None else time.monotonic() - started
         try:
-            results.put((worker_id, None, "beat", busy))
+            results.put((worker_id, None, "beat", busy, None))
         except BaseException:  # noqa: BLE001 - queue closed: session over
             return
         time.sleep(_HEARTBEAT_SECONDS)
@@ -299,10 +304,17 @@ def _service_worker_main(worker_id: int, spec: WorkerSpec, tasks: Any, results: 
     CaRL errors are deterministic semantic failures the scheduler must not
     retry, anything else is treated as a (possibly transient) fault and
     requeued.
+
+    Every result message's fifth slot carries a drained telemetry batch —
+    the worker's recorded spans/counters since the previous result — and the
+    exit sentinel triggers a final drain shipped as ``"events"`` messages,
+    so only a crash (``os._exit``) can lose worker-side telemetry.
     """
     _worker_init(spec)
     shard_module._WORKER_ID = worker_id  # noqa: SLF001 - fault-injection target id
     set_role("worker", worker_id)  # arms worker-only fault sites
+    set_telemetry_role("worker", worker_id)  # w<id>.-prefixed trace/span ids
+    registry = get_registry()
     beat_state: dict[str, Any] = {"started": None}
     threading.Thread(
         target=_heartbeat_loop,
@@ -313,6 +325,14 @@ def _service_worker_main(worker_id: int, spec: WorkerSpec, tasks: Any, results: 
     while True:
         item = tasks.get()
         if item is None:
+            # Final drain: ship whatever the ring still holds before exit.
+            batch = registry.drain_events()
+            while batch is not None:
+                try:
+                    results.put((worker_id, None, "events", None, batch))
+                except BaseException:  # noqa: BLE001 - queue closed: session over
+                    break
+                batch = registry.drain_events()
             return
         task_id, task_spec = item
         if fault_point("worker.crash", key=f"task-{task_id}") is not None:
@@ -332,7 +352,7 @@ def _service_worker_main(worker_id: int, spec: WorkerSpec, tasks: Any, results: 
             stall = fault_point("worker.result_stall", key=f"task-{task_id}")
             if stall is not None:
                 time.sleep(stall.delay)
-            results.put((worker_id, task_id, "ok", outcome))
+            results.put((worker_id, task_id, "ok", outcome, registry.drain_events()))
         except BaseException as error:  # noqa: BLE001 - must cross the pipe
             results.put(
                 (
@@ -340,6 +360,7 @@ def _service_worker_main(worker_id: int, spec: WorkerSpec, tasks: Any, results: 
                     task_id,
                     "error",
                     (type(error).__name__, str(error), isinstance(error, CaRLError)),
+                    registry.drain_events(),
                 )
             )
         finally:
@@ -529,6 +550,17 @@ class ShardScheduler:
                 worker.process.terminate()
                 worker.process.join(timeout=_SHUTDOWN_GRACE)
         if self._results is not None:
+            # The exit sentinel triggered each worker's final telemetry
+            # drain; the dispatcher thread is gone by now, so merge those
+            # last batches (and any result-piggybacked stragglers) here.
+            registry = get_registry()
+            while True:
+                try:
+                    message = self._results.get_nowait()
+                except (queue.Empty, OSError, ValueError):
+                    break
+                if isinstance(message, tuple) and len(message) == 5:
+                    merge_worker_batch(registry, message[4], worker=message[0])
             self._results.close()
         unregister_inheritable_engine(self._inherit_token)
         self._inherit_token = None
@@ -619,6 +651,9 @@ class ShardScheduler:
         if front:
             dq.appendleft(task.id)
         else:
+            # A front re-enqueue (no eligible worker this round) keeps the
+            # original ready instant: queue-wait measures ready -> assigned.
+            task.ready_since = time.monotonic()
             dq.append(task.id)
         self._ready_count += 1
 
@@ -857,6 +892,7 @@ class ShardScheduler:
         # Finish tasks jump the queue: a ready finish completes a query *now*,
         # and streaming is about completion latency — collect tasks of later
         # queries can wait one task's worth of time.
+        task.ready_since = time.monotonic()
         self._priority.append(task.id)
         self._ready_count += 1
         record.finish_task = task.id
@@ -965,6 +1001,9 @@ class ShardScheduler:
                 return
             self._circuit_open = True
         get_registry().count("scheduler.circuit_open")
+        # Black box first, remediation second: snapshot the telemetry ring
+        # while it still shows the failure run-up (docs/observability.md).
+        dump_flight_recording("circuit_open")
         for worker in list(self._workers.values()):
             worker.task_id = None
             self._kill_worker(worker)
@@ -1069,6 +1108,7 @@ class ShardScheduler:
                 self._stats.worker_hangs += 1
                 self._consecutive_failures += 1
             get_registry().count("scheduler.worker_killed", reason="hung")
+            dump_flight_recording("worker_kill")
             self._kill_worker(worker)
             self._task_faulted(
                 worker.task_id,
@@ -1153,6 +1193,12 @@ class ShardScheduler:
                 task.state = TaskState.RUNNING
                 task.worker = worker.id
                 task.attempts += 1
+                if task.ready_since:
+                    get_registry().histogram(
+                        "scheduler.queue_wait",
+                        time.monotonic() - task.ready_since,
+                        kind=task.kind,
+                    )
                 if task.kind == "collect":
                     self._stats.collect_tasks_run += 1
                     task.span = get_registry().start_span(
@@ -1173,7 +1219,17 @@ class ShardScheduler:
                         mode="cold",
                         worker=worker.id,
                     )
-                worker.tasks.put((task.id, task.spec))
+                # Ship the task with *this attempt's* trace context: worker
+                # telemetry re-parents under the span just opened, so retry
+                # attempts stitch under their own collect/finish span.
+                worker.tasks.put(
+                    (
+                        task.id,
+                        dataclass_replace(
+                            task.spec, trace=task.trace, parent=task.span.span_id
+                        ),
+                    )
+                )
             for task in deferred:
                 # No eligible idle worker this round: back to the front of
                 # the task's own group so fairness is preserved.
@@ -1181,14 +1237,20 @@ class ShardScheduler:
             self._emit_queue_depth_locked()
 
     # -- results --------------------------------------------------------
-    def _handle_result(self, message: tuple[int, int | None, str, Any]) -> None:
-        worker_id, task_id, status, payload = message
+    def _handle_result(self, message: tuple[int, int | None, str, Any, Any]) -> None:
+        worker_id, task_id, status, payload, batch = message
         if status == "beat":
             worker = self._workers.get(worker_id)
             if worker is not None:
                 worker.last_beat = time.monotonic()
                 worker.busy_seconds = float(payload)
             return
+        # Merge the piggybacked worker telemetry before resolving the task:
+        # worker spans/counters must be visible by the time the task's own
+        # span closes, whatever the task outcome (even a reaped result).
+        merge_worker_batch(get_registry(), batch, worker=worker_id)
+        if status == "events":
+            return  # a final-drain shipment: telemetry only, no task state
         worker = self._workers.get(worker_id)
         if worker is not None and worker.task_id == task_id:
             worker.task_id = None
@@ -1291,6 +1353,7 @@ class ShardScheduler:
                     kind=task.kind,
                     backoff_ms=int(backoff * 1000),
                 )
+                get_registry().histogram("scheduler.retry_backoff", backoff)
                 return
             task.state = TaskState.FAILED
             affected = sorted(task.queries)
@@ -1365,6 +1428,8 @@ class ShardScheduler:
             if record.mode:
                 meta["mode"] = record.mode
             get_registry().finish_span(span, **meta)
+            if span.t1 is not None:
+                get_registry().histogram("query.duration", span.t1 - span.t0, **meta)
 
     def _release_query_tasks(
         self, index: int, keep: int | None, kill_reason: str = "orphaned"
@@ -1416,6 +1481,8 @@ class ShardScheduler:
                 # The id may still sit in a ready deque; the assignment loop
                 # skips ids whose task row is gone.
                 self._reap_task_locked(task)
+        if kills:
+            dump_flight_recording("worker_kill")
         for worker in kills:
             get_registry().count("scheduler.worker_killed", reason=kill_reason)
             self._kill_worker(worker)

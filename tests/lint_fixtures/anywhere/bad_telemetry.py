@@ -1,7 +1,7 @@
 """Known-bad telemetry-schema fixture (the rule is unscoped).
 
 Violations, in order: unregistered event, kind mismatch, disallowed
-metadata field, missing required metadata.
+metadata field, missing required metadata, histogram kind mismatch.
 """
 
 from repro.observability.telemetry import get_registry
@@ -13,3 +13,4 @@ def emits() -> None:
     registry.count("query", index=1)  # BAD: 'query' is a span, not a counter
     registry.gauge("daemon.sessions", 1, bogus=2)  # BAD: field not allowed
     registry.count("daemon.admit")  # BAD: required field 'tenant' missing
+    registry.histogram("cache.hit", 0.5)  # BAD: 'cache.hit' is a counter

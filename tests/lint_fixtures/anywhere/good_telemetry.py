@@ -9,6 +9,7 @@ def emits(name: str, meta: dict) -> None:
     registry.count("cache.hit", kind="grounding")  # OK: optional field
     registry.count("daemon.admit", tenant="alice")  # OK: required present
     registry.gauge("scheduler.queue_depth", 3)  # OK
+    registry.histogram("scheduler.queue_wait", 0.25, kind="collect")  # OK
     span = registry.start_span("query", index=1, mode="warm")  # OK
     registry.finish_span(span)
     registry.count(name)  # OK: dynamic name, runtime validation covers it

@@ -1,0 +1,24 @@
+"""Fixture: snapshot functions whose keys drift from the documented shape."""
+
+
+class ShardScheduler:
+    def stats(self):
+        snapshot = {"live_records": 0, "live_tasks": 0}
+        snapshot["queue_depth"] = 3  # BAD: not a documented ShardScheduler key
+        return snapshot
+
+
+class QuerySession:
+    def stats(self):
+        return {
+            "executor": "process",
+            "submitted": 1,
+            "retries_left": 2,  # BAD: not a documented QuerySession key
+        }
+
+
+class CacheStats:
+    def summary(self):
+        summary = {"hits": 1, "misses": 0, "stores": 1}
+        summary["evictions"] = 0  # BAD: not a documented CacheStats key
+        return summary

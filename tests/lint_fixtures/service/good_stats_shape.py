@@ -1,0 +1,29 @@
+"""Fixture: snapshot functions that keep their documented shapes."""
+
+
+class ShardScheduler:
+    def stats(self):
+        snapshot = {"live_records": 0, "live_tasks": 0}
+        snapshot["circuit_open"] = 0
+        return snapshot
+
+
+class QuerySession:
+    def stats(self):
+        base = {"executor": "process", "submitted": 1, "delivered": 1}
+        base["scheduler"] = {}
+        return base
+
+
+class SomeOtherClass:
+    def stats(self):
+        # Not a documented (class, function) pair: any keys are fine here.
+        return {"whatever": 1, "shape": "free"}
+
+
+class CacheStats:
+    def summary(self):
+        summary = {"hits": 1, "misses": 0, "stores": 1}
+        for kind in ():
+            summary[kind] = {}  # dynamic key: data, not shape
+        return summary

@@ -51,6 +51,7 @@ RULE_IDS = {
     "fault-site",
     "lock-guarded-attr",
     "lock-numpy-call",
+    "stats-shape",
     "telemetry-schema",
     "unbounded-growth",
 }
@@ -143,16 +144,33 @@ def test_lock_good_fixture_is_clean():
 # ----------------------------------------------------------------------
 def test_telemetry_bad_fixture_flags_each_contract_breach():
     findings = lint_fixture("anywhere/bad_telemetry.py")
-    assert [f.rule for f in findings] == ["telemetry-schema"] * 4
+    assert [f.rule for f in findings] == ["telemetry-schema"] * 5
     messages = "\n".join(f.message for f in findings)
     assert "'no.such.event' is not in the frozen EVENTS registry" in messages
     assert "declared a span but emitted via .count()" in messages
     assert "does not allow metadata fields ['bogus']" in messages
     assert "requires metadata fields ['tenant']" in messages
+    assert "declared a counter but emitted via .histogram()" in messages
 
 
 def test_telemetry_good_fixture_is_clean():
     assert lint_fixture("anywhere/good_telemetry.py") == []
+
+
+# ----------------------------------------------------------------------
+# stats-shape family
+# ----------------------------------------------------------------------
+def test_stats_shape_bad_fixture_flags_each_undocumented_key():
+    findings = lint_fixture("service/bad_stats_shape.py")
+    assert [f.rule for f in findings] == ["stats-shape"] * 3
+    messages = "\n".join(f.message for f in findings)
+    assert "'queue_depth' in ShardScheduler.stats()" in messages
+    assert "'retries_left' in QuerySession.stats()" in messages
+    assert "'evictions' in CacheStats.summary()" in messages
+
+
+def test_stats_shape_good_fixture_is_clean():
+    assert lint_fixture("service/good_stats_shape.py") == []
 
 
 # ----------------------------------------------------------------------

@@ -21,20 +21,32 @@ Contracts held here:
 
 from __future__ import annotations
 
+import hashlib
+import json
+
 import pytest
 
 from repro.carl.engine import CaRLEngine
 from repro.datasets import TOY_REVIEW_PROGRAM, toy_review_database
 from repro.observability import (
+    DARK_ENV,
     EVENTS,
     TelemetryError,
     TelemetryRegistry,
+    bucket_percentile,
+    bucket_upper_bound,
+    dump_flight_recording,
     get_registry,
+    histogram_bucket,
+    merge_worker_batch,
     read_log,
     reset_registry,
+    set_role,
     summarize_events,
+    trace_context,
     validate_event,
 )
+from repro.observability.telemetry import HIST_MAX_EXP, HIST_MIN_EXP
 
 QUERIES = {
     "ate": "Score[S] <= Prestige[A] ?",
@@ -67,6 +79,13 @@ FROZEN_SCHEMA = {
     "query.ground": ("span", (), ("cached",)),
     "query.collect": ("span", ("start", "stop"), ("worker", "attempt", "outcome")),
     "query.finish": ("span", (), ("mode", "worker", "outcome")),
+    "query.duration": ("histogram", (), ("mode", "outcome")),
+    "worker.collect": ("span", (), ("start", "stop")),
+    "worker.store": ("span", (), ("kind",)),
+    "worker.merge": ("span", (), ()),
+    "worker.materialize": ("span", (), ()),
+    "worker.estimate": ("span", (), ()),
+    "worker.span_batch": ("counter", (), ("worker", "dropped")),
     "engine.ground": ("span", (), ("cached",)),
     "cache.hit": ("counter", (), ("kind",)),
     "cache.miss": ("counter", (), ("kind",)),
@@ -82,6 +101,9 @@ FROZEN_SCHEMA = {
     "scheduler.circuit_open": ("counter", (), ()),
     "scheduler.serial_fallback": ("counter", (), ("reason",)),
     "scheduler.queue_depth": ("gauge", (), ()),
+    "scheduler.queue_wait": ("histogram", (), ("kind",)),
+    "scheduler.retry_backoff": ("histogram", (), ()),
+    "scheduler.flight_dump": ("counter", ("reason",), ()),
     "fault.injected": ("counter", ("site",), ("key",)),
     "daemon.admit": ("counter", ("tenant",), ()),
     "daemon.reject": ("counter", ("tenant",), ("reason",)),
@@ -175,6 +197,7 @@ def test_sink_round_trips_through_read_log_and_summarize(tmp_path):
         pass
     registry.count("cache.store", kind="grounding")
     registry.gauge("daemon.sessions", 3)
+    registry.flush_sink()  # the sink buffers; flush before reading back
     log.open("a").write("not json\n")  # malformed lines are skipped
     events = read_log(log)
     assert [event["event"] for event in events] == [
@@ -200,6 +223,168 @@ def test_forked_child_registry_starts_clean(tmp_path):
     # The "child" starts from scratch and never touches the parent's sink.
     assert registry.counters() == {"cache.miss": 1}
     assert registry.sink_path is None
+
+
+# ----------------------------------------------------------------------
+# deterministic histograms
+# ----------------------------------------------------------------------
+def test_histogram_bucket_is_a_pure_clamped_log2():
+    assert histogram_bucket(1.0) == 0
+    assert histogram_bucket(1.5) == 0
+    assert histogram_bucket(2.0) == 1
+    assert histogram_bucket(0.75) == -1
+    assert histogram_bucket(0.0) == HIST_MIN_EXP
+    assert histogram_bucket(-3.0) == HIST_MIN_EXP
+    assert histogram_bucket(float("nan")) == HIST_MIN_EXP
+    assert histogram_bucket(2.0**40) == HIST_MAX_EXP
+    assert histogram_bucket(2.0**-40) == HIST_MIN_EXP
+    assert bucket_upper_bound(0) == 2.0
+    assert bucket_upper_bound(-1) == 1.0
+
+
+def test_bucket_percentile_nearest_rank_over_upper_bounds():
+    assert bucket_percentile({}, 50.0) == 0.0
+    # 10 observations in bucket 0 ([1,2)), 1 in bucket 4 ([16,32)).
+    buckets = {0: 10, 4: 1}
+    assert bucket_percentile(buckets, 50.0) == 2.0
+    assert bucket_percentile(buckets, 99.0) == 32.0
+
+
+def test_histogram_emission_totals_and_summary(tmp_path):
+    registry = get_registry()
+    for value in (0.001, 0.002, 0.5, 3.0):
+        registry.histogram("query.duration", value, mode="cold")
+    totals = registry.histograms()["query.duration"]
+    assert sum(totals.values()) == 4
+    summary = summarize_events(registry.events())
+    stats = summary["histograms"]["query.duration"]
+    assert stats["count"] == 4
+    assert stats["p50"] > 0.0
+    assert stats["buckets"] == totals
+
+
+# ----------------------------------------------------------------------
+# cross-process stitching primitives
+# ----------------------------------------------------------------------
+def test_worker_role_prefixes_generated_ids():
+    set_role("worker", 3)
+    registry = get_registry()
+    span = registry.start_span("worker.merge")
+    registry.finish_span(span)
+    assert span.trace.startswith("w3.t")
+    assert span.span_id.startswith("w3.s")
+    set_role("dispatcher")
+    plain = registry.start_span("worker.merge")
+    assert not plain.trace.startswith("w3.")
+
+
+def test_trace_context_supplies_default_attachment():
+    registry = get_registry()
+    with trace_context("t7", "s9"):
+        inherited = registry.start_span("worker.collect")
+        explicit = registry.start_span("query", index=0, trace="t1", parent="s1")
+    outside = registry.start_span("worker.collect")
+    assert (inherited.trace, inherited.parent) == ("t7", "s9")
+    assert (explicit.trace, explicit.parent) == ("t1", "s1")
+    assert outside.parent is None
+
+
+def test_drain_events_moves_ring_and_totals():
+    registry = get_registry()
+    registry.count("cache.hit")
+    registry.histogram("scheduler.retry_backoff", 0.25)
+    batch = registry.drain_events()
+    assert batch is not None
+    assert [record["event"] for record in batch["events"]] == [
+        "cache.hit",
+        "scheduler.retry_backoff",
+    ]
+    assert batch["dropped"] == 0
+    # Moved, not copied: a second drain has nothing, totals are rebuilt by
+    # the receiver from the shipped records.
+    assert registry.drain_events() is None
+    assert registry.counters() == {}
+    assert registry.histograms() == {}
+
+
+def test_merge_worker_batch_rebuilds_totals_and_attributes_worker():
+    registry = get_registry()
+    batch = {
+        "events": [
+            {"event": "cache.hit", "kind": "counter", "value": 2, "meta": {}},
+            {"event": "scheduler.queue_wait", "kind": "histogram", "value": 0.5,
+             "bucket": -1, "meta": {}},
+            "not-a-record",
+        ],
+        "dropped": 3,
+    }
+    merged = merge_worker_batch(registry, batch, worker=5)
+    assert merged == 2
+    assert registry.counters()["cache.hit"] == 2
+    assert registry.histograms()["scheduler.queue_wait"] == {-1: 1}
+    merged_records = [event for event in registry.events() if event.get("worker") == 5]
+    assert len(merged_records) == 2
+    (span_batch,) = registry.events(name="worker.span_batch")
+    assert span_batch["value"] == 2
+    assert span_batch["meta"] == {"worker": 5, "dropped": 3}
+    # Malformed batches are ignored outright: telemetry never fails a result.
+    assert merge_worker_batch(registry, None) == 0
+    assert merge_worker_batch(registry, {"events": "nope"}) == 0
+
+
+def test_dark_mode_short_circuits_every_emission(monkeypatch):
+    monkeypatch.setenv(DARK_ENV, "1")
+    registry = TelemetryRegistry()
+    assert not registry.enabled
+    registry.count("cache.hit")
+    registry.histogram("query.duration", 0.5)
+    registry.count("never.validated.in.the.dark")  # skipped before validation
+    span = registry.start_span("query", index=0)
+    registry.finish_span(span)
+    assert registry.events() == []
+    assert registry.drain_events() is None
+
+
+# ----------------------------------------------------------------------
+# sink buffering / rotation and the flight recorder
+# ----------------------------------------------------------------------
+def test_sink_rotation_is_atomic_at_line_boundaries(tmp_path):
+    log = tmp_path / "telemetry.jsonl"
+    registry = reset_registry()
+    registry.set_sink(log, rotate_bytes=2048)
+    for _ in range(300):
+        registry.count("cache.hit")
+    registry.flush_sink()
+    rotated = tmp_path / "telemetry.jsonl.1"
+    assert rotated.exists()
+    for path in (log, rotated):
+        for line in path.read_text(encoding="utf-8").splitlines():
+            json.loads(line)  # neither side of the rotation holds a torn line
+    registry.set_sink(None)
+
+
+def test_flight_recorder_dumps_ring_with_digest(tmp_path):
+    registry = get_registry()
+    registry.count("cache.hit")
+    path = dump_flight_recording("circuit_open", directory=tmp_path)
+    assert path is not None and path.parent == tmp_path
+    assert "circuit_open" in path.name
+    records = [json.loads(line) for line in path.read_text().splitlines()]
+    assert [record["event"] for record in records] == ["cache.hit"]
+    digest = (tmp_path / (path.name + ".sha256")).read_text().strip()
+    assert digest == hashlib.sha256(path.read_bytes()).hexdigest()
+    assert registry.counters()["scheduler.flight_dump"] == 1
+    assert not list(tmp_path.glob("*.tmp"))  # temp files never linger
+
+
+def test_flight_recorder_degrades_to_none_on_os_errors(tmp_path):
+    blocker = tmp_path / "not-a-directory"
+    blocker.write_text("")
+    assert dump_flight_recording("oops", directory=blocker / "sub") is None
+    # A weird reason string is sanitized into the filename, never rejected.
+    path = dump_flight_recording("worker kill: #2!", directory=tmp_path)
+    assert path is not None
+    assert path.name.endswith("-worker_kill___2_.jsonl")
 
 
 # ----------------------------------------------------------------------
